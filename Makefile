@@ -1,0 +1,30 @@
+# Convenience targets for the reproduction workflow.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-smoke examples clean
+
+install:
+	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-smoke:
+	REPRO_BENCH_SCALE=0.25 REPRO_BENCH_WINDOW=10 \
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	$(PYTHON) examples/quickstart.py 0.2
+	$(PYTHON) examples/bottleneck_shift.py 0.2
+	$(PYTHON) examples/capacity_planning.py 0.2
+	$(PYTHON) examples/admission_control.py 0.2
+	$(PYTHON) examples/service_differentiation.py 0.2
+	$(PYTHON) examples/three_tier_chain.py 0.2
+
+clean:
+	rm -rf .pytest_cache .hypothesis .benchmarks benchmarks/results
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,56 @@
+"""Shared benchmark fixtures.
+
+Every benchmark draws its artifacts from one session-wide
+:class:`~repro.experiments.pipeline.ExperimentPipeline` at paper scale
+(3000 s training runs, 30 s windows).  Set ``REPRO_BENCH_SCALE`` to a
+smaller value (e.g. 0.3) for a quick pass.
+
+Each benchmark also writes the regenerated table/figure rows to
+``benchmarks/results/<artifact>.txt`` so the numbers survive the run.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Iterable
+
+import pytest
+
+from repro.experiments.pipeline import ExperimentPipeline, PipelineConfig, get_pipeline
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+BENCH_WINDOW = int(os.environ.get("REPRO_BENCH_WINDOW", "30"))
+
+#: the paper-shape assertions are calibrated for full-scale runs with
+#: the paper's 30 s windows; smaller smoke-scale runs still regenerate
+#: every artifact but only the loose invariants are enforced
+PAPER_SCALE = BENCH_SCALE >= 0.8 and BENCH_WINDOW >= 30
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def paper_pipeline() -> ExperimentPipeline:
+    return get_pipeline(PipelineConfig(scale=BENCH_SCALE, window=BENCH_WINDOW))
+
+
+@pytest.fixture(scope="session")
+def record_result():
+    """Writer that persists an artifact's text rows under results/."""
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, rows: Iterable[str]) -> str:
+        text = "\n".join(rows) + "\n"
+        (RESULTS_DIR / f"{name}.txt").write_text(text)
+        print(f"\n{text}")
+        return text
+
+    return write
+
+
+@pytest.fixture(scope="session")
+def paper_scale() -> bool:
+    """True when the run is large enough for strict shape assertions."""
+    return PAPER_SCALE

@@ -1,0 +1,71 @@
+"""A-HIST — history-length sensitivity (paper Section V.C).
+
+The paper notes that a single history bit improved accuracy by about
+10% over the 3-bit default in their runs, and that longer histories
+add only marginal change.  The sweep regenerates that comparison; the
+robust part of the claim — that accuracy does not keep improving with
+more history — is asserted.
+"""
+
+import pytest
+
+from repro.experiments.ablation import run_history_ablation
+
+
+@pytest.fixture(scope="module")
+def history(paper_pipeline):
+    return run_history_ablation(paper_pipeline, history_lengths=(1, 2, 3, 4, 5))
+
+
+@pytest.fixture(scope="module")
+def history_paper_lambda(paper_pipeline):
+    """The sweep under the paper's exact λ (no pattern fallback)."""
+    return run_history_ablation(
+        paper_pipeline,
+        history_lengths=(1, 2, 3, 4, 5),
+        pattern_fallback=False,
+    )
+
+
+def test_history_length_sweep(history, record_result, paper_pipeline, benchmark):
+    record_result("ablation_history", history.rows())
+
+    # benchmark retraining the coordinator at h=3 (the online-tuning cost)
+    meter = paper_pipeline.meter("hpc")
+    runs = {
+        w: paper_pipeline.training_run(w) for w in ("ordering", "browsing")
+    }
+    benchmark.pedantic(
+        meter.train_coordinator, args=(runs,), rounds=3, iterations=1
+    )
+
+    means = {h: history.mean(h) for h in history.results}
+    # every history length stays in a usable band
+    assert all(m > 0.7 for m in means.values())
+    # no monotone improvement from longer histories (paper: marginal)
+    assert means[5] < means[1] + 0.05
+    # short histories are at least competitive with the 3-bit default
+    assert means[1] > means[3] - 0.1
+
+
+def test_history_matters_under_paper_lambda(
+    history_paper_lambda, history, record_result, benchmark
+):
+    """The paper's ~10%-better-with-1-bit effect lives in its exact λ.
+
+    With the pattern fallback enabled, undecided history cells defer to
+    the pattern aggregate and the sweep flattens; without it (the
+    paper's λ), longer histories fragment the LHT training counts, so
+    short histories win — the direction the paper reports.
+    """
+    record_result(
+        "ablation_history_paper_lambda", history_paper_lambda.rows()
+    )
+    benchmark(history_paper_lambda.mean, 1)
+
+    means = {h: history_paper_lambda.mean(h) for h in (1, 3, 5)}
+    # a single history bit is at least as good as three (paper: ~+10%)
+    assert means[1] >= means[3] - 0.02
+    # and the fallback variant dominates the paper's λ at every length
+    for h in (1, 3, 5):
+        assert history.mean(h) >= history_paper_lambda.mean(h) - 0.02

@@ -1,0 +1,53 @@
+"""A-SCHEME — φ scheme, δ and λ-fallback ablations (Section V.C).
+
+The paper reports that the optimistic/pessimistic schemes "had little
+impact on the coordinated accuracy"; δ and the pattern-level fallback
+are this reproduction's own design knobs called out in DESIGN.md.
+"""
+
+import pytest
+
+from repro.experiments.ablation import (
+    run_delta_ablation,
+    run_fallback_ablation,
+    run_scheme_ablation,
+)
+
+
+@pytest.fixture(scope="module")
+def scheme(paper_pipeline):
+    return run_scheme_ablation(paper_pipeline)
+
+
+def test_scheme_has_little_impact(scheme, record_result, benchmark, paper_pipeline):
+    record_result("ablation_scheme", scheme.rows())
+
+    meter = paper_pipeline.meter("hpc")
+    run = paper_pipeline.test_run("interleaved")
+    benchmark.pedantic(
+        meter.evaluate_run, args=(run,), rounds=3, iterations=1
+    )
+
+    for workload in ("ordering", "browsing", "interleaved", "unknown"):
+        assert scheme.spread(workload) < 0.15
+
+
+def test_delta_sweep(paper_pipeline, record_result, benchmark):
+    ablation = run_delta_ablation(paper_pipeline, deltas=(1.0, 3.0, 5.0, 8.0, 12.0))
+    benchmark(ablation.rows)
+    record_result("ablation_delta", ablation.rows())
+    # a usable band exists across two orders of confidence threshold
+    for scores in ablation.results.values():
+        assert sum(scores.values()) / len(scores) > 0.7
+
+
+def test_pattern_fallback_contribution(paper_pipeline, record_result, benchmark):
+    ablation = run_fallback_ablation(paper_pipeline)
+    benchmark(ablation.rows)
+    record_result("ablation_fallback", ablation.rows())
+    with_fb = ablation.results[True]
+    without_fb = ablation.results[False]
+    # the refinement never hurts, and it rescues the unknown workload
+    for workload in with_fb:
+        assert with_fb[workload] >= without_fb[workload] - 0.05
+    assert with_fb["unknown"] >= without_fb["unknown"]

@@ -1,0 +1,46 @@
+"""FIG3 — effectiveness of the Productivity Index (paper Figure 3).
+
+Regenerates the normalized PI / throughput comparison on an
+ordering-mix capacity-stress run and reports the Corr selection.  The
+benchmarked operation is the online PI computation over a full run —
+the per-interval cost of maintaining the index.
+"""
+
+import pytest
+
+from repro.experiments.fig3 import run_fig3
+from repro.core.pi import pi_series
+
+
+@pytest.fixture(scope="module")
+def fig3(paper_pipeline):
+    return run_fig3(paper_pipeline, "ordering")
+
+
+def test_fig3_pi_tracks_throughput(paper_pipeline, fig3, record_result, benchmark):
+    run = paper_pipeline.stress_run("ordering")
+    benchmark(pi_series, run, fig3.definition)
+
+    record_result("fig3_pi_effectiveness", fig3.rows(every=60))
+
+    # ordering traffic bottlenecks the app tier: Corr must select it
+    assert fig3.definition.tier == "app"
+    # PI and throughput agree (paper: "in high agreement")
+    assert fig3.corr > 0.3
+    # both series are normalized to geometric mean 1
+    positive = fig3.pi_normalized[fig3.pi_normalized > 0]
+    assert abs(float(positive.prod() ** (1.0 / len(positive))) - 1.0) < 0.05
+
+
+def test_fig3_browsing_selects_db_tier(paper_pipeline, record_result, benchmark):
+    result = run_fig3(paper_pipeline, "browsing")
+    record_result("fig3_pi_effectiveness_browsing", result.rows(every=60))
+
+    # benchmark Corr-based PI selection over the whole stress run
+    from repro.core.pi import select_best_pi
+
+    run = paper_pipeline.stress_run("browsing")
+    benchmark.pedantic(select_best_pi, args=(run,), rounds=3, iterations=1)
+
+    assert result.definition.tier == "db"
+    assert result.corr > 0.3

@@ -1,0 +1,108 @@
+"""T1a/T1b — individual synopsis accuracy (paper Table I).
+
+Regenerates both sub-tables over all four learners and both metric
+levels, checks the paper's three observations, and benchmarks the
+online cost of a single synopsis decision.
+"""
+
+import pytest
+
+from repro.experiments.table1 import run_table1
+from repro.telemetry.sampler import HPC_LEVEL, OS_LEVEL
+
+LEARNERS = ["lr", "naive", "svm", "tan"]
+
+
+@pytest.fixture(scope="module")
+def table1a(paper_pipeline):
+    return run_table1(paper_pipeline, "browsing", learners=LEARNERS)
+
+
+@pytest.fixture(scope="module")
+def table1b(paper_pipeline):
+    return run_table1(paper_pipeline, "ordering", learners=LEARNERS)
+
+
+def test_table1a_browsing_input(table1a, record_result, benchmark, paper_pipeline, paper_scale):
+    record_result("table1a_browsing_input", table1a.rows())
+
+    # benchmark one online decision of the winning synopsis
+    synopsis = paper_pipeline.synopsis("browsing", "db", HPC_LEVEL, "tan")
+    instance = paper_pipeline.dataset(
+        "browsing", "db", HPC_LEVEL, training=False
+    )[0]
+    benchmark(synopsis.predict, instance.attributes)
+
+    # Obs 1: only the bottleneck-tier, same-workload synopsis is good
+    best = table1a.best_cell()
+    assert best.synopsis_workload == "browsing"
+    assert best.tier == "db"
+    assert best.balanced_accuracy > 0.85
+    # mismatched-workload synopses stay near chance
+    assert table1a.get("ordering", "db", HPC_LEVEL, "tan") < 0.7
+
+    # Obs 2: HPC metrics beat OS metrics for the browsing mix, where
+    # the database hides its backlog from the OS.  Compared on TAN —
+    # the learner the paper selects for the coordinated system —
+    # strictly at paper scale.
+    hpc_tan = table1a.get("browsing", "db", HPC_LEVEL, "tan")
+    os_tan = table1a.get("browsing", "db", OS_LEVEL, "tan")
+    if paper_scale:
+        assert hpc_tan > os_tan + 0.1
+    else:
+        assert hpc_tan >= os_tan - 0.05
+
+
+def test_table1b_ordering_input(table1b, record_result, benchmark, paper_pipeline):
+    record_result("table1b_ordering_input", table1b.rows())
+
+    # benchmark an OS-level online decision for symmetry with Table Ia
+    synopsis = paper_pipeline.synopsis("ordering", "app", OS_LEVEL, "tan")
+    instance = paper_pipeline.dataset(
+        "ordering", "app", OS_LEVEL, training=False
+    )[0]
+    benchmark(synopsis.predict, instance.attributes)
+
+    best = table1b.best_cell()
+    assert best.synopsis_workload == "ordering"
+    assert best.tier == "app"
+    assert best.balanced_accuracy > 0.85
+
+    # for ordering traffic the OS *can* see the overload (thread storms
+    # on the app tier), so both levels are accurate — paper Table I(b)
+    assert table1b.get("ordering", "app", OS_LEVEL, "tan") > 0.8
+    assert table1b.get("ordering", "app", HPC_LEVEL, "tan") > 0.8
+
+
+def test_table1_learner_ordering(table1a, table1b, benchmark, paper_pipeline):
+    """Obs 3: SVM/TAN lead, naive Bayes trails, LR worst overall."""
+    # benchmark the expensive learner's online decision for contrast
+    synopsis = paper_pipeline.synopsis("browsing", "db", HPC_LEVEL, "svm")
+    instance = paper_pipeline.dataset(
+        "browsing", "db", HPC_LEVEL, training=False
+    )[0]
+    benchmark(synopsis.predict, instance.attributes)
+
+
+    def mean_matched(table, learner):
+        matched = {
+            "browsing": ("browsing", "db"),
+            "ordering": ("ordering", "app"),
+        }[table.input_workload]
+        return table.get(matched[0], matched[1], HPC_LEVEL, learner)
+
+    scores = {
+        learner: (
+            mean_matched(table1a, learner) + mean_matched(table1b, learner)
+        )
+        / 2.0
+        for learner in LEARNERS
+    }
+    # every learner handles its matched diagonal (the easy cells)...
+    assert all(score > 0.8 for score in scores.values())
+    # ...and the SVM at least matches naive Bayes, as in the paper.
+    assert scores["svm"] >= scores["naive"] - 0.02
+    # Deviation note (see EXPERIMENTS.md): the paper finds LR worst
+    # overall; our from-scratch LR with WEKA-style attribute
+    # elimination is competitive on matched workloads, so the strict
+    # LR-last ordering does not reproduce cell-for-cell.

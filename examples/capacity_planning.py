@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Offline capacity planning with the simulated testbed.
+
+Beyond online measurement, the substrate doubles as a classic
+capacity-planning tool: sweep the client population for each standard
+TPC-W mix, find the saturation knee, and compare against the analytic
+estimate used to size the paper-style experiments.  Also reports which
+tier limits each mix — the input a provisioning decision needs.
+
+Run:
+    python examples/capacity_planning.py [scale]
+"""
+
+import sys
+
+from repro.analysis.metrics import bottleneck_census, saturation_knee
+from repro.experiments.pipeline import PipelineConfig
+from repro.experiments.testbed import TestbedConfig, estimate_saturation, run_schedule
+from repro.workload.generator import steady
+from repro.workload.tpcw import STANDARD_MIXES
+
+
+def measure_throughput(mix, population, duration, config):
+    schedule = steady(population, duration, mix=mix)
+    output = run_schedule(
+        schedule,
+        mix,
+        workload_name=f"plan-{mix.name}-{population}",
+        seed=700 + population,
+        config=config,
+        settle=duration * 0.2,
+    )
+    records = output.run.records
+    total = sum(r.website.client.completed for r in records)
+    span = sum(r.website.client.duration for r in records)
+    return total / span if span else 0.0
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.3
+    duration = 400.0 * scale
+    config = TestbedConfig()
+
+    for name, mix in STANDARD_MIXES.items():
+        rate, sat_pop = estimate_saturation(mix, config)
+        fractions = (0.4, 0.6, 0.8, 0.9, 1.0, 1.1, 1.3, 1.6)
+        populations = sorted({max(1, int(f * sat_pop)) for f in fractions})
+        throughputs = [
+            measure_throughput(mix, pop, duration, config)
+            for pop in populations
+        ]
+        knee = saturation_knee(populations, throughputs)
+
+        # census the bottleneck at the highest load point
+        schedule = steady(populations[-1], duration, mix=mix)
+        output = run_schedule(
+            schedule, mix, workload_name="census", seed=17, config=config
+        )
+        census = bottleneck_census(output.run)
+        limiting = max(census, key=census.get)
+
+        print(f"== {name} mix (browse fraction {mix.browse_fraction:.0%})")
+        print(f"   analytic saturation: {rate:.0f} req/s at ~{sat_pop} EBs")
+        for pop, thr in zip(populations, throughputs):
+            bar = "#" * int(thr / 2)
+            marker = "  <- knee" if pop == int(knee) else ""
+            print(f"   {pop:4d} EBs -> {thr:6.1f} req/s {bar}{marker}")
+        print(f"   measured knee: ~{knee:.0f} EBs, limited by: {limiting}\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Quickstart: measure a website's capacity from hardware counters.
+
+The end-to-end flow of the paper in ~60 lines:
+
+1. build the simulated two-tier testbed and run the two training
+   workloads (browsing-mix and ordering-mix ramp+spike);
+2. train a :class:`repro.CapacityMeter` — four performance synopses
+   plus the two-level coordinated predictor — on hardware-counter
+   metrics;
+3. replay an interleaved test workload window by window, printing the
+   online overload/bottleneck decisions next to the ground truth.
+
+Run:
+    python examples/quickstart.py [scale]
+
+``scale`` (default 0.3) stretches run durations; 1.0 is paper scale.
+"""
+
+import sys
+
+from repro import CapacityMeter, SynopsisConfig
+from repro.core.labeler import SlaOracle
+from repro.experiments.pipeline import ExperimentPipeline, PipelineConfig
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.3
+    window = 30 if scale >= 0.8 else 10
+    print(f"# building testbed runs at scale={scale} (window={window}s)")
+    pipeline = ExperimentPipeline(PipelineConfig(scale=scale, window=window))
+
+    print("# simulating training workloads (browsing + ordering ramps)...")
+    training_runs = {
+        workload: pipeline.training_run(workload)
+        for workload in ("ordering", "browsing")
+    }
+    for workload, run in training_runs.items():
+        print(f"  {workload}: {len(run)} one-second samples")
+
+    print("# training the capacity meter on hardware-counter metrics...")
+    meter = CapacityMeter(
+        level="hpc",
+        window=window,
+        labeler=SlaOracle(sla_response_time=0.5),
+        synopsis_config=SynopsisConfig(learner="tan"),
+    )
+    meter.train(training_runs)
+    for (workload, tier), synopsis in meter.synopses.items():
+        print(
+            f"  synopsis {workload}/{tier}: attributes {synopsis.attributes}"
+        )
+
+    print("# online decisions on an interleaved (bottleneck-shifting) run")
+    test_run = pipeline.test_run("interleaved")
+    instances = meter.instances_for(test_run)
+    correct = 0
+    print(f"  {'window':>6} {'prediction':>11} {'bottleneck':>10} {'truth':>6}")
+    for index, instance in enumerate(instances):
+        prediction = meter.predict_window(instance.metrics)
+        meter.observe(instance.label)  # ground truth arrives later
+        state = "OVERLOAD" if prediction.overloaded else "ok"
+        truth = "OVERLOAD" if instance.label else "ok"
+        marker = "" if prediction.state == instance.label else "   <-- miss"
+        correct += prediction.state == instance.label
+        print(
+            f"  {index:6d} {state:>11} {prediction.bottleneck or '-':>10} "
+            f"{truth:>6}{marker}"
+        )
+    print(f"# raw agreement: {correct}/{len(instances)} windows")
+    scores = meter.evaluate_run(test_run)
+    print(
+        f"# balanced accuracy {scores['overload_ba']:.3f}, "
+        f"bottleneck accuracy {scores['bottleneck_accuracy']:.3f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""Reproduction of "Online Measurement of the Capacity of Multi-tier
+Websites Using Hardware Performance Counters" (Rao & Xu, ICDCS 2008).
+
+The package layers:
+
+* :mod:`repro.simulator` — discrete-event two-tier website testbed
+  (replaces the paper's physical Tomcat/MySQL machines);
+* :mod:`repro.workload` — TPC-W interactions, mixes and the Remote
+  Browser Emulator;
+* :mod:`repro.telemetry` — synthetic hardware-counter and OS metrics,
+  sampling, labelled datasets, collection-cost models;
+* :mod:`repro.learners` — from-scratch LR / naive Bayes / TAN / SVM
+  synopsis builders (the WEKA substitutes);
+* :mod:`repro.core` — the paper's contribution: Productivity Index,
+  performance synopses and the two-level coordinated predictor behind
+  the :class:`~repro.core.capacity.CapacityMeter` façade;
+* :mod:`repro.control` — measurement-based admission control;
+* :mod:`repro.experiments` — regeneration of every table and figure;
+* :mod:`repro.analysis` — run summaries and text rendering.
+
+Quickstart::
+
+    from repro.experiments import PipelineConfig, get_pipeline, run_fig4
+
+    pipeline = get_pipeline(PipelineConfig(scale=0.4, window=20))
+    print("\\n".join(run_fig4(pipeline).rows()))
+"""
+
+from .core import (
+    CapacityMeter,
+    CoordinatedPredictor,
+    PerformanceSynopsis,
+    PiDefinition,
+    Scheme,
+    SynopsisConfig,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CapacityMeter",
+    "CoordinatedPredictor",
+    "PerformanceSynopsis",
+    "PiDefinition",
+    "Scheme",
+    "SynopsisConfig",
+    "__version__",
+]

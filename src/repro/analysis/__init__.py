@@ -1,0 +1,27 @@
+"""Analysis and reporting helpers for runs and experiment results."""
+
+from .metrics import (
+    RunSummary,
+    bottleneck_census,
+    response_time_percentile,
+    saturation_knee,
+    summarize_run,
+    throughput_timeline,
+)
+from .plotting import bar_chart, series_plot, sparkline
+from .reporting import format_accuracy, render_block, render_table
+
+__all__ = [
+    "RunSummary",
+    "bar_chart",
+    "bottleneck_census",
+    "format_accuracy",
+    "render_block",
+    "render_table",
+    "response_time_percentile",
+    "saturation_knee",
+    "series_plot",
+    "sparkline",
+    "summarize_run",
+    "throughput_timeline",
+]

@@ -1,0 +1,126 @@
+"""Run-level analysis helpers.
+
+Utilities over :class:`~repro.telemetry.sampler.MeasurementRun` and
+request traces: throughput/latency timelines, percentile latencies and
+saturation-knee estimation for capacity planning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from ..telemetry.sampler import MeasurementRun
+from ..workload.traces import TraceRecord
+
+__all__ = [
+    "RunSummary",
+    "summarize_run",
+    "throughput_timeline",
+    "response_time_percentile",
+    "saturation_knee",
+]
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    """Aggregate client-visible statistics of a run."""
+
+    workload: str
+    duration: float
+    completed: int
+    dropped: int
+    mean_throughput: float
+    peak_throughput: float
+    mean_response_time: float
+    overloaded_fraction: float  # fraction of intervals with rt > sla
+
+    def rows(self) -> list:
+        return [
+            f"Run '{self.workload}': {self.duration:.0f}s, "
+            f"{self.completed} completed, {self.dropped} dropped",
+            f"  throughput mean={self.mean_throughput:.1f}/s "
+            f"peak={self.peak_throughput:.1f}/s",
+            f"  mean response={self.mean_response_time * 1000:.0f}ms, "
+            f"overloaded {100 * self.overloaded_fraction:.0f}% of intervals",
+        ]
+
+
+def summarize_run(run: MeasurementRun, *, sla: float = 0.5) -> RunSummary:
+    """Collapse a run into one :class:`RunSummary`."""
+    if not run.records:
+        raise ValueError("cannot summarize an empty run")
+    clients = [r.website.client for r in run.records]
+    completed = sum(c.completed for c in clients)
+    rt_sum = sum(c.response_time_sum for c in clients)
+    throughputs = np.array([c.throughput for c in clients])
+    over = [
+        1.0 if (c.completed and c.mean_response_time > sla) else 0.0
+        for c in clients
+    ]
+    return RunSummary(
+        workload=run.workload,
+        duration=run.duration,
+        completed=completed,
+        dropped=sum(c.dropped for c in clients),
+        mean_throughput=float(throughputs.mean()),
+        peak_throughput=float(throughputs.max()),
+        mean_response_time=rt_sum / completed if completed else 0.0,
+        overloaded_fraction=float(np.mean(over)),
+    )
+
+
+def throughput_timeline(run: MeasurementRun) -> Tuple[np.ndarray, np.ndarray]:
+    """(times, throughput) arrays across a run's sampling intervals."""
+    times = np.array([r.t_start for r in run.records])
+    thr = np.array([r.website.client.throughput for r in run.records])
+    return times, thr
+
+
+def response_time_percentile(
+    records: Sequence[TraceRecord], q: float
+) -> float:
+    """The q-th percentile response time of completed trace records."""
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("q must be a percentage in [0, 100]")
+    values = [r.response_time for r in records if not r.dropped]
+    if not values:
+        raise ValueError("trace contains no completed requests")
+    return float(np.percentile(values, q))
+
+
+def saturation_knee(
+    loads: Sequence[float], throughputs: Sequence[float]
+) -> float:
+    """Load level where measured throughput stops tracking offered load.
+
+    Classic stress-test analysis: the knee is the smallest load beyond
+    which throughput stays below 95% of its overall peak — offered load
+    past that point only adds latency (or, with contention collapse,
+    *reduces* goodput).
+    """
+    loads = np.asarray(loads, dtype=float)
+    throughputs = np.asarray(throughputs, dtype=float)
+    if loads.shape != throughputs.shape or loads.size < 3:
+        raise ValueError("need matching load/throughput arrays (>= 3 points)")
+    order = np.argsort(loads)
+    loads, throughputs = loads[order], throughputs[order]
+    peak = throughputs.max()
+    threshold = 0.95 * peak
+    for load, thr in zip(loads, throughputs):
+        if thr >= threshold:
+            return float(load)
+    return float(loads[-1])
+
+
+def bottleneck_census(run: MeasurementRun) -> Dict[str, float]:
+    """Fraction of intervals each tier was the most utilized."""
+    counts: Dict[str, int] = {}
+    for record in run.records:
+        tiers = record.website.tiers
+        top = max(tiers, key=lambda t: tiers[t].utilization)
+        counts[top] = counts.get(top, 0) + 1
+    total = sum(counts.values())
+    return {tier: n / total for tier, n in counts.items()}

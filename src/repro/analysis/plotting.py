@@ -1,0 +1,80 @@
+"""Terminal plotting: sparklines and side-by-side series plots.
+
+The paper's figures are time-series and bar charts; for a
+dependency-free package the CLI renders them as Unicode sparklines and
+block-bar rows, which is enough to *see* Fig. 3's PI/throughput
+agreement or Fig. 4's OS-vs-HPC bars in a terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+__all__ = ["sparkline", "series_plot", "bar_chart"]
+
+_TICKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: int = 0) -> str:
+    """One-line Unicode sparkline of a numeric series.
+
+    ``width`` > 0 resamples the series to that many characters (mean
+    pooling), so long runs stay readable.
+    """
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return ""
+    if width and arr.size > width:
+        # mean-pool into `width` buckets
+        edges = np.linspace(0, arr.size, width + 1).astype(int)
+        arr = np.array(
+            [arr[a:b].mean() if b > a else arr[min(a, arr.size - 1)]
+             for a, b in zip(edges[:-1], edges[1:])]
+        )
+    lo, hi = float(arr.min()), float(arr.max())
+    if hi <= lo:
+        return _TICKS[0] * arr.size
+    scaled = (arr - lo) / (hi - lo) * (len(_TICKS) - 1)
+    return "".join(_TICKS[int(round(v))] for v in scaled)
+
+
+def series_plot(
+    series: Dict[str, Sequence[float]], *, width: int = 72
+) -> List[str]:
+    """Labelled sparklines on a shared scale, with min/max annotations."""
+    if not series:
+        return []
+    label_width = max(len(name) for name in series)
+    rows = []
+    for name, values in series.items():
+        arr = np.asarray(list(values), dtype=float)
+        if arr.size == 0:
+            rows.append(f"{name:>{label_width}} | (empty)")
+            continue
+        rows.append(
+            f"{name:>{label_width}} | {sparkline(arr, width)} "
+            f"[{arr.min():.2f}..{arr.max():.2f}]"
+        )
+    return rows
+
+
+def bar_chart(
+    values: Dict[str, float], *, width: int = 40, vmax: float = 0.0
+) -> List[str]:
+    """Horizontal block bars (e.g. Fig. 4's accuracy bars)."""
+    if not values:
+        return []
+    top = vmax if vmax > 0 else max(values.values())
+    if top <= 0:
+        top = 1.0
+    label_width = max(len(name) for name in values)
+    rows = []
+    for name, value in values.items():
+        filled = int(round(max(0.0, value) / top * width))
+        rows.append(
+            f"{name:>{label_width}} | {'█' * filled}{'·' * (width - filled)} "
+            f"{value:.3f}"
+        )
+    return rows

@@ -1,0 +1,46 @@
+"""Plain-text rendering of experiment results.
+
+The benchmark harness prints the same rows the paper's tables and
+figures report; these helpers keep that formatting in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["render_table", "render_block", "format_accuracy"]
+
+
+def format_accuracy(value: float) -> str:
+    """Render a balanced accuracy the way the paper's tables do."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError("accuracy must be in [0, 1]")
+    return f"{value:.3f}"
+
+
+def render_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Fixed-width text table with a separator under the header."""
+    rows = [[str(cell) for cell in row] for row in rows]
+    headers = [str(h) for h in headers]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match header width")
+    widths = [
+        max(len(headers[j]), *(len(row[j]) for row in rows)) if rows else len(headers[j])
+        for j in range(len(headers))
+    ]
+    def fmt(row: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[j]) for j, cell in enumerate(row))
+
+    lines: List[str] = [fmt(headers), "  ".join("-" * w for w in widths)]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def render_block(title: str, lines: Iterable[str]) -> str:
+    """A titled block with the experiment's text rows, ready to print."""
+    body = "\n".join(lines)
+    bar = "=" * max(len(title), 8)
+    return f"{bar}\n{title}\n{bar}\n{body}"

@@ -1,0 +1,304 @@
+"""Command-line interface.
+
+Five subcommands cover the operational loop a downstream user needs:
+
+* ``repro simulate`` — run a workload on the simulated testbed and save
+  the measurement run (the expensive step, separable from the rest);
+* ``repro train`` — train a :class:`~repro.core.capacity.CapacityMeter`
+  from saved (or freshly simulated) training runs and persist it;
+* ``repro predict`` — replay a saved run through a saved meter window
+  by window, printing the online decisions;
+* ``repro evaluate`` — score a saved meter against a saved run
+  (overload balanced accuracy + bottleneck accuracy);
+* ``repro report`` — regenerate any of the paper's tables and figures.
+
+Every command accepts ``--scale`` to shrink simulated durations; 1.0 is
+paper scale (3000 s training ramps, 30 s windows).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, Optional, Sequence
+
+from .analysis.metrics import summarize_run
+from .core.capacity import CapacityMeter
+from .core.labeler import SlaOracle
+from .core.synopsis import SynopsisConfig
+from .experiments.pipeline import (
+    ExperimentPipeline,
+    PipelineConfig,
+    TRAINING_WORKLOADS,
+)
+from .experiments.testbed import (
+    TestbedConfig,
+    run_schedule,
+    steady_test_schedule,
+    stress_schedule,
+    training_schedule,
+)
+from .telemetry.perfctr import PERFCTR_PROFILE, SYSSTAT_PROFILE
+from .telemetry.persistence import load_run, save_run
+from .telemetry.sampler import MeasurementRun
+from .workload.tpcw import STANDARD_MIXES, make_unknown_mix
+
+__all__ = ["main"]
+
+_COLLECTORS = {
+    "none": None,
+    "perfctr": PERFCTR_PROFILE,
+    "sysstat": SYSSTAT_PROFILE,
+}
+
+
+def _window_for(scale: float) -> int:
+    return 30 if scale >= 0.8 else 10
+
+
+def _resolve_mix(name: str):
+    if name in STANDARD_MIXES:
+        return STANDARD_MIXES[name]
+    if name == "unknown":
+        return make_unknown_mix()
+    raise SystemExit(
+        f"unknown mix {name!r}; choose from "
+        f"{sorted(STANDARD_MIXES) + ['unknown']}"
+    )
+
+
+# ----------------------------------------------------------------------
+# subcommand implementations
+# ----------------------------------------------------------------------
+def cmd_simulate(args: argparse.Namespace) -> int:
+    mix = _resolve_mix(args.mix)
+    config = TestbedConfig()
+    if args.profile == "training":
+        schedule = training_schedule(mix, config, scale=args.scale)
+    elif args.profile == "test":
+        schedule = steady_test_schedule(mix, config, scale=args.scale)
+    else:
+        schedule = stress_schedule(mix, config, scale=args.scale)
+    output = run_schedule(
+        schedule,
+        mix,
+        workload_name=f"{args.profile}-{args.mix}",
+        seed=args.seed,
+        config=config,
+        collector=_COLLECTORS[args.collector],
+    )
+    save_run(output.run, args.out)
+    summary = summarize_run(output.run)
+    for row in summary.rows():
+        print(row)
+    print(f"saved {len(output.run)} samples to {args.out}")
+    return 0
+
+
+def _training_runs(args: argparse.Namespace) -> Dict[str, MeasurementRun]:
+    runs: Dict[str, MeasurementRun] = {}
+    for spec in args.run or []:
+        workload, _, path = spec.partition("=")
+        if not path:
+            raise SystemExit(
+                f"--run expects workload=path, got {spec!r}"
+            )
+        runs[workload] = load_run(path)
+    if not runs:
+        print(
+            f"# no --run given: simulating the standard training "
+            f"workloads at scale {args.scale}"
+        )
+        pipeline = ExperimentPipeline(
+            PipelineConfig(scale=args.scale, window=_window_for(args.scale))
+        )
+        runs = {w: pipeline.training_run(w) for w in TRAINING_WORKLOADS}
+    return runs
+
+
+def cmd_train(args: argparse.Namespace) -> int:
+    runs = _training_runs(args)
+    window = args.window or _window_for(args.scale)
+    meter = CapacityMeter(
+        level=args.level,
+        window=window,
+        labeler=SlaOracle(sla_response_time=args.sla),
+        synopsis_config=SynopsisConfig(learner=args.learner),
+        history_bits=args.history_bits,
+        delta=args.delta,
+    )
+    meter.train(runs)
+    for (workload, tier), synopsis in sorted(meter.synopses.items()):
+        print(
+            f"synopsis {workload}/{tier}: attributes {synopsis.attributes} "
+            f"(cv {synopsis.cv_score:.3f})"
+        )
+    meter.save(args.out)
+    print(f"saved meter to {args.out}")
+    return 0
+
+
+def cmd_predict(args: argparse.Namespace) -> int:
+    meter = CapacityMeter.load(args.meter, labeler=SlaOracle())
+    run = load_run(args.run)
+    instances = meter.instances_for(run)
+    if not instances:
+        raise SystemExit("run is shorter than one decision window")
+    print(f"{'window':>6} {'state':>9} {'bottleneck':>10} {'truth':>6}")
+    agree = 0
+    for index, instance in enumerate(instances):
+        prediction = meter.predict_window(instance.metrics)
+        meter.observe(instance.label)
+        agree += prediction.state == instance.label
+        print(
+            f"{index:6d} "
+            f"{'OVERLOAD' if prediction.overloaded else 'ok':>9} "
+            f"{prediction.bottleneck or '-':>10} "
+            f"{'OVERLOAD' if instance.label else 'ok':>6}"
+        )
+    print(f"# agreement {agree}/{len(instances)}")
+    return 0
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    meter = CapacityMeter.load(args.meter, labeler=SlaOracle())
+    run = load_run(args.run)
+    scores = meter.evaluate_run(run)
+    print(f"overload balanced accuracy: {scores['overload_ba']:.3f}")
+    print(f"bottleneck accuracy:        {scores['bottleneck_accuracy']:.3f}")
+    print(
+        f"confusion: tp={scores['tp']:.0f} tn={scores['tn']:.0f} "
+        f"fp={scores['fp']:.0f} fn={scores['fn']:.0f}"
+    )
+    return 0
+
+
+_ARTIFACTS = (
+    "fig3",
+    "table1a",
+    "table1b",
+    "fig4",
+    "timing",
+    "overhead",
+    "history",
+    "scheme",
+    "delta",
+    "fallback",
+    "hybrid",
+)
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from .experiments import (
+        run_delta_ablation,
+        run_fallback_ablation,
+        run_fig3,
+        run_fig4,
+        run_history_ablation,
+        run_hybrid_comparison,
+        run_overhead,
+        run_scheme_ablation,
+        run_table1,
+        run_timing,
+    )
+
+    pipeline = ExperimentPipeline(
+        PipelineConfig(scale=args.scale, window=_window_for(args.scale))
+    )
+    producers = {
+        "fig3": lambda: run_fig3(pipeline).rows(every=60),
+        "table1a": lambda: run_table1(pipeline, "browsing").rows(),
+        "table1b": lambda: run_table1(pipeline, "ordering").rows(),
+        "fig4": lambda: run_fig4(pipeline).rows(),
+        "timing": lambda: run_timing(pipeline).rows(),
+        "overhead": lambda: run_overhead(pipeline, executions=3).rows(),
+        "history": lambda: run_history_ablation(pipeline).rows(),
+        "scheme": lambda: run_scheme_ablation(pipeline).rows(),
+        "delta": lambda: run_delta_ablation(pipeline).rows(),
+        "fallback": lambda: run_fallback_ablation(pipeline).rows(),
+        "hybrid": lambda: run_hybrid_comparison(pipeline).rows(),
+    }
+    for row in producers[args.artifact]():
+        print(row)
+    return 0
+
+
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    simulate = sub.add_parser(
+        "simulate", help="run a workload and save the measurement run"
+    )
+    simulate.add_argument(
+        "--mix",
+        default="ordering",
+        help="browsing | shopping | ordering | unknown",
+    )
+    simulate.add_argument(
+        "--profile",
+        choices=("training", "test", "stress"),
+        default="test",
+        help="schedule shape (ramp+spike, staircase, or near-saturation)",
+    )
+    simulate.add_argument("--scale", type=float, default=0.3)
+    simulate.add_argument("--seed", type=int, default=1)
+    simulate.add_argument(
+        "--collector", choices=sorted(_COLLECTORS), default="none"
+    )
+    simulate.add_argument("--out", required=True, help="output .json[.gz]")
+    simulate.set_defaults(func=cmd_simulate)
+
+    train = sub.add_parser("train", help="train and save a capacity meter")
+    train.add_argument(
+        "--run",
+        action="append",
+        metavar="WORKLOAD=PATH",
+        help="saved training run (repeatable); omit to simulate fresh ones",
+    )
+    train.add_argument("--scale", type=float, default=0.3)
+    train.add_argument("--level", choices=("hpc", "os", "hybrid"), default="hpc")
+    train.add_argument("--learner", default="tan")
+    train.add_argument("--window", type=int, default=None)
+    train.add_argument("--sla", type=float, default=0.5)
+    train.add_argument("--history-bits", type=int, default=3)
+    train.add_argument("--delta", type=float, default=5.0)
+    train.add_argument("--out", required=True)
+    train.set_defaults(func=cmd_train)
+
+    predict = sub.add_parser(
+        "predict", help="replay a saved run through a saved meter"
+    )
+    predict.add_argument("--meter", required=True)
+    predict.add_argument("--run", required=True)
+    predict.set_defaults(func=cmd_predict)
+
+    evaluate = sub.add_parser(
+        "evaluate", help="score a saved meter on a saved run"
+    )
+    evaluate.add_argument("--meter", required=True)
+    evaluate.add_argument("--run", required=True)
+    evaluate.set_defaults(func=cmd_evaluate)
+
+    report = sub.add_parser(
+        "report", help="regenerate one of the paper's tables/figures"
+    )
+    report.add_argument("--artifact", choices=_ARTIFACTS, required=True)
+    report.add_argument("--scale", type=float, default=0.3)
+    report.set_defaults(func=cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests
+    sys.exit(main())

@@ -1,0 +1,12 @@
+"""QoS control applications built on the capacity meter."""
+
+from .admission import AdmissionController, AdmissionStats, OnlineCapacityMonitor
+from .differentiation import ClassDifferentiator, ClassStats
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionStats",
+    "ClassDifferentiator",
+    "ClassStats",
+    "OnlineCapacityMonitor",
+]

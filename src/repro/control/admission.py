@@ -1,0 +1,183 @@
+"""Measurement-based admission control driven by the capacity meter.
+
+The paper motivates online capacity measurement with exactly this use
+case (Section I): "knowledge about the server capacity can help a
+measurement-based admission controller in the front-end to regulate
+the input traffic rate so as to prevent the server from running in an
+overloaded state."
+
+:class:`OnlineCapacityMonitor` turns the offline-trained
+:class:`~repro.core.capacity.CapacityMeter` into a live signal: it
+samples the website every second, aggregates the paper's 30-sample
+windows on the fly, and emits a coordinated prediction per window.
+
+:class:`AdmissionController` closes the loop with the classic
+AIMD policy: on a predicted overload the admission probability is cut
+multiplicatively; while the site is predicted healthy it recovers
+additively.  Rejected requests are turned away immediately — the
+cheapest possible failure mode compared to queueing them into a
+collapsing server.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from ..core.capacity import CapacityMeter
+from ..core.coordinator import CoordinatedPrediction
+from ..simulator.engine import Simulator
+from ..simulator.website import CompletedRequest, MultiTierWebsite, Request
+from ..telemetry.sampler import TelemetrySampler
+
+__all__ = ["OnlineCapacityMonitor", "AdmissionController", "AdmissionStats"]
+
+
+class OnlineCapacityMonitor:
+    """Streams live telemetry into per-window coordinated predictions."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        website: MultiTierWebsite,
+        meter: CapacityMeter,
+        *,
+        interval: float = 1.0,
+        on_prediction: Optional[Callable[[CoordinatedPrediction], None]] = None,
+        seed: int = 0,
+    ):
+        if not meter.is_trained:
+            raise ValueError("the capacity meter must be trained first")
+        self.sim = sim
+        self.meter = meter
+        self.on_prediction = on_prediction
+        self.predictions = 0
+        self.last_prediction: Optional[CoordinatedPrediction] = None
+        self._sampler = TelemetrySampler(
+            sim, website, workload="online", interval=interval, seed=seed
+        )
+        self._next_window_start = 0
+        self._timer = sim.every(interval, self._maybe_predict)
+
+    def stop(self) -> None:
+        self._timer.cancel()
+        self._sampler.stop()
+
+    # ------------------------------------------------------------------
+    def _maybe_predict(self) -> None:
+        records = self._sampler.run.records
+        window = self.meter.window
+        if len(records) - self._next_window_start < window:
+            return
+        chunk = records[self._next_window_start : self._next_window_start + window]
+        self._next_window_start += window
+        metrics: Dict[str, Dict[str, float]] = {}
+        for tier in self.meter.tiers:
+            dicts = [r.metrics(self.meter.level, tier) for r in chunk]
+            metrics[tier] = {
+                name: sum(d[name] for d in dicts) / len(dicts)
+                for name in dicts[0]
+            }
+        prediction = self.meter.predict_window(metrics)
+        self.predictions += 1
+        self.last_prediction = prediction
+        if self.on_prediction is not None:
+            self.on_prediction(prediction)
+
+
+@dataclass
+class AdmissionStats:
+    """Counters of the admission controller's decisions."""
+
+    offered: int = 0
+    admitted: int = 0
+    rejected: int = 0
+    overload_signals: int = 0
+
+    @property
+    def rejection_rate(self) -> float:
+        return self.rejected / self.offered if self.offered else 0.0
+
+
+class AdmissionController:
+    """AIMD front-end gate driven by coordinated overload predictions.
+
+    Exposes the same ``submit`` signature as
+    :class:`~repro.simulator.website.MultiTierWebsite`, so an RBE can
+    drive it directly in place of the website.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        website: MultiTierWebsite,
+        meter: CapacityMeter,
+        *,
+        interval: float = 1.0,
+        decrease_factor: float = 0.65,
+        increase_step: float = 0.05,
+        min_admission: float = 0.05,
+        seed: int = 0,
+    ):
+        if not 0.0 < decrease_factor < 1.0:
+            raise ValueError("decrease_factor must be in (0, 1)")
+        if increase_step <= 0:
+            raise ValueError("increase_step must be positive")
+        if not 0.0 < min_admission <= 1.0:
+            raise ValueError("min_admission must be in (0, 1]")
+        self.sim = sim
+        self.website = website
+        self.meter = meter
+        self.decrease_factor = decrease_factor
+        self.increase_step = increase_step
+        self.min_admission = min_admission
+        self.admission_probability = 1.0
+        self.stats = AdmissionStats()
+        self._rng = np.random.default_rng(seed)
+        self.monitor = OnlineCapacityMonitor(
+            sim,
+            website,
+            meter,
+            interval=interval,
+            on_prediction=self._on_prediction,
+            seed=seed,
+        )
+
+    # ------------------------------------------------------------------
+    def _on_prediction(self, prediction: CoordinatedPrediction) -> None:
+        if prediction.overloaded:
+            self.stats.overload_signals += 1
+            self.admission_probability = max(
+                self.min_admission,
+                self.admission_probability * self.decrease_factor,
+            )
+        else:
+            self.admission_probability = min(
+                1.0, self.admission_probability + self.increase_step
+            )
+
+    def submit(
+        self,
+        request: Request,
+        on_complete: Callable[[CompletedRequest], None],
+    ) -> None:
+        """Admit or reject one request, then forward to the website."""
+        self.stats.offered += 1
+        if self._rng.uniform() > self.admission_probability:
+            self.stats.rejected += 1
+            on_complete(
+                CompletedRequest(
+                    request=request,
+                    submit_time=self.sim.now,
+                    finish_time=self.sim.now,
+                    dropped=True,
+                )
+            )
+            return
+        self.stats.admitted += 1
+        self.website.submit(request, on_complete)
+
+    def stop(self) -> None:
+        self.monitor.stop()

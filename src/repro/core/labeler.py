@@ -1,0 +1,101 @@
+"""Offline labelling of high-level system state.
+
+Two labelers are provided:
+
+* :class:`SlaOracle` — application-level healthiness ground truth: a
+  window is overloaded when the client-observed mean response time
+  breaches the SLA or requests are being dropped.  This is the
+  reference the paper's accuracy numbers are measured against.
+* :class:`PiThresholdLabeler` — the paper's offline scheme (Section
+  II.A): thresholds on the Productivity Index, "determined empirically
+  in offline stress-testing", classify each window.  It exists to show
+  PI thresholds recover the application-level truth (Fig. 3) and to
+  label runs where client-side measurements are unavailable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..telemetry.sampler import MeasurementRun, WindowStats
+from .pi import PiDefinition, pi_series
+from .states import OVERLOAD, UNDERLOAD
+
+__all__ = ["SlaOracle", "PiThresholdLabeler"]
+
+
+@dataclass(frozen=True)
+class SlaOracle:
+    """Response-time / drop-rate ground truth for a window.
+
+    ``sla_response_time`` should sit well above the knee of the
+    lightly-loaded response curve; 0.5 s is several times the
+    simulator's base response time, mirroring how the paper's SLA
+    multiples are chosen.
+    """
+
+    sla_response_time: float = 0.5
+    max_drop_rate: float = 0.01
+
+    def __call__(self, stats: WindowStats) -> int:
+        if stats.mean_response_time > self.sla_response_time:
+            return OVERLOAD
+        if stats.drop_rate > self.max_drop_rate:
+            return OVERLOAD
+        return UNDERLOAD
+
+
+class PiThresholdLabeler:
+    """Classify windows by a threshold on a PI series.
+
+    The threshold is calibrated from a stress-test run: PI above the
+    threshold means the system is still productive (underload); PI at
+    or below means cost is rising without yield (overload).  The
+    default calibration takes a quantile between the PI levels observed
+    in the run's healthy and collapsed phases.
+    """
+
+    def __init__(self, definition: PiDefinition, threshold: Optional[float] = None):
+        self.definition = definition
+        self.threshold = threshold
+
+    @property
+    def calibrated(self) -> bool:
+        return self.threshold is not None
+
+    def calibrate(
+        self, run: MeasurementRun, *, quantile: float = 0.35
+    ) -> "PiThresholdLabeler":
+        """Set the threshold from a ramp-to-overload stress run.
+
+        A ramp run spends its early part healthy (high PI) and its late
+        part overloaded (low PI); a low quantile of the positive PI
+        values lands between the two modes.
+        """
+        if not 0.0 < quantile < 1.0:
+            raise ValueError("quantile must be in (0, 1)")
+        series = pi_series(run, self.definition)
+        positive = series[series > 0]
+        if positive.size == 0:
+            raise ValueError("run produced no positive PI values")
+        self.threshold = float(np.quantile(positive, quantile))
+        return self
+
+    def label_series(self, run: MeasurementRun) -> np.ndarray:
+        """Per-interval 0/1 labels for a run."""
+        if not self.calibrated:
+            raise RuntimeError("labeler is not calibrated")
+        series = pi_series(run, self.definition)
+        return (series <= self.threshold).astype(int)
+
+    def label_window(self, run: MeasurementRun, start: int, stop: int) -> int:
+        """Majority label over records[start:stop]."""
+        if not self.calibrated:
+            raise RuntimeError("labeler is not calibrated")
+        labels = self.label_series(run)[start:stop]
+        if labels.size == 0:
+            raise ValueError("empty window")
+        return OVERLOAD if labels.mean() >= 0.5 else UNDERLOAD

@@ -1,0 +1,139 @@
+"""Productivity Index (PI) — the paper's Section II.A metric.
+
+``PI = Yield / Cost`` (Equation 1): yield is the useful work a system
+completes, cost the resource consumed doing it.  At the hardware level
+the paper uses instructions-per-cycle as yield and a stall-type metric
+(L2 miss rate or stalled cycles) as cost; an overloaded system keeps
+paying cost while yield stagnates, so PI falls.
+
+Equation 2 defines the Pearson correlation ``Corr`` between a candidate
+PI series and a high-level performance series (throughput) over a
+measurement period; the PI with the largest Corr — normally from the
+bottleneck tier — is selected as the capacity measure for the site.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from ..telemetry.sampler import HPC_LEVEL, MeasurementRun
+
+__all__ = [
+    "PiDefinition",
+    "correlation",
+    "pi_series",
+    "throughput_series",
+    "select_best_pi",
+    "normalize_to_geometric_mean",
+    "DEFAULT_PI_CANDIDATES",
+]
+
+
+@dataclass(frozen=True)
+class PiDefinition:
+    """A (tier, yield metric, cost metric) productivity definition."""
+
+    tier: str
+    yield_metric: str
+    cost_metric: str
+    level: str = HPC_LEVEL
+
+    @property
+    def label(self) -> str:
+        return f"{self.tier}:{self.yield_metric}/{self.cost_metric}"
+
+    def value(self, metrics: Dict[str, float]) -> float:
+        """PI for one interval's metric dict (0 when cost is 0)."""
+        cost = metrics[self.cost_metric]
+        if cost <= 0:
+            return 0.0
+        return metrics[self.yield_metric] / cost
+
+
+#: Candidate yield/cost pairs the paper considers per tier: IPC as
+#: yield against L2 miss rate or stall fraction as cost.
+DEFAULT_PI_CANDIDATES: Tuple[Tuple[str, str], ...] = (
+    ("ipc", "l2_miss_rate"),
+    ("ipc", "stall_fraction"),
+)
+
+
+def correlation(pi: Sequence[float], reference: Sequence[float]) -> float:
+    """Equation 2: Pearson correlation between PI and a high-level metric.
+
+    Returns 0 when either series is constant (no co-variation to
+    measure) rather than raising.
+    """
+    pi = np.asarray(pi, dtype=float)
+    reference = np.asarray(reference, dtype=float)
+    if pi.shape != reference.shape:
+        raise ValueError("series must have equal length")
+    if pi.size < 2:
+        raise ValueError("need at least two samples")
+    sp, sr = pi.std(), reference.std()
+    # a numerically-constant series (std at rounding-noise level) has no
+    # co-variation to measure; an exact zero check would let cancellation
+    # noise through and produce a garbage quotient
+    tol_p = 1e-12 * max(1.0, float(np.abs(pi).max()))
+    tol_r = 1e-12 * max(1.0, float(np.abs(reference).max()))
+    if sp <= tol_p or sr <= tol_r:
+        return 0.0
+    cov = ((pi - pi.mean()) * (reference - reference.mean())).mean()
+    return float(cov / (sp * sr))
+
+
+def pi_series(run: MeasurementRun, definition: PiDefinition) -> np.ndarray:
+    """PI value per sampling interval of a run."""
+    return np.array(
+        [
+            definition.value(r.metrics(definition.level, definition.tier))
+            for r in run.records
+        ]
+    )
+
+
+def throughput_series(run: MeasurementRun) -> np.ndarray:
+    """Client-observed throughput per sampling interval."""
+    return np.array([r.website.client.throughput for r in run.records])
+
+
+def select_best_pi(
+    run: MeasurementRun,
+    *,
+    tiers: Sequence[str] = ("app", "db"),
+    candidates: Sequence[Tuple[str, str]] = DEFAULT_PI_CANDIDATES,
+) -> Tuple[PiDefinition, float]:
+    """Choose the PI definition with the largest Corr to throughput.
+
+    The winning tier is, by the paper's assumption, the bottleneck tier
+    for the run's traffic pattern.
+    """
+    reference = throughput_series(run)
+    best: Tuple[PiDefinition, float] = (None, -np.inf)  # type: ignore[assignment]
+    for tier in tiers:
+        for yield_metric, cost_metric in candidates:
+            definition = PiDefinition(tier, yield_metric, cost_metric)
+            corr = correlation(pi_series(run, definition), reference)
+            if corr > best[1]:
+                best = (definition, corr)
+    if best[0] is None:
+        raise ValueError("no PI candidates evaluated")
+    return best
+
+
+def normalize_to_geometric_mean(series: Sequence[float]) -> np.ndarray:
+    """Normalize a positive series by its geometric mean (paper Fig. 3).
+
+    Zero/negative entries are excluded from the mean and normalized as
+    zero, matching how idle sampling intervals are plotted.
+    """
+    series = np.asarray(series, dtype=float)
+    positive = series[series > 0]
+    if positive.size == 0:
+        return np.zeros_like(series)
+    gmean = float(np.exp(np.log(positive).mean()))
+    out = np.where(series > 0, series / gmean, 0.0)
+    return out

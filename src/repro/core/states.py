@@ -1,0 +1,33 @@
+"""System-state vocabulary.
+
+The paper's class variable is binary: a server (or the whole site) is
+either **underloaded** (0) or **overloaded** (1).  Saturation — the
+knee between the two — is not a separate class; instances near it are
+the intrinsically hard ones for every predictor.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+__all__ = ["SystemState", "UNDERLOAD", "OVERLOAD"]
+
+UNDERLOAD = 0
+OVERLOAD = 1
+
+
+class SystemState(IntEnum):
+    """Binary high-level system state (the class variable C)."""
+
+    UNDERLOAD = UNDERLOAD
+    OVERLOAD = OVERLOAD
+
+    @property
+    def is_overloaded(self) -> bool:
+        return self is SystemState.OVERLOAD
+
+    @classmethod
+    def from_label(cls, label: int) -> "SystemState":
+        if label not in (UNDERLOAD, OVERLOAD):
+            raise ValueError(f"invalid state label {label!r}")
+        return cls(label)

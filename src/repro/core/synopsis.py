@@ -1,0 +1,258 @@
+"""Performance synopsis (paper Section II.B).
+
+A synopsis ``SYN({A1..An}, C)`` captures the correlation between a set
+of lower-level metrics and the high-level binary state, for one tier
+under one workload pattern.  Construction has two parts:
+
+* **attribute selection** — attributes are ranked by information gain
+  against the class and added greedily while 10-fold cross-validated
+  accuracy improves (Section II.B.2);
+* **model induction** — one of the four learners (LR / Naive / SVM /
+  TAN) is fitted on the selected attributes.
+
+``Predict(SYN, u*)`` is then a single call with an instance's metric
+dict; a :class:`~repro.core.coordinator.CoordinatedPredictor` combines
+several synopses into the site-wide decision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+import numpy as np
+
+from ..learners.base import SynopsisLearner, make_learner
+from ..learners.information_gain import rank_attributes
+from ..learners.validation import ConfusionMatrix, cross_validate
+from ..telemetry.dataset import Dataset
+
+__all__ = ["SynopsisConfig", "PerformanceSynopsis"]
+
+
+@dataclass(frozen=True)
+class SynopsisConfig:
+    """Construction-time knobs for a synopsis.
+
+    ``max_candidates`` caps how many top-ranked attributes forward
+    selection will even consider, and ``patience`` stops the scan after
+    that many consecutive non-improving additions — both keep the
+    10-fold CV loop tractable for expensive learners like the SVM.
+
+    ``min_attributes`` forces at least that many informative,
+    non-redundant attributes into the synopsis even when CV accuracy
+    saturates earlier.  Within one workload a single throughput-shaped
+    counter often separates the classes perfectly, but such rate
+    metrics do not transfer to other traffic mixes; keeping a few
+    diverse metrics (ratios like IPC or miss rates alongside rates)
+    preserves accuracy under the paper's interleaved and unknown
+    workloads.  ``redundancy_threshold`` skips candidates whose Pearson
+    correlation with an already-selected attribute exceeds it, so the
+    forced minimum buys diversity rather than duplicates.
+    """
+
+    learner: str = "tan"
+    learner_kwargs: Mapping[str, object] = field(default_factory=dict)
+    select_attributes: bool = True
+    min_attributes: int = 4
+    max_attributes: int = 8
+    max_candidates: int = 14
+    patience: int = 3
+    cv_folds: int = 10
+    min_improvement: float = 0.002
+    redundancy_threshold: float = 0.98
+    seed: int = 0
+
+
+class PerformanceSynopsis:
+    """A trained (tier, workload, level)-specific state model."""
+
+    def __init__(
+        self,
+        tier: str,
+        workload: str,
+        level: str,
+        config: Optional[SynopsisConfig] = None,
+    ):
+        self.tier = tier
+        self.workload = workload
+        self.level = level
+        self.config = config if config is not None else SynopsisConfig()
+        self.attributes: List[str] = []
+        self.ranking: List[tuple] = []
+        self.cv_score: float = 0.0
+        self._learner: Optional[SynopsisLearner] = None
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        state = "trained" if self.is_trained else "untrained"
+        return (
+            f"PerformanceSynopsis({self.tier}/{self.workload}/{self.level}, "
+            f"{self.config.learner}, {state})"
+        )
+
+    @property
+    def is_trained(self) -> bool:
+        return self._learner is not None
+
+    def _new_learner(self) -> SynopsisLearner:
+        return make_learner(self.config.learner, **dict(self.config.learner_kwargs))
+
+    # ------------------------------------------------------------------
+    def train(self, dataset: Dataset) -> "PerformanceSynopsis":
+        """Select attributes and induce the model from a dataset."""
+        if len(dataset) == 0:
+            raise ValueError("cannot train a synopsis on an empty dataset")
+        cfg = self.config
+        y = dataset.labels()
+        names = dataset.attribute_names
+        X_full = dataset.matrix(names)
+        self.ranking = rank_attributes(X_full, y, names)
+
+        if not cfg.select_attributes or len(np.unique(y)) < 2:
+            self.attributes = list(names)
+        else:
+            self.attributes = self._forward_select(dataset, y)
+
+        X = dataset.matrix(self.attributes)
+        self._learner = self._new_learner().fit(X, y)
+        return self
+
+    def _forward_select(self, dataset: Dataset, y: np.ndarray) -> List[str]:
+        """Greedy info-gain-ordered forward selection with CV scoring.
+
+        Candidates are visited in decreasing information gain; a
+        candidate nearly collinear with an already-selected attribute
+        is skipped.  A candidate is kept when it improves the 10-fold
+        CV balanced accuracy, or unconditionally while fewer than
+        ``min_attributes`` diverse attributes have been accepted.
+        """
+        cfg = self.config
+        candidates = [
+            name for name, gain in self.ranking[: cfg.max_candidates] if gain > 0
+        ]
+        if not candidates:
+            # nothing informative: keep the single best-ranked attribute
+            return [self.ranking[0][0]]
+        columns = {
+            name: dataset.matrix([name])[:, 0] for name in candidates
+        }
+        selected: List[str] = []
+        best_score = 0.0
+        misses = 0
+        for name in candidates:
+            if len(selected) >= cfg.max_attributes:
+                break
+            if self._redundant(columns[name], [columns[s] for s in selected]):
+                continue
+            trial = selected + [name]
+            X = dataset.matrix(trial)
+            score = cross_validate(
+                self._new_learner, X, y, k=cfg.cv_folds, seed=cfg.seed
+            )
+            forced = len(selected) < cfg.min_attributes
+            if score > best_score + cfg.min_improvement or forced:
+                selected = trial
+                best_score = max(best_score, score)
+                misses = 0
+            else:
+                misses += 1
+                if misses >= cfg.patience:
+                    break
+        self.cv_score = best_score
+        return selected
+
+    def _redundant(
+        self, column: np.ndarray, chosen: List[np.ndarray]
+    ) -> bool:
+        """Is ``column`` nearly collinear with any selected column?"""
+        threshold = self.config.redundancy_threshold
+        std = column.std()
+        if std == 0:
+            return bool(chosen)  # a constant adds nothing after the first
+        for other in chosen:
+            other_std = other.std()
+            if other_std == 0:
+                continue
+            corr = abs(
+                ((column - column.mean()) * (other - other.mean())).mean()
+                / (std * other_std)
+            )
+            if corr > threshold:
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    def predict(self, metrics: Mapping[str, float]) -> int:
+        """``Predict(SYN, u*)`` for one interval's metric dict."""
+        if not self.is_trained:
+            raise RuntimeError("synopsis is not trained")
+        x = np.array([metrics[a] for a in self.attributes], dtype=float)
+        return self._learner.predict_one(x)
+
+    def predict_dataset(self, dataset: Dataset) -> np.ndarray:
+        """Batch prediction over a dataset with this synopsis' schema."""
+        if not self.is_trained:
+            raise RuntimeError("synopsis is not trained")
+        X = dataset.matrix(self.attributes)
+        return self._learner.predict(X)
+
+    def evaluate(self, dataset: Dataset) -> ConfusionMatrix:
+        """Confusion matrix of this synopsis on a labelled dataset."""
+        pred = self.predict_dataset(dataset)
+        return ConfusionMatrix.from_predictions(dataset.labels(), pred)
+
+    def balanced_accuracy(self, dataset: Dataset) -> float:
+        """The paper's BA metric on a labelled dataset."""
+        return self.evaluate(dataset).balanced_accuracy
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable snapshot of this (possibly trained) synopsis."""
+        payload: Dict[str, object] = {
+            "tier": self.tier,
+            "workload": self.workload,
+            "level": self.level,
+            "config": {
+                "learner": self.config.learner,
+                "learner_kwargs": dict(self.config.learner_kwargs),
+                "select_attributes": self.config.select_attributes,
+                "min_attributes": self.config.min_attributes,
+                "max_attributes": self.config.max_attributes,
+                "max_candidates": self.config.max_candidates,
+                "patience": self.config.patience,
+                "cv_folds": self.config.cv_folds,
+                "min_improvement": self.config.min_improvement,
+                "redundancy_threshold": self.config.redundancy_threshold,
+                "seed": self.config.seed,
+            },
+            "attributes": list(self.attributes),
+            "ranking": [[name, gain] for name, gain in self.ranking],
+            "cv_score": self.cv_score,
+        }
+        if self.is_trained:
+            payload["model"] = self._learner.to_dict()
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "PerformanceSynopsis":
+        """Rebuild a synopsis serialized by :meth:`to_dict`."""
+        from ..learners.base import SynopsisLearner
+
+        config = SynopsisConfig(**payload["config"])
+        synopsis = cls(
+            tier=str(payload["tier"]),
+            workload=str(payload["workload"]),
+            level=str(payload["level"]),
+            config=config,
+        )
+        synopsis.attributes = list(payload.get("attributes", []))
+        synopsis.ranking = [
+            (name, float(gain)) for name, gain in payload.get("ranking", [])
+        ]
+        synopsis.cv_score = float(payload.get("cv_score", 0.0))
+        if "model" in payload:
+            synopsis._learner = SynopsisLearner.from_dict(payload["model"])
+        return synopsis

@@ -1,0 +1,87 @@
+"""Experiment harness: testbed orchestration and paper artifacts.
+
+One module per paper artifact — Figure 3 (:mod:`~repro.experiments.fig3`),
+Table I (:mod:`~repro.experiments.table1`), Figure 4
+(:mod:`~repro.experiments.fig4`), the Section V.B timing comparison
+(:mod:`~repro.experiments.timing`), the Section V.D collection-overhead
+experiment (:mod:`~repro.experiments.overhead`) and the Section V.C
+ablations (:mod:`~repro.experiments.ablation`) — all sharing runs,
+synopses and meters through :mod:`~repro.experiments.pipeline`.
+"""
+
+from .ablation import (
+    DeltaAblation,
+    FallbackAblation,
+    HistoryAblation,
+    SchemeAblation,
+    run_delta_ablation,
+    run_fallback_ablation,
+    run_history_ablation,
+    run_scheme_ablation,
+)
+from .fig3 import Fig3Result, run_fig3
+from .hybrid import HybridComparison, run_hybrid_comparison
+from .fig4 import Fig4Cell, Fig4Result, run_fig4
+from .overhead import OverheadResult, run_overhead
+from .pipeline import (
+    LEVELS,
+    TEST_WORKLOADS,
+    TRAINING_WORKLOADS,
+    ExperimentPipeline,
+    PipelineConfig,
+    get_pipeline,
+)
+from .table1 import Table1Cell, Table1Result, run_table1
+from .testbed import (
+    RunOutput,
+    TestbedConfig,
+    estimate_saturation,
+    interleaved_test_schedule,
+    run_schedule,
+    steady_test_schedule,
+    stress_schedule,
+    training_schedule,
+    unknown_test_schedule,
+)
+from .timing import TimingResult, measure_build_and_decide, run_timing
+
+__all__ = [
+    "DeltaAblation",
+    "ExperimentPipeline",
+    "FallbackAblation",
+    "Fig3Result",
+    "Fig4Cell",
+    "Fig4Result",
+    "HistoryAblation",
+    "HybridComparison",
+    "LEVELS",
+    "OverheadResult",
+    "PipelineConfig",
+    "RunOutput",
+    "SchemeAblation",
+    "TEST_WORKLOADS",
+    "TRAINING_WORKLOADS",
+    "Table1Cell",
+    "Table1Result",
+    "TestbedConfig",
+    "TimingResult",
+    "estimate_saturation",
+    "get_pipeline",
+    "interleaved_test_schedule",
+    "measure_build_and_decide",
+    "run_delta_ablation",
+    "run_fallback_ablation",
+    "run_fig3",
+    "run_fig4",
+    "run_history_ablation",
+    "run_hybrid_comparison",
+    "run_overhead",
+    "run_scheme_ablation",
+    "run_schedule",
+    "run_table1",
+    "run_timing",
+    "steady_test_schedule",
+    "stress_schedule",
+    "training_schedule",
+    "unknown_test_schedule",
+]

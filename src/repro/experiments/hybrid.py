@@ -1,0 +1,62 @@
+"""Extension — hybrid OS+HPC attribute sets (paper Section VII).
+
+The paper closes by noting its model "can be further extended to
+combine hardware counter level metrics with OS level metrics to capture
+I/O related performance problems."  The telemetry layer supports a
+``hybrid`` metric level whose attribute space is the prefixed union of
+both vocabularies; this experiment trains coordinated meters at all
+three levels and compares them across the four test workloads.
+
+Measured shape — a caution for the paper's proposed extension: where
+counter signals dominate (the ordering mix) hybrid selection simply
+picks them and matches the HPC level, but doubling the attribute space
+also doubles the opportunities for information-gain ranking to admit
+noisy OS gauges on spurious within-training correlations.  On small
+training sets the hybrid level can therefore *underperform both*
+constituents for some workloads; combining the levels needs stronger
+regularization than the paper's iterative selection provides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..telemetry.sampler import HPC_LEVEL, HYBRID_LEVEL, OS_LEVEL
+from .pipeline import ExperimentPipeline, TEST_WORKLOADS
+
+__all__ = ["HybridComparison", "run_hybrid_comparison"]
+
+
+@dataclass
+class HybridComparison:
+    """Coordinated overload BA per level per workload."""
+
+    results: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    def rows(self) -> List[str]:
+        levels = list(self.results)
+        out = ["Hybrid-attribute extension (coordinated overload BA):"]
+        out.append(
+            f"{'Workload':12} " + " ".join(f"{lvl:>8}" for lvl in levels)
+        )
+        for workload in TEST_WORKLOADS:
+            cols = " ".join(
+                f"{self.results[lvl][workload]:8.3f}" for lvl in levels
+            )
+            out.append(f"{workload:12} {cols}")
+        return out
+
+
+def run_hybrid_comparison(pipeline: ExperimentPipeline) -> HybridComparison:
+    """Coordinated accuracy at OS, HPC and hybrid metric levels."""
+    comparison = HybridComparison()
+    for level in (OS_LEVEL, HPC_LEVEL, HYBRID_LEVEL):
+        meter = pipeline.meter(level)
+        comparison.results[level] = {
+            workload: meter.evaluate_run(pipeline.test_run(workload))[
+                "overload_ba"
+            ]
+            for workload in TEST_WORKLOADS
+        }
+    return comparison

@@ -1,0 +1,148 @@
+"""Section V.D — runtime overhead of metrics collection.
+
+The paper runs the workload with and without each collection agent
+(five 30-minute executions each) and normalizes throughput and request
+latency against the no-collection baseline: hardware-counter collection
+costs under 0.5% while OS-level collection costs about 4%.
+
+The same experiment is reproduced here: a steady near-saturation
+workload is executed with no collector, the PerfCtr-style collector and
+the sysstat-style collector; each collector injects its per-sample CPU
+burst and cache footprint into every tier, and the client-observed
+throughput/latency degradation is reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..telemetry.perfctr import (
+    PERFCTR_PROFILE,
+    SYSSTAT_PROFILE,
+    CollectorProfile,
+)
+from ..workload.tpcw import ORDERING_MIX, TrafficMix
+from .pipeline import ExperimentPipeline
+from .testbed import estimate_saturation, run_schedule
+from ..workload.generator import steady
+
+__all__ = ["OverheadResult", "run_overhead"]
+
+
+@dataclass
+class OverheadResult:
+    """Normalized performance under each collection agent."""
+
+    #: collector name -> mean normalized throughput (baseline = 1.0)
+    throughput: Dict[str, float]
+    #: collector name -> mean normalized response time (baseline = 1.0)
+    latency: Dict[str, float]
+    executions: int
+    duration: float
+
+    def loss_percent(self, collector: str) -> float:
+        """Throughput loss relative to the no-collection baseline."""
+        return 100.0 * (1.0 - self.throughput[collector])
+
+    def rows(self) -> List[str]:
+        out = [
+            f"Collection overhead ({self.executions} executions of "
+            f"{self.duration:.0f}s each):",
+            f"{'Collector':14} {'thr (norm)':>11} {'lat (norm)':>11} "
+            f"{'thr loss %':>11}",
+        ]
+        for name in self.throughput:
+            out.append(
+                f"{name:14} {self.throughput[name]:11.4f} "
+                f"{self.latency[name]:11.4f} {self.loss_percent(name):11.2f}"
+            )
+        return out
+
+
+def _one_execution(
+    mix: TrafficMix,
+    collector: Optional[CollectorProfile],
+    *,
+    seed: int,
+    duration: float,
+    load_fraction: float,
+    pipeline: ExperimentPipeline,
+) -> Dict[str, float]:
+    cfg = pipeline.config.testbed
+    _, sat = estimate_saturation(mix, cfg)
+    population = max(1, int(load_fraction * sat))
+    schedule = steady(population, duration, mix=mix)
+    output = run_schedule(
+        schedule,
+        mix,
+        workload_name="overhead",
+        seed=seed,
+        config=cfg,
+        collector=collector,
+        settle=duration * 0.1,
+    )
+    clients = [r.website.client for r in output.run.records]
+    completed = sum(c.completed for c in clients)
+    rt_sum = sum(c.response_time_sum for c in clients)
+    span = sum(c.duration for c in clients)
+    return {
+        "throughput": completed / span if span else 0.0,
+        "latency": rt_sum / completed if completed else 0.0,
+    }
+
+
+def run_overhead(
+    pipeline: ExperimentPipeline,
+    *,
+    executions: int = 5,
+    duration: Optional[float] = None,
+    load_fraction: float = 0.9,
+    mix: TrafficMix = ORDERING_MIX,
+) -> OverheadResult:
+    """Regenerate the Section V.D collection-overhead comparison.
+
+    Runs at ``load_fraction`` of saturation — overhead only matters
+    when the CPU is the scarce resource.  Each execution uses a
+    distinct seed; collector and baseline share seeds pairwise so the
+    workload randomness cancels in the normalization.
+    """
+    if executions < 1:
+        raise ValueError("need at least one execution")
+    if duration is None:
+        duration = 1800.0 * pipeline.config.scale
+    profiles: Dict[str, Optional[CollectorProfile]] = {
+        "none": None,
+        PERFCTR_PROFILE.name: PERFCTR_PROFILE,
+        SYSSTAT_PROFILE.name: SYSSTAT_PROFILE,
+    }
+    raw: Dict[str, List[Dict[str, float]]] = {name: [] for name in profiles}
+    for i in range(executions):
+        for name, profile in profiles.items():
+            raw[name].append(
+                _one_execution(
+                    mix,
+                    profile,
+                    seed=5000 + i,
+                    duration=duration,
+                    load_fraction=load_fraction,
+                    pipeline=pipeline,
+                )
+            )
+    base_thr = np.array([r["throughput"] for r in raw["none"]])
+    base_lat = np.array([r["latency"] for r in raw["none"]])
+    throughput: Dict[str, float] = {}
+    latency: Dict[str, float] = {}
+    for name in profiles:
+        thr = np.array([r["throughput"] for r in raw[name]])
+        lat = np.array([r["latency"] for r in raw[name]])
+        throughput[name] = float((thr / base_thr).mean())
+        latency[name] = float((lat / base_lat).mean())
+    return OverheadResult(
+        throughput=throughput,
+        latency=latency,
+        executions=executions,
+        duration=duration,
+    )

@@ -1,0 +1,253 @@
+"""Shared experiment pipeline: runs, datasets, synopses, meters.
+
+Regenerating the paper's tables and figures needs the same expensive
+artifacts over and over — two training runs (browsing and ordering
+ramp+spike), four testing runs (ordering / browsing / interleaved /
+unknown), per-(workload, tier, level, learner) synopses and coordinated
+meters.  :class:`ExperimentPipeline` builds each artifact once and
+memoizes it; :func:`get_pipeline` memoizes whole pipelines per
+configuration so every benchmark in a session shares them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Tuple
+
+from ..core.capacity import CapacityMeter
+from ..core.coordinator import Scheme
+from ..core.labeler import SlaOracle
+from ..core.synopsis import PerformanceSynopsis, SynopsisConfig
+from ..telemetry.dataset import Dataset
+from ..telemetry.sampler import HPC_LEVEL, OS_LEVEL, MeasurementRun, build_dataset
+from ..workload.tpcw import BROWSING_MIX, ORDERING_MIX, make_unknown_mix
+from .testbed import (
+    TestbedConfig,
+    interleaved_test_schedule,
+    run_schedule,
+    steady_test_schedule,
+    stress_schedule,
+    training_schedule,
+    unknown_test_schedule,
+)
+
+__all__ = [
+    "PipelineConfig",
+    "ExperimentPipeline",
+    "get_pipeline",
+    "TRAINING_WORKLOADS",
+    "TEST_WORKLOADS",
+    "LEVELS",
+]
+
+TRAINING_WORKLOADS = ("ordering", "browsing")
+TEST_WORKLOADS = ("ordering", "browsing", "interleaved", "unknown")
+LEVELS = (OS_LEVEL, HPC_LEVEL)
+
+
+def _stable_hash(text: str) -> int:
+    """Deterministic across processes, unlike built-in str hashing."""
+    value = 0
+    for ch in text:
+        value = (value * 131 + ord(ch)) % 1_000_003
+    return value
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Everything that parameterizes one experiment pipeline."""
+
+    scale: float = 1.0
+    window: int = 30
+    seed: int = 11
+    sla_response_time: float = 0.5
+    unknown_seed: int = 7
+    testbed: TestbedConfig = TestbedConfig()
+
+    def scaled(self, scale: float) -> "PipelineConfig":
+        return replace(self, scale=scale)
+
+
+class ExperimentPipeline:
+    """Lazily-built, memoized experiment artifacts."""
+
+    def __init__(self, config: PipelineConfig = PipelineConfig()):
+        self.config = config
+        self.labeler = SlaOracle(sla_response_time=config.sla_response_time)
+        self._training_runs: Dict[str, MeasurementRun] = {}
+        self._test_runs: Dict[str, MeasurementRun] = {}
+        self._stress_runs: Dict[str, MeasurementRun] = {}
+        self._datasets: Dict[Tuple[str, str, str, bool], Dataset] = {}
+        self._synopses: Dict[Tuple[str, str, str, str], PerformanceSynopsis] = {}
+        self._meters: Dict[Tuple, CapacityMeter] = {}
+
+    # ------------------------------------------------------------------
+    # measurement runs
+    # ------------------------------------------------------------------
+    def _mix(self, workload: str):
+        if workload == "ordering":
+            return ORDERING_MIX
+        if workload == "browsing":
+            return BROWSING_MIX
+        if workload == "unknown":
+            return make_unknown_mix(seed=self.config.unknown_seed)
+        if workload == "interleaved":
+            return BROWSING_MIX  # initial mix; the schedule switches it
+        raise KeyError(f"unknown workload {workload!r}")
+
+    def training_run(self, workload: str) -> MeasurementRun:
+        """Ramp+spike training run for 'ordering' or 'browsing'."""
+        if workload not in TRAINING_WORKLOADS:
+            raise KeyError(f"no training workload {workload!r}")
+        if workload not in self._training_runs:
+            cfg = self.config
+            mix = self._mix(workload)
+            schedule = training_schedule(mix, cfg.testbed, scale=cfg.scale)
+            output = run_schedule(
+                schedule,
+                mix,
+                workload_name=f"train-{workload}",
+                seed=cfg.seed + _stable_hash(workload) % 97,
+                config=cfg.testbed,
+            )
+            self._training_runs[workload] = output.run
+        return self._training_runs[workload]
+
+    def test_run(self, workload: str) -> MeasurementRun:
+        """Testing run for any of the four paper test workloads."""
+        if workload not in TEST_WORKLOADS:
+            raise KeyError(f"no test workload {workload!r}")
+        if workload not in self._test_runs:
+            cfg = self.config
+            if workload == "interleaved":
+                schedule = interleaved_test_schedule(cfg.testbed, scale=cfg.scale)
+            elif workload == "unknown":
+                schedule = unknown_test_schedule(
+                    cfg.testbed, scale=cfg.scale, seed=cfg.unknown_seed
+                )
+            else:
+                schedule = steady_test_schedule(
+                    self._mix(workload), cfg.testbed, scale=cfg.scale
+                )
+            output = run_schedule(
+                schedule,
+                self._mix(workload),
+                workload_name=f"test-{workload}",
+                seed=1000 + cfg.seed + _stable_hash(workload) % 97,
+                config=cfg.testbed,
+            )
+            self._test_runs[workload] = output.run
+        return self._test_runs[workload]
+
+    def stress_run(self, workload: str) -> MeasurementRun:
+        """Capacity-stress run hovering at/above saturation (Fig. 3)."""
+        if workload not in TRAINING_WORKLOADS:
+            raise KeyError(f"no stress workload {workload!r}")
+        if workload not in self._stress_runs:
+            cfg = self.config
+            mix = self._mix(workload)
+            schedule = stress_schedule(mix, cfg.testbed, scale=cfg.scale)
+            output = run_schedule(
+                schedule,
+                mix,
+                workload_name=f"stress-{workload}",
+                seed=2000 + cfg.seed + _stable_hash(workload) % 97,
+                config=cfg.testbed,
+            )
+            self._stress_runs[workload] = output.run
+        return self._stress_runs[workload]
+
+    # ------------------------------------------------------------------
+    # datasets and synopses
+    # ------------------------------------------------------------------
+    def dataset(
+        self, workload: str, tier: str, level: str, *, training: bool
+    ) -> Dataset:
+        """Windowed labelled dataset of one run / tier / metric level."""
+        key = (workload, tier, level, training)
+        if key not in self._datasets:
+            run = (
+                self.training_run(workload)
+                if training
+                else self.test_run(workload)
+            )
+            self._datasets[key] = build_dataset(
+                run,
+                level=level,
+                tier=tier,
+                labeler=self.labeler,
+                window=self.config.window,
+            )
+        return self._datasets[key]
+
+    def synopsis(
+        self,
+        workload: str,
+        tier: str,
+        level: str,
+        learner: str,
+        *,
+        config: Optional[SynopsisConfig] = None,
+    ) -> PerformanceSynopsis:
+        """Trained synopsis for (training workload, tier, level, learner)."""
+        key = (workload, tier, level, learner)
+        if key not in self._synopses:
+            synopsis = PerformanceSynopsis(
+                tier=tier,
+                workload=workload,
+                level=level,
+                config=(
+                    config
+                    if config is not None
+                    else SynopsisConfig(learner=learner)
+                ),
+            )
+            synopsis.train(self.dataset(workload, tier, level, training=True))
+            self._synopses[key] = synopsis
+        return self._synopses[key]
+
+    # ------------------------------------------------------------------
+    # coordinated meters
+    # ------------------------------------------------------------------
+    def meter(
+        self,
+        level: str,
+        *,
+        learner: str = "tan",
+        history_bits: int = 3,
+        delta: float = 5.0,
+        scheme: Scheme = Scheme.OPTIMISTIC,
+    ) -> CapacityMeter:
+        """Trained CapacityMeter over both training workloads."""
+        key = (level, learner, history_bits, delta, scheme)
+        if key not in self._meters:
+            meter = CapacityMeter(
+                level=level,
+                window=self.config.window,
+                labeler=self.labeler,
+                synopsis_config=SynopsisConfig(learner=learner),
+                history_bits=history_bits,
+                delta=delta,
+                scheme=scheme,
+            )
+            # reuse memoized synopses so meters share training work
+            meter.synopses = {
+                (w, tier): self.synopsis(w, tier, level, learner)
+                for w in TRAINING_WORKLOADS
+                for tier in meter.tiers
+            }
+            meter.train_coordinator(
+                {w: self.training_run(w) for w in TRAINING_WORKLOADS}
+            )
+            self._meters[key] = meter
+        return self._meters[key]
+
+
+_PIPELINES: Dict[PipelineConfig, ExperimentPipeline] = {}
+
+
+def get_pipeline(config: PipelineConfig = PipelineConfig()) -> ExperimentPipeline:
+    """Process-wide memoized pipeline per configuration."""
+    if config not in _PIPELINES:
+        _PIPELINES[config] = ExperimentPipeline(config)
+    return _PIPELINES[config]

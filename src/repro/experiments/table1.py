@@ -1,0 +1,134 @@
+"""Table I — prediction accuracy of individual synopses.
+
+For each testing input mix (browsing → Table I(a), ordering → Table
+I(b)), the table reports the balanced accuracy of every workload- and
+tier-specific synopsis, at both metric levels, for all four learners.
+
+The paper's observations this reproduction must preserve:
+
+1. only the synopsis from the bottleneck tier *and* built from a
+   similar workload is accurate (the diagonal structure);
+2. hardware-counter metrics beat OS metrics, dramatically so for the
+   browsing mix, whose overload the OS cannot see inside MySQL;
+3. SVM and TAN lead, naive Bayes trails them, linear regression is
+   worst.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from ..learners.base import learner_names
+from ..telemetry.sampler import HPC_LEVEL, OS_LEVEL
+from .pipeline import ExperimentPipeline, TRAINING_WORKLOADS
+
+__all__ = ["Table1Cell", "Table1Result", "run_table1"]
+
+TIERS = ("app", "db")
+
+
+@dataclass(frozen=True)
+class Table1Cell:
+    """One accuracy cell of Table I."""
+
+    input_workload: str
+    synopsis_workload: str
+    tier: str
+    level: str
+    learner: str
+    balanced_accuracy: float
+
+
+@dataclass
+class Table1Result:
+    """All cells for one input mix (one sub-table of Table I)."""
+
+    input_workload: str
+    cells: List[Table1Cell] = field(default_factory=list)
+
+    def get(
+        self, synopsis_workload: str, tier: str, level: str, learner: str
+    ) -> float:
+        for cell in self.cells:
+            if (
+                cell.synopsis_workload == synopsis_workload
+                and cell.tier == tier
+                and cell.level == level
+                and cell.learner == learner
+            ):
+                return cell.balanced_accuracy
+        raise KeyError((synopsis_workload, tier, level, learner))
+
+    def best_cell(self) -> Table1Cell:
+        return max(self.cells, key=lambda c: c.balanced_accuracy)
+
+    def learners(self) -> List[str]:
+        """Learners present in the cells, in canonical table order."""
+        present = {cell.learner for cell in self.cells}
+        ordered = [name for name in learner_names() if name in present]
+        return ordered + sorted(present - set(ordered))
+
+    def rows(self) -> List[str]:
+        """Paper-style text table: rows = synopsis, cols = level×learner."""
+        learners = self.learners()
+        header = f"Table I ({self.input_workload} mix input)"
+        sub = (
+            f"{'Synopsis':22} "
+            + " ".join(f"OS:{l:<5}" for l in learners)
+            + "  "
+            + " ".join(f"HPC:{l:<4}" for l in learners)
+        )
+        out = [header, sub]
+        for workload in TRAINING_WORKLOADS:
+            for tier in TIERS:
+                values = []
+                for level in (OS_LEVEL, HPC_LEVEL):
+                    for learner in learners:
+                        values.append(
+                            self.get(workload, tier, level, learner)
+                        )
+                cols = " ".join(f"{v:8.3f}" for v in values)
+                out.append(f"{workload + '/' + tier.upper():22} {cols}")
+        return out
+
+
+def run_table1(
+    pipeline: ExperimentPipeline,
+    input_workload: str,
+    *,
+    learners: Sequence[str] = (),
+) -> Table1Result:
+    """Regenerate one sub-table of Table I.
+
+    ``input_workload`` is "browsing" for Table I(a) or "ordering" for
+    Table I(b).  Synopses are trained on the pipeline's training runs
+    and evaluated on the chosen testing run's tier datasets.
+    """
+    if input_workload not in ("browsing", "ordering"):
+        raise ValueError("Table I inputs are 'browsing' or 'ordering'")
+    result = Table1Result(input_workload=input_workload)
+    names = list(learners) or learner_names()
+    for level in (OS_LEVEL, HPC_LEVEL):
+        test_sets = {
+            tier: pipeline.dataset(input_workload, tier, level, training=False)
+            for tier in TIERS
+        }
+        for synopsis_workload in TRAINING_WORKLOADS:
+            for tier in TIERS:
+                for learner in names:
+                    synopsis = pipeline.synopsis(
+                        synopsis_workload, tier, level, learner
+                    )
+                    ba = synopsis.balanced_accuracy(test_sets[tier])
+                    result.cells.append(
+                        Table1Cell(
+                            input_workload=input_workload,
+                            synopsis_workload=synopsis_workload,
+                            tier=tier,
+                            level=level,
+                            learner=learner,
+                            balanced_accuracy=ba,
+                        )
+                    )
+    return result

@@ -1,0 +1,44 @@
+"""Synopsis learners: from-scratch WEKA-algorithm substitutes.
+
+Linear regression, Gaussian naive Bayes, tree-augmented naive Bayes and
+an SMO-trained SVM (:mod:`~repro.learners.linear_regression`,
+:mod:`~repro.learners.naive_bayes`, :mod:`~repro.learners.tan`,
+:mod:`~repro.learners.svm`) behind a common interface
+(:mod:`~repro.learners.base`), plus discretization, information-gain
+ranking and stratified cross-validation utilities.
+"""
+
+from .base import SynopsisLearner, learner_names, make_learner, register_learner
+from .decision_tree import DecisionTreeSynopsis
+from .discretize import EntropyDiscretizer, EqualFrequencyDiscretizer
+from .information_gain import information_gain, rank_attributes
+from .linear_regression import LinearRegressionSynopsis
+from .naive_bayes import NaiveBayesSynopsis
+from .svm import SvmSynopsis
+from .tan import TanSynopsis
+from .validation import (
+    ConfusionMatrix,
+    balanced_accuracy,
+    cross_validate,
+    stratified_kfold_indices,
+)
+
+__all__ = [
+    "ConfusionMatrix",
+    "DecisionTreeSynopsis",
+    "EntropyDiscretizer",
+    "EqualFrequencyDiscretizer",
+    "LinearRegressionSynopsis",
+    "NaiveBayesSynopsis",
+    "SvmSynopsis",
+    "SynopsisLearner",
+    "TanSynopsis",
+    "balanced_accuracy",
+    "cross_validate",
+    "information_gain",
+    "learner_names",
+    "make_learner",
+    "rank_attributes",
+    "register_learner",
+    "stratified_kfold_indices",
+]

@@ -1,0 +1,147 @@
+"""Learner interface for synopsis construction.
+
+The paper builds synopses with four WEKA algorithms — linear
+regression, naive Bayes, tree-augmented naive Bayes (TAN) and an SVM —
+over instances whose attributes are low-level metrics and whose class
+variable is the binary overload state.  Each algorithm here implements
+the same minimal contract: ``fit`` on a float matrix with 0/1 labels,
+``predict`` class labels, and ``predict_proba`` for the positive class
+(used by confidence-weighted extensions).
+
+Learners are registered by short name so experiment configuration can
+select them the way the paper's tables do ("LR", "Naive", "SVM",
+"TAN"); see :func:`make_learner`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Dict, Type
+
+import numpy as np
+
+__all__ = ["SynopsisLearner", "register_learner", "make_learner", "learner_names"]
+
+
+class SynopsisLearner(ABC):
+    """Binary classifier over metric vectors."""
+
+    #: short name used in tables and the registry (set by subclasses)
+    name: str = ""
+
+    def __init__(self) -> None:
+        self._fitted = False
+
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def _fit(self, X: np.ndarray, y: np.ndarray) -> None:
+        """Train on validated inputs (n_samples, n_features) / (n_samples,)."""
+
+    @abstractmethod
+    def _predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """P(overload) per row of a validated matrix."""
+
+    def _get_params(self) -> Dict[str, object]:
+        """Constructor arguments to rebuild this learner (overridable)."""
+        return {}
+
+    def _get_state(self) -> Dict[str, object]:
+        """JSON-serializable fitted state (see :mod:`..serialize`)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support serialization"
+        )
+
+    def _set_state(self, state: Dict[str, object]) -> None:
+        """Restore fitted state produced by :meth:`_get_state`."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support serialization"
+        )
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """Serialize learner identity, parameters and fitted state."""
+        payload: Dict[str, object] = {
+            "learner": self.name,
+            "params": self._get_params(),
+            "fitted": self._fitted,
+        }
+        if self._fitted:
+            payload["state"] = self._get_state()
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "SynopsisLearner":
+        """Rebuild a learner serialized by :meth:`to_dict`."""
+        learner = make_learner(
+            str(payload["learner"]), **dict(payload.get("params", {}))
+        )
+        if payload.get("fitted"):
+            learner._set_state(dict(payload["state"]))
+            learner._fitted = True
+        return learner
+
+    # ------------------------------------------------------------------
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "SynopsisLearner":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=int)
+        if X.ndim != 2:
+            raise ValueError("X must be 2-dimensional")
+        if y.shape != (X.shape[0],):
+            raise ValueError("y length must match X rows")
+        if X.shape[0] == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        if not np.isin(y, (0, 1)).all():
+            raise ValueError("labels must be 0/1")
+        self._fit(X, y)
+        self._fitted = True
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        if not self._fitted:
+            raise RuntimeError(f"{type(self).__name__} is not fitted")
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(1, -1)
+        proba = self._predict_proba(X)
+        return np.clip(proba, 0.0, 1.0)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """0/1 class labels per row."""
+        return (self.predict_proba(X) >= 0.5).astype(int)
+
+    def predict_one(self, x: np.ndarray) -> int:
+        """Class label for a single metric vector."""
+        return int(self.predict(np.asarray(x, dtype=float).reshape(1, -1))[0])
+
+
+_REGISTRY: Dict[str, Callable[..., SynopsisLearner]] = {}
+
+
+def register_learner(name: str) -> Callable[[Type[SynopsisLearner]], Type[SynopsisLearner]]:
+    """Class decorator adding a learner to the registry under ``name``."""
+
+    def decorator(cls: Type[SynopsisLearner]) -> Type[SynopsisLearner]:
+        cls.name = name
+        _REGISTRY[name] = cls
+        return cls
+
+    return decorator
+
+
+def make_learner(name: str, **kwargs: object) -> SynopsisLearner:
+    """Instantiate a registered learner ('lr', 'naive', 'svm', 'tan')."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown learner {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+    return factory(**kwargs)
+
+
+def learner_names() -> list:
+    """Registered learner names, in table order when possible."""
+    order = ["lr", "naive", "svm", "tan"]
+    known = [n for n in order if n in _REGISTRY]
+    extras = sorted(set(_REGISTRY) - set(order))
+    return known + extras

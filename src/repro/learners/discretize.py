@@ -1,0 +1,191 @@
+"""Attribute discretization for the Bayesian learners.
+
+TAN (and the information-gain attribute ranking) operate on discrete
+attributes; runtime metrics are continuous.  Two schemes are provided:
+
+* :class:`EqualFrequencyDiscretizer` — quantile bins, robust to the
+  heavy-tailed counter distributions;
+* :class:`EntropyDiscretizer` — supervised recursive binary splits on
+  information gain with an MDL stopping rule (Fayyad & Irani style),
+  WEKA's default for Bayesian network learners.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["EqualFrequencyDiscretizer", "EntropyDiscretizer"]
+
+
+def _entropy(labels: np.ndarray) -> float:
+    if labels.size == 0:
+        return 0.0
+    _, counts = np.unique(labels, return_counts=True)
+    p = counts / labels.size
+    return float(-(p * np.log2(p)).sum())
+
+
+class EqualFrequencyDiscretizer:
+    """Per-attribute quantile binning into at most ``bins`` levels.
+
+    Duplicate quantile edges (constant or near-constant attributes)
+    collapse, so an attribute may end up with fewer levels than
+    requested — possibly a single level, which downstream learners must
+    tolerate (it simply carries no information).
+    """
+
+    def __init__(self, bins: int = 5):
+        if bins < 2:
+            raise ValueError("need at least 2 bins")
+        self.bins = bins
+        self.edges_: List[np.ndarray] = []
+
+    @property
+    def fitted(self) -> bool:
+        return bool(self.edges_)
+
+    def fit(self, X: np.ndarray) -> "EqualFrequencyDiscretizer":
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2:
+            raise ValueError("X must be 2-dimensional")
+        self.edges_ = []
+        quantiles = np.linspace(0.0, 1.0, self.bins + 1)[1:-1]
+        for j in range(X.shape[1]):
+            edges = np.unique(np.quantile(X[:, j], quantiles))
+            self.edges_.append(edges)
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if not self.fitted:
+            raise RuntimeError("discretizer is not fitted")
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(1, -1)
+        if X.shape[1] != len(self.edges_):
+            raise ValueError("attribute count mismatch")
+        out = np.empty(X.shape, dtype=int)
+        for j, edges in enumerate(self.edges_):
+            out[:, j] = np.searchsorted(edges, X[:, j], side="right")
+        return out
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def levels(self, j: int) -> int:
+        """Number of discrete levels of attribute ``j``."""
+        if not self.fitted:
+            raise RuntimeError("discretizer is not fitted")
+        return len(self.edges_[j]) + 1
+
+
+class EntropyDiscretizer:
+    """Supervised MDL discretization (Fayyad & Irani, 1993).
+
+    Each attribute is split recursively at the boundary maximizing
+    information gain about the class, stopping when the MDL criterion
+    rejects the split.  Attributes where no split passes get a single
+    level (uninformative).
+    """
+
+    def __init__(self, max_depth: int = 4):
+        if max_depth < 1:
+            raise ValueError("max_depth must be at least 1")
+        self.max_depth = max_depth
+        self.edges_: List[np.ndarray] = []
+
+    @property
+    def fitted(self) -> bool:
+        return bool(self.edges_)
+
+    # ------------------------------------------------------------------
+    def _best_split(
+        self, values: np.ndarray, labels: np.ndarray
+    ) -> Optional[float]:
+        """MDL-accepted cut point for one (sorted) value range, if any."""
+        n = values.size
+        if n < 4:
+            return None
+        order = np.argsort(values, kind="stable")
+        v, lab = values[order], labels[order]
+        # candidate boundaries: midpoints where the value changes
+        change = np.nonzero(np.diff(v) > 0)[0]
+        if change.size == 0:
+            return None
+        base_entropy = _entropy(lab)
+        best_gain, best_cut = 0.0, None
+        best_left = best_right = None
+        for idx in change:
+            left, right = lab[: idx + 1], lab[idx + 1 :]
+            split_entropy = (
+                left.size * _entropy(left) + right.size * _entropy(right)
+            ) / n
+            gain = base_entropy - split_entropy
+            if gain > best_gain:
+                best_gain = gain
+                best_cut = (v[idx] + v[idx + 1]) / 2.0
+                best_left, best_right = left, right
+        if best_cut is None:
+            return None
+        # MDL acceptance test
+        k = np.unique(lab).size
+        k1 = np.unique(best_left).size
+        k2 = np.unique(best_right).size
+        delta = (
+            np.log2(3.0**k - 2.0)
+            - k * base_entropy
+            + k1 * _entropy(best_left)
+            + k2 * _entropy(best_right)
+        )
+        threshold = (np.log2(n - 1.0) + delta) / n
+        return best_cut if best_gain > threshold else None
+
+    def _split_recursive(
+        self, values: np.ndarray, labels: np.ndarray, depth: int, cuts: List[float]
+    ) -> None:
+        if depth >= self.max_depth:
+            return
+        cut = self._best_split(values, labels)
+        if cut is None:
+            return
+        cuts.append(cut)
+        mask = values <= cut
+        self._split_recursive(values[mask], labels[mask], depth + 1, cuts)
+        self._split_recursive(values[~mask], labels[~mask], depth + 1, cuts)
+
+    # ------------------------------------------------------------------
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "EntropyDiscretizer":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=int)
+        if X.ndim != 2:
+            raise ValueError("X must be 2-dimensional")
+        if y.shape != (X.shape[0],):
+            raise ValueError("y length must match X rows")
+        self.edges_ = []
+        for j in range(X.shape[1]):
+            cuts: List[float] = []
+            self._split_recursive(X[:, j], y, 0, cuts)
+            self.edges_.append(np.array(sorted(cuts)))
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if not self.fitted:
+            raise RuntimeError("discretizer is not fitted")
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(1, -1)
+        if X.shape[1] != len(self.edges_):
+            raise ValueError("attribute count mismatch")
+        out = np.empty(X.shape, dtype=int)
+        for j, edges in enumerate(self.edges_):
+            out[:, j] = np.searchsorted(edges, X[:, j], side="right")
+        return out
+
+    def fit_transform(self, X: np.ndarray, y: np.ndarray) -> np.ndarray:
+        return self.fit(X, y).transform(X)
+
+    def levels(self, j: int) -> int:
+        if not self.fitted:
+            raise RuntimeError("discretizer is not fitted")
+        return len(self.edges_[j]) + 1

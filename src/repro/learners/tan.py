@@ -1,0 +1,158 @@
+"""Tree-Augmented Naive Bayes (TAN) synopsis builder.
+
+TAN relaxes naive Bayes' independence assumption by letting each
+attribute depend on one other attribute besides the class.  The
+augmenting tree is the maximum spanning tree over pairwise conditional
+mutual information I(Ai; Aj | C) — the classic Friedman/Geiger/
+Goldszmidt construction used by WEKA's ``BayesNet`` TAN search.
+
+The paper finds TAN the best accuracy/cost trade-off for synopsis
+construction (Section V.B): nearly SVM accuracy at a fraction of the
+build-and-decide time.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from .base import SynopsisLearner, register_learner
+from .discretize import EqualFrequencyDiscretizer
+
+__all__ = ["TanSynopsis"]
+
+
+def _conditional_mutual_information(
+    a: np.ndarray, b: np.ndarray, y: np.ndarray, la: int, lb: int
+) -> float:
+    """I(A; B | C) from discrete codes with levels ``la``/``lb``."""
+    n = a.size
+    cmi = 0.0
+    for c in (0, 1):
+        mask = y == c
+        nc = int(mask.sum())
+        if nc == 0:
+            continue
+        joint = np.zeros((la, lb))
+        np.add.at(joint, (a[mask], b[mask]), 1.0)
+        joint /= nc
+        pa = joint.sum(axis=1, keepdims=True)
+        pb = joint.sum(axis=0, keepdims=True)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            ratio = np.where(joint > 0, joint / (pa @ pb), 1.0)
+            terms = np.where(joint > 0, joint * np.log(ratio), 0.0)
+        cmi += nc / n * float(terms.sum())
+    return max(0.0, cmi)
+
+
+@register_learner("tan")
+class TanSynopsis(SynopsisLearner):
+    """TAN over equal-frequency-discretized attributes."""
+
+    def __init__(self, *, bins: int = 5, alpha: float = 1.0):
+        """``alpha`` is the Laplace smoothing pseudo-count."""
+        super().__init__()
+        if alpha <= 0:
+            raise ValueError("alpha must be positive")
+        self.bins = bins
+        self.alpha = alpha
+        self.discretizer = EqualFrequencyDiscretizer(bins=bins)
+        self.parents_: Optional[List[Optional[int]]] = None
+        self.log_prior_: Optional[np.ndarray] = None
+        # cpt_[j][c] is P(A_j | parent value, C=c): (levels_parent, levels_j)
+        self.cpt_: Optional[List[np.ndarray]] = None
+
+    # ------------------------------------------------------------------
+    def _build_tree(self, codes: np.ndarray, y: np.ndarray) -> List[Optional[int]]:
+        """Maximum-CMI spanning tree, directed away from attribute 0."""
+        p = codes.shape[1]
+        levels = [self.discretizer.levels(j) for j in range(p)]
+        if p == 1:
+            return [None]
+        weights = np.zeros((p, p))
+        for i in range(p):
+            for j in range(i + 1, p):
+                w = _conditional_mutual_information(
+                    codes[:, i], codes[:, j], y, levels[i], levels[j]
+                )
+                weights[i, j] = weights[j, i] = w
+        # Prim's algorithm from node 0
+        parents: List[Optional[int]] = [None] * p
+        in_tree = {0}
+        best_edge = {j: (weights[0, j], 0) for j in range(1, p)}
+        while len(in_tree) < p:
+            j = max(best_edge, key=lambda k: best_edge[k][0])
+            w, parent = best_edge.pop(j)
+            parents[j] = parent
+            in_tree.add(j)
+            for k in best_edge:
+                if weights[j, k] > best_edge[k][0]:
+                    best_edge[k] = (weights[j, k], j)
+        return parents
+
+    def _fit(self, X: np.ndarray, y: np.ndarray) -> None:
+        codes = self.discretizer.fit(X).transform(X)
+        p = codes.shape[1]
+        levels = [self.discretizer.levels(j) for j in range(p)]
+        self.parents_ = self._build_tree(codes, y)
+
+        n = y.size
+        counts = np.array([(y == 0).sum(), (y == 1).sum()], dtype=float)
+        self.log_prior_ = np.log((counts + self.alpha) / (n + 2 * self.alpha))
+
+        self.cpt_ = []
+        for j in range(p):
+            parent = self.parents_[j]
+            lp = 1 if parent is None else levels[parent]
+            lj = levels[j]
+            table = np.zeros((2, lp, lj))
+            parent_codes = (
+                np.zeros(n, dtype=int) if parent is None else codes[:, parent]
+            )
+            for c in (0, 1):
+                mask = y == c
+                np.add.at(
+                    table[c], (parent_codes[mask], codes[mask, j]), 1.0
+                )
+                table[c] += self.alpha
+                table[c] /= table[c].sum(axis=1, keepdims=True)
+            self.cpt_.append(np.log(table))
+
+    # ------------------------------------------------------------------
+    def _get_params(self):
+        return {"bins": self.bins, "alpha": self.alpha}
+
+    def _get_state(self):
+        return {
+            "edges": [e.tolist() for e in self.discretizer.edges_],
+            "parents": self.parents_,
+            "log_prior": self.log_prior_.tolist(),
+            "cpt": [table.tolist() for table in self.cpt_],
+        }
+
+    def _set_state(self, state):
+        self.discretizer.edges_ = [
+            np.array(e, dtype=float) for e in state["edges"]
+        ]
+        self.parents_ = [
+            None if p is None else int(p) for p in state["parents"]
+        ]
+        self.log_prior_ = np.array(state["log_prior"], dtype=float)
+        self.cpt_ = [np.array(table, dtype=float) for table in state["cpt"]]
+
+    # ------------------------------------------------------------------
+    def _predict_proba(self, X: np.ndarray) -> np.ndarray:
+        codes = self.discretizer.transform(X)
+        n, p = codes.shape
+        log_post = np.tile(self.log_prior_, (n, 1))  # (n, 2)
+        for j in range(p):
+            parent = self.parents_[j]
+            parent_codes = (
+                np.zeros(n, dtype=int) if parent is None else codes[:, parent]
+            )
+            for c in (0, 1):
+                log_post[:, c] += self.cpt_[j][c][parent_codes, codes[:, j]]
+        m = log_post.max(axis=1, keepdims=True)
+        e = np.exp(log_post - m)
+        return e[:, 1] / e.sum(axis=1)

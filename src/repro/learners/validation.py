@@ -1,0 +1,126 @@
+"""Model validation: stratified k-fold CV and the paper's metrics.
+
+The paper evaluates synopses with **Balanced Accuracy** — "an average
+of the probabilities of true positive and true negative" (Section
+IV.A) — and validates attribute subsets with 10-fold cross-validation
+(Section II.B.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, List, Tuple
+
+import numpy as np
+
+from .base import SynopsisLearner
+
+__all__ = [
+    "ConfusionMatrix",
+    "balanced_accuracy",
+    "stratified_kfold_indices",
+    "cross_validate",
+]
+
+
+@dataclass(frozen=True)
+class ConfusionMatrix:
+    """Binary confusion counts (positive class = overload = 1)."""
+
+    tp: int
+    tn: int
+    fp: int
+    fn: int
+
+    @classmethod
+    def from_predictions(
+        cls, y_true: np.ndarray, y_pred: np.ndarray
+    ) -> "ConfusionMatrix":
+        y_true = np.asarray(y_true, dtype=int)
+        y_pred = np.asarray(y_pred, dtype=int)
+        if y_true.shape != y_pred.shape:
+            raise ValueError("prediction/label length mismatch")
+        return cls(
+            tp=int(((y_true == 1) & (y_pred == 1)).sum()),
+            tn=int(((y_true == 0) & (y_pred == 0)).sum()),
+            fp=int(((y_true == 0) & (y_pred == 1)).sum()),
+            fn=int(((y_true == 1) & (y_pred == 0)).sum()),
+        )
+
+    @property
+    def true_positive_rate(self) -> float:
+        pos = self.tp + self.fn
+        return self.tp / pos if pos else 1.0
+
+    @property
+    def true_negative_rate(self) -> float:
+        neg = self.tn + self.fp
+        return self.tn / neg if neg else 1.0
+
+    @property
+    def balanced_accuracy(self) -> float:
+        """Mean of TPR and TNR; 0.5 for a constant predictor."""
+        return 0.5 * (self.true_positive_rate + self.true_negative_rate)
+
+    @property
+    def accuracy(self) -> float:
+        total = self.tp + self.tn + self.fp + self.fn
+        return (self.tp + self.tn) / total if total else 0.0
+
+
+def balanced_accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """The paper's BA metric for a batch of predictions."""
+    return ConfusionMatrix.from_predictions(y_true, y_pred).balanced_accuracy
+
+
+def stratified_kfold_indices(
+    y: np.ndarray, k: int = 10, seed: int = 0
+) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+    """Yield (train_idx, test_idx) pairs with per-class stratification.
+
+    Folds are as equal as possible and every instance appears in
+    exactly one test fold.  ``k`` is clipped to the size of the
+    smallest class so each fold sees both classes whenever possible.
+    """
+    y = np.asarray(y, dtype=int)
+    n = y.size
+    if n < 2:
+        raise ValueError("need at least 2 instances for cross-validation")
+    class_sizes = [max(1, int((y == c).sum())) for c in np.unique(y)]
+    k = max(2, min(k, n, *class_sizes)) if len(class_sizes) > 1 else max(2, min(k, n))
+    rng = np.random.default_rng(seed)
+    folds: List[List[int]] = [[] for _ in range(k)]
+    for c in np.unique(y):
+        idx = np.flatnonzero(y == c)
+        rng.shuffle(idx)
+        for pos, i in enumerate(idx):
+            folds[pos % k].append(int(i))
+    all_idx = np.arange(n)
+    for fold in folds:
+        test = np.array(sorted(fold), dtype=int)
+        train = np.setdiff1d(all_idx, test)
+        yield train, test
+
+
+def cross_validate(
+    learner_factory: Callable[[], SynopsisLearner],
+    X: np.ndarray,
+    y: np.ndarray,
+    *,
+    k: int = 10,
+    seed: int = 0,
+) -> float:
+    """Mean balanced accuracy over stratified k-fold CV.
+
+    ``learner_factory`` builds a fresh, unfitted learner per fold so no
+    state leaks between folds.
+    """
+    X = np.asarray(X, dtype=float)
+    y = np.asarray(y, dtype=int)
+    scores = []
+    for train, test in stratified_kfold_indices(y, k=k, seed=seed):
+        learner = learner_factory()
+        learner.fit(X[train], y[train])
+        pred = learner.predict(X[test])
+        scores.append(balanced_accuracy(y[test], pred))
+    return float(np.mean(scores))

@@ -1,0 +1,58 @@
+"""Discrete-event multi-tier website simulator.
+
+This subpackage replaces the paper's physical Tomcat/MySQL testbed.  It
+provides an event-heap engine (:mod:`~repro.simulator.engine`), generic
+tier servers with worker pools, CPU contention and cache models
+(:mod:`~repro.simulator.server`, :mod:`~repro.simulator.resources`),
+calibrated app/database tiers (:mod:`~repro.simulator.appserver`,
+:mod:`~repro.simulator.database`) and the request-flow composition
+(:mod:`~repro.simulator.website`).
+"""
+
+from .appserver import PENTIUM4_SPEC, AppServer
+from .chain import ChainRequest, ChainWebsite
+from .database import DEFAULT_BUFFER_POOL_KB, PENTIUMD_SPEC, DatabaseServer
+from .engine import Event, SimulationError, Simulator
+from .network import LinkSample, NetworkLink
+from .resources import CacheModel, ContentionModel, QueueStats, WorkerPool
+from .server import HardwareSpec, Job, Session, TierSample, TierServer
+from .website import (
+    APP_TIER,
+    DB_TIER,
+    ClientSample,
+    CompletedRequest,
+    MultiTierWebsite,
+    Request,
+    WebsiteSample,
+)
+
+__all__ = [
+    "APP_TIER",
+    "AppServer",
+    "CacheModel",
+    "ChainRequest",
+    "ChainWebsite",
+    "ClientSample",
+    "CompletedRequest",
+    "ContentionModel",
+    "DB_TIER",
+    "DEFAULT_BUFFER_POOL_KB",
+    "DatabaseServer",
+    "Event",
+    "HardwareSpec",
+    "Job",
+    "LinkSample",
+    "MultiTierWebsite",
+    "NetworkLink",
+    "PENTIUM4_SPEC",
+    "PENTIUMD_SPEC",
+    "QueueStats",
+    "Request",
+    "Session",
+    "SimulationError",
+    "Simulator",
+    "TierSample",
+    "TierServer",
+    "WebsiteSample",
+    "WorkerPool",
+]

@@ -1,0 +1,231 @@
+"""K-tier service chains (generalization of the two-tier website).
+
+The paper's framework — per-tier synopses combined by a coordinated
+predictor with a K-entry Bottleneck Vector — is K-tier generic even
+though its testbed has two tiers.  :class:`ChainWebsite` provides the
+matching substrate: an arbitrary chain of :class:`TierServer` stages
+(e.g. web cache → application server → database) where each admitted
+request executes CPU phases on every tier it reaches, holding its
+worker while nested calls proceed downstream.
+
+The class exposes the same surface as
+:class:`~repro.simulator.website.MultiTierWebsite` (``tiers``,
+``submit``, ``sample``, ``in_flight``), so the telemetry sampler,
+capacity meter, admission controllers and workload sources all work
+unchanged on chains of any depth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from .engine import Simulator
+from .network import NetworkLink
+from .server import Job, Session, TierServer
+from .website import (
+    BROWSE,
+    ClientSample,
+    CompletedRequest,
+    ORDER,
+    WebsiteSample,
+)
+
+__all__ = ["ChainRequest", "ChainWebsite"]
+
+
+@dataclass(frozen=True)
+class ChainRequest:
+    """A request with per-tier CPU demands along a service chain.
+
+    ``demands[i]`` is the nominal CPU seconds spent on tier i; the
+    request descends only as deep as the last tier with positive
+    remaining work (trailing zero demands prune the recursion, which is
+    how a cache hit avoids touching the database).
+    """
+
+    name: str
+    category: str
+    demands: Tuple[float, ...]
+    footprints_kb: Tuple[float, ...]
+    request_bytes: int = 400
+    response_bytes: int = 8000
+    hop_bytes: int = 1500
+
+    def __post_init__(self) -> None:
+        if self.category not in (BROWSE, ORDER):
+            raise ValueError(f"unknown request category {self.category!r}")
+        if not self.demands:
+            raise ValueError("a chain request needs at least one tier demand")
+        if len(self.footprints_kb) != len(self.demands):
+            raise ValueError("footprints must match demands in length")
+        if any(d < 0 for d in self.demands):
+            raise ValueError("demands must be non-negative")
+
+    def depth(self) -> int:
+        """Number of tiers this request actually visits."""
+        last = 0
+        for i, demand in enumerate(self.demands):
+            if demand > 0:
+                last = i
+        return last + 1
+
+
+class ChainWebsite:
+    """A linear chain of tiers behind one client entry point."""
+
+    #: fraction of a tier's CPU demand spent before the downstream call
+    PHASE1_FRACTION = 0.6
+
+    def __init__(
+        self,
+        sim: Simulator,
+        tiers: Sequence[TierServer],
+        links: Optional[Sequence[Tuple[NetworkLink, NetworkLink]]] = None,
+    ):
+        if not tiers:
+            raise ValueError("a chain needs at least one tier")
+        names = [tier.name for tier in tiers]
+        if len(set(names)) != len(names):
+            raise ValueError("tier names must be unique")
+        self.sim = sim
+        self._tiers = list(tiers)
+        if links is None:
+            links = [
+                (NetworkLink(sim), NetworkLink(sim))
+                for _ in range(len(tiers) - 1)
+            ]
+        if len(links) != len(tiers) - 1:
+            raise ValueError("need one link pair per adjacent tier pair")
+        self._links = list(links)
+        self._client = ClientSample(t_start=sim.now, t_end=sim.now)
+        self._in_flight = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def tiers(self) -> Dict[str, TierServer]:
+        return {tier.name: tier for tier in self._tiers}
+
+    @property
+    def depth(self) -> int:
+        return len(self._tiers)
+
+    @property
+    def in_flight(self) -> int:
+        return self._in_flight
+
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        request: ChainRequest,
+        on_complete: Callable[[CompletedRequest], None],
+    ) -> None:
+        """Inject one client request; ``on_complete`` always fires once."""
+        if len(request.demands) > self.depth:
+            raise ValueError(
+                f"request spans {len(request.demands)} tiers but the chain "
+                f"has {self.depth}"
+            )
+        submit_time = self.sim.now
+        self._client.submitted += 1
+        self._in_flight += 1
+
+        def respond(dropped: bool) -> None:
+            self._in_flight -= 1
+            outcome = CompletedRequest(
+                request=request,  # type: ignore[arg-type]
+                submit_time=submit_time,
+                finish_time=self.sim.now,
+                dropped=dropped,
+            )
+            if dropped:
+                self._client.dropped += 1
+            else:
+                self._client.completed += 1
+                if request.category == BROWSE:
+                    self._client.browse_completed += 1
+                else:
+                    self._client.order_completed += 1
+                rt = outcome.response_time
+                self._client.response_time_sum += rt
+                if rt > self._client.response_time_max:
+                    self._client.response_time_max = rt
+                self._client.request_bytes += request.request_bytes
+                self._client.response_bytes += request.response_bytes
+            on_complete(outcome)
+
+        self._descend(request, 0, lambda ok: respond(not ok))
+
+    # ------------------------------------------------------------------
+    def _descend(
+        self,
+        request: ChainRequest,
+        index: int,
+        done: Callable[[bool], None],
+    ) -> None:
+        """Run the request's stay on tier ``index``; call ``done(ok)``."""
+        tier = self._tiers[index]
+        demand = request.demands[index]
+        job = Job(
+            demand=demand,
+            footprint_kb=request.footprints_kb[index],
+            kind=request.name,
+        )
+        goes_deeper = index + 1 < len(request.demands) and any(
+            d > 0 for d in request.demands[index + 1 :]
+        )
+
+        def on_admitted(session: Session) -> None:
+            if not goes_deeper:
+                tier.run_phase(
+                    session,
+                    demand,
+                    lambda s: (tier.finish(s), done(True)),
+                )
+                return
+            phase1 = demand * self.PHASE1_FRACTION
+            phase2 = demand - phase1
+            up, down = self._links[index]
+
+            def after_phase1(_: Session) -> None:
+                up.transfer(request.hop_bytes, call_downstream)
+
+            def call_downstream() -> None:
+                self._descend(request, index + 1, downstream_done)
+
+            def downstream_done(ok: bool) -> None:
+                if not ok:
+                    tier.finish(session)
+                    done(False)
+                    return
+                down.transfer(request.hop_bytes, result_back)
+
+            def result_back() -> None:
+                tier.run_phase(
+                    session,
+                    phase2,
+                    lambda s: (tier.finish(s), done(True)),
+                )
+
+            tier.run_phase(session, phase1, after_phase1)
+
+        if tier.submit(job, on_admitted) is None:
+            done(False)
+
+    # ------------------------------------------------------------------
+    def sample(self) -> WebsiteSample:
+        """Drain the current sampling window across client, tiers, links."""
+        now = self.sim.now
+        self._client.t_end = now
+        client = self._client
+        self._client = ClientSample(t_start=now, t_end=now)
+        links: Dict[str, object] = {}
+        for i, (up, down) in enumerate(self._links):
+            a, b = self._tiers[i].name, self._tiers[i + 1].name
+            links[f"{a}->{b}"] = up.sample()
+            links[f"{b}->{a}"] = down.sample()
+        return WebsiteSample(
+            client=client,
+            tiers={tier.name: tier.sample() for tier in self._tiers},
+            links=links,  # type: ignore[arg-type]
+        )

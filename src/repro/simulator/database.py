@@ -1,0 +1,88 @@
+"""Database tier (the paper's MySQL 5.0 on a Pentium D).
+
+The back-end machine is the faster box — a dual-core 2.8 GHz Pentium D
+with 1 GB RAM — so it only saturates when the traffic mix is dominated
+by heavy read queries (best-sellers, full-text search), i.e. under the
+browsing mix.
+
+The crucial modelling choice is the **buffer pool**: its working set
+includes queries *waiting* on the connection pool as well as running
+ones, because their pages churn the pool as soon as they dispatch.
+Offered load past saturation therefore keeps inflating the miss rate —
+a monotone overload signal that the hardware counters see, while
+OS-level utilization has long since clipped at 100% and the run queue
+is pinned at the connection-pool size.  This asymmetry is the
+paper's Section V.B observation (OS metrics fail on the browsing mix)
+made mechanical.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .engine import Simulator
+from .resources import CacheModel, ContentionModel
+from .server import HardwareSpec, TierServer
+
+__all__ = ["DatabaseServer", "PENTIUMD_SPEC", "DEFAULT_BUFFER_POOL_KB"]
+
+#: The paper's back-end machine: Pentium D 2.8 GHz (2 cores), 1 GB RAM.
+PENTIUMD_SPEC = HardwareSpec(
+    name="db",
+    cores=2,
+    frequency_ghz=2.8,
+    speed_factor=1.4,
+    l2_cache_kb=1024.0,
+    memory_mb=1024.0,
+    instructions_per_work=1.6e9,
+)
+
+#: InnoDB-style buffer pool: 128 MB of the 1 GB RAM.
+DEFAULT_BUFFER_POOL_KB = 128 * 1024.0
+
+
+class DatabaseServer(TierServer):
+    """MySQL-like query tier.
+
+    ``workers`` mirrors ``max_connections``: queries beyond it queue
+    inside the server, invisible to OS run-queue statistics.  Service
+    time is strongly inflated by buffer-pool misses
+    (``miss_stall_factor=3``) because query execution is memory-bound,
+    which produces the sharp throughput droop under browsing overload.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        *,
+        spec: HardwareSpec = PENTIUMD_SPEC,
+        connections: int = 24,
+        queue_capacity: Optional[int] = None,
+        contention: Optional[ContentionModel] = None,
+        buffer_pool: Optional[CacheModel] = None,
+    ):
+        super().__init__(
+            sim,
+            spec,
+            workers=connections,
+            queue_capacity=queue_capacity,
+            contention=contention
+            or ContentionModel(cores=spec.cores, cs_overhead=0.003),
+            cache=buffer_pool
+            or CacheModel(
+                capacity=DEFAULT_BUFFER_POOL_KB,
+                base_miss_rate=0.03,
+                max_miss_rate=0.50,
+                knee=0.5,
+            ),
+            # Calibration note: buffer misses hit the OS page cache, not
+            # disk, so the per-query slowdown under churn is modest —
+            # deep overload costs ~35% of goodput rather than halving
+            # it.  Overload therefore shows up primarily as queue and
+            # working-set growth (which the hardware counters see as a
+            # rising miss rate) and only mildly in throughput-shaped OS
+            # counters — the paper's observability gap.
+            miss_stall_factor=1.2,
+            queue_in_working_set=1.0,
+            blocked_in_working_set=1.0,
+        )

@@ -1,0 +1,211 @@
+"""Discrete-event simulation engine.
+
+The engine is a classic event-heap simulator: callbacks are scheduled at
+absolute simulated times and executed in timestamp order.  Ties are broken
+by a monotonically increasing sequence number so that scheduling order is
+deterministic and events never compare their (arbitrary) payloads.
+
+The engine is deliberately minimal — servers, workload generators and
+telemetry samplers are all built as plain callbacks on top of it — but it
+supports the two features a server simulation actually needs:
+
+* **cancellation** — a scheduled event can be cancelled in O(1) (lazy
+  deletion), which tier models use to reschedule completions when their
+  service rate changes; and
+* **recurring timers** — used by telemetry samplers and open-loop
+  workload sources.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+__all__ = ["Event", "Simulator", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised on invalid use of the simulation engine."""
+
+
+@dataclass(order=True)
+class _HeapEntry:
+    time: float
+    seq: int
+    event: "Event" = field(compare=False)
+
+
+class Event:
+    """A handle to a scheduled callback.
+
+    Instances are returned by :meth:`Simulator.schedule` and may be
+    cancelled.  A cancelled event stays in the heap but is skipped when
+    popped (lazy deletion), which keeps cancellation O(1).
+    """
+
+    __slots__ = ("time", "action", "cancelled")
+
+    def __init__(self, time: float, action: Callable[[], None]):
+        self.time = time
+        self.action = action
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark this event so the engine skips it when its time comes."""
+        self.cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"Event(t={self.time:.6f}, {state})"
+
+
+class Simulator:
+    """Event-heap discrete-event simulator.
+
+    The simulator owns the virtual clock.  Time has no unit of its own;
+    by convention every model in this package interprets it as seconds.
+
+    Example
+    -------
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.schedule(2.0, lambda: fired.append(sim.now))
+    >>> sim.run(until=5.0)
+    >>> fired
+    [2.0]
+    """
+
+    def __init__(self, start_time: float = 0.0):
+        self._now = float(start_time)
+        self._heap: List[_HeapEntry] = []
+        self._seq = itertools.count()
+        self._running = False
+        self._events_executed = 0
+
+    # ------------------------------------------------------------------
+    # clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def events_executed(self) -> int:
+        """Number of events executed so far (for diagnostics)."""
+        return self._events_executed
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, action: Callable[[], None]) -> Event:
+        """Schedule ``action`` to run ``delay`` seconds from now.
+
+        Returns an :class:`Event` handle that may be cancelled.  Negative
+        delays are rejected: the past is immutable.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay:.6f}s in the past")
+        return self.schedule_at(self._now + delay, action)
+
+    def schedule_at(self, time: float, action: Callable[[], None]) -> Event:
+        """Schedule ``action`` at an absolute simulated time."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time:.6f} before now={self._now:.6f}"
+            )
+        event = Event(time, action)
+        heapq.heappush(self._heap, _HeapEntry(time, next(self._seq), event))
+        return event
+
+    def every(
+        self,
+        interval: float,
+        action: Callable[[], None],
+        *,
+        start_delay: Optional[float] = None,
+    ) -> Event:
+        """Schedule ``action`` to run every ``interval`` seconds.
+
+        The returned handle cancels the *next* occurrence (and therefore
+        the whole series).  ``start_delay`` defaults to one interval.
+        """
+        if interval <= 0:
+            raise SimulationError("recurring interval must be positive")
+
+        handle_box: List[Event] = []
+
+        def tick() -> None:
+            action()
+            # the action may have cancelled the series via the proxy; at
+            # that point handle_box[0] is this already-fired event, so
+            # only the proxy flag can stop the recurrence
+            if proxy.cancelled:
+                return
+            handle_box[0] = self.schedule(interval, tick)
+            proxy.time = handle_box[0].time
+
+        first = self.schedule(
+            interval if start_delay is None else start_delay, tick
+        )
+        handle_box.append(first)
+
+        class _SeriesHandle(Event):
+            __slots__ = ()
+
+            def cancel(self) -> None:  # noqa: D102 - same contract
+                self.cancelled = True
+                handle_box[0].cancel()
+
+        proxy = _SeriesHandle(first.time, action)
+        return proxy
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the next pending event.  Returns False if none remain."""
+        while self._heap:
+            entry = heapq.heappop(self._heap)
+            if entry.event.cancelled:
+                continue
+            self._now = entry.time
+            self._events_executed += 1
+            entry.event.action()
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the heap is empty or the clock passes ``until``.
+
+        When ``until`` is given, the clock is advanced to exactly
+        ``until`` at the end even if the last event fired earlier, so
+        samplers and callers see a consistent end-of-run time.
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        try:
+            while self._heap:
+                entry = self._heap[0]
+                if entry.event.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and entry.time > until:
+                    break
+                heapq.heappop(self._heap)
+                self._now = entry.time
+                self._events_executed += 1
+                entry.event.action()
+            if until is not None and until > self._now:
+                self._now = until
+        finally:
+            self._running = False
+
+    def peek(self) -> Optional[float]:
+        """Time of the next pending event, or None if the heap is empty."""
+        while self._heap and self._heap[0].event.cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None

@@ -1,0 +1,87 @@
+"""Inter-tier network link model.
+
+The paper's tiers are connected by a dedicated fast-Ethernet segment
+that is never the bottleneck; the model therefore charges a fixed
+propagation latency plus a per-byte serialization cost and tracks the
+packet and byte counters the OS-level telemetry reports (``rxpck/s``,
+``txbyt/s`` and friends in sysstat).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from .engine import Simulator
+
+__all__ = ["NetworkLink", "LinkSample"]
+
+
+@dataclass
+class LinkSample:
+    """Traffic counters for one sampling interval of one link."""
+
+    t_start: float
+    t_end: float
+    packets: int = 0
+    bytes: int = 0
+
+    @property
+    def duration(self) -> float:
+        return self.t_end - self.t_start
+
+    @property
+    def packet_rate(self) -> float:
+        return self.packets / self.duration if self.duration > 0 else 0.0
+
+    @property
+    def byte_rate(self) -> float:
+        return self.bytes / self.duration if self.duration > 0 else 0.0
+
+
+class NetworkLink:
+    """Fixed-latency link with bandwidth-based serialization delay."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        *,
+        latency_s: float = 0.0002,
+        bandwidth_bytes_per_s: float = 12.5e6,  # 100 Mb/s fast Ethernet
+    ):
+        if latency_s < 0:
+            raise ValueError("latency must be non-negative")
+        if bandwidth_bytes_per_s <= 0:
+            raise ValueError("bandwidth must be positive")
+        self.sim = sim
+        self.latency_s = latency_s
+        self.bandwidth = bandwidth_bytes_per_s
+        self._packets = 0
+        self._bytes = 0
+        self._sample_start = sim.now
+
+    def transfer(
+        self, size_bytes: int, on_delivered: Callable[[], None]
+    ) -> float:
+        """Deliver ``size_bytes`` after latency + serialization delay."""
+        if size_bytes < 0:
+            raise ValueError("transfer size must be non-negative")
+        self._packets += 1 + size_bytes // 1460  # MTU-sized segments
+        self._bytes += size_bytes
+        delay = self.latency_s + size_bytes / self.bandwidth
+        self.sim.schedule(delay, on_delivered)
+        return delay
+
+    def sample(self) -> LinkSample:
+        """Drain traffic counters for the elapsed interval."""
+        now = self.sim.now
+        sample = LinkSample(
+            t_start=self._sample_start,
+            t_end=now,
+            packets=self._packets,
+            bytes=self._bytes,
+        )
+        self._sample_start = now
+        self._packets = 0
+        self._bytes = 0
+        return sample

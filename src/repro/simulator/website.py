@@ -1,0 +1,288 @@
+"""Multi-tier website composition.
+
+:class:`MultiTierWebsite` wires an application-server tier to a
+database tier over a network link and drives each client request
+through the same path the paper's Tomcat/MySQL testbed does:
+
+1. the request acquires a Tomcat worker thread (or queues for one);
+2. the servlet runs the first part of its CPU work;
+3. the thread blocks while the query crosses the link, executes on a
+   MySQL connection, and the result returns;
+4. the servlet finishes its CPU work and the response leaves.
+
+Client-visible statistics (throughput, response time, drops) are
+accumulated per sampling window and drained together with per-tier
+physical samples by :meth:`MultiTierWebsite.sample`, which is what the
+telemetry layer consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from .engine import Simulator
+from .network import LinkSample, NetworkLink
+from .server import Job, Session, TierServer, TierSample
+
+__all__ = [
+    "Request",
+    "CompletedRequest",
+    "ClientSample",
+    "WebsiteSample",
+    "MultiTierWebsite",
+    "APP_TIER",
+    "DB_TIER",
+    "BROWSE",
+    "ORDER",
+]
+
+APP_TIER = "app"
+DB_TIER = "db"
+
+BROWSE = "browse"
+ORDER = "order"
+
+
+@dataclass(frozen=True)
+class Request:
+    """A web interaction template (one of the 14 TPC-W types).
+
+    Demands are nominal CPU seconds on the reference machine; footprints
+    are the hot working sets the interaction touches on each tier.
+    """
+
+    name: str
+    category: str  # BROWSE or ORDER
+    app_demand: float
+    db_demand: float
+    app_footprint_kb: float = 32.0
+    db_footprint_kb: float = 512.0
+    request_bytes: int = 400
+    response_bytes: int = 8000
+    db_query_bytes: int = 300
+    db_result_bytes: int = 2000
+
+    def __post_init__(self) -> None:
+        if self.category not in (BROWSE, ORDER):
+            raise ValueError(f"unknown request category {self.category!r}")
+        if self.app_demand < 0 or self.db_demand < 0:
+            raise ValueError("demands must be non-negative")
+
+
+@dataclass
+class CompletedRequest:
+    """Outcome of one request as the client observes it."""
+
+    request: Request
+    submit_time: float
+    finish_time: float
+    dropped: bool = False
+
+    @property
+    def response_time(self) -> float:
+        return self.finish_time - self.submit_time
+
+
+@dataclass
+class ClientSample:
+    """Client-visible aggregate statistics for one sampling window."""
+
+    t_start: float
+    t_end: float
+    submitted: int = 0
+    completed: int = 0
+    dropped: int = 0
+    browse_completed: int = 0
+    order_completed: int = 0
+    response_time_sum: float = 0.0
+    response_time_max: float = 0.0
+    request_bytes: int = 0
+    response_bytes: int = 0
+
+    @property
+    def duration(self) -> float:
+        return self.t_end - self.t_start
+
+    @property
+    def throughput(self) -> float:
+        return self.completed / self.duration if self.duration > 0 else 0.0
+
+    @property
+    def offered_rate(self) -> float:
+        return self.submitted / self.duration if self.duration > 0 else 0.0
+
+    @property
+    def mean_response_time(self) -> float:
+        return (
+            self.response_time_sum / self.completed if self.completed else 0.0
+        )
+
+    @property
+    def drop_rate(self) -> float:
+        return self.dropped / self.submitted if self.submitted else 0.0
+
+
+@dataclass
+class WebsiteSample:
+    """One sampling window of the whole site: client + tiers + links."""
+
+    client: ClientSample
+    tiers: Dict[str, TierSample]
+    links: Dict[str, LinkSample] = field(default_factory=dict)
+
+    @property
+    def t_start(self) -> float:
+        return self.client.t_start
+
+    @property
+    def t_end(self) -> float:
+        return self.client.t_end
+
+
+class MultiTierWebsite:
+    """Two-tier (extensible) website: app server + database over a link."""
+
+    #: fraction of a servlet's CPU demand spent before the DB call
+    APP_PHASE1_FRACTION = 0.6
+
+    def __init__(
+        self,
+        sim: Simulator,
+        app: TierServer,
+        db: TierServer,
+        link_up: Optional[NetworkLink] = None,
+        link_down: Optional[NetworkLink] = None,
+    ):
+        self.sim = sim
+        self.app = app
+        self.db = db
+        self.link_up = link_up or NetworkLink(sim)  # app -> db (queries)
+        self.link_down = link_down or NetworkLink(sim)  # db -> app (results)
+        self._client = ClientSample(t_start=sim.now, t_end=sim.now)
+        self._in_flight = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def tiers(self) -> Dict[str, TierServer]:
+        return {APP_TIER: self.app, DB_TIER: self.db}
+
+    @property
+    def in_flight(self) -> int:
+        """Requests admitted to the site and not yet responded."""
+        return self._in_flight
+
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        request: Request,
+        on_complete: Callable[[CompletedRequest], None],
+    ) -> None:
+        """Inject one client request; ``on_complete`` always fires once."""
+        submit_time = self.sim.now
+        self._client.submitted += 1
+        self._in_flight += 1
+
+        def respond(dropped: bool) -> None:
+            self._in_flight -= 1
+            outcome = CompletedRequest(
+                request=request,
+                submit_time=submit_time,
+                finish_time=self.sim.now,
+                dropped=dropped,
+            )
+            if dropped:
+                self._client.dropped += 1
+            else:
+                self._client.completed += 1
+                if request.category == BROWSE:
+                    self._client.browse_completed += 1
+                else:
+                    self._client.order_completed += 1
+                rt = outcome.response_time
+                self._client.response_time_sum += rt
+                if rt > self._client.response_time_max:
+                    self._client.response_time_max = rt
+                self._client.request_bytes += request.request_bytes
+                self._client.response_bytes += request.response_bytes
+            on_complete(outcome)
+
+        app_job = Job(
+            demand=request.app_demand,
+            footprint_kb=request.app_footprint_kb,
+            kind=request.name,
+        )
+
+        def on_app_admitted(app_session: Session) -> None:
+            self._run_servlet(request, app_session, respond)
+
+        session = self.app.submit(app_job, on_app_admitted)
+        if session is None:
+            respond(dropped=True)
+
+    # ------------------------------------------------------------------
+    def _run_servlet(
+        self,
+        request: Request,
+        app_session: Session,
+        respond: Callable[[bool], None],
+    ) -> None:
+        """Drive one admitted request through its app/db phases."""
+        if request.db_demand <= 0:
+            # pure-app interaction: one CPU phase, then respond
+            def done(_: Session) -> None:
+                self.app.finish(app_session)
+                respond(False)
+
+            self.app.run_phase(app_session, request.app_demand, done)
+            return
+
+        phase1 = request.app_demand * self.APP_PHASE1_FRACTION
+        phase2 = request.app_demand - phase1
+
+        def after_phase1(_: Session) -> None:
+            self.link_up.transfer(request.db_query_bytes, send_query)
+
+        def send_query() -> None:
+            db_job = Job(
+                demand=request.db_demand,
+                footprint_kb=request.db_footprint_kb,
+                kind=request.name,
+            )
+            db_session = self.db.submit(db_job, run_query)
+            if db_session is None:
+                # database refused the connection: error response
+                self.app.finish(app_session)
+                respond(True)
+
+        def run_query(db_session: Session) -> None:
+            def query_done(_: Session) -> None:
+                self.db.finish(db_session)
+                self.link_down.transfer(request.db_result_bytes, result_back)
+
+            self.db.run_phase(db_session, request.db_demand, query_done)
+
+        def result_back() -> None:
+            self.app.run_phase(app_session, phase2, after_phase2)
+
+        def after_phase2(_: Session) -> None:
+            self.app.finish(app_session)
+            respond(False)
+
+        self.app.run_phase(app_session, phase1, after_phase1)
+
+    # ------------------------------------------------------------------
+    def sample(self) -> WebsiteSample:
+        """Drain the current sampling window across client, tiers, links."""
+        now = self.sim.now
+        self._client.t_end = now
+        client = self._client
+        self._client = ClientSample(t_start=now, t_end=now)
+        return WebsiteSample(
+            client=client,
+            tiers={name: tier.sample() for name, tier in self.tiers.items()},
+            links={
+                "app->db": self.link_up.sample(),
+                "db->app": self.link_down.sample(),
+            },
+        )

@@ -1,0 +1,55 @@
+"""Telemetry: metric synthesis, sampling, datasets, collection cost.
+
+Replaces the paper's PerfCtr kernel patch and Sysstat deployment:
+hardware-counter synthesis (:mod:`~repro.telemetry.hpc`), the 64
+OS-level metrics (:mod:`~repro.telemetry.osmetrics`), 1 s sampling with
+30 s window aggregation (:mod:`~repro.telemetry.sampler`), labelled
+dataset containers (:mod:`~repro.telemetry.dataset`) and collection
+overhead models (:mod:`~repro.telemetry.perfctr`).
+"""
+
+from .dataset import Dataset, Instance
+from .hpc import HPC_METRIC_NAMES, HpcModel
+from .osmetrics import OS_METRIC_NAMES, OsMetricsModel
+from .persistence import load_run, save_run
+from .perfctr import (
+    PERFCTR_PROFILE,
+    SYSSTAT_PROFILE,
+    CollectorProfile,
+    MetricsCollector,
+)
+from .sampler import (
+    HPC_LEVEL,
+    HYBRID_LEVEL,
+    OS_LEVEL,
+    IntervalRecord,
+    MeasurementRun,
+    TelemetrySampler,
+    WindowStats,
+    aggregate_window,
+    build_dataset,
+)
+
+__all__ = [
+    "CollectorProfile",
+    "Dataset",
+    "HPC_LEVEL",
+    "HPC_METRIC_NAMES",
+    "HYBRID_LEVEL",
+    "HpcModel",
+    "Instance",
+    "IntervalRecord",
+    "MeasurementRun",
+    "MetricsCollector",
+    "OS_LEVEL",
+    "OS_METRIC_NAMES",
+    "OsMetricsModel",
+    "PERFCTR_PROFILE",
+    "SYSSTAT_PROFILE",
+    "TelemetrySampler",
+    "WindowStats",
+    "aggregate_window",
+    "build_dataset",
+    "load_run",
+    "save_run",
+]

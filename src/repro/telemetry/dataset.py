@@ -1,0 +1,187 @@
+"""Training/testing instance containers.
+
+The paper's Section II defines an instance ``u*`` as an assignment of
+measured values to attribute variables ``{A1..An}`` plus a binary class
+variable ``C`` (overload=1 / underload=0), built by averaging 1 s
+runtime statistics over a 30 s sampling window.  A :class:`Dataset` is
+an ordered collection of such instances with a consistent attribute
+schema, convertible to numpy matrices for the learners.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+import numpy as np
+
+__all__ = ["Instance", "Dataset"]
+
+UNDERLOAD = 0
+OVERLOAD = 1
+
+
+@dataclass(frozen=True)
+class Instance:
+    """One labelled measurement window.
+
+    ``attributes`` maps metric names to their window-averaged values;
+    ``label`` is the class variable C; ``bottleneck`` (when overloaded)
+    names the ground-truth bottleneck tier for training the BPT.
+    """
+
+    attributes: Mapping[str, float]
+    label: int
+    t_start: float = 0.0
+    t_end: float = 0.0
+    tier: str = ""
+    workload: str = ""
+    bottleneck: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.label not in (UNDERLOAD, OVERLOAD):
+            raise ValueError("label must be 0 (underload) or 1 (overload)")
+
+    def vector(self, names: Sequence[str]) -> np.ndarray:
+        """Attribute values in the order given by ``names``."""
+        try:
+            return np.array([self.attributes[n] for n in names], dtype=float)
+        except KeyError as exc:
+            raise KeyError(f"instance missing attribute {exc}") from exc
+
+
+class Dataset:
+    """An ordered set of instances sharing an attribute schema."""
+
+    def __init__(
+        self,
+        instances: Iterable[Instance] = (),
+        attribute_names: Optional[Sequence[str]] = None,
+    ):
+        self.instances: List[Instance] = list(instances)
+        if attribute_names is not None:
+            self.attribute_names: List[str] = list(attribute_names)
+        elif self.instances:
+            self.attribute_names = sorted(self.instances[0].attributes)
+        else:
+            self.attribute_names = []
+        for inst in self.instances:
+            missing = set(self.attribute_names) - set(inst.attributes)
+            if missing:
+                raise ValueError(f"instance missing attributes {sorted(missing)}")
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.instances)
+
+    def __iter__(self) -> Iterator[Instance]:
+        return iter(self.instances)
+
+    def __getitem__(self, idx: int) -> Instance:
+        return self.instances[idx]
+
+    def append(self, instance: Instance) -> None:
+        missing = set(self.attribute_names) - set(instance.attributes)
+        if missing:
+            raise ValueError(f"instance missing attributes {sorted(missing)}")
+        self.instances.append(instance)
+
+    # ------------------------------------------------------------------
+    def matrix(self, names: Optional[Sequence[str]] = None) -> np.ndarray:
+        """(n_instances, n_attributes) float matrix."""
+        names = list(names) if names is not None else self.attribute_names
+        if not self.instances:
+            return np.empty((0, len(names)))
+        return np.vstack([inst.vector(names) for inst in self.instances])
+
+    def labels(self) -> np.ndarray:
+        return np.array([inst.label for inst in self.instances], dtype=int)
+
+    def class_counts(self) -> Tuple[int, int]:
+        """(n_underload, n_overload)."""
+        labels = self.labels()
+        return int((labels == UNDERLOAD).sum()), int((labels == OVERLOAD).sum())
+
+    # ------------------------------------------------------------------
+    def filter(self, predicate: Callable[[Instance], bool]) -> "Dataset":
+        """New dataset with the instances satisfying ``predicate``."""
+        return Dataset(
+            [i for i in self.instances if predicate(i)], self.attribute_names
+        )
+
+    def select_attributes(self, names: Sequence[str]) -> "Dataset":
+        """New dataset restricted to the given attribute subset."""
+        unknown = set(names) - set(self.attribute_names)
+        if unknown:
+            raise KeyError(f"unknown attributes {sorted(unknown)}")
+        return Dataset(
+            [
+                Instance(
+                    attributes={n: i.attributes[n] for n in names},
+                    label=i.label,
+                    t_start=i.t_start,
+                    t_end=i.t_end,
+                    tier=i.tier,
+                    workload=i.workload,
+                    bottleneck=i.bottleneck,
+                )
+                for i in self.instances
+            ],
+            names,
+        )
+
+    def merged_with(self, other: "Dataset") -> "Dataset":
+        """Concatenate two datasets with identical schemas."""
+        if set(self.attribute_names) != set(other.attribute_names):
+            raise ValueError("cannot merge datasets with different schemas")
+        return Dataset(
+            self.instances + other.instances, self.attribute_names
+        )
+
+    def shuffled(self, seed: int = 0) -> "Dataset":
+        rng = np.random.default_rng(seed)
+        order = rng.permutation(len(self.instances))
+        return Dataset(
+            [self.instances[i] for i in order], self.attribute_names
+        )
+
+    # ------------------------------------------------------------------
+    def save(self, path: Union[str, Path]) -> None:
+        """Serialize to JSON (schema + instances)."""
+        payload = {
+            "attribute_names": self.attribute_names,
+            "instances": [
+                {
+                    "attributes": dict(i.attributes),
+                    "label": i.label,
+                    "t_start": i.t_start,
+                    "t_end": i.t_end,
+                    "tier": i.tier,
+                    "workload": i.workload,
+                    "bottleneck": i.bottleneck,
+                }
+                for i in self.instances
+            ],
+        }
+        Path(path).write_text(json.dumps(payload))
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Dataset":
+        payload = json.loads(Path(path).read_text())
+        return cls(
+            [Instance(**item) for item in payload["instances"]],
+            payload["attribute_names"],
+        )

@@ -1,0 +1,307 @@
+"""Synthetic OS-level metrics (sysstat vocabulary).
+
+The paper collects 64 OS-level metrics per tier with Sysstat 7.0.3 for
+its comparison baseline.  This model emits the same-sized vector from
+the simulator's physical state.
+
+The deliberate *observability gap* relative to the hardware counters —
+the reason OS metrics under-perform for the browsing mix in Table I —
+is mechanical, not cosmetic:
+
+* OS CPU utilization **clips at 100%** well before true overload of a
+  tier that saturates on few heavy requests, so it cannot separate
+  "busy but keeping up" from "overloaded";
+* the OS **run queue sees only runnable threads**: queries queued
+  inside MySQL on the connection pool are invisible, so ``runq_sz``
+  pins at the connection count at saturation;
+* buffer-pool churn is served from the OS page cache (the TPC-W
+  dataset fits in RAM), so there is **no disk-I/O or page-fault
+  signature** of database overload — the memory traffic shows up only
+  in bus/L2 hardware events;
+* **gauges snapshot, counters integrate**: sar reads instantaneous
+  queue-length gauges (``runq-sz``, load averages, socket counts) once
+  per second, and queue lengths near saturation are extremely bursty,
+  so these gauges carry heavy sampling noise (``gauge_noise``) — unlike
+  hardware event counts, which are exact integrals over the interval.
+  Crucially the burst noise is *correlated in time* (a queue excursion
+  persists for many seconds), modelled as an AR(1) process with a ~20 s
+  correlation time, so averaging 30 snapshots into a window barely
+  reduces it.  Distinguishing a run queue hovering at 22 from one
+  pinned at the 24-connection cap through such snapshots is hopeless,
+  which is why the MySQL-side OS metrics stay uninformative even where
+  a clean time-average would separate the states.  CPU percentages get
+  the same treatment at a smaller scale: jiffy accounting drifts
+  systematically within a load phase, so near-saturation idle readings
+  (2% vs 0.5%) blur together.
+
+What the OS *does* see — run-queue growth and context-switch storms on
+the app tier under ordering traffic — keeps its accuracy competitive
+there, matching Table I(b).
+
+OS metrics also carry more measurement noise than the hardware
+counters (sysstat derives rates from /proc snapshots), and their
+collection is far more intrusive (see
+:data:`~repro.telemetry.perfctr.SYSSTAT_PROFILE`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..simulator.server import HardwareSpec, TierSample
+
+__all__ = ["OsMetricsModel", "OS_METRIC_NAMES"]
+
+#: The 64 sysstat-style metrics reported per tier per interval.
+OS_METRIC_NAMES: List[str] = [
+    # CPU
+    "cpu_user", "cpu_nice", "cpu_system", "cpu_iowait", "cpu_idle",
+    # tasks / scheduler
+    "proc_per_s", "cswch_per_s", "runq_sz", "plist_sz",
+    "ldavg_1", "ldavg_5", "ldavg_15",
+    # memory
+    "kbmemfree", "kbmemused", "pct_memused", "kbbuffers", "kbcached",
+    "kbswpfree", "kbswpused", "pct_swpused", "kbswpcad",
+    "frmpg_per_s", "bufpg_per_s", "campg_per_s",
+    # paging
+    "pgpgin_per_s", "pgpgout_per_s", "fault_per_s", "majflt_per_s",
+    "pswpin_per_s", "pswpout_per_s",
+    # block I/O
+    "tps", "rtps", "wtps", "bread_per_s", "bwrtn_per_s",
+    # network interface
+    "rxpck_per_s", "txpck_per_s", "rxbyt_per_s", "txbyt_per_s",
+    "rxcmp_per_s", "txcmp_per_s", "rxmcst_per_s",
+    "rxerr_per_s", "txerr_per_s", "coll_per_s", "rxdrop_per_s",
+    "txdrop_per_s",
+    # sockets
+    "totsck", "tcpsck", "udpsck", "rawsck", "ip_frag", "tcp_tw",
+    # kernel tables
+    "dentunusd", "file_nr", "inode_nr", "pty_nr",
+    # interrupts & TCP
+    "intr_per_s", "tcp_active_per_s", "tcp_passive_per_s",
+    "tcp_iseg_per_s", "tcp_oseg_per_s", "tcp_retrans_per_s",
+    # memory commit
+    "mem_commit_pct",
+]
+
+
+class OsMetricsModel:
+    """Maps a :class:`TierSample` (+ NIC rates) to 64 sysstat metrics.
+
+    The model is stateful: load averages are exponential moving
+    averages of the run queue, as the kernel computes them.
+    """
+
+    def __init__(
+        self,
+        spec: HardwareSpec,
+        *,
+        role: str = "app",
+        noise: float = 0.05,
+        gauge_noise: Optional[float] = None,
+        seed: int = 0,
+    ):
+        if role not in ("app", "db"):
+            raise ValueError("role must be 'app' or 'db'")
+        if noise < 0:
+            raise ValueError("noise must be non-negative")
+        self.spec = spec
+        self.role = role
+        self.noise = noise
+        #: sampling noise of instantaneous gauges (run queue, load
+        #: averages, socket counts): 1 Hz snapshots of bursty queue
+        #: state, an order of magnitude noisier than rate counters
+        self.gauge_noise = 7.0 * noise if gauge_noise is None else gauge_noise
+        if self.gauge_noise < 0:
+            raise ValueError("gauge noise must be non-negative")
+        self._rng = np.random.default_rng(seed)
+        self._ldavg = {"1": 0.0, "5": 0.0, "15": 0.0}
+        # user/system split of busy time per role
+        self._user_share = 0.82 if role == "app" else 0.72
+        #: AR(1) states of the correlated noise processes, keyed by the
+        #: gauge they perturb
+        self._ar1: Dict[str, float] = {}
+        #: correlation time (seconds) of queue-burst excursions
+        self.burst_correlation_s = 20.0
+
+    # ------------------------------------------------------------------
+    def _noisy(self, value: float, floor_jitter: float = 0.0) -> float:
+        out = value
+        if self.noise > 0 and value != 0.0:
+            out = value * float(self._rng.lognormal(0.0, self.noise))
+        if floor_jitter > 0:
+            out += float(self._rng.uniform(0.0, floor_jitter))
+        return out
+
+    def _ar1_step(self, name: str, sigma: float, dt: float) -> float:
+        """Advance a unit-variance OU process scaled by ``sigma``."""
+        rho = float(np.exp(-dt / self.burst_correlation_s))
+        prev = self._ar1.get(name, 0.0)
+        state = rho * prev + float(
+            np.sqrt(max(0.0, 1.0 - rho * rho)) * self._rng.normal()
+        )
+        self._ar1[name] = state
+        return sigma * state
+
+    def _gauge(self, name: str, value: float, dt: float = 1.0) -> float:
+        """One snapshot of a bursty instantaneous gauge.
+
+        The multiplicative log-noise follows an AR(1) process: queue
+        excursions persist across samples, so a 30-sample window
+        average retains most of the burst variance.
+        """
+        if self.gauge_noise <= 0 or value == 0.0:
+            return value
+        return value * float(np.exp(self._ar1_step(name, self.gauge_noise, dt)))
+
+    def _cpu_pct(self, name: str, value: float, dt: float = 1.0) -> float:
+        """CPU percentage with correlated jiffy-accounting drift.
+
+        /proc/stat counts in 10 ms jiffies charged to whole categories
+        and mischarges drift systematically within a load phase, so the
+        difference between 99.5% and 98% busy stays below the noise
+        floor even after window averaging — precisely the regime where
+        a tier is saturated but still meeting its SLA.
+        """
+        if self.noise <= 0:
+            return value
+        drift = self._ar1_step(f"cpu:{name}", 16.0 * self.noise, dt)
+        return min(100.0, max(0.0, self._noisy(value) + drift))
+
+    def _update_ldavg(self, runq: float, dt: float) -> None:
+        for key, minutes in (("1", 1.0), ("5", 5.0), ("15", 15.0)):
+            alpha = 1.0 - float(np.exp(-dt / (60.0 * minutes)))
+            self._ldavg[key] += alpha * (runq - self._ldavg[key])
+
+    # ------------------------------------------------------------------
+    def observe(
+        self,
+        sample: TierSample,
+        *,
+        rx_bytes_per_s: float = 0.0,
+        tx_bytes_per_s: float = 0.0,
+        rx_pck_per_s: float = 0.0,
+        tx_pck_per_s: float = 0.0,
+    ) -> Dict[str, float]:
+        """The 64-metric vector for one interval."""
+        duration = max(sample.duration, 1e-9)
+        cores = self.spec.cores
+        thr = sample.throughput
+
+        # ---- CPU accounting: clips at 100%, the key observability gap
+        busy = min(1.0, sample.utilization)
+        monitor = min(0.5, sample.background_work / (duration * cores))
+        user = busy * self._user_share
+        system = busy * (1.0 - self._user_share) + monitor
+        iowait = 0.004
+        idle = max(0.0, 1.0 - user - system - iowait)
+
+        # ---- scheduler: runnable threads only (internal queues unseen),
+        # observed through one bursty snapshot per interval
+        runq = self._gauge("runq", sample.runnable_avg, duration)
+        self._update_ldavg(runq, duration)
+        # Tomcat's CPU-bound servlet threads timeslice heavily once they
+        # outnumber the cores; MySQL threads mostly block on condition
+        # variables, so preemption barely scales with its run queue.
+        preempt = 250.0 if self.role == "app" else 25.0
+        cswch = 80.0 + thr * 10.0 + max(0.0, runq - cores) * preempt
+        # Tomcat/MySQL keep pre-allocated thread/connection pools: the
+        # process list shows the pool, not the in-flight request count
+        # (a thread blocked on JDBC and an idle pool thread are both
+        # just sleeping tasks).
+        plist = 92.0 + sample.workers
+
+        # ---- memory: everything fits in RAM; no swap, no major faults.
+        # Stacks are pre-allocated with the pools, so usage barely moves
+        # with load.
+        mem_kb = self.spec.memory_mb * 1024.0
+        used_frac = 0.38 + 0.0004 * sample.workers
+        kbmemused = mem_kb * min(0.97, used_frac)
+        kbcached = mem_kb * (0.30 if self.role == "db" else 0.18)
+        fault = 120.0 + thr * 25.0
+
+        # ---- block I/O: log writes only; reads hit the page cache
+        wtps = (2.0 if self.role == "app" else 4.0) + thr * (
+            0.2 if self.role == "app" else 0.5
+        )
+        rtps = 0.5
+        bwrtn = wtps * 8.0  # sectors
+
+        # ---- sockets: HTTP keep-alive and the fixed JDBC pool keep
+        # connection counts nearly load-independent
+        tcpsck = 18.0 + sample.workers * (0.4 if self.role == "app" else 1.0)
+
+        intr = 120.0 + rx_pck_per_s + tx_pck_per_s + wtps + rtps
+
+        values: Dict[str, float] = {
+            "cpu_user": self._cpu_pct("user", 100.0 * user, duration),
+            "cpu_nice": 0.0,
+            "cpu_system": self._cpu_pct("system", 100.0 * system, duration),
+            "cpu_iowait": self._cpu_pct("iowait", 100.0 * iowait, duration),
+            "cpu_idle": self._cpu_pct("idle", 100.0 * idle, duration),
+            "proc_per_s": 1.2,
+            "cswch_per_s": cswch,
+            "runq_sz": runq,
+            "plist_sz": plist,
+            "ldavg_1": self._ldavg["1"],
+            "ldavg_5": self._ldavg["5"],
+            "ldavg_15": self._ldavg["15"],
+            "kbmemfree": mem_kb - kbmemused,
+            "kbmemused": kbmemused,
+            "pct_memused": 100.0 * kbmemused / mem_kb,
+            "kbbuffers": mem_kb * 0.04,
+            "kbcached": kbcached,
+            "kbswpfree": 1048576.0,
+            "kbswpused": 0.0,
+            "pct_swpused": 0.0,
+            "kbswpcad": 0.0,
+            "frmpg_per_s": 2.0,
+            "bufpg_per_s": 0.5,
+            "campg_per_s": 1.0,
+            "pgpgin_per_s": 4.0,
+            "pgpgout_per_s": bwrtn / 2.0,
+            "fault_per_s": fault,
+            "majflt_per_s": 0.02,
+            "pswpin_per_s": 0.0,
+            "pswpout_per_s": 0.0,
+            "tps": rtps + wtps,
+            "rtps": rtps,
+            "wtps": wtps,
+            "bread_per_s": rtps * 8.0,
+            "bwrtn_per_s": bwrtn,
+            "rxpck_per_s": rx_pck_per_s,
+            "txpck_per_s": tx_pck_per_s,
+            "rxbyt_per_s": rx_bytes_per_s,
+            "txbyt_per_s": tx_bytes_per_s,
+            "rxcmp_per_s": 0.0,
+            "txcmp_per_s": 0.0,
+            "rxmcst_per_s": 0.1,
+            "rxerr_per_s": 0.0,
+            "txerr_per_s": 0.0,
+            "coll_per_s": 0.0,
+            "rxdrop_per_s": 0.0,
+            "txdrop_per_s": 0.0,
+            "totsck": self._gauge("totsck", tcpsck + 34.0, duration),
+            "tcpsck": self._gauge("tcpsck", tcpsck, duration),
+            "udpsck": 6.0,
+            "rawsck": 0.0,
+            "ip_frag": 0.0,
+            "tcp_tw": self._gauge("tcp_tw", 4.0 + thr * 1.5, duration),
+            "dentunusd": 15_000.0,
+            "file_nr": 1_500.0 + sample.workers * 3.0,
+            "inode_nr": 22_000.0,
+            "pty_nr": 2.0,
+            "intr_per_s": intr,
+            "tcp_active_per_s": 0.5,
+            "tcp_passive_per_s": thr * (1.0 if self.role == "app" else 0.0),
+            "tcp_iseg_per_s": rx_pck_per_s,
+            "tcp_oseg_per_s": tx_pck_per_s,
+            "tcp_retrans_per_s": 0.05,
+            "mem_commit_pct": 55.0 + 0.01 * sample.workers,
+        }
+        return {
+            name: self._noisy(value, floor_jitter=0.01)
+            for name, value in values.items()
+        }

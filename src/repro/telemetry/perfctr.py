@@ -1,0 +1,94 @@
+"""Metric collection agents and their runtime cost.
+
+The paper reads hardware counters through the PerfCtr kernel patch in
+*global mode* with a deliberately minimal tool ("just initialize and
+read hardware counters"), and OS metrics with Sysstat.  Counter
+maintenance itself is free in hardware; the only cost is the periodic
+read — a few register reads for PerfCtr versus parsing a swath of
+``/proc`` for sysstat, which burns measurable CPU and pollutes the L2.
+
+Section V.D measures the end-to-end impact: **under 0.5% throughput
+loss for hardware-counter collection versus about 4% for OS-level
+collection**.  :class:`MetricsCollector` reproduces the mechanism: each
+sampling tick injects the collector's CPU burst (and cache footprint)
+into every tier as background work, so the cost shows up in measured
+throughput and response times exactly as in the paper's experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..simulator.engine import Simulator
+from ..simulator.website import MultiTierWebsite
+
+__all__ = [
+    "CollectorProfile",
+    "PERFCTR_PROFILE",
+    "SYSSTAT_PROFILE",
+    "MetricsCollector",
+]
+
+
+@dataclass(frozen=True)
+class CollectorProfile:
+    """Cost model of one metrics-collection agent.
+
+    ``cpu_cost_s`` is nominal CPU seconds consumed per sample on each
+    tier; ``footprint_kb`` is the collector's cache working set while it
+    runs (sysstat walks large /proc text buffers, PerfCtr touches a few
+    registers).
+    """
+
+    name: str
+    cpu_cost_s: float
+    footprint_kb: float
+    interval: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.cpu_cost_s < 0 or self.footprint_kb < 0:
+            raise ValueError("collector costs must be non-negative")
+        if self.interval <= 0:
+            raise ValueError("collection interval must be positive")
+
+    def cpu_fraction(self, speed_factor: float, cores: int) -> float:
+        """Fraction of a tier's CPU this collector consumes."""
+        return self.cpu_cost_s / (self.interval * speed_factor * cores)
+
+
+#: PerfCtr global-mode reads: a handful of MSR reads per CPU.
+PERFCTR_PROFILE = CollectorProfile(
+    name="perfctr-hpc", cpu_cost_s=0.002, footprint_kb=8.0
+)
+
+#: Sysstat: fork sadc, parse /proc/stat, /proc/meminfo, /proc/net/dev, ...
+SYSSTAT_PROFILE = CollectorProfile(
+    name="sysstat-os", cpu_cost_s=0.035, footprint_kb=96.0
+)
+
+
+class MetricsCollector:
+    """Periodic collection agent running on every tier of a website."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        website: MultiTierWebsite,
+        profile: CollectorProfile,
+    ):
+        self.sim = sim
+        self.website = website
+        self.profile = profile
+        self.samples_taken = 0
+        self._timer = sim.every(profile.interval, self._collect)
+
+    def _collect(self) -> None:
+        self.samples_taken += 1
+        for tier in self.website.tiers.values():
+            tier.run_background(
+                self.profile.cpu_cost_s,
+                footprint_kb=self.profile.footprint_kb,
+            )
+
+    def stop(self) -> None:
+        self._timer.cancel()

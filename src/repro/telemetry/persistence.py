@@ -1,0 +1,106 @@
+"""Measurement-run persistence.
+
+A :class:`~repro.telemetry.sampler.MeasurementRun` is the complete
+record of one testbed execution — per-interval client statistics,
+per-tier physical samples and both metric vectors.  Saving runs lets
+the CLI (and downstream users) separate the expensive simulation step
+from training and analysis, and archive the exact data behind a result.
+
+Format: JSON, transparently gzip-compressed when the path ends in
+``.gz``.  Every dataclass field is stored explicitly, so files remain
+readable by standard tooling.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Union
+
+from ..simulator.network import LinkSample
+from ..simulator.server import TierSample
+from ..simulator.website import ClientSample, WebsiteSample
+from .sampler import IntervalRecord, MeasurementRun
+
+__all__ = ["save_run", "load_run"]
+
+_FORMAT = "repro.measurement-run/1"
+
+
+def _write_text(path: Path, text: str) -> None:
+    if path.suffix == ".gz":
+        with gzip.open(path, "wt", encoding="utf-8") as fh:
+            fh.write(text)
+    else:
+        path.write_text(text)
+
+
+def _read_text(path: Path) -> str:
+    if path.suffix == ".gz":
+        with gzip.open(path, "rt", encoding="utf-8") as fh:
+            return fh.read()
+    return path.read_text()
+
+
+def save_run(run: MeasurementRun, path: Union[str, Path]) -> None:
+    """Serialize a measurement run (gzip when the path ends in .gz)."""
+    payload = {
+        "format": _FORMAT,
+        "workload": run.workload,
+        "interval": run.interval,
+        "records": [
+            {
+                "client": asdict(record.website.client),
+                "tiers": {
+                    name: asdict(sample)
+                    for name, sample in record.website.tiers.items()
+                },
+                "links": {
+                    name: asdict(sample)
+                    for name, sample in record.website.links.items()
+                },
+                "hpc": record.hpc,
+                "os": record.os,
+            }
+            for record in run.records
+        ],
+    }
+    _write_text(Path(path), json.dumps(payload))
+
+
+def load_run(path: Union[str, Path]) -> MeasurementRun:
+    """Restore a run saved with :func:`save_run`."""
+    payload = json.loads(_read_text(Path(path)))
+    if payload.get("format") != _FORMAT:
+        raise ValueError(f"{path} is not a saved measurement run")
+    run = MeasurementRun(
+        workload=str(payload["workload"]),
+        interval=float(payload["interval"]),
+    )
+    for item in payload["records"]:
+        website = WebsiteSample(
+            client=ClientSample(**item["client"]),
+            tiers={
+                name: TierSample(**fields)
+                for name, fields in item["tiers"].items()
+            },
+            links={
+                name: LinkSample(**fields)
+                for name, fields in item["links"].items()
+            },
+        )
+        run.records.append(
+            IntervalRecord(
+                website=website,
+                hpc={
+                    tier: dict(metrics)
+                    for tier, metrics in item["hpc"].items()
+                },
+                os={
+                    tier: dict(metrics) for tier, metrics in item["os"].items()
+                },
+            )
+        )
+    return run

@@ -1,0 +1,295 @@
+"""Runtime statistics collection and windowed instance construction.
+
+The paper collects hardware-counter and OS-level statistics **on each
+tier every second**; the average over a 30-second interval, combined
+with the corresponding high-level state, forms one training instance
+(Section IV.A).  This module reproduces that pipeline:
+
+* :class:`TelemetrySampler` ticks at the 1 s sampling interval,
+  draining the website's physical counters and passing them through the
+  :class:`~repro.telemetry.hpc.HpcModel` and
+  :class:`~repro.telemetry.osmetrics.OsMetricsModel` of each tier;
+* :class:`MeasurementRun` holds the resulting per-interval records for
+  one workload execution;
+* :func:`build_dataset` averages records over fixed windows and labels
+  each window with a caller-supplied oracle, yielding the
+  :class:`~repro.telemetry.dataset.Dataset` a synopsis is trained on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..simulator.engine import Simulator
+from ..simulator.website import MultiTierWebsite, WebsiteSample
+from .dataset import Dataset, Instance
+from .hpc import HpcModel
+from .osmetrics import OsMetricsModel
+
+__all__ = [
+    "HPC_LEVEL",
+    "OS_LEVEL",
+    "HYBRID_LEVEL",
+    "IntervalRecord",
+    "MeasurementRun",
+    "TelemetrySampler",
+    "WindowStats",
+    "aggregate_window",
+    "build_dataset",
+]
+
+HPC_LEVEL = "hpc"
+OS_LEVEL = "os"
+#: combined attribute space (paper Section VII future work: "combine
+#: hardware counter level metrics with OS level metrics")
+HYBRID_LEVEL = "hybrid"
+
+
+@dataclass
+class IntervalRecord:
+    """Everything observed during one sampling interval."""
+
+    website: WebsiteSample
+    hpc: Dict[str, Dict[str, float]]
+    os: Dict[str, Dict[str, float]]
+
+    @property
+    def t_start(self) -> float:
+        return self.website.t_start
+
+    @property
+    def t_end(self) -> float:
+        return self.website.t_end
+
+    def metrics(self, level: str, tier: str) -> Dict[str, float]:
+        if level == HPC_LEVEL:
+            return self.hpc[tier]
+        if level == OS_LEVEL:
+            return self.os[tier]
+        if level == HYBRID_LEVEL:
+            combined = {f"hpc.{k}": v for k, v in self.hpc[tier].items()}
+            combined.update(
+                {f"os.{k}": v for k, v in self.os[tier].items()}
+            )
+            return combined
+        raise KeyError(f"unknown metric level {level!r}")
+
+
+@dataclass
+class MeasurementRun:
+    """One workload execution's worth of interval records."""
+
+    workload: str
+    interval: float
+    records: List[IntervalRecord] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    @property
+    def duration(self) -> float:
+        if not self.records:
+            return 0.0
+        return self.records[-1].t_end - self.records[0].t_start
+
+
+@dataclass
+class WindowStats:
+    """Aggregated high-level state of one window, used for labelling."""
+
+    t_start: float
+    t_end: float
+    submitted: int
+    completed: int
+    dropped: int
+    response_time_sum: float
+    tier_utilization: Dict[str, float]
+    tier_queue: Dict[str, float]
+    tier_distress: Dict[str, float]
+
+    @property
+    def mean_response_time(self) -> float:
+        return self.response_time_sum / self.completed if self.completed else 0.0
+
+    @property
+    def throughput(self) -> float:
+        span = self.t_end - self.t_start
+        return self.completed / span if span > 0 else 0.0
+
+    @property
+    def drop_rate(self) -> float:
+        return self.dropped / self.submitted if self.submitted else 0.0
+
+    @property
+    def bottleneck(self) -> str:
+        """Tier under the most distress (meaningful when overloaded)."""
+        return max(self.tier_distress, key=self.tier_distress.get)
+
+
+class TelemetrySampler:
+    """Samples a website every ``interval`` seconds into a run record."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        website: MultiTierWebsite,
+        *,
+        workload: str = "",
+        interval: float = 1.0,
+        hpc_noise: float = 0.03,
+        os_noise: float = 0.05,
+        seed: int = 0,
+    ):
+        if interval <= 0:
+            raise ValueError("sampling interval must be positive")
+        self.sim = sim
+        self.website = website
+        self.run = MeasurementRun(workload=workload, interval=interval)
+        self._hpc_models = {
+            name: HpcModel(tier.spec, noise=hpc_noise, seed=seed * 1000 + i)
+            for i, (name, tier) in enumerate(website.tiers.items())
+        }
+        # the front tier behaves like an app server (thread timeslicing,
+        # user-heavy CPU split); deeper tiers like database servers
+        self._os_models = {
+            name: OsMetricsModel(
+                tier.spec,
+                role="app" if i == 0 else "db",
+                noise=os_noise,
+                seed=seed * 1000 + 500 + i,
+            )
+            for i, (name, tier) in enumerate(website.tiers.items())
+        }
+        self._timer = sim.every(interval, self._tick)
+
+    def stop(self) -> None:
+        self._timer.cancel()
+
+    # ------------------------------------------------------------------
+    def _tick(self) -> None:
+        ws = self.website.sample()
+        duration = max(ws.client.duration, 1e-9)
+
+        # attribute link traffic to tiers by the "src->dst" link names;
+        # client-facing traffic lands on the front (first) tier.  This
+        # works for the two-tier site and for arbitrary tier chains.
+        net = {
+            name: dict(
+                rx_bytes_per_s=0.0,
+                tx_bytes_per_s=0.0,
+                rx_pck_per_s=0.0,
+                tx_pck_per_s=0.0,
+            )
+            for name in ws.tiers
+        }
+        for link_name, link in ws.links.items():
+            src, _, dst = link_name.partition("->")
+            if dst in net:
+                net[dst]["rx_bytes_per_s"] += link.byte_rate
+                net[dst]["rx_pck_per_s"] += link.packet_rate
+            if src in net:
+                net[src]["tx_bytes_per_s"] += link.byte_rate
+                net[src]["tx_pck_per_s"] += link.packet_rate
+        front = next(iter(ws.tiers))
+        net[front]["rx_bytes_per_s"] += ws.client.request_bytes / duration
+        net[front]["tx_bytes_per_s"] += ws.client.response_bytes / duration
+        client_pck = ws.client.completed * 2.0 / duration
+        net[front]["rx_pck_per_s"] += client_pck
+        net[front]["tx_pck_per_s"] += client_pck
+        record = IntervalRecord(
+            website=ws,
+            hpc={
+                name: model.observe(ws.tiers[name])
+                for name, model in self._hpc_models.items()
+            },
+            os={
+                name: self._os_models[name].observe(
+                    ws.tiers[name], **net.get(name, {})
+                )
+                for name in self._os_models
+            },
+        )
+        self.run.records.append(record)
+
+
+# ----------------------------------------------------------------------
+# window aggregation
+# ----------------------------------------------------------------------
+def aggregate_window(records: Sequence[IntervalRecord]) -> WindowStats:
+    """Collapse consecutive interval records into one window's stats."""
+    if not records:
+        raise ValueError("cannot aggregate an empty window")
+    tiers = list(records[0].website.tiers)
+    util: Dict[str, float] = {}
+    queue: Dict[str, float] = {}
+    distress: Dict[str, float] = {}
+    for tier in tiers:
+        samples = [r.website.tiers[tier] for r in records]
+        util[tier] = sum(s.utilization for s in samples) / len(samples)
+        queue[tier] = sum(s.queue_avg for s in samples) / len(samples)
+        workers = samples[0].workers
+        # Utilization identifies the constrained resource; the queue is
+        # only a bounded tie-breaker between co-saturated tiers.  An
+        # unbounded queue term would misattribute the bottleneck to the
+        # *front* tier, where the whole admission backlog naturally
+        # piles up while a deeper tier is the real constraint.
+        backlog = queue[tier] / (queue[tier] + workers)
+        distress[tier] = util[tier] + 0.5 * backlog
+    clients = [r.website.client for r in records]
+    return WindowStats(
+        t_start=records[0].t_start,
+        t_end=records[-1].t_end,
+        submitted=sum(c.submitted for c in clients),
+        completed=sum(c.completed for c in clients),
+        dropped=sum(c.dropped for c in clients),
+        response_time_sum=sum(c.response_time_sum for c in clients),
+        tier_utilization=util,
+        tier_queue=queue,
+        tier_distress=distress,
+    )
+
+
+def build_dataset(
+    run: MeasurementRun,
+    *,
+    level: str,
+    tier: str,
+    labeler: Callable[[WindowStats], int],
+    window: int = 30,
+    attributes: Optional[Sequence[str]] = None,
+) -> Dataset:
+    """Windowed, labelled dataset for one (tier, metric level).
+
+    ``window`` counts sampling intervals per instance (the paper uses
+    30 one-second samples).  A trailing partial window is discarded.
+    ``labeler`` maps the window's high-level state to the class
+    variable; pair it with the oracles in :mod:`repro.core.labeler`.
+    """
+    if window <= 0:
+        raise ValueError("window must be a positive number of intervals")
+    instances: List[Instance] = []
+    names: Optional[List[str]] = list(attributes) if attributes else None
+    for start in range(0, len(run.records) - window + 1, window):
+        chunk = run.records[start : start + window]
+        metric_dicts = [r.metrics(level, tier) for r in chunk]
+        if names is None:
+            names = sorted(metric_dicts[0])
+        averaged = {
+            name: sum(d[name] for d in metric_dicts) / len(metric_dicts)
+            for name in names
+        }
+        stats = aggregate_window(chunk)
+        label = labeler(stats)
+        instances.append(
+            Instance(
+                attributes=averaged,
+                label=label,
+                t_start=stats.t_start,
+                t_end=stats.t_end,
+                tier=tier,
+                workload=run.workload,
+                bottleneck=stats.bottleneck if label else None,
+            )
+        )
+    return Dataset(instances, names or [])

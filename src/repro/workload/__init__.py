@@ -1,0 +1,64 @@
+"""TPC-W workload model, Remote Browser Emulator and schedules.
+
+Replaces the Rice TPC-W implementation and its RBE client used by the
+paper: interaction types and mixes (:mod:`~repro.workload.tpcw`),
+closed-loop emulated browsers (:mod:`~repro.workload.rbe`), schedule
+generators for ramp-up / spike / interleaved / unknown workloads
+(:mod:`~repro.workload.generator`) and request-level traces
+(:mod:`~repro.workload.traces`).
+"""
+
+from .generator import (
+    Phase,
+    ScheduleDriver,
+    WorkloadSchedule,
+    interleaved,
+    ramp_up,
+    spike,
+    staircase,
+    steady,
+)
+from .openloop import OpenLoopSource
+from .rbe import EmulatedBrowser, RemoteBrowserEmulator
+from .tpcw import (
+    BROWSE_INTERACTIONS,
+    BROWSING_MIX,
+    INTERACTIONS,
+    MarkovSessionModel,
+    ORDER_INTERACTIONS,
+    ORDERING_MIX,
+    SHOPPING_MIX,
+    STANDARD_MIXES,
+    TrafficMix,
+    make_unknown_mix,
+)
+from .traces import TraceRecord, TraceRecorder, TraceReplayer, load_trace, save_trace
+
+__all__ = [
+    "BROWSE_INTERACTIONS",
+    "BROWSING_MIX",
+    "EmulatedBrowser",
+    "INTERACTIONS",
+    "MarkovSessionModel",
+    "ORDERING_MIX",
+    "OpenLoopSource",
+    "ORDER_INTERACTIONS",
+    "Phase",
+    "RemoteBrowserEmulator",
+    "SHOPPING_MIX",
+    "STANDARD_MIXES",
+    "ScheduleDriver",
+    "TraceRecord",
+    "TraceRecorder",
+    "TraceReplayer",
+    "TrafficMix",
+    "WorkloadSchedule",
+    "interleaved",
+    "load_trace",
+    "make_unknown_mix",
+    "ramp_up",
+    "save_trace",
+    "spike",
+    "staircase",
+    "steady",
+]

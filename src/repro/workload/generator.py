@@ -1,0 +1,217 @@
+"""Workload schedules: ramp-up, spike, staircase, interleaved traffic.
+
+The paper composes its training workload from a **ramp-up** part
+(gradually adding client sessions until the site is overloaded) and a
+**spike** part (an occasional extreme burst); testing uses steady mixes,
+an **interleaved** mix that keeps switching between browsing and
+ordering traffic, and an **unknown** mix with altered transition
+probabilities.  This module expresses all of those as piecewise
+schedules of (EB population, traffic mix) over time, and a driver that
+applies a schedule to a :class:`~repro.workload.rbe.RemoteBrowserEmulator`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..simulator.engine import Simulator
+from .rbe import RemoteBrowserEmulator
+from .tpcw import TrafficMix
+
+__all__ = [
+    "Phase",
+    "WorkloadSchedule",
+    "ramp_up",
+    "spike",
+    "steady",
+    "staircase",
+    "interleaved",
+    "ScheduleDriver",
+]
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One segment of a schedule.
+
+    ``population`` maps local time within the phase (0..duration) to
+    the desired EB count.  ``mix`` overrides the RBE's traffic mix for
+    the duration of the phase when given.
+    """
+
+    duration: float
+    population: Callable[[float], int]
+    mix: Optional[TrafficMix] = None
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError("phase duration must be positive")
+
+
+class WorkloadSchedule:
+    """A concatenation of phases, queryable at any absolute time."""
+
+    def __init__(self, phases: Sequence[Phase]):
+        if not phases:
+            raise ValueError("schedule needs at least one phase")
+        self.phases = list(phases)
+
+    @property
+    def duration(self) -> float:
+        return sum(p.duration for p in self.phases)
+
+    def at(self, t: float) -> Tuple[int, Optional[TrafficMix]]:
+        """(population, mix) at absolute schedule time ``t``.
+
+        Past the end, the final phase's terminal value holds.
+        """
+        if t < 0:
+            raise ValueError("schedule time must be non-negative")
+        offset = 0.0
+        for phase in self.phases:
+            if t < offset + phase.duration:
+                return phase.population(t - offset), phase.mix
+            offset += phase.duration
+        last = self.phases[-1]
+        return last.population(last.duration), last.mix
+
+    def then(self, other: "WorkloadSchedule") -> "WorkloadSchedule":
+        """Concatenate two schedules."""
+        return WorkloadSchedule(self.phases + other.phases)
+
+
+# ----------------------------------------------------------------------
+# schedule constructors
+# ----------------------------------------------------------------------
+def ramp_up(
+    start: int,
+    end: int,
+    duration: float,
+    *,
+    hold: float = 0.0,
+    mix: Optional[TrafficMix] = None,
+) -> WorkloadSchedule:
+    """Linearly grow the population from ``start`` to ``end`` EBs.
+
+    ``hold`` keeps the terminal population for an extra period so the
+    system spends time fully overloaded, as the paper's ramp-up
+    training workload does.
+    """
+    if duration <= 0:
+        raise ValueError("ramp duration must be positive")
+
+    def pop(t: float) -> int:
+        frac = min(1.0, t / duration)
+        return int(round(start + (end - start) * frac))
+
+    phases = [Phase(duration, pop, mix)]
+    if hold > 0:
+        phases.append(Phase(hold, lambda _t: end, mix))
+    return WorkloadSchedule(phases)
+
+
+def spike(
+    base: int,
+    peak: int,
+    *,
+    lead: float,
+    width: float,
+    tail: float,
+    mix: Optional[TrafficMix] = None,
+) -> WorkloadSchedule:
+    """A traffic burst: ``base`` EBs, jump to ``peak`` for ``width`` s."""
+    phases = []
+    if lead > 0:
+        phases.append(Phase(lead, lambda _t: base, mix))
+    phases.append(Phase(width, lambda _t: peak, mix))
+    if tail > 0:
+        phases.append(Phase(tail, lambda _t: base, mix))
+    return WorkloadSchedule(phases)
+
+
+def steady(
+    population: int, duration: float, *, mix: Optional[TrafficMix] = None
+) -> WorkloadSchedule:
+    """Constant population."""
+    return WorkloadSchedule([Phase(duration, lambda _t: population, mix)])
+
+
+def staircase(
+    levels: Sequence[int],
+    step_duration: float,
+    *,
+    mix: Optional[TrafficMix] = None,
+) -> WorkloadSchedule:
+    """Hold each population level in turn (stress-test staircase)."""
+    if not levels:
+        raise ValueError("staircase needs at least one level")
+    return WorkloadSchedule(
+        [
+            Phase(step_duration, (lambda n: lambda _t: n)(level), mix)
+            for level in levels
+        ]
+    )
+
+
+def interleaved(
+    mix_a: TrafficMix,
+    population_a: int,
+    mix_b: TrafficMix,
+    population_b: int,
+    *,
+    period: float,
+    cycles: int,
+) -> WorkloadSchedule:
+    """Alternate between two (mix, population) regimes.
+
+    This is the paper's *interleaved* testing workload: traffic keeps
+    switching between the browsing and ordering mixes, moving the
+    bottleneck back and forth between tiers.
+    """
+    if cycles <= 0:
+        raise ValueError("need at least one cycle")
+    phases: List[Phase] = []
+    for _ in range(cycles):
+        phases.append(Phase(period, (lambda n: lambda _t: n)(population_a), mix_a))
+        phases.append(Phase(period, (lambda n: lambda _t: n)(population_b), mix_b))
+    return WorkloadSchedule(phases)
+
+
+# ----------------------------------------------------------------------
+class ScheduleDriver:
+    """Applies a schedule to an RBE at a fixed control granularity."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rbe: RemoteBrowserEmulator,
+        schedule: WorkloadSchedule,
+        *,
+        control_interval: float = 1.0,
+    ):
+        if control_interval <= 0:
+            raise ValueError("control interval must be positive")
+        self.sim = sim
+        self.rbe = rbe
+        self.schedule = schedule
+        self.control_interval = control_interval
+        self._t0 = sim.now
+        self._apply()  # take effect immediately
+        ticks = max(1, math.ceil(schedule.duration / control_interval))
+        self._remaining = ticks
+        self._timer = sim.every(control_interval, self._tick)
+
+    def _apply(self) -> None:
+        population, mix = self.schedule.at(self.sim.now - self._t0)
+        if mix is not None and mix is not self.rbe.mix:
+            self.rbe.set_mix(mix)
+        if population != self.rbe.population:
+            self.rbe.set_population(population)
+
+    def _tick(self) -> None:
+        self._apply()
+        self._remaining -= 1
+        if self._remaining <= 0:
+            self._timer.cancel()

@@ -1,0 +1,92 @@
+"""Open-loop workload source (Poisson arrivals).
+
+The RBE is *closed-loop*: overloaded servers push back on clients, so
+the offered rate self-throttles as response times grow.  Real internet
+traffic is better approximated as open-loop at short time scales — new
+users keep arriving regardless of how slow the site currently is —
+which makes overloads deeper and admission control more valuable.
+
+:class:`OpenLoopSource` injects requests as a (piecewise-constant,
+optionally modulated) Poisson process with interactions drawn from a
+traffic mix.  Together with the RBE this covers both classic load
+models; the admission-control experiments use it to generate flash
+crowds that do not politely back off.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..simulator.engine import Event, Simulator
+from ..simulator.website import CompletedRequest, MultiTierWebsite
+from .tpcw import TrafficMix
+
+__all__ = ["OpenLoopSource"]
+
+
+class OpenLoopSource:
+    """Poisson request injector with a controllable rate."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        website: MultiTierWebsite,
+        mix: TrafficMix,
+        *,
+        rate: float = 0.0,
+        seed: int = 1,
+        on_complete: Optional[Callable[[CompletedRequest], None]] = None,
+    ):
+        if rate < 0:
+            raise ValueError("arrival rate must be non-negative")
+        self.sim = sim
+        self.website = website
+        self.mix = mix
+        self._rate = rate
+        self._rng = np.random.default_rng(seed)
+        self._on_complete = (
+            on_complete if on_complete is not None else (lambda outcome: None)
+        )
+        self._next_arrival: Optional[Event] = None
+        self.submitted = 0
+        if rate > 0:
+            self._schedule_next()
+
+    # ------------------------------------------------------------------
+    @property
+    def rate(self) -> float:
+        """Current arrival rate (requests per second)."""
+        return self._rate
+
+    def set_rate(self, rate: float) -> None:
+        """Change the arrival rate; takes effect from the next arrival."""
+        if rate < 0:
+            raise ValueError("arrival rate must be non-negative")
+        was_idle = self._rate == 0
+        self._rate = rate
+        if was_idle and rate > 0 and self._next_arrival is None:
+            self._schedule_next()
+        if rate == 0 and self._next_arrival is not None:
+            self._next_arrival.cancel()
+            self._next_arrival = None
+
+    def set_mix(self, mix: TrafficMix) -> None:
+        self.mix = mix
+
+    def stop(self) -> None:
+        self.set_rate(0.0)
+
+    # ------------------------------------------------------------------
+    def _schedule_next(self) -> None:
+        gap = float(self._rng.exponential(1.0 / self._rate))
+        self._next_arrival = self.sim.schedule(gap, self._arrive)
+
+    def _arrive(self) -> None:
+        self._next_arrival = None
+        request = self.mix.sample(self._rng)
+        self.submitted += 1
+        self.website.submit(request, self._on_complete)
+        if self._rate > 0:
+            self._schedule_next()

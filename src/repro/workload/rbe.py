@@ -1,0 +1,156 @@
+"""Remote Browser Emulator (RBE).
+
+The paper drives its testbed with the RBE shipped with the Rice TPC-W
+implementation: a population of **Emulated Browsers** (EBs), each an
+independent closed-loop client that issues an interaction, waits for
+the response, thinks for an exponentially distributed time, and moves
+to its next page via the session navigation model.  Concurrency is
+controlled by the EB population, which the paper's modified RBE varies
+to produce ramp-up and spike workloads; we expose the same control as
+:meth:`RemoteBrowserEmulator.set_population`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from ..simulator.engine import Simulator
+from ..simulator.website import CompletedRequest, MultiTierWebsite, Request
+from .tpcw import MarkovSessionModel, TrafficMix
+
+__all__ = ["EmulatedBrowser", "RemoteBrowserEmulator"]
+
+
+class EmulatedBrowser:
+    """One closed-loop client session."""
+
+    def __init__(
+        self,
+        eb_id: int,
+        rbe: "RemoteBrowserEmulator",
+        rng: np.random.Generator,
+    ):
+        self.eb_id = eb_id
+        self.rbe = rbe
+        self.rng = rng
+        self.active = True
+        self.requests_issued = 0
+        self._current: Optional[Request] = None
+
+    # ------------------------------------------------------------------
+    def start(self, initial_delay: float) -> None:
+        """Begin the browse loop after a small desynchronizing delay."""
+        self.rbe.sim.schedule(initial_delay, self._issue)
+
+    def retire(self) -> None:
+        """Stop after the in-flight interaction (if any) completes."""
+        self.active = False
+
+    # ------------------------------------------------------------------
+    def _issue(self) -> None:
+        if not self.active:
+            self.rbe._on_browser_exit(self)
+            return
+        model = self.rbe.session_model
+        if self._current is None:
+            request = model.first(self.rng)
+        else:
+            request = model.next(self._current, self.rng)
+        self._current = request
+        self.requests_issued += 1
+        self.rbe.website.submit(request, self._on_response)
+
+    def _on_response(self, outcome: CompletedRequest) -> None:
+        self.rbe._on_response(outcome)
+        if not self.active:
+            self.rbe._on_browser_exit(self)
+            return
+        think = self.rng.exponential(self.rbe.think_time_mean)
+        self.rbe.sim.schedule(think, self._issue)
+
+
+class RemoteBrowserEmulator:
+    """Manages the EB population against one website.
+
+    Parameters
+    ----------
+    think_time_mean:
+        Mean of the exponential think time between interactions.  TPC-W
+        specifies 7 s; the simulator default is scaled down so the same
+        saturation points are reached with a smaller EB population.
+    on_complete:
+        Optional observer invoked for every finished request (used by
+        trace recorders and admission-control experiments).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        website: MultiTierWebsite,
+        mix: TrafficMix,
+        *,
+        think_time_mean: float = 1.0,
+        continuity: float = 0.3,
+        seed: int = 1,
+        on_complete: Optional[Callable[[CompletedRequest], None]] = None,
+    ):
+        if think_time_mean <= 0:
+            raise ValueError("think time must be positive")
+        self.sim = sim
+        self.website = website
+        self.think_time_mean = think_time_mean
+        self.session_model = MarkovSessionModel(mix, continuity=continuity)
+        self._rng = np.random.default_rng(seed)
+        self._on_complete = on_complete
+        self._browsers: List[EmulatedBrowser] = []
+        self._next_id = 0
+        self._retiring = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def population(self) -> int:
+        """Number of EBs currently meant to be running."""
+        return len(self._browsers)
+
+    @property
+    def mix(self) -> TrafficMix:
+        return self.session_model.mix
+
+    def set_mix(self, mix: TrafficMix, continuity: Optional[float] = None) -> None:
+        """Switch traffic mix (used by interleaved workloads)."""
+        if continuity is None:
+            continuity = self.session_model.continuity
+        self.session_model = MarkovSessionModel(mix, continuity=continuity)
+
+    def set_population(self, n: int) -> None:
+        """Grow or shrink the EB population to ``n``."""
+        if n < 0:
+            raise ValueError("population must be non-negative")
+        while len(self._browsers) < n:
+            self._spawn()
+        while len(self._browsers) > n:
+            eb = self._browsers.pop()
+            eb.retire()
+            self._retiring += 1
+
+    # ------------------------------------------------------------------
+    def _spawn(self) -> None:
+        eb = EmulatedBrowser(
+            self._next_id,
+            self,
+            np.random.default_rng(self._rng.integers(0, 2**63)),
+        )
+        self._next_id += 1
+        self._browsers.append(eb)
+        # stagger start within one think time to avoid arrival bursts
+        eb.start(float(eb.rng.uniform(0.0, self.think_time_mean)))
+
+    def _on_browser_exit(self, eb: EmulatedBrowser) -> None:
+        if self._retiring > 0:
+            self._retiring -= 1
+
+    def _on_response(self, outcome: CompletedRequest) -> None:
+        if self._on_complete is not None:
+            self._on_complete(outcome)

@@ -1,0 +1,48 @@
+"""Shared fixtures.
+
+Heavy artifacts (testbed runs, trained synopses and meters) are built
+once per session through a small-scale
+:class:`~repro.experiments.pipeline.ExperimentPipeline`; individual
+tests assert qualitative shape, not absolute numbers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.pipeline import ExperimentPipeline, PipelineConfig
+from repro.simulator import (
+    AppServer,
+    DatabaseServer,
+    MultiTierWebsite,
+    Simulator,
+)
+
+#: scale factor for session-wide integration artifacts: big enough for
+#: stable labels, small enough to keep the suite fast.
+MINI_SCALE = 0.2
+MINI_WINDOW = 10
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def website(sim: Simulator) -> MultiTierWebsite:
+    return MultiTierWebsite(sim, AppServer(sim), DatabaseServer(sim))
+
+
+@pytest.fixture(scope="session")
+def mini_pipeline() -> ExperimentPipeline:
+    """Small-scale shared pipeline for integration-level tests."""
+    return ExperimentPipeline(
+        PipelineConfig(scale=MINI_SCALE, window=MINI_WINDOW)
+    )
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

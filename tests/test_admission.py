@@ -1,0 +1,139 @@
+"""Unit tests for the admission controller and online monitor."""
+
+import pytest
+
+from repro.control.admission import AdmissionController, OnlineCapacityMonitor
+from repro.core.capacity import CapacityMeter
+from repro.simulator import AppServer, DatabaseServer, MultiTierWebsite, Simulator
+from repro.telemetry.sampler import HPC_LEVEL
+from repro.workload.rbe import RemoteBrowserEmulator
+from repro.workload.tpcw import ORDERING_MIX
+from tests.conftest import MINI_WINDOW
+
+
+@pytest.fixture
+def trained_meter(mini_pipeline):
+    # memoized inside the session pipeline, so this is cheap after the
+    # first request
+    return mini_pipeline.meter(HPC_LEVEL)
+
+
+class TestOnlineCapacityMonitor:
+    def test_untrained_meter_rejected(self, sim, website):
+        with pytest.raises(ValueError):
+            OnlineCapacityMonitor(sim, website, CapacityMeter())
+
+    def test_one_prediction_per_window(self, trained_meter):
+        sim = Simulator()
+        site = MultiTierWebsite(sim, AppServer(sim), DatabaseServer(sim))
+        rbe = RemoteBrowserEmulator(
+            sim, site, ORDERING_MIX, think_time_mean=1.0, seed=4
+        )
+        rbe.set_population(10)
+        predictions = []
+        monitor = OnlineCapacityMonitor(
+            sim, site, trained_meter, on_prediction=predictions.append
+        )
+        sim.run(until=MINI_WINDOW * 4 + 1)
+        assert monitor.predictions == 4
+        assert len(predictions) == 4
+        assert monitor.last_prediction is predictions[-1]
+
+    def test_stop_halts_predictions(self, trained_meter):
+        sim = Simulator()
+        site = MultiTierWebsite(sim, AppServer(sim), DatabaseServer(sim))
+        monitor = OnlineCapacityMonitor(sim, site, trained_meter)
+        sim.run(until=MINI_WINDOW + 1)
+        monitor.stop()
+        sim.run(until=MINI_WINDOW * 5)
+        assert monitor.predictions == 1
+
+    def test_healthy_site_predicted_underloaded(self, trained_meter):
+        sim = Simulator()
+        site = MultiTierWebsite(sim, AppServer(sim), DatabaseServer(sim))
+        rbe = RemoteBrowserEmulator(
+            sim, site, ORDERING_MIX, think_time_mean=1.0, seed=4
+        )
+        rbe.set_population(8)  # far below saturation
+        predictions = []
+        OnlineCapacityMonitor(
+            sim, site, trained_meter, on_prediction=predictions.append
+        )
+        sim.run(until=MINI_WINDOW * 5 + 1)
+        overloaded = sum(p.overloaded for p in predictions)
+        assert overloaded <= 1
+
+
+class TestAdmissionController:
+    def test_parameter_validation(self, trained_meter):
+        sim = Simulator()
+        site = MultiTierWebsite(sim, AppServer(sim), DatabaseServer(sim))
+        for kwargs in (
+            {"decrease_factor": 1.5},
+            {"increase_step": 0.0},
+            {"min_admission": 0.0},
+        ):
+            with pytest.raises(ValueError):
+                AdmissionController(sim, site, trained_meter, **kwargs)
+
+    def test_throttles_on_overload_signal(self, trained_meter):
+        sim = Simulator()
+        site = MultiTierWebsite(sim, AppServer(sim), DatabaseServer(sim))
+        controller = AdmissionController(sim, site, trained_meter)
+        # simulate the monitor reporting sustained overload
+        class FakePrediction:
+            overloaded = True
+
+        for _ in range(5):
+            controller._on_prediction(FakePrediction())
+        assert controller.admission_probability < 0.2
+        assert controller.stats.overload_signals == 5
+
+    def test_recovers_when_healthy(self, trained_meter):
+        sim = Simulator()
+        site = MultiTierWebsite(sim, AppServer(sim), DatabaseServer(sim))
+        controller = AdmissionController(sim, site, trained_meter)
+        controller.admission_probability = 0.2
+
+        class Healthy:
+            overloaded = False
+
+        for _ in range(20):
+            controller._on_prediction(Healthy())
+        assert controller.admission_probability == 1.0
+
+    def test_rejections_complete_immediately_as_drops(self, trained_meter):
+        sim = Simulator()
+        site = MultiTierWebsite(sim, AppServer(sim), DatabaseServer(sim))
+        controller = AdmissionController(sim, site, trained_meter, seed=3)
+        controller.admission_probability = 0.0  # reject everything
+        from repro.workload.tpcw import INTERACTIONS
+
+        outcomes = []
+        controller.submit(INTERACTIONS["home"], outcomes.append)
+        assert outcomes and outcomes[0].dropped
+        assert controller.stats.rejected == 1
+
+    def test_full_admission_forwards_to_site(self, trained_meter):
+        sim = Simulator()
+        site = MultiTierWebsite(sim, AppServer(sim), DatabaseServer(sim))
+        controller = AdmissionController(sim, site, trained_meter, seed=3)
+        from repro.workload.tpcw import INTERACTIONS
+
+        outcomes = []
+        controller.submit(INTERACTIONS["home"], outcomes.append)
+        sim.run(until=5.0)
+        assert outcomes and not outcomes[0].dropped
+        assert controller.stats.admitted == 1
+
+    def test_rbe_can_drive_controller_directly(self, trained_meter):
+        sim = Simulator()
+        site = MultiTierWebsite(sim, AppServer(sim), DatabaseServer(sim))
+        controller = AdmissionController(sim, site, trained_meter, seed=3)
+        rbe = RemoteBrowserEmulator(
+            sim, controller, ORDERING_MIX, think_time_mean=1.0, seed=5
+        )
+        rbe.set_population(5)
+        sim.run(until=20.0)
+        assert controller.stats.offered > 20
+        assert controller.stats.admitted > 0

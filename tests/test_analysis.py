@@ -1,0 +1,144 @@
+"""Unit tests for analysis metrics and reporting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import (
+    bottleneck_census,
+    response_time_percentile,
+    saturation_knee,
+    summarize_run,
+    throughput_timeline,
+)
+from repro.analysis.reporting import format_accuracy, render_block, render_table
+from repro.workload.traces import TraceRecord
+
+
+class TestRunSummaries:
+    def test_summarize_run(self, mini_pipeline):
+        run = mini_pipeline.training_run("ordering")
+        summary = summarize_run(run)
+        assert summary.completed > 0
+        assert summary.peak_throughput >= summary.mean_throughput
+        assert 0.0 < summary.overloaded_fraction < 1.0
+        assert any("throughput" in row for row in summary.rows())
+
+    def test_empty_run_rejected(self):
+        from repro.telemetry.sampler import MeasurementRun
+
+        with pytest.raises(ValueError):
+            summarize_run(MeasurementRun(workload="x", interval=1.0))
+
+    def test_throughput_timeline_shapes(self, mini_pipeline):
+        run = mini_pipeline.training_run("ordering")
+        times, thr = throughput_timeline(run)
+        assert len(times) == len(thr) == len(run.records)
+        assert (np.diff(times) > 0).all()
+
+    def test_bottleneck_census(self, mini_pipeline):
+        census = bottleneck_census(mini_pipeline.training_run("browsing"))
+        assert set(census) <= {"app", "db"}
+        assert sum(census.values()) == pytest.approx(1.0)
+        assert census.get("db", 0.0) > 0.4  # browsing loads the database
+
+
+class TestTraceStatistics:
+    def make_trace(self):
+        return [
+            TraceRecord("home", float(i), float(i) + 0.1 * (i + 1), False)
+            for i in range(10)
+        ]
+
+    def test_percentiles_monotone(self):
+        trace = self.make_trace()
+        p50 = response_time_percentile(trace, 50)
+        p95 = response_time_percentile(trace, 95)
+        assert p50 < p95
+
+    def test_dropped_requests_excluded(self):
+        trace = self.make_trace() + [TraceRecord("home", 0.0, 99.0, True)]
+        assert response_time_percentile(trace, 100) < 2.0
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            response_time_percentile([], 50)
+
+    def test_invalid_percentile_rejected(self):
+        with pytest.raises(ValueError):
+            response_time_percentile(self.make_trace(), 120)
+
+
+class TestSaturationKnee:
+    def test_knee_found_at_plateau(self):
+        loads = [10, 20, 30, 40, 50, 60]
+        thr = [10, 20, 29, 33, 33, 32]
+        knee = saturation_knee(loads, thr)
+        assert 30 <= knee <= 40
+
+    def test_unsorted_input_tolerated(self):
+        loads = [50, 10, 30]
+        thr = [33, 10, 29]
+        assert saturation_knee(loads, thr) >= 30
+
+    def test_bad_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            saturation_knee([1, 2], [1, 2])
+
+
+class TestReporting:
+    def test_format_accuracy(self):
+        assert format_accuracy(0.9524) == "0.952"
+        with pytest.raises(ValueError):
+            format_accuracy(1.2)
+
+    def test_render_table_alignment(self):
+        table = render_table(
+            ["name", "score"], [["tan", "0.95"], ["naive", "0.88"]]
+        )
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line) for line in lines)) == 1
+
+    def test_render_table_width_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["a"], [["1", "2"]])
+
+    def test_render_block(self):
+        block = render_block("Fig.4", ["row one", "row two"])
+        assert "Fig.4" in block
+        assert block.count("=") > 0
+        assert "row two" in block
+
+
+class TestPlotting:
+    def test_sparkline_shape(self):
+        from repro.analysis.plotting import sparkline
+
+        line = sparkline([0, 1, 2, 3])
+        assert len(line) == 4
+        assert line[0] == "▁" and line[-1] == "█"
+
+    def test_sparkline_resamples_to_width(self):
+        from repro.analysis.plotting import sparkline
+
+        assert len(sparkline(range(1000), width=40)) == 40
+
+    def test_sparkline_constant_and_empty(self):
+        from repro.analysis.plotting import sparkline
+
+        assert sparkline([]) == ""
+        assert set(sparkline([5.0, 5.0, 5.0])) == {"▁"}
+
+    def test_series_plot_rows(self):
+        from repro.analysis.plotting import series_plot
+
+        rows = series_plot({"a": [1, 2, 3], "long-name": [3, 2, 1]})
+        assert len(rows) == 2
+        assert "[1.00..3.00]" in rows[0]
+
+    def test_bar_chart(self):
+        from repro.analysis.plotting import bar_chart
+
+        rows = bar_chart({"os": 0.5, "hpc": 1.0}, width=10, vmax=1.0)
+        assert rows[0].count("█") == 5
+        assert rows[1].count("█") == 10

@@ -1,0 +1,137 @@
+"""Unit tests for the CapacityMeter façade and window building."""
+
+import pytest
+
+from repro.core.capacity import CapacityMeter, build_coordinated_instances
+from repro.core.labeler import SlaOracle
+from repro.core.synopsis import SynopsisConfig
+from repro.telemetry.sampler import HPC_LEVEL
+
+
+class TestBuildCoordinatedInstances:
+    def test_window_count(self, mini_pipeline):
+        run = mini_pipeline.training_run("ordering")
+        instances = build_coordinated_instances(
+            run,
+            level=HPC_LEVEL,
+            tiers=("app", "db"),
+            labeler=SlaOracle(),
+            window=10,
+        )
+        assert len(instances) == len(run.records) // 10
+
+    def test_offset_shifts_windows(self, mini_pipeline):
+        run = mini_pipeline.training_run("ordering")
+        base = build_coordinated_instances(
+            run, level=HPC_LEVEL, tiers=("app",), labeler=SlaOracle(), window=10
+        )
+        shifted = build_coordinated_instances(
+            run,
+            level=HPC_LEVEL,
+            tiers=("app",),
+            labeler=SlaOracle(),
+            window=10,
+            offset=5,
+        )
+        assert len(shifted) in (len(base), len(base) - 1)
+        assert (
+            shifted[0].metrics["app"]["ipc"]
+            != base[0].metrics["app"]["ipc"]
+        )
+
+    def test_stride_multiplies_instances(self, mini_pipeline):
+        run = mini_pipeline.training_run("ordering")
+        dense = build_coordinated_instances(
+            run,
+            level=HPC_LEVEL,
+            tiers=("app",),
+            labeler=SlaOracle(),
+            window=10,
+            stride=2,
+        )
+        sparse = build_coordinated_instances(
+            run, level=HPC_LEVEL, tiers=("app",), labeler=SlaOracle(), window=10
+        )
+        assert len(dense) >= 4 * len(sparse)
+
+    def test_invalid_parameters_rejected(self, mini_pipeline):
+        run = mini_pipeline.training_run("ordering")
+        for kwargs in ({"window": 0}, {"window": 5, "stride": 0},
+                       {"window": 5, "offset": -1}):
+            with pytest.raises(ValueError):
+                build_coordinated_instances(
+                    run,
+                    level=HPC_LEVEL,
+                    tiers=("app",),
+                    labeler=SlaOracle(),
+                    **kwargs,
+                )
+
+    def test_overloaded_windows_carry_bottleneck(self, mini_pipeline):
+        run = mini_pipeline.training_run("browsing")
+        instances = build_coordinated_instances(
+            run,
+            level=HPC_LEVEL,
+            tiers=("app", "db"),
+            labeler=SlaOracle(),
+            window=10,
+        )
+        overloaded = [i for i in instances if i.label == 1]
+        assert overloaded
+        assert all(i.bottleneck in ("app", "db") for i in overloaded)
+        # browsing overload bottlenecks the database
+        db_share = sum(1 for i in overloaded if i.bottleneck == "db")
+        assert db_share / len(overloaded) > 0.7
+
+
+class TestCapacityMeter:
+    def test_train_builds_synopses_and_coordinator(self, mini_pipeline):
+        meter = CapacityMeter(
+            window=10,
+            synopsis_config=SynopsisConfig(
+                learner="naive", min_attributes=2, max_candidates=6
+            ),
+        )
+        meter.train(
+            {
+                "ordering": mini_pipeline.training_run("ordering"),
+                "browsing": mini_pipeline.training_run("browsing"),
+            }
+        )
+        assert meter.is_trained
+        assert set(meter.synopses) == {
+            ("ordering", "app"),
+            ("ordering", "db"),
+            ("browsing", "app"),
+            ("browsing", "db"),
+        }
+        scores = meter.evaluate_run(mini_pipeline.test_run("ordering"))
+        assert scores["overload_ba"] > 0.6
+
+    def test_untrained_meter_rejects_use(self, mini_pipeline):
+        meter = CapacityMeter()
+        with pytest.raises(RuntimeError):
+            meter.predict_window({"app": {}, "db": {}})
+        with pytest.raises(RuntimeError):
+            meter.evaluate_run(mini_pipeline.test_run("ordering"))
+        with pytest.raises(RuntimeError):
+            meter.observe(1)
+
+    def test_train_requires_runs(self):
+        with pytest.raises(ValueError):
+            CapacityMeter().train({})
+
+    def test_coordinator_requires_synopses(self, mini_pipeline):
+        meter = CapacityMeter(window=10)
+        with pytest.raises(RuntimeError):
+            meter.train_coordinator(
+                {"ordering": mini_pipeline.training_run("ordering")}
+            )
+
+    def test_predict_window_roundtrip(self, mini_pipeline):
+        meter = mini_pipeline.meter(HPC_LEVEL)
+        run = mini_pipeline.test_run("ordering")
+        instances = meter.instances_for(run)
+        prediction = meter.predict_window(instances[0].metrics)
+        assert prediction.state in (0, 1)
+        meter.observe(instances[0].label)

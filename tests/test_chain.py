@@ -1,0 +1,221 @@
+"""Tests for K-tier service chains."""
+
+import pytest
+
+from repro.core.capacity import build_coordinated_instances
+from repro.core.coordinator import CoordinatedPredictor
+from repro.core.labeler import SlaOracle
+from repro.simulator import (
+    CacheModel,
+    ChainRequest,
+    ChainWebsite,
+    ContentionModel,
+    HardwareSpec,
+    Simulator,
+    TierServer,
+)
+from repro.telemetry.sampler import HPC_LEVEL, TelemetrySampler
+
+
+def make_tier(sim, name, *, cores=1, speed=1.0, workers=16):
+    spec = HardwareSpec(
+        name=name, cores=cores, speed_factor=speed, l2_cache_kb=1e6
+    )
+    return TierServer(
+        sim,
+        spec,
+        workers=workers,
+        contention=ContentionModel(cores=cores, cs_overhead=0.002),
+        cache=CacheModel(capacity=1e6, base_miss_rate=0.01),
+        miss_stall_factor=1.0,
+    )
+
+
+def make_chain(sim, depth=3):
+    names = ["cache", "app", "db"][:depth]
+    return ChainWebsite(sim, [make_tier(sim, n) for n in names])
+
+
+def request(demands, category="browse", footprints=None):
+    return ChainRequest(
+        name="probe",
+        category=category,
+        demands=tuple(demands),
+        footprints_kb=tuple(footprints or [16.0] * len(demands)),
+    )
+
+
+class TestChainRequest:
+    def test_depth_prunes_trailing_zeros(self):
+        assert request([0.01, 0.02, 0.0]).depth() == 2
+        assert request([0.01, 0.0, 0.02]).depth() == 3
+        assert request([0.01]).depth() == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            request([])
+        with pytest.raises(ValueError):
+            request([-0.1])
+        with pytest.raises(ValueError):
+            ChainRequest(
+                "x", "browse", demands=(0.1, 0.1), footprints_kb=(1.0,)
+            )
+        with pytest.raises(ValueError):
+            request([0.1], category="neither")
+
+
+class TestChainWebsite:
+    def test_three_tier_request_touches_every_tier(self):
+        sim = Simulator()
+        chain = make_chain(sim)
+        outcomes = []
+        chain.submit(request([0.01, 0.02, 0.03]), outcomes.append)
+        sim.run()
+        assert len(outcomes) == 1 and not outcomes[0].dropped
+        for name in ("cache", "app", "db"):
+            assert chain.tiers[name].sample().completed == 1
+
+    def test_cache_hit_never_reaches_db(self):
+        sim = Simulator()
+        chain = make_chain(sim)
+        outcomes = []
+        chain.submit(request([0.01, 0.0, 0.0]), outcomes.append)
+        sim.run()
+        assert not outcomes[0].dropped
+        assert chain.tiers["cache"].sample().completed == 1
+        assert chain.tiers["app"].sample().completed == 0
+        assert chain.tiers["db"].sample().completed == 0
+
+    def test_response_time_accumulates_all_tiers(self):
+        sim = Simulator()
+        chain = make_chain(sim)
+        outcomes = []
+        chain.submit(request([0.05, 0.05, 0.05]), outcomes.append)
+        sim.run()
+        assert outcomes[0].response_time >= 0.15
+
+    def test_deep_refusal_propagates_as_drop(self):
+        sim = Simulator()
+        tiers = [
+            make_tier(sim, "front"),
+            TierServer(
+                sim,
+                HardwareSpec(name="back"),
+                workers=1,
+                queue_capacity=0,
+            ),
+        ]
+        chain = ChainWebsite(sim, tiers)
+        outcomes = []
+        for _ in range(5):
+            chain.submit(request([0.01, 0.5]), outcomes.append)
+        sim.run()
+        assert len(outcomes) == 5
+        assert sum(o.dropped for o in outcomes) == 4
+        assert chain.in_flight == 0
+        assert tiers[0].threads_in_use == 0
+
+    def test_request_deeper_than_chain_rejected(self):
+        sim = Simulator()
+        chain = make_chain(sim, depth=2)
+        with pytest.raises(ValueError):
+            chain.submit(request([0.01, 0.01, 0.01]), lambda o: None)
+
+    def test_duplicate_tier_names_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            ChainWebsite(sim, [make_tier(sim, "x"), make_tier(sim, "x")])
+
+    def test_link_samples_per_hop(self):
+        sim = Simulator()
+        chain = make_chain(sim)
+        chain.submit(request([0.01, 0.01, 0.01]), lambda o: None)
+        sim.run()
+        ws = chain.sample()
+        assert set(ws.links) == {
+            "cache->app",
+            "app->cache",
+            "app->db",
+            "db->app",
+        }
+        assert ws.links["cache->app"].bytes > 0
+
+    def test_worker_held_through_downstream_call(self):
+        """A front-tier worker stays occupied while deeper tiers work."""
+        sim = Simulator()
+        chain = make_chain(sim, depth=2)
+        chain.submit(request([0.001, 1.0]), lambda o: None)
+        sim.run(until=0.5)
+        assert chain.tiers["cache"].threads_in_use == 1
+        assert chain.tiers["cache"].blocked == 1
+        sim.run()
+        assert chain.tiers["cache"].threads_in_use == 0
+
+
+class TestChainTelemetry:
+    def test_sampler_handles_three_tiers(self):
+        sim = Simulator()
+        chain = make_chain(sim)
+        sampler = TelemetrySampler(sim, chain, interval=1.0)
+        for i in range(40):
+            sim.schedule(
+                i * 0.25, lambda: chain.submit(request([0.01, 0.01, 0.02]), lambda o: None)
+            )
+        sim.run(until=10.0)
+        sampler.stop()
+        record = sampler.run.records[5]
+        for tier in ("cache", "app", "db"):
+            assert record.metrics(HPC_LEVEL, tier)["instructions"] >= 0
+            assert record.metrics("os", tier)["cpu_idle"] >= 0
+        # hop traffic attributed to the right tiers
+        assert record.metrics("os", "app")["rxbyt_per_s"] >= 0
+
+    def test_coordinated_instances_over_three_tiers(self):
+        sim = Simulator()
+        chain = make_chain(sim)
+        sampler = TelemetrySampler(sim, chain, interval=1.0)
+        for i in range(200):
+            sim.schedule(
+                i * 0.1,
+                lambda: chain.submit(request([0.01, 0.01, 0.02]), lambda o: None),
+            )
+        sim.run(until=20.0)
+        sampler.stop()
+        instances = build_coordinated_instances(
+            sampler.run,
+            level=HPC_LEVEL,
+            tiers=("cache", "app", "db"),
+            labeler=SlaOracle(),
+            window=5,
+        )
+        assert len(instances) == 4
+        assert set(instances[0].metrics) == {"cache", "app", "db"}
+
+    def test_three_tier_coordinator_round_trips(self):
+        """The GPT/LHT/BPT machinery is K-tier generic."""
+        from tests.test_coordinator import make_synopsis
+
+        synopses = [
+            make_synopsis("cache", "w1"),
+            make_synopsis("app", "w1"),
+            make_synopsis("db", "w1"),
+        ]
+        predictor = CoordinatedPredictor(
+            synopses, ["cache", "app", "db"], history_bits=2, delta=1.0
+        )
+        from repro.core.coordinator import CoordinatedInstance
+
+        overload = CoordinatedInstance(
+            metrics={
+                "cache": {"x": 0.1},
+                "app": {"x": 0.2},
+                "db": {"x": 0.9},
+            },
+            label=1,
+            bottleneck="db",
+        )
+        for _ in range(10):
+            predictor.train_instance(overload)
+        prediction = predictor.predict(overload.metrics)
+        assert prediction.overloaded
+        assert prediction.bottleneck == "db"

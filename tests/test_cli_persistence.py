@@ -1,0 +1,203 @@
+"""Tests for run persistence and the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.telemetry.persistence import load_run, save_run
+
+
+class TestRunPersistence:
+    def test_roundtrip_preserves_everything(self, mini_pipeline, tmp_path):
+        run = mini_pipeline.test_run("ordering")
+        path = tmp_path / "run.json"
+        save_run(run, path)
+        loaded = load_run(path)
+        assert loaded.workload == run.workload
+        assert len(loaded) == len(run)
+        original = run.records[5]
+        restored = loaded.records[5]
+        assert restored.hpc == original.hpc
+        assert restored.os == original.os
+        assert (
+            restored.website.client.completed
+            == original.website.client.completed
+        )
+        assert (
+            restored.website.tiers["db"].miss_rate_avg
+            == original.website.tiers["db"].miss_rate_avg
+        )
+
+    def test_gzip_roundtrip(self, mini_pipeline, tmp_path):
+        run = mini_pipeline.test_run("ordering")
+        plain = tmp_path / "run.json"
+        packed = tmp_path / "run.json.gz"
+        save_run(run, plain)
+        save_run(run, packed)
+        assert packed.stat().st_size < plain.stat().st_size
+        assert len(load_run(packed)) == len(run)
+
+    def test_wrong_format_rejected(self, tmp_path):
+        path = tmp_path / "bogus.json"
+        path.write_text(json.dumps({"format": "nope"}))
+        with pytest.raises(ValueError):
+            load_run(path)
+
+    def test_loaded_run_feeds_the_pipeline(self, mini_pipeline, tmp_path):
+        """A restored run must work for dataset building and evaluation."""
+        from repro.telemetry.sampler import HPC_LEVEL
+
+        run = mini_pipeline.test_run("ordering")
+        path = tmp_path / "run.json.gz"
+        save_run(run, path)
+        loaded = load_run(path)
+        meter = mini_pipeline.meter(HPC_LEVEL)
+        assert (
+            meter.evaluate_run(loaded)["overload_ba"]
+            == meter.evaluate_run(run)["overload_ba"]
+        )
+
+
+class TestCli:
+    SCALE = "0.08"
+
+    def test_parser_rejects_missing_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_writes_run(self, tmp_path, capsys):
+        out = tmp_path / "run.json.gz"
+        rc = main(
+            [
+                "simulate",
+                "--mix",
+                "ordering",
+                "--profile",
+                "test",
+                "--scale",
+                self.SCALE,
+                "--out",
+                str(out),
+            ]
+        )
+        assert rc == 0
+        assert out.exists()
+        assert "throughput" in capsys.readouterr().out
+
+    def test_simulate_unknown_mix_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "simulate",
+                    "--mix",
+                    "flashmob",
+                    "--out",
+                    str(tmp_path / "x.json"),
+                ]
+            )
+
+    def test_full_loop_train_predict_evaluate(self, tmp_path, capsys):
+        run_path = tmp_path / "run.json.gz"
+        meter_path = tmp_path / "meter.json"
+        assert (
+            main(
+                [
+                    "simulate",
+                    "--mix",
+                    "ordering",
+                    "--profile",
+                    "test",
+                    "--scale",
+                    self.SCALE,
+                    "--out",
+                    str(run_path),
+                ]
+            )
+            == 0
+        )
+        assert (
+            main(
+                ["train", "--scale", self.SCALE, "--out", str(meter_path)]
+            )
+            == 0
+        )
+        assert meter_path.exists()
+        capsys.readouterr()
+
+        assert (
+            main(
+                [
+                    "predict",
+                    "--meter",
+                    str(meter_path),
+                    "--run",
+                    str(run_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "agreement" in out
+
+        assert (
+            main(
+                [
+                    "evaluate",
+                    "--meter",
+                    str(meter_path),
+                    "--run",
+                    str(run_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "overload balanced accuracy" in out
+
+    def test_train_with_explicit_runs(self, tmp_path, capsys):
+        run_path = tmp_path / "train-ordering.json.gz"
+        main(
+            [
+                "simulate",
+                "--mix",
+                "ordering",
+                "--profile",
+                "training",
+                "--scale",
+                self.SCALE,
+                "--out",
+                str(run_path),
+            ]
+        )
+        meter_path = tmp_path / "meter.json"
+        rc = main(
+            [
+                "train",
+                "--run",
+                f"ordering={run_path}",
+                "--scale",
+                self.SCALE,
+                "--out",
+                str(meter_path),
+            ]
+        )
+        assert rc == 0
+        assert meter_path.exists()
+
+    def test_train_rejects_malformed_run_spec(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "train",
+                    "--run",
+                    "no-equals-sign",
+                    "--out",
+                    str(tmp_path / "m.json"),
+                ]
+            )
+
+    def test_report_timing(self, capsys):
+        rc = main(["report", "--artifact", "timing", "--scale", self.SCALE])
+        assert rc == 0
+        assert "paper ms" in capsys.readouterr().out

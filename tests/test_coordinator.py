@@ -1,0 +1,299 @@
+"""Unit tests for the two-level coordinated predictor."""
+
+import numpy as np
+import pytest
+
+from repro.core.coordinator import (
+    CoordinatedInstance,
+    CoordinatedPredictor,
+    Scheme,
+)
+from repro.core.states import OVERLOAD, UNDERLOAD
+from repro.core.synopsis import PerformanceSynopsis, SynopsisConfig
+from repro.telemetry.dataset import Dataset, Instance
+
+
+def make_synopsis(tier, workload="w", attr="x", threshold=0.5):
+    """A real trained synopsis that fires when attr > threshold."""
+    instances = [
+        Instance(attributes={attr: v}, label=int(v > threshold))
+        for v in np.linspace(0, 1, 40)
+    ]
+    synopsis = PerformanceSynopsis(
+        tier=tier,
+        workload=workload,
+        level="hpc",
+        config=SynopsisConfig(learner="naive", select_attributes=False),
+    )
+    synopsis.train(Dataset(instances))
+    return synopsis
+
+
+def instance(app_x, db_x, label, bottleneck=None):
+    return CoordinatedInstance(
+        metrics={"app": {"x": app_x}, "db": {"x": db_x}},
+        label=label,
+        bottleneck=bottleneck,
+    )
+
+
+@pytest.fixture
+def predictor():
+    synopses = [
+        make_synopsis("app", "ordering"),
+        make_synopsis("db", "browsing"),
+    ]
+    return CoordinatedPredictor(
+        synopses, ["app", "db"], history_bits=2, delta=2.0
+    )
+
+
+class TestConstruction:
+    def test_rejects_untrained_synopsis(self):
+        raw = PerformanceSynopsis("app", "w", "hpc")
+        with pytest.raises(ValueError):
+            CoordinatedPredictor([raw], ["app"])
+
+    def test_rejects_unknown_tier(self):
+        synopsis = make_synopsis("cache")
+        with pytest.raises(ValueError):
+            CoordinatedPredictor([synopsis], ["app", "db"])
+
+    def test_rejects_empty_synopses(self):
+        with pytest.raises(ValueError):
+            CoordinatedPredictor([], ["app"])
+
+    def test_rejects_bad_parameters(self):
+        synopsis = make_synopsis("app")
+        with pytest.raises(ValueError):
+            CoordinatedPredictor([synopsis], ["app"], history_bits=0)
+        with pytest.raises(ValueError):
+            CoordinatedPredictor([synopsis], ["app"], delta=-1.0)
+        with pytest.raises(ValueError):
+            CoordinatedPredictor(
+                [synopsis], ["app"], delta=5.0, counter_limit=5.0
+            )
+
+
+class TestVotesAndGpv:
+    def test_votes_use_each_synopsis_tier(self, predictor):
+        votes = predictor.synopsis_votes(
+            {"app": {"x": 0.9}, "db": {"x": 0.1}}
+        )
+        assert votes == (1, 0)
+
+    def test_missing_tier_metrics_raise(self, predictor):
+        with pytest.raises(KeyError):
+            predictor.synopsis_votes({"app": {"x": 0.9}})
+
+    def test_gpv_encoding(self):
+        assert CoordinatedPredictor._gpv([1, 0, 1]) == 0b101
+        assert CoordinatedPredictor._gpv([0, 0]) == 0
+        assert CoordinatedPredictor._gpv([1, 1]) == 3
+
+    def test_gpv_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            CoordinatedPredictor._gpv([2, 0])
+
+
+class TestTrainingAndPrediction:
+    def _train_sequences(self, predictor, episodes=30):
+        """Alternating underload/overload episodes of length 4."""
+        instances = []
+        for _ in range(episodes):
+            instances.extend(
+                [instance(0.1, 0.1, UNDERLOAD)] * 4
+                + [instance(0.9, 0.2, OVERLOAD, "app")] * 4
+            )
+        predictor.train(instances)
+        return instances
+
+    def test_learns_clear_patterns(self, predictor):
+        self._train_sequences(predictor)
+        pred = predictor.predict({"app": {"x": 0.05}, "db": {"x": 0.05}})
+        assert pred.state == UNDERLOAD
+        for _ in range(4):  # drive pattern history into overload regime
+            pred = predictor.predict({"app": {"x": 0.95}, "db": {"x": 0.2}})
+            predictor.observe(OVERLOAD)
+        assert pred.state == OVERLOAD
+
+    def test_bottleneck_identified_on_overload(self, predictor):
+        self._train_sequences(predictor)
+        for _ in range(4):
+            pred = predictor.predict({"app": {"x": 0.95}, "db": {"x": 0.2}})
+            predictor.observe(OVERLOAD)
+        assert pred.overloaded
+        assert pred.bottleneck == "app"
+
+    def test_no_bottleneck_when_underloaded(self, predictor):
+        self._train_sequences(predictor)
+        pred = predictor.predict({"app": {"x": 0.05}, "db": {"x": 0.05}})
+        assert pred.bottleneck is None
+
+    def test_counters_saturate(self, predictor):
+        instances = [instance(0.9, 0.2, OVERLOAD, "app")] * 500
+        predictor.train(instances)
+        assert predictor._lht.max() <= predictor.counter_limit
+        assert predictor._gpt.max() <= predictor.pattern_counter_limit
+
+    def test_evaluate_scores(self, predictor):
+        train = self._train_sequences(predictor)
+        scores = predictor.evaluate(train[:40])
+        assert scores["overload_ba"] > 0.8
+        assert scores["bottleneck_accuracy"] == 1.0
+        assert scores["tp"] + scores["fn"] == 20.0
+
+    def test_observe_without_predict_raises(self, predictor):
+        with pytest.raises(RuntimeError):
+            predictor.observe(OVERLOAD)
+
+    def test_observe_rejects_bad_truth(self, predictor):
+        self._train_sequences(predictor)
+        predictor.predict({"app": {"x": 0.1}, "db": {"x": 0.1}})
+        with pytest.raises(ValueError):
+            predictor.observe(3)
+
+    def test_reset_history_clears_registers(self, predictor):
+        self._train_sequences(predictor)
+        predictor.predict({"app": {"x": 0.9}, "db": {"x": 0.1}})
+        predictor.reset_history()
+        assert (predictor._history == 0).all()
+
+
+class TestLambdaDecision:
+    def test_confident_positive(self, predictor):
+        state, confident = predictor._decide(5.0, gpv=0)
+        assert state == OVERLOAD and confident
+
+    def test_confident_negative(self, predictor):
+        state, confident = predictor._decide(-5.0, gpv=0)
+        assert state == UNDERLOAD and confident
+
+    def test_optimistic_band_says_underload(self):
+        synopsis = make_synopsis("app")
+        predictor = CoordinatedPredictor(
+            [synopsis],
+            ["app"],
+            delta=5.0,
+            scheme=Scheme.OPTIMISTIC,
+            pattern_fallback=False,
+        )
+        state, confident = predictor._decide(2.0, gpv=0)
+        assert state == UNDERLOAD and not confident
+
+    def test_pessimistic_band_says_overload(self):
+        synopsis = make_synopsis("app")
+        predictor = CoordinatedPredictor(
+            [synopsis],
+            ["app"],
+            delta=5.0,
+            scheme=Scheme.PESSIMISTIC,
+            pattern_fallback=False,
+        )
+        state, confident = predictor._decide(2.0, gpv=0)
+        assert state == OVERLOAD and not confident
+
+    def test_pattern_fallback_breaks_ties(self):
+        synopsis = make_synopsis("app")
+        predictor = CoordinatedPredictor(
+            [synopsis], ["app"], delta=2.0, pattern_fallback=True
+        )
+        # pattern 1 was overload many times, but this history cell is new
+        for _ in range(10):
+            predictor.train_instance(
+                CoordinatedInstance(
+                    metrics={"app": {"x": 0.9}}, label=OVERLOAD, bottleneck="app"
+                )
+            )
+        predictor._history[:] = 0  # force an unseen history path
+        untouched_cell = predictor._lht[1, 0]
+        assert abs(untouched_cell) <= predictor.delta
+        state, confident = predictor._decide(untouched_cell, gpv=1)
+        assert state == OVERLOAD and confident
+
+
+class TestOnlineAdaptation:
+    """observe(adapt=True): continuous learning from delayed truth."""
+
+    def _fresh_predictor(self, delta=2.0):
+        synopses = [
+            make_synopsis("app", "ordering"),
+            make_synopsis("db", "browsing"),
+        ]
+        return CoordinatedPredictor(
+            synopses, ["app", "db"], history_bits=2, delta=delta,
+            pattern_fallback=False,
+        )
+
+    def test_adaptation_learns_an_untrained_pattern(self):
+        predictor = self._fresh_predictor()
+        metrics = {"app": {"x": 0.9}, "db": {"x": 0.2}}
+        # untrained: optimistic scheme says underload
+        assert predictor.predict(metrics).state == UNDERLOAD
+        # stream ground truth with adaptation on
+        for _ in range(6):
+            predictor.predict(metrics)
+            predictor.observe(OVERLOAD, bottleneck="app", adapt=True)
+        prediction = predictor.predict(metrics)
+        assert prediction.state == OVERLOAD
+        assert prediction.bottleneck == "app"
+
+    def test_without_adapt_counters_stay_frozen(self):
+        predictor = self._fresh_predictor()
+        metrics = {"app": {"x": 0.9}, "db": {"x": 0.2}}
+        before = predictor._lht.copy()
+        for _ in range(6):
+            predictor.predict(metrics)
+            predictor.observe(OVERLOAD)
+        assert (predictor._lht == before).all()
+
+    def test_adapt_counters_saturate(self):
+        predictor = self._fresh_predictor()
+        metrics = {"app": {"x": 0.9}, "db": {"x": 0.2}}
+        for _ in range(100):
+            predictor.predict(metrics)
+            predictor.observe(OVERLOAD, adapt=True)
+        assert predictor._lht.max() <= predictor.counter_limit
+        assert predictor._gpt.max() <= predictor.pattern_counter_limit
+
+    def test_adapt_rejects_unknown_bottleneck(self):
+        predictor = self._fresh_predictor()
+        predictor.predict({"app": {"x": 0.9}, "db": {"x": 0.2}})
+        with pytest.raises(ValueError):
+            predictor.observe(OVERLOAD, bottleneck="cache", adapt=True)
+
+    def test_adaptation_improves_on_shifted_workload(self, mini_pipeline):
+        """A meter trained only on ordering adapts to browsing traffic."""
+        from repro.core.capacity import CapacityMeter
+        from repro.core.synopsis import SynopsisConfig
+        from repro.telemetry.sampler import HPC_LEVEL
+
+        meter = CapacityMeter(
+            level=HPC_LEVEL,
+            window=10,
+            synopsis_config=SynopsisConfig(learner="tan", max_candidates=8),
+        )
+        meter.train({"ordering": mini_pipeline.training_run("ordering")})
+        browsing = mini_pipeline.test_run("browsing")
+        instances = meter.instances_for(browsing)
+
+        def streamed_accuracy(adapt):
+            meter.coordinator.reset_history()
+            hits = 0
+            for instance in instances * 3:  # three passes over the stream
+                prediction = meter.predict_window(instance.metrics)
+                hits += prediction.state == instance.label
+                meter.observe(
+                    instance.label,
+                    bottleneck=instance.bottleneck,
+                    adapt=adapt,
+                )
+            return hits / (3 * len(instances))
+
+        static = streamed_accuracy(adapt=False)
+        # fresh copy for the adaptive pass so counters start equal
+        import copy
+
+        meter.coordinator = copy.deepcopy(meter.coordinator)
+        adaptive = streamed_accuracy(adapt=True)
+        assert adaptive >= static

@@ -1,0 +1,127 @@
+"""Unit tests for instance/dataset containers."""
+
+import numpy as np
+import pytest
+
+from repro.telemetry.dataset import Dataset, Instance
+
+
+def make_instance(label=0, **attrs):
+    attrs = attrs or {"a": 1.0, "b": 2.0}
+    return Instance(attributes=attrs, label=label)
+
+
+class TestInstance:
+    def test_vector_ordering(self):
+        inst = make_instance(a=1.0, b=2.0)
+        assert list(inst.vector(["b", "a"])) == [2.0, 1.0]
+
+    def test_missing_attribute_raises(self):
+        with pytest.raises(KeyError):
+            make_instance().vector(["missing"])
+
+    def test_invalid_label_rejected(self):
+        with pytest.raises(ValueError):
+            Instance(attributes={"a": 1.0}, label=2)
+
+
+class TestDataset:
+    def test_schema_inferred_from_first_instance(self):
+        ds = Dataset([make_instance(a=1.0, b=2.0)])
+        assert ds.attribute_names == ["a", "b"]
+
+    def test_matrix_and_labels(self):
+        ds = Dataset(
+            [
+                make_instance(label=0, a=1.0, b=2.0),
+                make_instance(label=1, a=3.0, b=4.0),
+            ]
+        )
+        assert ds.matrix().tolist() == [[1.0, 2.0], [3.0, 4.0]]
+        assert ds.labels().tolist() == [0, 1]
+
+    def test_matrix_with_subset(self):
+        ds = Dataset([make_instance(a=1.0, b=2.0)])
+        assert ds.matrix(["b"]).tolist() == [[2.0]]
+
+    def test_empty_dataset_matrix_shape(self):
+        ds = Dataset([], attribute_names=["a", "b"])
+        assert ds.matrix().shape == (0, 2)
+
+    def test_append_enforces_schema(self):
+        ds = Dataset([make_instance(a=1.0, b=2.0)])
+        with pytest.raises(ValueError):
+            ds.append(Instance(attributes={"a": 1.0}, label=0))
+
+    def test_inconsistent_instances_rejected(self):
+        with pytest.raises(ValueError):
+            Dataset(
+                [make_instance(a=1.0, b=2.0)],
+                attribute_names=["a", "b", "c"],
+            )
+
+    def test_class_counts(self):
+        ds = Dataset(
+            [make_instance(label=0), make_instance(label=1), make_instance(label=1)]
+        )
+        assert ds.class_counts() == (1, 2)
+
+    def test_filter(self):
+        ds = Dataset([make_instance(label=0), make_instance(label=1)])
+        overloaded = ds.filter(lambda i: i.label == 1)
+        assert len(overloaded) == 1
+        assert overloaded.attribute_names == ds.attribute_names
+
+    def test_select_attributes(self):
+        ds = Dataset([make_instance(a=1.0, b=2.0)])
+        small = ds.select_attributes(["a"])
+        assert small.attribute_names == ["a"]
+        assert small[0].attributes == {"a": 1.0}
+
+    def test_select_unknown_attribute_raises(self):
+        ds = Dataset([make_instance()])
+        with pytest.raises(KeyError):
+            ds.select_attributes(["nope"])
+
+    def test_merged_with(self):
+        a = Dataset([make_instance(label=0)])
+        b = Dataset([make_instance(label=1)])
+        merged = a.merged_with(b)
+        assert len(merged) == 2
+
+    def test_merge_schema_mismatch_raises(self):
+        a = Dataset([make_instance(a=1.0, b=2.0)])
+        b = Dataset([Instance(attributes={"x": 1.0}, label=0)])
+        with pytest.raises(ValueError):
+            a.merged_with(b)
+
+    def test_shuffled_preserves_content(self):
+        instances = [make_instance(label=i % 2, a=float(i), b=0.0) for i in range(10)]
+        ds = Dataset(instances)
+        shuffled = ds.shuffled(seed=1)
+        assert sorted(i.attributes["a"] for i in shuffled) == list(range(10))
+        assert [i.attributes["a"] for i in shuffled] != list(range(10))
+
+    def test_save_load_roundtrip(self, tmp_path):
+        ds = Dataset(
+            [
+                Instance(
+                    attributes={"a": 1.5},
+                    label=1,
+                    t_start=0.0,
+                    t_end=30.0,
+                    tier="db",
+                    workload="browsing",
+                    bottleneck="db",
+                )
+            ]
+        )
+        path = tmp_path / "ds.json"
+        ds.save(path)
+        loaded = Dataset.load(path)
+        assert loaded.attribute_names == ds.attribute_names
+        assert loaded[0] == ds[0]
+
+    def test_iteration(self):
+        ds = Dataset([make_instance(), make_instance()])
+        assert len(list(ds)) == 2

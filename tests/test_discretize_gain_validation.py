@@ -1,0 +1,192 @@
+"""Unit tests for discretization, information gain and validation."""
+
+import numpy as np
+import pytest
+
+from repro.learners.discretize import EntropyDiscretizer, EqualFrequencyDiscretizer
+from repro.learners.information_gain import information_gain, rank_attributes
+from repro.learners.validation import (
+    ConfusionMatrix,
+    balanced_accuracy,
+    cross_validate,
+    stratified_kfold_indices,
+)
+
+
+class TestEqualFrequencyDiscretizer:
+    def test_balanced_bins(self, rng):
+        X = rng.normal(size=(1000, 1))
+        disc = EqualFrequencyDiscretizer(bins=4)
+        codes = disc.fit_transform(X)
+        counts = np.bincount(codes[:, 0], minlength=4)
+        assert (counts > 150).all()
+
+    def test_constant_column_single_level(self):
+        X = np.full((50, 1), 3.0)
+        disc = EqualFrequencyDiscretizer(bins=5).fit(X)
+        codes = disc.transform(X)
+        # every value lands in the same (single effective) level
+        assert len(set(codes[:, 0].tolist())) == 1
+
+    def test_transform_unseen_values_clamped(self, rng):
+        X = rng.uniform(0, 1, size=(100, 1))
+        disc = EqualFrequencyDiscretizer(bins=4).fit(X)
+        codes = disc.transform(np.array([[-100.0], [100.0]]))
+        assert codes[0, 0] == 0
+        assert codes[1, 0] == disc.levels(0) - 1
+
+    def test_monotone_mapping(self, rng):
+        X = rng.normal(size=(200, 1))
+        disc = EqualFrequencyDiscretizer(bins=5).fit(X)
+        lo, hi = disc.transform(np.array([[-0.5]])), disc.transform(np.array([[1.5]]))
+        assert lo[0, 0] <= hi[0, 0]
+
+    def test_unfitted_transform_raises(self):
+        with pytest.raises(RuntimeError):
+            EqualFrequencyDiscretizer().transform(np.zeros((1, 1)))
+
+    def test_attribute_count_mismatch_raises(self, rng):
+        disc = EqualFrequencyDiscretizer().fit(rng.normal(size=(10, 2)))
+        with pytest.raises(ValueError):
+            disc.transform(np.zeros((1, 3)))
+
+    def test_too_few_bins_rejected(self):
+        with pytest.raises(ValueError):
+            EqualFrequencyDiscretizer(bins=1)
+
+
+class TestEntropyDiscretizer:
+    def test_finds_informative_cut(self, rng):
+        values = np.concatenate([rng.uniform(0, 1, 100), rng.uniform(2, 3, 100)])
+        labels = np.array([0] * 100 + [1] * 100)
+        X = values.reshape(-1, 1)
+        disc = EntropyDiscretizer().fit(X, labels)
+        assert disc.levels(0) >= 2
+        edges = disc.edges_[0]
+        assert any(1.0 < e < 2.0 for e in edges)
+
+    def test_uninformative_attribute_gets_no_cut(self, rng):
+        X = rng.normal(size=(200, 1))
+        y = rng.integers(0, 2, 200)
+        disc = EntropyDiscretizer().fit(X, y)
+        assert disc.levels(0) <= 2  # MDL rejects nearly everything
+
+    def test_transform_matches_cuts(self, rng):
+        X = np.concatenate([rng.uniform(0, 1, 50), rng.uniform(2, 3, 50)]).reshape(-1, 1)
+        y = np.array([0] * 50 + [1] * 50)
+        disc = EntropyDiscretizer().fit(X, y)
+        codes = disc.transform(np.array([[0.5], [2.5]]))
+        assert codes[0, 0] < codes[1, 0]
+
+    def test_invalid_depth_rejected(self):
+        with pytest.raises(ValueError):
+            EntropyDiscretizer(max_depth=0)
+
+
+class TestInformationGain:
+    def test_perfect_attribute_has_full_gain(self):
+        values = np.array([0, 0, 1, 1])
+        labels = np.array([0, 0, 1, 1])
+        assert information_gain(values, labels) == pytest.approx(1.0)
+
+    def test_independent_attribute_has_no_gain(self):
+        values = np.array([0, 1, 0, 1])
+        labels = np.array([0, 0, 1, 1])
+        assert information_gain(values, labels) == pytest.approx(0.0)
+
+    def test_gain_never_negative(self, rng):
+        for _ in range(10):
+            values = rng.integers(0, 3, 50)
+            labels = rng.integers(0, 2, 50)
+            assert information_gain(values, labels) >= 0.0
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            information_gain(np.array([0, 1]), np.array([0]))
+
+    def test_rank_attributes_orders_by_relevance(self, rng):
+        X = rng.normal(size=(500, 3))
+        y = (X[:, 2] > 0).astype(int)
+        ranked = rank_attributes(X, y, ["a", "b", "c"])
+        assert ranked[0][0] == "c"
+        assert ranked[0][1] > ranked[1][1]
+
+    def test_rank_default_names(self, rng):
+        X = rng.normal(size=(50, 2))
+        y = rng.integers(0, 2, 50)
+        ranked = rank_attributes(X, y)
+        assert {name for name, _ in ranked} == {"0", "1"}
+
+
+class TestConfusionMatrix:
+    def test_counts(self):
+        y_true = np.array([1, 1, 0, 0, 1])
+        y_pred = np.array([1, 0, 0, 1, 1])
+        cm = ConfusionMatrix.from_predictions(y_true, y_pred)
+        assert (cm.tp, cm.fn, cm.tn, cm.fp) == (2, 1, 1, 1)
+
+    def test_balanced_accuracy_definition(self):
+        cm = ConfusionMatrix(tp=9, tn=5, fp=5, fn=1)
+        assert cm.balanced_accuracy == pytest.approx(0.5 * (0.9 + 0.5))
+
+    def test_constant_predictor_scores_half(self):
+        y_true = np.array([0, 0, 1, 1])
+        y_pred = np.zeros(4, dtype=int)
+        assert balanced_accuracy(y_true, y_pred) == pytest.approx(0.5)
+
+    def test_single_class_truth_degenerate_rate_is_one(self):
+        cm = ConfusionMatrix.from_predictions(
+            np.zeros(4, dtype=int), np.zeros(4, dtype=int)
+        )
+        assert cm.balanced_accuracy == 1.0
+
+    def test_accuracy_property(self):
+        cm = ConfusionMatrix(tp=3, tn=5, fp=1, fn=1)
+        assert cm.accuracy == pytest.approx(0.8)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            ConfusionMatrix.from_predictions(np.zeros(3), np.zeros(4))
+
+
+class TestStratifiedKFold:
+    def test_partition_covers_everything_once(self, rng):
+        y = rng.integers(0, 2, 57)
+        seen = []
+        for train, test in stratified_kfold_indices(y, k=5):
+            seen.extend(test.tolist())
+            assert set(train) & set(test) == set()
+        assert sorted(seen) == list(range(57))
+
+    def test_stratification_keeps_both_classes(self):
+        y = np.array([0] * 40 + [1] * 10)
+        for train, test in stratified_kfold_indices(y, k=5, seed=3):
+            assert set(y[train]) == {0, 1}
+            assert 1 in set(y[test])
+
+    def test_k_clipped_to_minority_class(self):
+        y = np.array([0] * 20 + [1] * 2)
+        folds = list(stratified_kfold_indices(y, k=10))
+        assert len(folds) == 2
+
+    def test_too_small_raises(self):
+        with pytest.raises(ValueError):
+            list(stratified_kfold_indices(np.array([1]), k=2))
+
+
+class TestCrossValidate:
+    def test_good_learner_scores_high(self, rng):
+        from repro.learners import make_learner
+
+        X = rng.normal(size=(150, 3))
+        y = (X[:, 0] > 0).astype(int)
+        score = cross_validate(lambda: make_learner("naive"), X, y, k=5)
+        assert score > 0.85
+
+    def test_random_labels_score_near_half(self, rng):
+        from repro.learners import make_learner
+
+        X = rng.normal(size=(150, 3))
+        y = rng.integers(0, 2, 150)
+        score = cross_validate(lambda: make_learner("naive"), X, y, k=5)
+        assert 0.3 < score < 0.7

@@ -1,0 +1,168 @@
+"""Tests that every paper artifact regenerates and has the right shape."""
+
+import pytest
+
+from repro.experiments.ablation import (
+    run_delta_ablation,
+    run_fallback_ablation,
+    run_history_ablation,
+    run_scheme_ablation,
+)
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.fig4 import run_fig4
+from repro.experiments.overhead import run_overhead
+from repro.experiments.table1 import run_table1
+from repro.experiments.timing import measure_build_and_decide, run_timing
+from repro.telemetry.sampler import HPC_LEVEL, OS_LEVEL
+
+
+class TestFig3:
+    def test_pi_tracks_throughput(self, mini_pipeline):
+        result = run_fig3(mini_pipeline, "ordering")
+        assert result.definition.tier == "app"
+        assert result.corr > 0.2
+        assert len(result.pi_normalized) == len(result.throughput_normalized)
+        assert any("Corr" in row for row in result.rows())
+
+    def test_browsing_variant(self, mini_pipeline):
+        result = run_fig3(mini_pipeline, "browsing")
+        assert result.definition.tier == "db"
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def table1a(self, mini_pipeline):
+        return run_table1(mini_pipeline, "browsing", learners=["tan", "naive"])
+
+    def test_cell_grid_complete(self, table1a):
+        # 2 synopsis workloads x 2 tiers x 2 levels x 2 learners
+        assert len(table1a.cells) == 16
+
+    def test_diagonal_dominates(self, table1a):
+        best = table1a.best_cell()
+        assert best.synopsis_workload == "browsing"
+        assert best.tier == "db"
+
+    def test_get_and_rows(self, table1a):
+        value = table1a.get("browsing", "db", HPC_LEVEL, "tan")
+        assert 0.0 <= value <= 1.0
+        assert any("browsing/DB" in row for row in table1a.rows())
+
+    def test_unknown_input_rejected(self, mini_pipeline):
+        with pytest.raises(ValueError):
+            run_table1(mini_pipeline, "interleaved")
+
+    def test_missing_cell_raises(self, table1a):
+        with pytest.raises(KeyError):
+            table1a.get("browsing", "db", HPC_LEVEL, "svm")
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def fig4(self, mini_pipeline):
+        return run_fig4(mini_pipeline)
+
+    def test_all_bars_present(self, fig4):
+        assert len(fig4.cells) == 8  # 4 workloads x 2 levels
+
+    def test_hpc_consistently_high(self, fig4):
+        for workload in ("ordering", "browsing", "interleaved", "unknown"):
+            assert fig4.get(workload, HPC_LEVEL).overload_ba > 0.75
+
+    def test_os_browsing_is_the_weak_bar(self, fig4):
+        os_scores = {
+            w: fig4.get(w, OS_LEVEL).overload_ba
+            for w in ("ordering", "browsing", "interleaved", "unknown")
+        }
+        assert min(os_scores, key=os_scores.get) == "browsing"
+
+    def test_rows_render(self, fig4):
+        rows = fig4.rows()
+        assert any("interleaved" in row for row in rows)
+
+
+class TestTiming:
+    def test_svm_is_slowest_naive_cheap(self, mini_pipeline):
+        result = run_timing(mini_pipeline, repeats=1)
+        ms = result.milliseconds
+        assert ms["svm"] > ms["naive"]
+        assert ms["svm"] > ms["tan"]
+        assert ms["lr"] > ms["naive"]
+        assert any("measured" in row for row in result.rows())
+
+    def test_measure_build_and_decide_validates(self, mini_pipeline):
+        dataset = mini_pipeline.dataset("ordering", "app", HPC_LEVEL, training=True)
+        with pytest.raises(ValueError):
+            measure_build_and_decide("tan", dataset, repeats=0)
+
+
+class TestOverhead:
+    def test_sysstat_costs_more_than_perfctr(self, mini_pipeline):
+        result = run_overhead(
+            mini_pipeline, executions=1, duration=120.0, load_fraction=0.9
+        )
+        assert result.throughput["none"] == pytest.approx(1.0)
+        assert (
+            result.loss_percent("sysstat-os")
+            > result.loss_percent("perfctr-hpc") - 0.5
+        )
+        assert result.loss_percent("perfctr-hpc") < 2.0
+        assert any("thr loss" in row for row in result.rows())
+
+    def test_invalid_executions_rejected(self, mini_pipeline):
+        with pytest.raises(ValueError):
+            run_overhead(mini_pipeline, executions=0)
+
+
+class TestAblations:
+    def test_history_sweep_covers_lengths(self, mini_pipeline):
+        ablation = run_history_ablation(
+            mini_pipeline, history_lengths=(1, 3)
+        )
+        assert set(ablation.results) == {1, 3}
+        assert all(0.0 <= v <= 1.0 for v in ablation.results[1].values())
+        assert any("mean" in row for row in ablation.rows())
+
+    def test_scheme_spread_is_small(self, mini_pipeline):
+        """Paper: the schemes 'had little impact' on accuracy."""
+        ablation = run_scheme_ablation(mini_pipeline)
+        for workload in ("ordering", "browsing"):
+            assert ablation.spread(workload) < 0.25
+        assert any("optimistic" in row for row in ablation.rows())
+
+    def test_delta_sweep(self, mini_pipeline):
+        ablation = run_delta_ablation(mini_pipeline, deltas=(1.0, 5.0))
+        assert set(ablation.results) == {1.0, 5.0}
+        assert ablation.rows()
+
+    def test_fallback_helps_unknown_workload(self, mini_pipeline):
+        ablation = run_fallback_ablation(mini_pipeline)
+        with_fb = ablation.results[True]["unknown"]
+        without_fb = ablation.results[False]["unknown"]
+        assert with_fb >= without_fb
+        # the trained coordinator is left with its fallback enabled
+        assert mini_pipeline.meter(HPC_LEVEL).coordinator.pattern_fallback
+
+
+class TestHybridExtension:
+    def test_hybrid_comparison_regenerates(self, mini_pipeline):
+        from repro.experiments.hybrid import run_hybrid_comparison
+        from repro.telemetry.sampler import HYBRID_LEVEL
+
+        comparison = run_hybrid_comparison(mini_pipeline)
+        hybrid = comparison.results[HYBRID_LEVEL]
+        # where counter signals dominate, hybrid selection picks them up
+        assert hybrid["ordering"] >= comparison.results[OS_LEVEL]["ordering"] - 0.05
+        # every level stays well above chance everywhere
+        assert all(v >= 0.5 for v in hybrid.values())
+        assert any("hybrid" in row for row in comparison.rows())
+
+    def test_hybrid_synopses_mix_both_vocabularies(self, mini_pipeline):
+        attrs = []
+        for workload in ("ordering", "browsing"):
+            for tier in ("app", "db"):
+                attrs.extend(
+                    mini_pipeline.synopsis(workload, tier, "hybrid", "tan").attributes
+                )
+        assert any(a.startswith("hpc.") for a in attrs)
+        assert any(a.startswith("os.") for a in attrs)

@@ -1,0 +1,155 @@
+"""Tests for the experiment harness (testbed sizing, pipeline, artifacts)."""
+
+import pytest
+
+from repro.experiments.pipeline import (
+    LEVELS,
+    TEST_WORKLOADS,
+    TRAINING_WORKLOADS,
+    PipelineConfig,
+    get_pipeline,
+)
+from repro.experiments.testbed import (
+    TestbedConfig,
+    estimate_saturation,
+    interleaved_test_schedule,
+    run_schedule,
+    steady_test_schedule,
+    training_schedule,
+    unknown_test_schedule,
+)
+from repro.telemetry.perfctr import SYSSTAT_PROFILE
+from repro.workload.generator import steady
+from repro.workload.tpcw import BROWSING_MIX, ORDERING_MIX, SHOPPING_MIX
+
+
+class TestSaturationEstimate:
+    def test_ordering_saturates_on_app(self):
+        rate_o, pop_o = estimate_saturation(ORDERING_MIX)
+        rate_b, pop_b = estimate_saturation(BROWSING_MIX)
+        # browsing's bottleneck (db) supports a higher request rate
+        assert rate_b > rate_o
+        assert pop_o >= 1 and pop_b >= 1
+
+    def test_population_scales_with_think_time(self):
+        fast = TestbedConfig(think_time_mean=0.5)
+        slow = TestbedConfig(think_time_mean=2.0)
+        _, pop_fast = estimate_saturation(SHOPPING_MIX, fast)
+        _, pop_slow = estimate_saturation(SHOPPING_MIX, slow)
+        assert pop_slow > pop_fast
+
+
+class TestScheduleBuilders:
+    def test_training_schedule_reaches_overload(self):
+        schedule = training_schedule(ORDERING_MIX, scale=0.5)
+        _, sat = estimate_saturation(ORDERING_MIX)
+        peak = max(
+            schedule.at(t)[0] for t in range(0, int(schedule.duration), 10)
+        )
+        assert peak > 1.5 * sat
+
+    def test_steady_test_schedule_covers_both_states(self):
+        schedule = steady_test_schedule(BROWSING_MIX, scale=0.5)
+        _, sat = estimate_saturation(BROWSING_MIX)
+        levels = {
+            schedule.at(t)[0] for t in range(0, int(schedule.duration), 30)
+        }
+        assert min(levels) < sat < max(levels)
+
+    def test_interleaved_switches_mixes(self):
+        schedule = interleaved_test_schedule(scale=0.5)
+        mixes = {
+            schedule.at(t)[1].name
+            for t in range(0, int(schedule.duration), 30)
+        }
+        assert mixes == {"browsing", "ordering"}
+
+    def test_unknown_schedule_uses_unknown_mix(self):
+        schedule = unknown_test_schedule(scale=0.5, seed=3)
+        _, mix = schedule.at(0.0)
+        assert mix.name.startswith("unknown")
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            training_schedule(ORDERING_MIX, scale=0.0)
+
+
+class TestRunSchedule:
+    def test_produces_samples_and_trace(self):
+        output = run_schedule(
+            steady(5, 30.0, mix=ORDERING_MIX),
+            ORDERING_MIX,
+            workload_name="unit",
+            seed=2,
+        )
+        assert len(output.run) == 30
+        assert output.run.workload == "unit"
+        assert len(output.trace) > 0
+        assert output.events_executed > 0
+
+    def test_collector_attaches(self):
+        output = run_schedule(
+            steady(5, 10.0, mix=ORDERING_MIX),
+            ORDERING_MIX,
+            workload_name="unit",
+            seed=2,
+            collector=SYSSTAT_PROFILE,
+        )
+        assert output.samples_collected == 10
+
+    def test_settle_discards_warmup(self):
+        output = run_schedule(
+            steady(5, 20.0, mix=ORDERING_MIX),
+            ORDERING_MIX,
+            workload_name="unit",
+            seed=2,
+            settle=10.0,
+        )
+        assert len(output.run) == 20
+        assert output.run.records[0].t_start >= 10.0
+
+
+class TestPipeline:
+    def test_constants(self):
+        assert TRAINING_WORKLOADS == ("ordering", "browsing")
+        assert set(TEST_WORKLOADS) == {
+            "ordering",
+            "browsing",
+            "interleaved",
+            "unknown",
+        }
+        assert set(LEVELS) == {"os", "hpc"}
+
+    def test_get_pipeline_memoizes(self):
+        config = PipelineConfig(scale=0.07, window=5)
+        assert get_pipeline(config) is get_pipeline(config)
+
+    def test_runs_are_memoized(self, mini_pipeline):
+        assert mini_pipeline.training_run("ordering") is (
+            mini_pipeline.training_run("ordering")
+        )
+        assert mini_pipeline.test_run("unknown") is (
+            mini_pipeline.test_run("unknown")
+        )
+
+    def test_unknown_workload_names_rejected(self, mini_pipeline):
+        with pytest.raises(KeyError):
+            mini_pipeline.training_run("shopping")
+        with pytest.raises(KeyError):
+            mini_pipeline.test_run("flash-crowd")
+
+    def test_datasets_have_both_classes(self, mini_pipeline):
+        for workload in TRAINING_WORKLOADS:
+            ds = mini_pipeline.dataset(workload, "app", "hpc", training=True)
+            under, over = ds.class_counts()
+            assert under >= 3 and over >= 3
+
+    def test_synopses_are_memoized(self, mini_pipeline):
+        a = mini_pipeline.synopsis("ordering", "app", "hpc", "naive")
+        b = mini_pipeline.synopsis("ordering", "app", "hpc", "naive")
+        assert a is b
+
+    def test_config_scaled_helper(self):
+        config = PipelineConfig(scale=1.0)
+        assert config.scaled(0.3).scale == 0.3
+        assert config.scale == 1.0

@@ -1,0 +1,194 @@
+"""Failure-injection and stress tests for the simulation substrate.
+
+These exercise the ugly corners a production simulator must survive:
+admission storms, churn, refused backends, and degenerate schedules —
+checking conservation laws and callback contracts rather than happy
+paths.
+"""
+
+import numpy as np
+import pytest
+
+from repro.simulator import (
+    AppServer,
+    DatabaseServer,
+    MultiTierWebsite,
+    Simulator,
+)
+from repro.workload.generator import ScheduleDriver, staircase, steady
+from repro.workload.rbe import RemoteBrowserEmulator
+from repro.workload.tpcw import INTERACTIONS, ORDERING_MIX
+from repro.workload.openloop import OpenLoopSource
+
+
+class TestBackendRefusal:
+    def test_db_refusing_everything_still_answers_clients(self):
+        """Every request gets exactly one response even when the DB
+        drops every connection."""
+        sim = Simulator()
+        db = DatabaseServer(sim, connections=1, queue_capacity=0)
+        site = MultiTierWebsite(sim, AppServer(sim), db)
+        outcomes = []
+        for _ in range(50):
+            site.submit(INTERACTIONS["best_sellers"], outcomes.append)
+        sim.run()
+        assert len(outcomes) == 50
+        assert site.in_flight == 0
+        # at least some were refused by the single-connection backend
+        assert sum(o.dropped for o in outcomes) > 0
+        # app workers were all released despite the error path
+        assert site.app.threads_in_use == 0
+
+    def test_app_full_rejection_storm(self):
+        sim = Simulator()
+        app = AppServer(sim, workers=2, queue_capacity=1)
+        site = MultiTierWebsite(sim, app, DatabaseServer(sim))
+        outcomes = []
+        for _ in range(100):
+            site.submit(INTERACTIONS["buy_confirm"], outcomes.append)
+        sim.run()
+        assert len(outcomes) == 100
+        dropped = sum(o.dropped for o in outcomes)
+        assert dropped == 100 - 3  # 2 in service + 1 queued survive
+        assert site.app.threads_in_use == 0
+
+
+class TestChurnStorms:
+    def test_population_oscillation_conserves_responses(self, sim, website):
+        rbe = RemoteBrowserEmulator(
+            sim, website, ORDERING_MIX, think_time_mean=0.2, seed=7
+        )
+        rng = np.random.default_rng(3)
+        for step in range(60):
+            rbe.set_population(int(rng.integers(0, 40)))
+            sim.run(until=(step + 1) * 0.5)
+        rbe.set_population(0)
+        sim.run(until=60.0)
+        # all in-flight work drained; nothing leaked
+        assert website.in_flight == 0
+        assert website.app.threads_in_use == 0
+        assert website.db.threads_in_use == 0
+
+    def test_driver_restart_after_schedule_end(self, sim, website):
+        rbe = RemoteBrowserEmulator(
+            sim, website, ORDERING_MIX, think_time_mean=0.2, seed=8
+        )
+        ScheduleDriver(sim, rbe, steady(5, 5.0))
+        sim.run(until=10.0)
+        ScheduleDriver(sim, rbe, staircase([10, 0], 5.0))
+        sim.run(until=25.0)
+        assert rbe.population == 0
+
+    def test_open_loop_burst_then_silence_drains(self):
+        sim = Simulator()
+        site = MultiTierWebsite(sim, AppServer(sim), DatabaseServer(sim))
+        source = OpenLoopSource(sim, site, ORDERING_MIX, rate=500.0, seed=5)
+        sim.run(until=2.0)  # ~1000 arrivals against ~55/s capacity
+        source.stop()
+        sim.run(until=300.0)
+        assert site.in_flight == 0
+        sample = site.sample()
+        assert sample.client.completed == source.submitted
+
+
+class TestConservationUnderLoad:
+    def test_every_submission_gets_exactly_one_callback(self):
+        sim = Simulator()
+        site = MultiTierWebsite(
+            sim,
+            AppServer(sim, workers=4, queue_capacity=2),
+            DatabaseServer(sim, connections=2, queue_capacity=3),
+        )
+        counts = {"n": 0}
+        rng = np.random.default_rng(11)
+        names = list(INTERACTIONS)
+
+        def submit_one():
+            site.submit(
+                INTERACTIONS[names[int(rng.integers(0, len(names)))]],
+                lambda outcome: counts.__setitem__("n", counts["n"] + 1),
+            )
+
+        total = 400
+        for i in range(total):
+            sim.schedule(float(rng.uniform(0, 20.0)), submit_one)
+        sim.run()
+        assert counts["n"] == total
+        assert site.in_flight == 0
+
+    def test_tier_accounting_never_goes_negative(self):
+        sim = Simulator()
+        site = MultiTierWebsite(sim, AppServer(sim), DatabaseServer(sim))
+        source = OpenLoopSource(sim, site, ORDERING_MIX, rate=80.0, seed=9)
+
+        def check():
+            for tier in site.tiers.values():
+                assert tier.runnable >= 0
+                assert tier.blocked >= 0
+                assert tier.working_set_kb() >= -1e-9
+                assert tier.threads_in_use >= 0
+
+        sim.every(0.5, check)
+        sim.run(until=30.0)
+        source.stop()
+        sim.run(until=120.0)
+        check()
+
+    def test_work_conservation_through_overload_cycle(self):
+        """Work credited == work demanded, across a full load cycle."""
+        sim = Simulator()
+        site = MultiTierWebsite(sim, AppServer(sim), DatabaseServer(sim))
+        demands = {"app": 0.0, "db": 0.0}
+        completed = []
+
+        def track(outcome):
+            if not outcome.dropped:
+                demands["app"] += outcome.request.app_demand
+                demands["db"] += outcome.request.db_demand
+                completed.append(outcome)
+
+        rbe = RemoteBrowserEmulator(
+            sim, site, ORDERING_MIX, think_time_mean=0.5, seed=13,
+            on_complete=track,
+        )
+        ScheduleDriver(sim, rbe, staircase([20, 70, 5, 0], 20.0))
+        sim.run(until=200.0)
+        assert site.in_flight == 0
+        app_work = site.app.sample().work_done
+        db_work = site.db.sample().work_done
+        assert app_work == pytest.approx(demands["app"], rel=1e-6)
+        assert db_work == pytest.approx(demands["db"], rel=1e-6)
+
+
+class TestDegenerateInputs:
+    def test_zero_population_schedule(self, sim, website):
+        rbe = RemoteBrowserEmulator(sim, website, ORDERING_MIX, seed=1)
+        ScheduleDriver(sim, rbe, steady(0, 10.0))
+        sim.run(until=10.0)
+        assert website.sample().client.submitted == 0
+
+    def test_single_interval_run_builds_no_windows(self, sim, website):
+        from repro.core.labeler import SlaOracle
+        from repro.telemetry.sampler import TelemetrySampler, build_dataset
+
+        sampler = TelemetrySampler(sim, website, interval=1.0)
+        sim.run(until=1.0)
+        sampler.stop()
+        ds = build_dataset(
+            sampler.run,
+            level="hpc",
+            tier="app",
+            labeler=SlaOracle(),
+            window=30,
+        )
+        assert len(ds) == 0
+
+    def test_sampling_idle_site_yields_zeroes(self, sim, website):
+        from repro.telemetry.sampler import TelemetrySampler
+
+        sampler = TelemetrySampler(sim, website, interval=1.0)
+        sim.run(until=10.0)
+        sampler.stop()
+        for record in sampler.run.records:
+            assert record.metrics("hpc", "app")["ipc"] == 0.0
+            assert record.website.client.completed == 0

@@ -1,0 +1,68 @@
+"""Unit tests for the network link model."""
+
+import pytest
+
+from repro.simulator.engine import Simulator
+from repro.simulator.network import NetworkLink
+
+
+class TestTransfer:
+    def test_delivery_after_latency_plus_serialization(self):
+        sim = Simulator()
+        link = NetworkLink(sim, latency_s=0.01, bandwidth_bytes_per_s=1000.0)
+        delivered = []
+        delay = link.transfer(100, lambda: delivered.append(sim.now))
+        assert delay == pytest.approx(0.11)
+        sim.run()
+        assert delivered == [pytest.approx(0.11)]
+
+    def test_zero_bytes_costs_latency_only(self):
+        sim = Simulator()
+        link = NetworkLink(sim, latency_s=0.002)
+        delivered = []
+        link.transfer(0, lambda: delivered.append(sim.now))
+        sim.run()
+        assert delivered == [pytest.approx(0.002)]
+
+    def test_negative_size_rejected(self):
+        link = NetworkLink(Simulator())
+        with pytest.raises(ValueError):
+            link.transfer(-1, lambda: None)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkLink(Simulator(), latency_s=-1.0)
+        with pytest.raises(ValueError):
+            NetworkLink(Simulator(), bandwidth_bytes_per_s=0.0)
+
+
+class TestCounters:
+    def test_bytes_and_packets_accumulate(self):
+        sim = Simulator()
+        link = NetworkLink(sim)
+        link.transfer(1000, lambda: None)
+        link.transfer(3000, lambda: None)  # 3 MTU segments
+        sim.run(until=1.0)
+        sample = link.sample()
+        assert sample.bytes == 4000
+        assert sample.packets == 1 + (1 + 3000 // 1460)
+
+    def test_sample_resets_window(self):
+        sim = Simulator()
+        link = NetworkLink(sim)
+        link.transfer(500, lambda: None)
+        sim.run(until=1.0)
+        link.sample()
+        sim.run(until=2.0)
+        sample = link.sample()
+        assert sample.bytes == 0
+        assert sample.packets == 0
+
+    def test_rates_normalized_by_duration(self):
+        sim = Simulator()
+        link = NetworkLink(sim)
+        link.transfer(1000, lambda: None)
+        sim.run(until=2.0)
+        sample = link.sample()
+        assert sample.byte_rate == pytest.approx(500.0)
+        assert sample.duration == pytest.approx(2.0)

@@ -1,0 +1,59 @@
+"""Unit tests for the metrics-collection cost models."""
+
+import pytest
+
+from repro.simulator import AppServer, DatabaseServer, MultiTierWebsite, Simulator
+from repro.telemetry.perfctr import (
+    PERFCTR_PROFILE,
+    SYSSTAT_PROFILE,
+    CollectorProfile,
+    MetricsCollector,
+)
+
+
+class TestCollectorProfile:
+    def test_builtin_profiles_ordering(self):
+        """sysstat must cost an order of magnitude more than PerfCtr."""
+        assert SYSSTAT_PROFILE.cpu_cost_s > 10 * PERFCTR_PROFILE.cpu_cost_s
+        assert SYSSTAT_PROFILE.footprint_kb > PERFCTR_PROFILE.footprint_kb
+
+    def test_cpu_fraction(self):
+        profile = CollectorProfile("x", cpu_cost_s=0.02, footprint_kb=1.0)
+        assert profile.cpu_fraction(1.0, 1) == pytest.approx(0.02)
+        assert profile.cpu_fraction(2.0, 2) == pytest.approx(0.005)
+
+    def test_perfctr_is_sub_half_percent(self):
+        # on the slowest tier (app: 1 core, speed 1.0)
+        assert PERFCTR_PROFILE.cpu_fraction(1.0, 1) < 0.005
+
+    def test_sysstat_is_percent_scale(self):
+        assert 0.01 < SYSSTAT_PROFILE.cpu_fraction(1.0, 1) < 0.08
+
+    def test_invalid_profiles_rejected(self):
+        with pytest.raises(ValueError):
+            CollectorProfile("bad", cpu_cost_s=-1.0, footprint_kb=0.0)
+        with pytest.raises(ValueError):
+            CollectorProfile("bad", cpu_cost_s=0.0, footprint_kb=0.0, interval=0.0)
+
+
+class TestMetricsCollector:
+    def test_collects_every_interval_on_all_tiers(self, sim, website):
+        collector = MetricsCollector(sim, website, SYSSTAT_PROFILE)
+        sim.run(until=10.0)
+        assert collector.samples_taken == 10
+        app = website.app.sample()
+        db = website.db.sample()
+        # nine bursts completed; the t=10 burst is still in flight
+        assert app.background_work == pytest.approx(
+            9 * SYSSTAT_PROFILE.cpu_cost_s, rel=0.01
+        )
+        assert db.background_work == pytest.approx(
+            9 * SYSSTAT_PROFILE.cpu_cost_s, rel=0.01
+        )
+
+    def test_stop_halts_collection(self, sim, website):
+        collector = MetricsCollector(sim, website, PERFCTR_PROFILE)
+        sim.run(until=5.0)
+        collector.stop()
+        sim.run(until=10.0)
+        assert collector.samples_taken == 5

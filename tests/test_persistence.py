@@ -1,0 +1,149 @@
+"""Round-trip tests for model persistence (learners, synopses, meters)."""
+
+import numpy as np
+import pytest
+
+from repro.core.capacity import CapacityMeter
+from repro.core.coordinator import CoordinatedPredictor
+from repro.core.synopsis import PerformanceSynopsis, SynopsisConfig
+from repro.learners.base import SynopsisLearner, make_learner
+from repro.telemetry.dataset import Dataset, Instance
+from repro.telemetry.sampler import HPC_LEVEL
+
+ALL_LEARNERS = ["lr", "naive", "svm", "tan"]
+
+
+@pytest.fixture
+def training_data(rng):
+    X = rng.normal(size=(120, 5))
+    y = (X[:, 0] + 0.5 * X[:, 1] ** 2 > 0.4).astype(int)
+    return X, y
+
+
+class TestLearnerRoundTrip:
+    @pytest.mark.parametrize("name", ALL_LEARNERS)
+    def test_predictions_survive_roundtrip(self, name, training_data):
+        X, y = training_data
+        original = make_learner(name).fit(X, y)
+        restored = SynopsisLearner.from_dict(original.to_dict())
+        assert np.array_equal(restored.predict(X), original.predict(X))
+        assert np.allclose(
+            restored.predict_proba(X), original.predict_proba(X)
+        )
+
+    @pytest.mark.parametrize("name", ALL_LEARNERS)
+    def test_payload_is_json_serializable(self, name, training_data):
+        import json
+
+        X, y = training_data
+        payload = make_learner(name).fit(X, y).to_dict()
+        json.loads(json.dumps(payload))  # must not raise
+
+    def test_unfitted_learner_roundtrip(self):
+        restored = SynopsisLearner.from_dict(make_learner("tan").to_dict())
+        with pytest.raises(RuntimeError):
+            restored.predict(np.zeros((1, 2)))
+
+    def test_params_preserved(self, training_data):
+        X, y = training_data
+        original = make_learner("svm", C=2.5, kernel="linear").fit(X, y)
+        restored = SynopsisLearner.from_dict(original.to_dict())
+        assert restored.C == 2.5
+        assert restored.kernel == "linear"
+
+
+def make_synopsis_dataset(rng, n=60):
+    instances = []
+    for _ in range(n):
+        label = int(rng.uniform() < 0.5)
+        instances.append(
+            Instance(
+                attributes={
+                    "a": label * 2.0 + rng.normal(scale=0.3),
+                    "b": rng.normal(),
+                },
+                label=label,
+            )
+        )
+    return Dataset(instances)
+
+
+class TestSynopsisRoundTrip:
+    def test_trained_synopsis_roundtrip(self, rng):
+        ds = make_synopsis_dataset(rng)
+        synopsis = PerformanceSynopsis(
+            "app", "ordering", HPC_LEVEL, SynopsisConfig(learner="naive")
+        ).train(ds)
+        restored = PerformanceSynopsis.from_dict(synopsis.to_dict())
+        assert restored.tier == "app"
+        assert restored.attributes == synopsis.attributes
+        assert np.array_equal(
+            restored.predict_dataset(ds), synopsis.predict_dataset(ds)
+        )
+
+    def test_untrained_synopsis_roundtrip(self):
+        synopsis = PerformanceSynopsis("db", "browsing", HPC_LEVEL)
+        restored = PerformanceSynopsis.from_dict(synopsis.to_dict())
+        assert not restored.is_trained
+        assert restored.workload == "browsing"
+
+
+class TestCoordinatorRoundTrip:
+    def test_tables_and_predictions_survive(self, rng):
+        from tests.test_coordinator import instance, make_synopsis
+
+        synopses = [
+            make_synopsis("app", "ordering"),
+            make_synopsis("db", "browsing"),
+        ]
+        predictor = CoordinatedPredictor(
+            synopses, ["app", "db"], history_bits=2, delta=2.0
+        )
+        predictor.train(
+            [instance(0.1, 0.1, 0)] * 10 + [instance(0.9, 0.2, 1, "app")] * 10
+        )
+        restored = CoordinatedPredictor.from_dict(predictor.to_dict())
+        assert np.array_equal(restored._lht, predictor._lht)
+        assert np.array_equal(restored._bpt, predictor._bpt)
+        metrics = {"app": {"x": 0.9}, "db": {"x": 0.1}}
+        predictor.reset_history()
+        assert (
+            restored.predict(metrics).state == predictor.predict(metrics).state
+        )
+
+    def test_corrupted_tables_rejected(self, rng):
+        from tests.test_coordinator import make_synopsis
+
+        predictor = CoordinatedPredictor(
+            [make_synopsis("app")], ["app"], history_bits=2, delta=1.0
+        )
+        payload = predictor.to_dict()
+        payload["lht"] = [[0.0]]  # wrong shape
+        with pytest.raises(ValueError):
+            CoordinatedPredictor.from_dict(payload)
+
+
+class TestMeterPersistence:
+    def test_save_load_roundtrip(self, mini_pipeline, tmp_path):
+        meter = mini_pipeline.meter(HPC_LEVEL)
+        path = tmp_path / "meter.json"
+        meter.save(path)
+        restored = CapacityMeter.load(path)
+        assert restored.is_trained
+        assert restored.level == meter.level
+        assert set(restored.synopses) == set(meter.synopses)
+        run = mini_pipeline.test_run("ordering")
+        assert (
+            restored.evaluate_run(run)["overload_ba"]
+            == meter.evaluate_run(run)["overload_ba"]
+        )
+
+    def test_untrained_meter_refuses_save(self, tmp_path):
+        with pytest.raises(RuntimeError):
+            CapacityMeter().save(tmp_path / "nope.json")
+
+    def test_wrong_format_rejected(self, tmp_path):
+        path = tmp_path / "bogus.json"
+        path.write_text('{"format": "something-else"}')
+        with pytest.raises(ValueError):
+            CapacityMeter.load(path)

@@ -1,0 +1,103 @@
+"""Unit tests for the Productivity Index and correlation selection."""
+
+import numpy as np
+import pytest
+
+from repro.core.pi import (
+    PiDefinition,
+    correlation,
+    normalize_to_geometric_mean,
+)
+
+
+class TestPiDefinition:
+    def test_value_is_yield_over_cost(self):
+        definition = PiDefinition("app", "ipc", "l2_miss_rate")
+        assert definition.value({"ipc": 0.8, "l2_miss_rate": 0.2}) == pytest.approx(4.0)
+
+    def test_zero_cost_yields_zero(self):
+        definition = PiDefinition("app", "ipc", "l2_miss_rate")
+        assert definition.value({"ipc": 0.8, "l2_miss_rate": 0.0}) == 0.0
+
+    def test_label(self):
+        definition = PiDefinition("db", "ipc", "stall_fraction")
+        assert definition.label == "db:ipc/stall_fraction"
+
+    def test_missing_metric_raises(self):
+        definition = PiDefinition("app", "ipc", "l2_miss_rate")
+        with pytest.raises(KeyError):
+            definition.value({"ipc": 0.8})
+
+
+class TestCorrelation:
+    def test_perfect_positive(self):
+        x = np.arange(10.0)
+        assert correlation(x, 2 * x + 1) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        x = np.arange(10.0)
+        assert correlation(x, -x) == pytest.approx(-1.0)
+
+    def test_constant_series_returns_zero(self):
+        assert correlation(np.ones(5), np.arange(5.0)) == 0.0
+
+    def test_independent_series_near_zero(self, rng):
+        a = rng.normal(size=2000)
+        b = rng.normal(size=2000)
+        assert abs(correlation(a, b)) < 0.1
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            correlation(np.arange(3.0), np.arange(4.0))
+
+    def test_too_short_raises(self):
+        with pytest.raises(ValueError):
+            correlation(np.array([1.0]), np.array([1.0]))
+
+
+class TestNormalizeToGeometricMean:
+    def test_geometric_mean_of_result_is_one(self):
+        series = np.array([1.0, 2.0, 4.0, 8.0])
+        normalized = normalize_to_geometric_mean(series)
+        assert np.exp(np.log(normalized).mean()) == pytest.approx(1.0)
+
+    def test_shape_preserved(self):
+        series = np.array([3.0, 1.0, 2.0])
+        normalized = normalize_to_geometric_mean(series)
+        assert np.argmax(normalized) == 0
+        assert np.argmin(normalized) == 1
+
+    def test_zeros_stay_zero(self):
+        series = np.array([0.0, 2.0, 8.0])
+        normalized = normalize_to_geometric_mean(series)
+        assert normalized[0] == 0.0
+        assert normalized[1] == pytest.approx(0.5)
+
+    def test_all_zero_series(self):
+        assert normalize_to_geometric_mean(np.zeros(4)).tolist() == [0.0] * 4
+
+
+class TestPiOnRuns:
+    def test_best_pi_comes_from_bottleneck_tier(self, mini_pipeline):
+        from repro.core.pi import select_best_pi
+
+        run = mini_pipeline.stress_run("ordering")
+        definition, corr = select_best_pi(run)
+        assert definition.tier == "app"  # ordering bottlenecks the app tier
+        assert corr > 0.2
+
+    def test_browsing_selects_db_tier(self, mini_pipeline):
+        from repro.core.pi import select_best_pi
+
+        run = mini_pipeline.stress_run("browsing")
+        definition, corr = select_best_pi(run)
+        assert definition.tier == "db"
+        assert corr > 0.2
+
+    def test_pi_series_length_matches_run(self, mini_pipeline):
+        from repro.core.pi import pi_series, throughput_series
+
+        run = mini_pipeline.training_run("ordering")
+        definition = PiDefinition("app", "ipc", "l2_miss_rate")
+        assert len(pi_series(run, definition)) == len(run.records)
+        assert len(throughput_series(run)) == len(run.records)

@@ -1,0 +1,171 @@
+"""Unit tests for the RBE and workload schedules."""
+
+import pytest
+
+from repro.simulator import AppServer, DatabaseServer, MultiTierWebsite, Simulator
+from repro.workload.generator import (
+    Phase,
+    ScheduleDriver,
+    WorkloadSchedule,
+    interleaved,
+    ramp_up,
+    spike,
+    staircase,
+    steady,
+)
+from repro.workload.rbe import RemoteBrowserEmulator
+from repro.workload.tpcw import BROWSING_MIX, ORDERING_MIX
+
+
+def make_rbe(sim, website, mix=ORDERING_MIX, **kwargs):
+    kwargs.setdefault("think_time_mean", 0.5)
+    kwargs.setdefault("seed", 3)
+    return RemoteBrowserEmulator(sim, website, mix, **kwargs)
+
+
+class TestRemoteBrowserEmulator:
+    def test_population_grows_and_shrinks(self, sim, website):
+        rbe = make_rbe(sim, website)
+        rbe.set_population(10)
+        assert rbe.population == 10
+        rbe.set_population(3)
+        assert rbe.population == 3
+
+    def test_negative_population_rejected(self, sim, website):
+        with pytest.raises(ValueError):
+            make_rbe(sim, website).set_population(-1)
+
+    def test_browsers_issue_requests(self, sim, website):
+        completed = []
+        rbe = make_rbe(sim, website, on_complete=completed.append)
+        rbe.set_population(5)
+        sim.run(until=20.0)
+        assert len(completed) > 20
+
+    def test_retired_browsers_stop_issuing(self, sim, website):
+        completed = []
+        rbe = make_rbe(sim, website, on_complete=completed.append)
+        rbe.set_population(5)
+        sim.run(until=10.0)
+        rbe.set_population(0)
+        sim.run(until=11.0)  # let in-flight drain
+        before = len(completed)
+        sim.run(until=30.0)
+        assert len(completed) == before
+
+    def test_set_mix_switches_traffic(self, sim, website):
+        completed = []
+        rbe = make_rbe(
+            sim, website, mix=ORDERING_MIX, on_complete=completed.append
+        )
+        rbe.set_population(5)
+        sim.run(until=10.0)
+        rbe.set_mix(BROWSING_MIX)
+        assert rbe.mix is BROWSING_MIX
+        completed.clear()
+        sim.run(until=40.0)
+        browse = sum(1 for o in completed if o.request.category == "browse")
+        assert browse / len(completed) > 0.8
+
+    def test_invalid_think_time_rejected(self, sim, website):
+        with pytest.raises(ValueError):
+            RemoteBrowserEmulator(
+                sim, website, ORDERING_MIX, think_time_mean=0.0
+            )
+
+    def test_deterministic_given_seed(self):
+        counts = []
+        for _ in range(2):
+            sim = Simulator()
+            site = MultiTierWebsite(sim, AppServer(sim), DatabaseServer(sim))
+            completed = []
+            rbe = make_rbe(sim, site, seed=77, on_complete=completed.append)
+            rbe.set_population(4)
+            sim.run(until=30.0)
+            counts.append(len(completed))
+        assert counts[0] == counts[1]
+
+
+class TestSchedules:
+    def test_ramp_up_interpolates(self):
+        schedule = ramp_up(10, 50, 100.0)
+        assert schedule.at(0.0)[0] == 10
+        assert schedule.at(50.0)[0] == 30
+        assert schedule.at(99.9)[0] == pytest.approx(50, abs=1)
+
+    def test_ramp_hold_keeps_peak(self):
+        schedule = ramp_up(0, 40, 100.0, hold=50.0)
+        assert schedule.at(120.0)[0] == 40
+        assert schedule.duration == 150.0
+
+    def test_spike_shape(self):
+        schedule = spike(10, 80, lead=30.0, width=10.0, tail=30.0)
+        assert schedule.at(15.0)[0] == 10
+        assert schedule.at(35.0)[0] == 80
+        assert schedule.at(50.0)[0] == 10
+
+    def test_staircase_levels(self):
+        schedule = staircase([5, 10, 20], 10.0)
+        assert schedule.at(5.0)[0] == 5
+        assert schedule.at(15.0)[0] == 10
+        assert schedule.at(25.0)[0] == 20
+
+    def test_steady(self):
+        schedule = steady(7, 10.0)
+        assert schedule.at(3.0)[0] == 7
+
+    def test_interleaved_alternates_mixes(self):
+        schedule = interleaved(
+            BROWSING_MIX, 10, ORDERING_MIX, 20, period=30.0, cycles=2
+        )
+        assert schedule.at(10.0) == (10, BROWSING_MIX)
+        assert schedule.at(40.0) == (20, ORDERING_MIX)
+        assert schedule.duration == 120.0
+
+    def test_then_concatenates(self):
+        schedule = steady(5, 10.0).then(steady(9, 10.0))
+        assert schedule.at(5.0)[0] == 5
+        assert schedule.at(15.0)[0] == 9
+
+    def test_past_end_holds_terminal_value(self):
+        schedule = ramp_up(0, 10, 10.0)
+        assert schedule.at(1000.0)[0] == 10
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            steady(5, 10.0).at(-1.0)
+
+    def test_empty_schedule_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadSchedule([])
+
+    def test_invalid_phase_rejected(self):
+        with pytest.raises(ValueError):
+            Phase(0.0, lambda t: 1)
+
+
+class TestScheduleDriver:
+    def test_driver_applies_population(self, sim, website):
+        rbe = make_rbe(sim, website)
+        ScheduleDriver(sim, rbe, staircase([3, 8], 10.0))
+        assert rbe.population == 3
+        sim.run(until=15.0)
+        assert rbe.population == 8
+
+    def test_driver_applies_mix(self, sim, website):
+        rbe = make_rbe(sim, website, mix=ORDERING_MIX)
+        schedule = interleaved(
+            BROWSING_MIX, 2, ORDERING_MIX, 2, period=10.0, cycles=1
+        )
+        ScheduleDriver(sim, rbe, schedule)
+        assert rbe.mix is BROWSING_MIX
+        sim.run(until=15.0)
+        assert rbe.mix is ORDERING_MIX
+
+    def test_driver_stops_after_schedule_end(self, sim, website):
+        rbe = make_rbe(sim, website)
+        ScheduleDriver(sim, rbe, steady(4, 10.0))
+        sim.run(until=50.0)
+        assert rbe.population == 4
+        # no runaway timers: the control loop has stopped
+        assert sim.peek() is None or sim.peek() > 50.0

@@ -1,0 +1,181 @@
+"""Unit tests for telemetry sampling and window aggregation."""
+
+import pytest
+
+from repro.simulator import AppServer, DatabaseServer, MultiTierWebsite, Simulator
+from repro.telemetry.dataset import OVERLOAD, UNDERLOAD
+from repro.telemetry.hpc import HPC_METRIC_NAMES
+from repro.telemetry.osmetrics import OS_METRIC_NAMES
+from repro.telemetry.sampler import (
+    HPC_LEVEL,
+    OS_LEVEL,
+    TelemetrySampler,
+    aggregate_window,
+    build_dataset,
+)
+from repro.workload.rbe import RemoteBrowserEmulator
+from repro.workload.tpcw import ORDERING_MIX
+
+
+@pytest.fixture
+def sampled_run(sim, website):
+    rbe = RemoteBrowserEmulator(
+        sim, website, ORDERING_MIX, think_time_mean=0.5, seed=5
+    )
+    rbe.set_population(6)
+    sampler = TelemetrySampler(sim, website, workload="probe", interval=1.0)
+    sim.run(until=30.0)
+    sampler.stop()
+    return sampler.run
+
+
+class TestTelemetrySampler:
+    def test_one_record_per_interval(self, sampled_run):
+        assert len(sampled_run) == 30
+        assert sampled_run.duration == pytest.approx(30.0)
+
+    def test_records_carry_both_levels_and_tiers(self, sampled_run):
+        record = sampled_run.records[0]
+        for tier in ("app", "db"):
+            assert sorted(record.metrics(HPC_LEVEL, tier)) == sorted(
+                HPC_METRIC_NAMES
+            )
+            assert sorted(record.metrics(OS_LEVEL, tier)) == sorted(
+                OS_METRIC_NAMES
+            )
+
+    def test_unknown_level_raises(self, sampled_run):
+        with pytest.raises(KeyError):
+            sampled_run.records[0].metrics("quantum", "app")
+
+    def test_stop_halts_collection(self, sim, website):
+        sampler = TelemetrySampler(sim, website, interval=1.0)
+        sim.run(until=5.0)
+        sampler.stop()
+        sim.run(until=10.0)
+        assert len(sampler.run) == 5
+
+    def test_invalid_interval_rejected(self, sim, website):
+        with pytest.raises(ValueError):
+            TelemetrySampler(sim, website, interval=0.0)
+
+    def test_network_metrics_flow_to_tiers(self, sampled_run):
+        total_db_rx = sum(
+            r.metrics(OS_LEVEL, "db")["rxbyt_per_s"]
+            for r in sampled_run.records
+        )
+        assert total_db_rx > 0  # queries crossed the link
+
+
+class TestWindowAggregation:
+    def test_window_stats_totals(self, sampled_run):
+        stats = aggregate_window(sampled_run.records[:10])
+        assert stats.t_start == pytest.approx(0.0)
+        assert stats.t_end == pytest.approx(10.0)
+        assert stats.completed > 0
+        assert stats.throughput == pytest.approx(stats.completed / 10.0)
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_window([])
+
+    def test_distress_and_bottleneck(self, sampled_run):
+        stats = aggregate_window(sampled_run.records)
+        assert set(stats.tier_distress) == {"app", "db"}
+        assert stats.bottleneck in ("app", "db")
+
+
+class TestBuildDataset:
+    def test_window_count_and_schema(self, sampled_run):
+        ds = build_dataset(
+            sampled_run,
+            level=HPC_LEVEL,
+            tier="app",
+            labeler=lambda stats: UNDERLOAD,
+            window=10,
+        )
+        assert len(ds) == 3
+        assert sorted(ds.attribute_names) == sorted(HPC_METRIC_NAMES)
+
+    def test_partial_window_discarded(self, sampled_run):
+        ds = build_dataset(
+            sampled_run,
+            level=HPC_LEVEL,
+            tier="app",
+            labeler=lambda stats: UNDERLOAD,
+            window=7,
+        )
+        assert len(ds) == 4  # 30 // 7
+
+    def test_labeler_applied(self, sampled_run):
+        ds = build_dataset(
+            sampled_run,
+            level=OS_LEVEL,
+            tier="db",
+            labeler=lambda stats: OVERLOAD,
+            window=10,
+        )
+        assert all(inst.label == OVERLOAD for inst in ds)
+        assert all(inst.bottleneck is not None for inst in ds)
+
+    def test_attributes_subset(self, sampled_run):
+        ds = build_dataset(
+            sampled_run,
+            level=HPC_LEVEL,
+            tier="app",
+            labeler=lambda stats: UNDERLOAD,
+            window=10,
+            attributes=["ipc", "l2_miss_rate"],
+        )
+        assert ds.attribute_names == ["ipc", "l2_miss_rate"]
+
+    def test_window_average_is_mean_of_intervals(self, sampled_run):
+        ds = build_dataset(
+            sampled_run,
+            level=HPC_LEVEL,
+            tier="app",
+            labeler=lambda stats: UNDERLOAD,
+            window=10,
+        )
+        manual = sum(
+            r.metrics(HPC_LEVEL, "app")["ipc"]
+            for r in sampled_run.records[:10]
+        ) / 10.0
+        assert ds[0].attributes["ipc"] == pytest.approx(manual)
+
+    def test_invalid_window_rejected(self, sampled_run):
+        with pytest.raises(ValueError):
+            build_dataset(
+                sampled_run,
+                level=HPC_LEVEL,
+                tier="app",
+                labeler=lambda stats: UNDERLOAD,
+                window=0,
+            )
+
+
+class TestHybridLevel:
+    """Paper Section VII future work: combined OS + HPC attributes."""
+
+    def test_hybrid_metrics_are_prefixed_union(self, sampled_run):
+        from repro.telemetry.sampler import HYBRID_LEVEL
+
+        record = sampled_run.records[0]
+        hybrid = record.metrics(HYBRID_LEVEL, "db")
+        assert len(hybrid) == len(HPC_METRIC_NAMES) + len(OS_METRIC_NAMES)
+        assert hybrid["hpc.ipc"] == record.metrics(HPC_LEVEL, "db")["ipc"]
+        assert hybrid["os.runq_sz"] == record.metrics(OS_LEVEL, "db")["runq_sz"]
+
+    def test_hybrid_dataset_builds(self, sampled_run):
+        from repro.telemetry.sampler import HYBRID_LEVEL
+
+        ds = build_dataset(
+            sampled_run,
+            level=HYBRID_LEVEL,
+            tier="app",
+            labeler=lambda stats: UNDERLOAD,
+            window=10,
+        )
+        assert len(ds) == 3
+        assert any(name.startswith("hpc.") for name in ds.attribute_names)
+        assert any(name.startswith("os.") for name in ds.attribute_names)

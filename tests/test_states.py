@@ -1,0 +1,30 @@
+"""Unit tests for the system-state vocabulary."""
+
+import pytest
+
+from repro.core.states import OVERLOAD, UNDERLOAD, SystemState
+
+
+class TestSystemState:
+    def test_values_match_class_variable_encoding(self):
+        assert UNDERLOAD == 0
+        assert OVERLOAD == 1
+        assert int(SystemState.UNDERLOAD) == UNDERLOAD
+        assert int(SystemState.OVERLOAD) == OVERLOAD
+
+    def test_is_overloaded(self):
+        assert SystemState.OVERLOAD.is_overloaded
+        assert not SystemState.UNDERLOAD.is_overloaded
+
+    def test_from_label(self):
+        assert SystemState.from_label(0) is SystemState.UNDERLOAD
+        assert SystemState.from_label(1) is SystemState.OVERLOAD
+
+    def test_from_label_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            SystemState.from_label(2)
+
+    def test_intenum_interoperates_with_raw_labels(self):
+        # predictors return plain ints; the enum must compare equal
+        assert SystemState.OVERLOAD == 1
+        assert SystemState.UNDERLOAD in (0, 1)

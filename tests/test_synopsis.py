@@ -1,0 +1,123 @@
+"""Unit tests for performance-synopsis construction."""
+
+import numpy as np
+import pytest
+
+from repro.core.synopsis import PerformanceSynopsis, SynopsisConfig
+from repro.telemetry.dataset import Dataset, Instance
+
+
+def make_dataset(n=60, informative=("a",), noise=("n1", "n2"), seed=0):
+    """Binary dataset where only `informative` attributes matter."""
+    rng = np.random.default_rng(seed)
+    instances = []
+    for _ in range(n):
+        label = int(rng.uniform() < 0.5)
+        attrs = {}
+        for name in informative:
+            attrs[name] = label * 2.0 + rng.normal(scale=0.3)
+        for name in noise:
+            attrs[name] = rng.normal()
+        instances.append(Instance(attributes=attrs, label=label))
+    return Dataset(instances)
+
+
+class TestTraining:
+    def test_trains_and_predicts(self):
+        synopsis = PerformanceSynopsis("app", "ordering", "hpc")
+        synopsis.train(make_dataset())
+        assert synopsis.is_trained
+        assert synopsis.predict({"a": 2.0, "n1": 0.0, "n2": 0.0}) == 1
+        assert synopsis.predict({"a": 0.0, "n1": 0.0, "n2": 0.0}) == 0
+
+    def test_untrained_predict_raises(self):
+        synopsis = PerformanceSynopsis("app", "ordering", "hpc")
+        with pytest.raises(RuntimeError):
+            synopsis.predict({"a": 1.0})
+
+    def test_empty_dataset_rejected(self):
+        synopsis = PerformanceSynopsis("app", "ordering", "hpc")
+        with pytest.raises(ValueError):
+            synopsis.train(Dataset([], attribute_names=["a"]))
+
+    def test_ranking_recorded(self):
+        synopsis = PerformanceSynopsis("app", "ordering", "hpc")
+        synopsis.train(make_dataset())
+        assert synopsis.ranking[0][0] == "a"
+
+    def test_selection_prefers_informative_attribute(self):
+        config = SynopsisConfig(min_attributes=1, max_attributes=2)
+        synopsis = PerformanceSynopsis("app", "ordering", "hpc", config)
+        synopsis.train(make_dataset())
+        assert synopsis.attributes[0] == "a"
+
+    def test_selection_can_be_disabled(self):
+        config = SynopsisConfig(select_attributes=False)
+        synopsis = PerformanceSynopsis("app", "ordering", "hpc", config)
+        synopsis.train(make_dataset())
+        assert set(synopsis.attributes) == {"a", "n1", "n2"}
+
+    def test_min_attributes_forces_diversity(self):
+        config = SynopsisConfig(min_attributes=2, max_attributes=4)
+        synopsis = PerformanceSynopsis("app", "ordering", "hpc", config)
+        synopsis.train(make_dataset())
+        assert len(synopsis.attributes) >= 2
+
+    def test_redundant_twin_attribute_skipped(self):
+        rng = np.random.default_rng(1)
+        instances = []
+        for _ in range(80):
+            label = int(rng.uniform() < 0.5)
+            base = label * 2.0 + rng.normal(scale=0.3)
+            instances.append(
+                Instance(
+                    attributes={
+                        "a": base,
+                        "a_copy": base * 3.0 + 0.5,  # collinear twin
+                        "n": rng.normal(),
+                    },
+                    label=label,
+                )
+            )
+        config = SynopsisConfig(min_attributes=2, max_attributes=3)
+        synopsis = PerformanceSynopsis("app", "ordering", "hpc", config)
+        synopsis.train(Dataset(instances))
+        assert not (
+            "a" in synopsis.attributes and "a_copy" in synopsis.attributes
+        )
+
+    def test_single_class_dataset_trains(self):
+        instances = [
+            Instance(attributes={"a": float(i)}, label=0) for i in range(20)
+        ]
+        synopsis = PerformanceSynopsis("app", "ordering", "hpc")
+        synopsis.train(Dataset(instances))
+        assert synopsis.predict({"a": 3.0}) == 0
+
+
+class TestEvaluation:
+    def test_evaluate_on_heldout(self):
+        synopsis = PerformanceSynopsis("app", "ordering", "hpc")
+        synopsis.train(make_dataset(seed=0))
+        heldout = make_dataset(seed=99)
+        cm = synopsis.evaluate(heldout)
+        assert cm.balanced_accuracy > 0.9
+        assert synopsis.balanced_accuracy(heldout) == cm.balanced_accuracy
+
+    def test_predict_dataset_shape(self):
+        synopsis = PerformanceSynopsis("app", "ordering", "hpc")
+        ds = make_dataset()
+        synopsis.train(ds)
+        assert synopsis.predict_dataset(ds).shape == (len(ds),)
+
+    def test_learner_choice_respected(self):
+        config = SynopsisConfig(learner="svm", learner_kwargs={"C": 2.0})
+        synopsis = PerformanceSynopsis("app", "ordering", "hpc", config)
+        synopsis.train(make_dataset())
+        assert synopsis._learner.C == 2.0
+
+    def test_repr_mentions_state(self):
+        synopsis = PerformanceSynopsis("db", "browsing", "os")
+        assert "untrained" in repr(synopsis)
+        synopsis.train(make_dataset())
+        assert "trained" in repr(synopsis)

@@ -1,0 +1,189 @@
+"""Unit tests for the HPC and OS metric synthesis models."""
+
+import numpy as np
+import pytest
+
+from repro.simulator.appserver import PENTIUM4_SPEC
+from repro.simulator.database import PENTIUMD_SPEC
+from repro.simulator.server import TierSample
+from repro.telemetry.hpc import HPC_METRIC_NAMES, HpcModel
+from repro.telemetry.osmetrics import OS_METRIC_NAMES, OsMetricsModel
+
+
+def make_sample(
+    *,
+    duration=1.0,
+    completed=30,
+    work=0.5,
+    busy=0.8,
+    runnable=2.0,
+    miss=0.05,
+    threads=5.0,
+    queue=0.0,
+    background=0.0,
+    workers=80,
+    cores=1,
+):
+    return TierSample(
+        tier="app",
+        t_start=0.0,
+        t_end=duration,
+        completed=completed,
+        work_done=work,
+        background_work=background,
+        core_busy_time=busy * duration * cores,
+        runnable_avg=runnable,
+        threads_avg=threads,
+        queue_avg=queue,
+        miss_rate_avg=miss,
+        cores=cores,
+        workers=workers,
+    )
+
+
+class TestHpcModel:
+    def test_emits_full_vocabulary(self):
+        model = HpcModel(PENTIUM4_SPEC, noise=0.0)
+        metrics = model.observe(make_sample())
+        assert sorted(metrics) == sorted(HPC_METRIC_NAMES)
+
+    def test_ipc_is_instructions_over_cycles(self):
+        model = HpcModel(PENTIUM4_SPEC, noise=0.0)
+        metrics = model.observe(make_sample(work=0.5, busy=0.8))
+        expected = (0.5 * PENTIUM4_SPEC.instructions_per_work) / (
+            0.8 * PENTIUM4_SPEC.frequency_ghz * 1e9
+        )
+        assert metrics["ipc"] == pytest.approx(expected)
+
+    def test_ipc_falls_when_work_stalls(self):
+        model = HpcModel(PENTIUM4_SPEC, noise=0.0)
+        healthy = model.observe(make_sample(work=0.8, busy=0.8))
+        thrashing = model.observe(make_sample(work=0.3, busy=1.0))
+        assert thrashing["ipc"] < healthy["ipc"]
+
+    def test_l2_miss_rate_passthrough(self):
+        model = HpcModel(PENTIUM4_SPEC, noise=0.0)
+        metrics = model.observe(make_sample(miss=0.3))
+        assert metrics["l2_miss_rate"] == pytest.approx(0.3)
+
+    def test_stall_fraction_grows_with_misses(self):
+        model = HpcModel(PENTIUMD_SPEC, noise=0.0)
+        low = model.observe(make_sample(miss=0.03, cores=2))
+        high = model.observe(make_sample(miss=0.4, cores=2))
+        assert high["stall_fraction"] > low["stall_fraction"]
+
+    def test_stall_cycles_never_exceed_cycles(self):
+        model = HpcModel(PENTIUM4_SPEC, noise=0.0)
+        metrics = model.observe(make_sample(miss=0.5, work=2.0, busy=1.0))
+        assert metrics["stall_cycles"] <= metrics["cycles"]
+
+    def test_branch_misses_respond_to_thread_churn(self):
+        model = HpcModel(PENTIUM4_SPEC, noise=0.0)
+        calm = model.observe(make_sample(runnable=1.0))
+        stormy = model.observe(make_sample(runnable=80.0))
+        assert stormy["branch_miss_rate"] > calm["branch_miss_rate"]
+
+    def test_background_work_counts_as_instructions(self):
+        model = HpcModel(PENTIUM4_SPEC, noise=0.0)
+        without = model.observe(make_sample(work=0.5, background=0.0))
+        with_bg = model.observe(make_sample(work=0.5, background=0.2))
+        assert with_bg["instructions"] > without["instructions"]
+
+    def test_idle_sample_yields_zero_ipc(self):
+        model = HpcModel(PENTIUM4_SPEC, noise=0.0)
+        metrics = model.observe(make_sample(work=0.0, busy=0.0, completed=0))
+        assert metrics["ipc"] == 0.0
+        assert metrics["cycles"] == 0.0
+
+    def test_noise_is_reproducible_per_seed(self):
+        sample = make_sample()
+        a = HpcModel(PENTIUM4_SPEC, noise=0.05, seed=4).observe(sample)
+        b = HpcModel(PENTIUM4_SPEC, noise=0.05, seed=4).observe(sample)
+        assert a == b
+
+    def test_noise_perturbs_values(self):
+        sample = make_sample()
+        clean = HpcModel(PENTIUM4_SPEC, noise=0.0).observe(sample)
+        noisy = HpcModel(PENTIUM4_SPEC, noise=0.05, seed=1).observe(sample)
+        assert clean["instructions"] != noisy["instructions"]
+
+    def test_negative_noise_rejected(self):
+        with pytest.raises(ValueError):
+            HpcModel(PENTIUM4_SPEC, noise=-0.1)
+
+
+class TestOsMetricsModel:
+    def test_emits_exactly_64_metrics(self):
+        assert len(OS_METRIC_NAMES) == 64
+        model = OsMetricsModel(PENTIUM4_SPEC, role="app", noise=0.0)
+        metrics = model.observe(make_sample())
+        assert sorted(metrics) == sorted(OS_METRIC_NAMES)
+
+    def test_cpu_percentages_sum_to_about_100(self):
+        model = OsMetricsModel(PENTIUM4_SPEC, role="app", noise=0.0)
+        metrics = model.observe(make_sample(busy=0.6))
+        total = (
+            metrics["cpu_user"]
+            + metrics["cpu_nice"]
+            + metrics["cpu_system"]
+            + metrics["cpu_iowait"]
+            + metrics["cpu_idle"]
+        )
+        assert total == pytest.approx(100.0, abs=2.0)
+
+    def test_utilization_clips_at_100(self):
+        """The key observability gap: OS cannot see past saturation."""
+        model = OsMetricsModel(PENTIUMD_SPEC, role="db", noise=0.0)
+        saturated = model.observe(make_sample(busy=1.0, cores=2))
+        beyond = model.observe(make_sample(busy=1.0, cores=2, queue=50.0))
+        assert saturated["cpu_idle"] == pytest.approx(beyond["cpu_idle"], abs=0.5)
+
+    def test_internal_queue_invisible_to_os(self):
+        model = OsMetricsModel(PENTIUMD_SPEC, role="db", noise=0.0)
+        quiet = model.observe(make_sample(runnable=24.0, queue=0.0, cores=2))
+        jammed = model.observe(make_sample(runnable=24.0, queue=60.0, cores=2))
+        assert quiet["runq_sz"] == pytest.approx(jammed["runq_sz"], abs=0.05)
+
+    def test_runq_tracks_runnable_threads(self):
+        model = OsMetricsModel(PENTIUM4_SPEC, role="app", noise=0.0)
+        calm = model.observe(make_sample(runnable=1.0))
+        busy = model.observe(make_sample(runnable=60.0))
+        assert busy["runq_sz"] > calm["runq_sz"] + 50
+
+    def test_ldavg_is_smoothed(self):
+        model = OsMetricsModel(PENTIUM4_SPEC, role="app", noise=0.0)
+        first = model.observe(make_sample(runnable=60.0))
+        assert first["ldavg_1"] < 60.0
+        for _ in range(600):
+            last = model.observe(make_sample(runnable=60.0))
+        assert last["ldavg_1"] == pytest.approx(60.0, rel=0.05)
+
+    def test_plist_reflects_pool_not_load(self):
+        model = OsMetricsModel(PENTIUM4_SPEC, role="app", noise=0.0)
+        idle = model.observe(make_sample(threads=1.0, workers=80))
+        slammed = model.observe(make_sample(threads=79.0, workers=80))
+        assert idle["plist_sz"] == pytest.approx(slammed["plist_sz"], abs=0.05)
+
+    def test_monitoring_cost_shows_in_system_time(self):
+        model = OsMetricsModel(PENTIUM4_SPEC, role="app", noise=0.0)
+        clean = model.observe(make_sample(background=0.0))
+        loaded = model.observe(make_sample(background=0.05))
+        assert loaded["cpu_system"] > clean["cpu_system"]
+
+    def test_network_rates_passthrough(self):
+        model = OsMetricsModel(PENTIUM4_SPEC, role="app", noise=0.0)
+        metrics = model.observe(
+            make_sample(), rx_bytes_per_s=1234.0, tx_bytes_per_s=99.0
+        )
+        assert metrics["rxbyt_per_s"] == pytest.approx(1234.0, abs=1.0)
+        assert metrics["txbyt_per_s"] == pytest.approx(99.0, abs=1.0)
+
+    def test_no_swap_activity(self):
+        model = OsMetricsModel(PENTIUMD_SPEC, role="db", noise=0.0)
+        metrics = model.observe(make_sample(queue=100.0))
+        assert metrics["pswpin_per_s"] == pytest.approx(0.0, abs=0.02)
+        assert metrics["pct_swpused"] == pytest.approx(0.0, abs=0.02)
+
+    def test_invalid_role_rejected(self):
+        with pytest.raises(ValueError):
+            OsMetricsModel(PENTIUM4_SPEC, role="cache")

@@ -1,0 +1,162 @@
+"""Unit tests for the TPC-W workload model."""
+
+import numpy as np
+import pytest
+
+from repro.simulator.website import BROWSE, ORDER
+from repro.workload.tpcw import (
+    BROWSE_INTERACTIONS,
+    BROWSING_MIX,
+    INTERACTIONS,
+    MarkovSessionModel,
+    ORDER_INTERACTIONS,
+    ORDERING_MIX,
+    SHOPPING_MIX,
+    STANDARD_MIXES,
+    TrafficMix,
+    make_unknown_mix,
+)
+
+
+class TestInteractionTable:
+    def test_fourteen_interactions(self):
+        assert len(INTERACTIONS) == 14
+
+    def test_class_split_six_eight(self):
+        assert len(BROWSE_INTERACTIONS) == 6
+        assert len(ORDER_INTERACTIONS) == 8
+
+    def test_categories_consistent(self):
+        for name in BROWSE_INTERACTIONS:
+            assert INTERACTIONS[name].category == BROWSE
+        for name in ORDER_INTERACTIONS:
+            assert INTERACTIONS[name].category == ORDER
+
+    def test_browse_class_is_db_heavy(self):
+        browse_db = np.mean(
+            [INTERACTIONS[n].db_demand for n in BROWSE_INTERACTIONS]
+        )
+        browse_app = np.mean(
+            [INTERACTIONS[n].app_demand for n in BROWSE_INTERACTIONS]
+        )
+        assert browse_db > 2 * browse_app
+
+    def test_order_class_is_app_heavy(self):
+        order_db = np.mean(
+            [INTERACTIONS[n].db_demand for n in ORDER_INTERACTIONS]
+        )
+        order_app = np.mean(
+            [INTERACTIONS[n].app_demand for n in ORDER_INTERACTIONS]
+        )
+        assert order_app > 2 * order_db
+
+
+class TestTrafficMix:
+    def test_standard_mix_fractions(self):
+        assert BROWSING_MIX.browse_fraction == 0.95
+        assert SHOPPING_MIX.browse_fraction == 0.80
+        assert ORDERING_MIX.browse_fraction == 0.50
+        assert set(STANDARD_MIXES) == {"browsing", "shopping", "ordering"}
+
+    def test_probabilities_sum_to_one(self):
+        for mix in STANDARD_MIXES.values():
+            assert sum(mix.probabilities().values()) == pytest.approx(1.0)
+
+    def test_probabilities_respect_class_split(self):
+        probs = BROWSING_MIX.probabilities()
+        browse_mass = sum(probs[n] for n in BROWSE_INTERACTIONS)
+        assert browse_mass == pytest.approx(0.95)
+
+    def test_sampling_matches_distribution(self, rng):
+        samples = [ORDERING_MIX.sample(rng) for _ in range(4000)]
+        browse_frac = np.mean([s.category == BROWSE for s in samples])
+        assert browse_frac == pytest.approx(0.5, abs=0.03)
+
+    def test_mean_demands_ordering_vs_browsing(self):
+        browsing = BROWSING_MIX.mean_demands()
+        ordering = ORDERING_MIX.mean_demands()
+        assert browsing["db"] > ordering["db"]
+        assert ordering["app"] > browsing["app"]
+
+    def test_with_browse_fraction(self):
+        mix = ORDERING_MIX.with_browse_fraction(0.7)
+        assert mix.browse_fraction == 0.7
+        assert ORDERING_MIX.browse_fraction == 0.5  # original untouched
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            TrafficMix("bad", browse_fraction=1.5)
+
+    def test_weights_normalized(self):
+        mix = TrafficMix(
+            "w",
+            browse_fraction=0.5,
+            browse_weights={n: 2.0 for n in BROWSE_INTERACTIONS},
+        )
+        assert sum(mix.browse_weights.values()) == pytest.approx(1.0)
+
+    def test_negative_weights_rejected(self):
+        weights = {n: 1.0 for n in BROWSE_INTERACTIONS}
+        weights["home"] = -1.0
+        with pytest.raises(ValueError):
+            TrafficMix("bad", browse_fraction=0.5, browse_weights=weights)
+
+
+class TestUnknownMix:
+    def test_deterministic_per_seed(self):
+        a = make_unknown_mix(seed=3)
+        b = make_unknown_mix(seed=3)
+        assert a.probabilities() == b.probabilities()
+
+    def test_differs_from_training_extremes(self):
+        mix = make_unknown_mix()
+        assert mix.browse_fraction not in (
+            BROWSING_MIX.browse_fraction,
+            ORDERING_MIX.browse_fraction,
+        )
+        assert mix.browse_weights != BROWSING_MIX.browse_weights
+
+    def test_different_seeds_differ(self):
+        assert (
+            make_unknown_mix(seed=1).probabilities()
+            != make_unknown_mix(seed=2).probabilities()
+        )
+
+
+class TestMarkovSessionModel:
+    def test_zero_continuity_is_iid(self):
+        model = MarkovSessionModel(ORDERING_MIX, continuity=0.0)
+        pi = model.stationary_distribution()
+        probs = ORDERING_MIX.probabilities()
+        for name, p in pi.items():
+            assert p == pytest.approx(probs[name], abs=1e-9)
+
+    def test_transition_matrix_is_row_stochastic(self):
+        model = MarkovSessionModel(BROWSING_MIX, continuity=0.3)
+        matrix = model.transition_matrix()
+        assert np.allclose(matrix.sum(axis=1), 1.0)
+        assert (matrix >= 0).all()
+
+    def test_stationary_browse_fraction_near_target(self):
+        for mix in (BROWSING_MIX, ORDERING_MIX):
+            model = MarkovSessionModel(mix, continuity=0.3)
+            frac = model.stationary_browse_fraction()
+            assert frac == pytest.approx(mix.browse_fraction, abs=0.12)
+
+    def test_next_follows_flow_edges_sometimes(self, rng):
+        model = MarkovSessionModel(ORDERING_MIX, continuity=0.9)
+        current = INTERACTIONS["search_request"]
+        follow = sum(
+            model.next(current, rng).name == "search_results"
+            for _ in range(300)
+        )
+        assert follow > 200
+
+    def test_invalid_continuity_rejected(self):
+        with pytest.raises(ValueError):
+            MarkovSessionModel(ORDERING_MIX, continuity=1.0)
+
+    def test_first_interaction_valid(self, rng):
+        model = MarkovSessionModel(SHOPPING_MIX)
+        for _ in range(20):
+            assert model.first(rng).name in INTERACTIONS

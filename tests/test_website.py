@@ -1,0 +1,146 @@
+"""Unit tests for the multi-tier website composition."""
+
+import pytest
+
+from repro.simulator import (
+    AppServer,
+    DatabaseServer,
+    MultiTierWebsite,
+    Request,
+    Simulator,
+)
+from repro.simulator.website import BROWSE, ORDER
+
+
+def make_request(**overrides):
+    defaults = dict(
+        name="probe",
+        category=ORDER,
+        app_demand=0.010,
+        db_demand=0.020,
+    )
+    defaults.update(overrides)
+    return Request(**defaults)
+
+
+@pytest.fixture
+def site(sim):
+    return MultiTierWebsite(sim, AppServer(sim), DatabaseServer(sim))
+
+
+class TestRequestFlow:
+    def test_request_completes_and_reports_response_time(self, sim, site):
+        outcomes = []
+        site.submit(make_request(), outcomes.append)
+        sim.run()
+        assert len(outcomes) == 1
+        outcome = outcomes[0]
+        assert not outcome.dropped
+        # response covers both app phases, the db query and two hops
+        assert outcome.response_time > 0.010 + 0.020 / 2.8
+
+    def test_pure_app_request_never_touches_db(self, sim, site):
+        outcomes = []
+        site.submit(make_request(db_demand=0.0), outcomes.append)
+        sim.run()
+        assert not outcomes[0].dropped
+        assert site.db.sample().completed == 0
+        assert site.app.sample().completed == 1
+
+    def test_on_complete_fires_exactly_once(self, sim, site):
+        count = []
+        for _ in range(10):
+            site.submit(make_request(), lambda o: count.append(1))
+        sim.run()
+        assert len(count) == 10
+
+    def test_in_flight_tracks_active_requests(self, sim, site):
+        site.submit(make_request(), lambda o: None)
+        assert site.in_flight == 1
+        sim.run()
+        assert site.in_flight == 0
+
+    def test_app_drop_reports_dropped_outcome(self, sim):
+        sim2 = Simulator()
+        app = AppServer(sim2, workers=1, queue_capacity=0)
+        site = MultiTierWebsite(sim2, app, DatabaseServer(sim2))
+        outcomes = []
+        site.submit(make_request(app_demand=1.0), outcomes.append)
+        site.submit(make_request(), outcomes.append)
+        assert len(outcomes) == 1
+        assert outcomes[0].dropped
+        sim2.run()
+        assert len(outcomes) == 2
+
+    def test_db_refusal_counts_as_drop(self, sim):
+        sim2 = Simulator()
+        db = DatabaseServer(sim2, connections=1, queue_capacity=0)
+        site = MultiTierWebsite(sim2, AppServer(sim2), db)
+        outcomes = []
+        site.submit(make_request(db_demand=1.0), outcomes.append)
+        site.submit(make_request(db_demand=1.0), outcomes.append)
+        sim2.run()
+        assert sorted(o.dropped for o in outcomes) == [False, True]
+
+
+class TestClientSample:
+    def test_counts_by_category(self, sim, site):
+        site.submit(make_request(category=BROWSE), lambda o: None)
+        site.submit(make_request(category=ORDER), lambda o: None)
+        site.submit(make_request(category=ORDER), lambda o: None)
+        sim.run()
+        ws = site.sample()
+        assert ws.client.completed == 3
+        assert ws.client.browse_completed == 1
+        assert ws.client.order_completed == 2
+
+    def test_response_time_stats(self, sim, site):
+        site.submit(make_request(), lambda o: None)
+        sim.run()
+        ws = site.sample()
+        assert ws.client.mean_response_time > 0
+        assert ws.client.response_time_max >= ws.client.mean_response_time
+
+    def test_byte_counters(self, sim, site):
+        request = make_request(request_bytes=100, response_bytes=2000)
+        site.submit(request, lambda o: None)
+        sim.run()
+        ws = site.sample()
+        assert ws.client.request_bytes == 100
+        assert ws.client.response_bytes == 2000
+
+    def test_sample_includes_both_links(self, sim, site):
+        site.submit(make_request(), lambda o: None)
+        sim.run()
+        ws = site.sample()
+        assert set(ws.links) == {"app->db", "db->app"}
+        assert ws.links["app->db"].bytes > 0
+        assert ws.links["db->app"].bytes > 0
+
+    def test_sample_resets_counters(self, sim, site):
+        site.submit(make_request(), lambda o: None)
+        sim.run()
+        site.sample()
+        ws = site.sample()
+        assert ws.client.completed == 0
+        assert ws.client.submitted == 0
+
+    def test_drop_rate_property(self, sim):
+        sim2 = Simulator()
+        app = AppServer(sim2, workers=1, queue_capacity=0)
+        site = MultiTierWebsite(sim2, app, DatabaseServer(sim2))
+        site.submit(make_request(app_demand=1.0), lambda o: None)
+        site.submit(make_request(), lambda o: None)
+        sim2.run()
+        ws = site.sample()
+        assert ws.client.drop_rate == pytest.approx(0.5)
+
+
+class TestRequestValidation:
+    def test_unknown_category_rejected(self):
+        with pytest.raises(ValueError):
+            make_request(category="neither")
+
+    def test_negative_demand_rejected(self):
+        with pytest.raises(ValueError):
+            make_request(app_demand=-0.1)
