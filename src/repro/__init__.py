@@ -29,17 +29,19 @@ Quickstart::
 from .core import (
     CapacityMeter,
     CoordinatedPredictor,
+    OnlineCapacityMonitor,
     PerformanceSynopsis,
     PiDefinition,
     Scheme,
     SynopsisConfig,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CapacityMeter",
     "CoordinatedPredictor",
+    "OnlineCapacityMonitor",
     "PerformanceSynopsis",
     "PiDefinition",
     "Scheme",

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Five subcommands cover the operational loop a downstream user needs:
+Six subcommands cover the operational loop a downstream user needs:
 
 * ``repro simulate`` — run a workload on the simulated testbed and save
   the measurement run (the expensive step, separable from the rest);
@@ -10,6 +10,9 @@ Five subcommands cover the operational loop a downstream user needs:
   by window, printing the online decisions;
 * ``repro evaluate`` — score a saved meter against a saved run
   (overload balanced accuracy + bottleneck accuracy);
+* ``repro monitor`` — run a live simulation with a streaming
+  :class:`~repro.core.monitor.OnlineCapacityMonitor` attached, printing
+  each window's decision as it is made (bounded memory, no saved run);
 * ``repro report`` — regenerate any of the paper's tables and figures.
 
 Every command accepts ``--scale`` to shrink simulated durations; 1.0 is
@@ -173,6 +176,90 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_monitor(args: argparse.Namespace) -> int:
+    from .core.monitor import MonitorDecision, OnlineCapacityMonitor
+    from .simulator import (
+        AppServer,
+        DatabaseServer,
+        MultiTierWebsite,
+        Simulator,
+    )
+    from .workload.generator import ScheduleDriver
+    from .workload.rbe import RemoteBrowserEmulator
+
+    # validate the cheap arguments before the expensive training step
+    mix = _resolve_mix(args.mix)
+    if args.retain is not None and args.retain < 0:
+        raise SystemExit("--retain must be non-negative")
+
+    if args.meter:
+        meter = CapacityMeter.load(args.meter, labeler=SlaOracle())
+    else:
+        print(
+            f"# no --meter given: training a fresh {args.level} meter "
+            f"at scale {args.scale}"
+        )
+        pipeline = ExperimentPipeline(
+            PipelineConfig(scale=args.scale, window=_window_for(args.scale))
+        )
+        meter = pipeline.meter(args.level)
+    config = TestbedConfig()
+    if args.profile == "training":
+        schedule = training_schedule(mix, config, scale=args.scale)
+    elif args.profile == "test":
+        schedule = steady_test_schedule(mix, config, scale=args.scale)
+    else:
+        schedule = stress_schedule(mix, config, scale=args.scale)
+
+    sim = Simulator()
+    app = AppServer(sim, workers=config.app_workers)
+    db = DatabaseServer(sim, connections=config.db_connections)
+    website = MultiTierWebsite(sim, app, db)
+    rbe = RemoteBrowserEmulator(
+        sim,
+        website,
+        mix,
+        think_time_mean=config.think_time_mean,
+        continuity=config.continuity,
+        seed=args.seed,
+    )
+    ScheduleDriver(sim, rbe, schedule)
+
+    print(f"{'window':>6} {'state':>9} {'bottleneck':>10} {'truth':>6} {'conf':>5}")
+
+    def show(decision: MonitorDecision) -> None:
+        prediction = decision.prediction
+        print(
+            f"{decision.index:6d} "
+            f"{'OVERLOAD' if prediction.overloaded else 'ok':>9} "
+            f"{prediction.bottleneck or '-':>10} "
+            f"{'OVERLOAD' if decision.truth else 'ok':>6} "
+            f"{'yes' if prediction.confident else 'no':>5}"
+        )
+
+    monitor = OnlineCapacityMonitor(
+        meter,
+        adapt=args.adapt,
+        retain_decisions=args.retain,
+        on_decision=show,
+    )
+    sampler = monitor.attach(
+        sim,
+        website,
+        workload=f"{args.profile}-{args.mix}",
+        interval=config.sampling_interval,
+        hpc_noise=config.hpc_noise,
+        os_noise=config.os_noise,
+        seed=args.seed,
+    )
+    sim.run(until=schedule.duration)
+    sampler.stop()
+    print()
+    for row in monitor.summary_rows():
+        print(row)
+    return 0
+
+
 _ARTIFACTS = (
     "fig3",
     "table1a",
@@ -284,6 +371,43 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--meter", required=True)
     evaluate.add_argument("--run", required=True)
     evaluate.set_defaults(func=cmd_evaluate)
+
+    monitor = sub.add_parser(
+        "monitor",
+        help="stream a live simulation through an online capacity monitor",
+    )
+    monitor.add_argument(
+        "--mix",
+        default="ordering",
+        help="browsing | shopping | ordering | unknown",
+    )
+    monitor.add_argument(
+        "--profile",
+        choices=("training", "test", "stress"),
+        default="test",
+        help="schedule shape (ramp+spike, staircase, or near-saturation)",
+    )
+    monitor.add_argument("--scale", type=float, default=0.3)
+    monitor.add_argument("--seed", type=int, default=1)
+    monitor.add_argument(
+        "--meter", default=None, help="saved meter; omit to train fresh"
+    )
+    monitor.add_argument(
+        "--level", choices=("hpc", "os", "hybrid"), default="hpc",
+        help="metric level when training a fresh meter",
+    )
+    monitor.add_argument(
+        "--adapt",
+        action="store_true",
+        help="keep updating the coordinated tables from live ground truth",
+    )
+    monitor.add_argument(
+        "--retain",
+        type=int,
+        default=None,
+        help="bound the kept decision tail (default: keep all)",
+    )
+    monitor.set_defaults(func=cmd_monitor)
 
     report = sub.add_parser(
         "report", help="regenerate one of the paper's tables/figures"

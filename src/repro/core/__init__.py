@@ -4,8 +4,10 @@ Productivity Index and PI selection (:mod:`~repro.core.pi`), offline
 state labelling (:mod:`~repro.core.labeler`), per-(tier, workload)
 performance synopses (:mod:`~repro.core.synopsis`), the two-level
 coordinated predictor with bottleneck identification
-(:mod:`~repro.core.coordinator`) and the end-to-end
-:class:`~repro.core.capacity.CapacityMeter` façade.
+(:mod:`~repro.core.coordinator`), the end-to-end
+:class:`~repro.core.capacity.CapacityMeter` façade and the streaming
+:class:`~repro.core.monitor.OnlineCapacityMonitor` that runs the whole
+loop online in O(window) memory.
 """
 
 from .capacity import CapacityMeter, build_coordinated_instances
@@ -16,6 +18,7 @@ from .coordinator import (
     Scheme,
 )
 from .labeler import PiThresholdLabeler, SlaOracle
+from .monitor import MonitorCounters, MonitorDecision, OnlineCapacityMonitor
 from .pi import (
     DEFAULT_PI_CANDIDATES,
     PiDefinition,
@@ -34,7 +37,10 @@ __all__ = [
     "CoordinatedPrediction",
     "CoordinatedPredictor",
     "DEFAULT_PI_CANDIDATES",
+    "MonitorCounters",
+    "MonitorDecision",
     "OVERLOAD",
+    "OnlineCapacityMonitor",
     "PerformanceSynopsis",
     "PiDefinition",
     "PiThresholdLabeler",

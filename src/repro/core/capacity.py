@@ -28,6 +28,7 @@ from ..telemetry.sampler import (
     WindowStats,
     aggregate_window,
     build_dataset,
+    metric_matrix,
 )
 from .coordinator import (
     CoordinatedInstance,
@@ -70,14 +71,33 @@ def build_coordinated_instances(
     if offset < 0:
         raise ValueError("offset must be non-negative")
     instances: List[CoordinatedInstance] = []
+    if len(run.records) - offset < window:
+        return instances
+    # one validated metric matrix per tier, windows averaged with a
+    # vectorized mean — the same arithmetic the streaming aggregator
+    # applies tick by tick, so online and offline paths agree exactly
+    names = {
+        tier: sorted(run.records[offset].metrics(level, tier))
+        for tier in tiers
+    }
+    rows = {
+        tier: metric_matrix(
+            run.records[offset:],
+            level=level,
+            tier=tier,
+            names=names[tier],
+            start_index=offset,
+        )
+        for tier in tiers
+    }
     for start in range(offset, len(run.records) - window + 1, stride):
         chunk = run.records[start : start + window]
         metrics: Dict[str, Dict[str, float]] = {}
         for tier in tiers:
-            dicts = [r.metrics(level, tier) for r in chunk]
-            names = dicts[0].keys()
+            block = rows[tier][start - offset : start - offset + window]
             metrics[tier] = {
-                name: sum(d[name] for d in dicts) / len(dicts) for name in names
+                name: float(value)
+                for name, value in zip(names[tier], block.mean(axis=0))
             }
         stats = aggregate_window(chunk)
         label = labeler(stats)
@@ -241,6 +261,14 @@ class CapacityMeter:
         if not self.is_trained:
             raise RuntimeError("CapacityMeter is not trained")
         return self.coordinator.evaluate(self.instances_for(run))
+
+    def evaluate_instances(
+        self, instances: Sequence[CoordinatedInstance]
+    ) -> Dict[str, float]:
+        """Score prebuilt window instances (shared across experiments)."""
+        if not self.is_trained:
+            raise RuntimeError("CapacityMeter is not trained")
+        return self.coordinator.evaluate(instances)
 
     # ------------------------------------------------------------------
     # persistence

@@ -150,6 +150,7 @@ class CoordinatedPredictor:
         """Clear the history registers (between independent runs)."""
         self._history[:] = 0
         self._last_gpv = None
+        self._last_hist = 0
 
     def synopsis_votes(
         self, metrics: Mapping[str, Mapping[str, float]]
@@ -234,6 +235,19 @@ class CoordinatedPredictor:
         )
         return fallback, False
 
+    def bpt_vote(self, gpv: int) -> Optional[str]:
+        """λb for one pattern: the BPT row's plurality tier, or ``None``.
+
+        An all-zero row means the pattern never received bottleneck
+        training; naming an arbitrary tier (``argmax`` of zeros picks
+        index 0) would count an untrained guess as a real answer, so
+        the vote abstains instead.
+        """
+        row = self._bpt[gpv]
+        if not row.any():
+            return None
+        return self.tiers[int(np.argmax(row))]
+
     def predict(
         self, metrics: Mapping[str, Mapping[str, float]]
     ) -> CoordinatedPrediction:
@@ -248,9 +262,7 @@ class CoordinatedPredictor:
         hist = int(self._history[gpv])
         hc = float(self._lht[gpv, hist])
         state, confident = self._decide(hc, gpv)
-        bottleneck = None
-        if state == OVERLOAD:
-            bottleneck = self.tiers[int(np.argmax(self._bpt[gpv]))]
+        bottleneck = self.bpt_vote(gpv) if state == OVERLOAD else None
         self._shift_history(gpv, state)
         self._last_gpv = gpv
         self._last_hist = hist
@@ -280,12 +292,19 @@ class CoordinatedPredictor:
         the coordinated predictor into a continuously adapting one,
         shrinking the supervised-learning gap the paper observes on
         unknown traffic (Section V.C).
+
+        Each prediction accepts exactly one observation: a second call
+        without an intervening :meth:`predict` raises, since it would
+        double-apply the adaptive counter update and re-repair history.
         """
         if truth not in (UNDERLOAD, OVERLOAD):
             raise ValueError("truth must be 0/1")
         gpv = self._last_gpv
         if gpv is None:
-            raise RuntimeError("observe() without a preceding predict()")
+            raise RuntimeError(
+                "observe() without a preceding predict() "
+                "(or called twice for the same prediction)"
+            )
         if adapt:
             step = 1.0 if truth == OVERLOAD else -1.0
             self._lht[gpv, self._last_hist] = float(
@@ -308,6 +327,7 @@ class CoordinatedPredictor:
                 for k, tier in enumerate(self.tiers):
                     self._bpt[gpv, k] += 1.0 if tier == bottleneck else -1.0
         self._history[gpv] = (self._history[gpv] & ~1) | truth
+        self._last_gpv = None
 
     # ------------------------------------------------------------------
     # persistence
@@ -353,12 +373,26 @@ class CoordinatedPredictor:
             pattern_fallback=bool(payload["pattern_fallback"]),
             pattern_counter_limit=float(payload["pattern_counter_limit"]),
         )
-        predictor._lht = np.array(payload["lht"], dtype=float)
-        predictor._gpt = np.array(payload["gpt"], dtype=float)
-        predictor._bpt = np.array(payload["bpt"], dtype=float)
-        expected = (2 ** len(synopses), 2 ** predictor.history_bits)
-        if predictor._lht.shape != expected:
-            raise ValueError("LHT table shape does not match parameters")
+        lht = np.array(payload["lht"], dtype=float)
+        gpt = np.array(payload["gpt"], dtype=float)
+        bpt = np.array(payload["bpt"], dtype=float)
+        n_patterns = 2 ** len(synopses)
+        expected = {
+            "LHT": (lht, (n_patterns, 2 ** predictor.history_bits)),
+            "GPT": (gpt, (n_patterns,)),
+            "BPT": (bpt, (n_patterns, len(predictor.tiers))),
+        }
+        for table, (array, shape) in expected.items():
+            if array.shape != shape:
+                raise ValueError(
+                    f"{table} table shape {array.shape} does not match "
+                    f"{len(synopses)} synopses / "
+                    f"{predictor.history_bits} history bits / "
+                    f"{len(predictor.tiers)} tiers (expected {shape})"
+                )
+        predictor._lht = lht
+        predictor._gpt = gpt
+        predictor._bpt = bpt
         return predictor
 
     # ------------------------------------------------------------------
@@ -371,8 +405,9 @@ class CoordinatedPredictor:
 
         Returns ``overload_ba`` (balanced accuracy of the state
         prediction), ``bottleneck_accuracy`` (fraction of truly
-        overloaded windows whose bottleneck tier was named correctly),
-        and raw counts.
+        overloaded windows whose bottleneck tier was named correctly —
+        a window whose BPT row abstains counts as incorrect), and raw
+        counts.
         """
         self.reset_history()
         tp = tn = fp = fn = 0
@@ -388,8 +423,9 @@ class CoordinatedPredictor:
                 if instance.bottleneck is not None:
                     bn_total += 1
                     # consult the BPT for this pattern even if the state
-                    # prediction missed, so the two accuracies decouple
-                    voted = self.tiers[int(np.argmax(self._bpt[prediction.gpv]))]
+                    # prediction missed, so the two accuracies decouple;
+                    # an abstaining (all-zero) row is simply incorrect
+                    voted = self.bpt_vote(prediction.gpv)
                     if voted == instance.bottleneck:
                         bn_correct += 1
             else:

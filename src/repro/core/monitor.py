@@ -1,0 +1,277 @@
+"""Online capacity monitoring — the paper's measurement loop, live.
+
+:class:`OnlineCapacityMonitor` wires the full online path together:
+sampler ticks → :class:`~repro.telemetry.streaming.StreamingWindowAggregator`
+→ per-tier synopsis votes → :meth:`CoordinatedPredictor.predict`
+→ ground-truth feedback via :meth:`observe` (optionally with
+``adapt=True`` for continuous online learning) → incremental
+Productivity-Index tracking (Welford-style Pearson correlation against
+throughput, Equation 2).  Memory is O(window): no interval history is
+retained beyond the current window's accumulators and whatever bounded
+debugging tail the caller asks for.
+
+The monitor's per-window decisions are bit-for-bit identical to the
+offline pipeline (:func:`~repro.core.capacity.build_coordinated_instances`
+followed by :meth:`CoordinatedPredictor.evaluate`) on the same records,
+because the streaming aggregator reproduces the batch window arithmetic
+exactly and the same predict/observe sequence runs underneath.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
+
+from ..simulator.engine import Simulator
+from ..simulator.website import MultiTierWebsite
+from ..telemetry.dataset import OVERLOAD
+from ..telemetry.sampler import (
+    IntervalRecord,
+    TelemetrySampler,
+    WindowStats,
+)
+from ..telemetry.streaming import (
+    RunningCorrelation,
+    StreamingWindow,
+    StreamingWindowAggregator,
+)
+from .capacity import CapacityMeter
+from .coordinator import CoordinatedPrediction
+from .pi import DEFAULT_PI_CANDIDATES, PiDefinition
+
+__all__ = ["MonitorDecision", "MonitorCounters", "OnlineCapacityMonitor"]
+
+
+@dataclass(frozen=True)
+class MonitorDecision:
+    """One decision window's record: prediction, truth and window state."""
+
+    index: int
+    t_start: float
+    t_end: float
+    prediction: CoordinatedPrediction
+    truth: int
+    truth_bottleneck: Optional[str]
+    stats: WindowStats
+
+    @property
+    def correct(self) -> bool:
+        return self.prediction.state == self.truth
+
+
+@dataclass
+class MonitorCounters:
+    """Running operational counters of the online loop."""
+
+    ticks: int = 0
+    windows: int = 0
+    confident_windows: int = 0
+    fallback_scheme_uses: int = 0
+    adaptation_steps: int = 0
+    tp: int = 0
+    tn: int = 0
+    fp: int = 0
+    fn: int = 0
+    bottleneck_windows: int = 0
+    bottleneck_correct: int = 0
+
+    @property
+    def confident_fraction(self) -> float:
+        return self.confident_windows / self.windows if self.windows else 0.0
+
+
+class OnlineCapacityMonitor:
+    """Streaming overload/bottleneck monitor over a trained meter.
+
+    Feed it interval records one at a time with :meth:`push` (or attach
+    it to a live simulation with :meth:`attach`); every ``window``-th
+    tick it makes a coordinated decision, scores it against the
+    labeler's ground truth, and optionally adapts the predictor online.
+
+    ``retain_decisions`` bounds the kept decision tail (``None`` keeps
+    all — fine for tests, unbounded for production monitoring; pass a
+    small number there).  ``on_decision`` delivers every decision to a
+    consumer regardless of retention.
+    """
+
+    def __init__(
+        self,
+        meter: CapacityMeter,
+        *,
+        adapt: bool = False,
+        labeler: Optional[Callable[[WindowStats], int]] = None,
+        track_pi: bool = True,
+        pi_candidates: Sequence[Tuple[str, str]] = DEFAULT_PI_CANDIDATES,
+        retain_decisions: Optional[int] = None,
+        retain_records: int = 0,
+        on_decision: Optional[Callable[[MonitorDecision], None]] = None,
+    ):
+        if not meter.is_trained:
+            raise ValueError("OnlineCapacityMonitor needs a trained meter")
+        self.meter = meter
+        self.adapt = adapt
+        self.labeler = labeler if labeler is not None else meter.labeler
+        self.on_decision = on_decision
+        self.aggregator = StreamingWindowAggregator(
+            level=meter.level,
+            tiers=meter.tiers,
+            window=meter.window,
+            retain_records=retain_records,
+        )
+        self.counters = MonitorCounters()
+        self.decisions: Deque[MonitorDecision] = deque(maxlen=retain_decisions)
+        #: incremental Corr(PI, throughput) per candidate definition,
+        #: updated every tick (the paper's 1 s PI sampling granularity)
+        self._pi_trackers: Dict[PiDefinition, RunningCorrelation] = {}
+        if track_pi:
+            for tier in meter.tiers:
+                for yield_metric, cost_metric in pi_candidates:
+                    definition = PiDefinition(tier, yield_metric, cost_metric)
+                    self._pi_trackers[definition] = RunningCorrelation()
+        # the same clean-history start the offline evaluate() performs
+        self.meter.coordinator.reset_history()
+
+    # ------------------------------------------------------------------
+    def attach(
+        self,
+        sim: Simulator,
+        website: MultiTierWebsite,
+        *,
+        workload: str = "",
+        interval: float = 1.0,
+        hpc_noise: float = 0.03,
+        os_noise: float = 0.05,
+        seed: int = 0,
+        retain: int = 0,
+    ) -> TelemetrySampler:
+        """Create a sampler that streams straight into this monitor.
+
+        The returned sampler keeps only ``retain`` raw records in its
+        run (default none) — the run object is a stub, not a log; the
+        monitor is the consumer.
+        """
+        return TelemetrySampler(
+            sim,
+            website,
+            workload=workload,
+            interval=interval,
+            hpc_noise=hpc_noise,
+            os_noise=os_noise,
+            seed=seed,
+            on_record=self.push,
+            retain=retain,
+        )
+
+    # ------------------------------------------------------------------
+    def push(self, record: IntervalRecord) -> Optional[MonitorDecision]:
+        """Fold one 1 s record; returns the decision on window completion."""
+        self.counters.ticks += 1
+        for definition, tracker in self._pi_trackers.items():
+            metrics = record.metrics(definition.level, definition.tier)
+            tracker.update(
+                definition.value(metrics), record.website.client.throughput
+            )
+        window = self.aggregator.push(record)
+        if window is None:
+            return None
+        return self._decide(window)
+
+    def _decide(self, window: StreamingWindow) -> MonitorDecision:
+        coordinator = self.meter.coordinator
+        prediction = coordinator.predict(window.metrics)
+        truth = self.labeler(window.stats)
+        truth_bottleneck = window.stats.bottleneck if truth == OVERLOAD else None
+        coordinator.observe(
+            truth,
+            bottleneck=truth_bottleneck if self.adapt else None,
+            adapt=self.adapt,
+        )
+        counters = self.counters
+        counters.windows += 1
+        if prediction.confident:
+            counters.confident_windows += 1
+        else:
+            counters.fallback_scheme_uses += 1
+        if self.adapt:
+            counters.adaptation_steps += 1
+        if truth == OVERLOAD:
+            if prediction.overloaded:
+                counters.tp += 1
+            else:
+                counters.fn += 1
+            if truth_bottleneck is not None:
+                counters.bottleneck_windows += 1
+                if coordinator.bpt_vote(prediction.gpv) == truth_bottleneck:
+                    counters.bottleneck_correct += 1
+        else:
+            if prediction.overloaded:
+                counters.fp += 1
+            else:
+                counters.tn += 1
+        decision = MonitorDecision(
+            index=window.index,
+            t_start=window.stats.t_start,
+            t_end=window.stats.t_end,
+            prediction=prediction,
+            truth=truth,
+            truth_bottleneck=truth_bottleneck,
+            stats=window.stats,
+        )
+        self.decisions.append(decision)
+        if self.on_decision is not None:
+            self.on_decision(decision)
+        return decision
+
+    # ------------------------------------------------------------------
+    def pi_correlations(self) -> Dict[PiDefinition, float]:
+        """Current Corr(PI, throughput) per tracked candidate."""
+        return {
+            definition: tracker.value
+            for definition, tracker in self._pi_trackers.items()
+        }
+
+    def best_pi(self) -> Optional[Tuple[PiDefinition, float]]:
+        """The candidate with the largest correlation so far (Eq. 2)."""
+        correlations = self.pi_correlations()
+        if not correlations:
+            return None
+        definition = max(correlations, key=correlations.get)
+        return definition, correlations[definition]
+
+    def scores(self) -> Dict[str, float]:
+        """The same score dict :meth:`CoordinatedPredictor.evaluate` returns."""
+        c = self.counters
+        tpr = c.tp / (c.tp + c.fn) if (c.tp + c.fn) else 1.0
+        tnr = c.tn / (c.tn + c.fp) if (c.tn + c.fp) else 1.0
+        return {
+            "overload_ba": 0.5 * (tpr + tnr),
+            "bottleneck_accuracy": (
+                c.bottleneck_correct / c.bottleneck_windows
+                if c.bottleneck_windows
+                else 1.0
+            ),
+            "tp": float(c.tp),
+            "tn": float(c.tn),
+            "fp": float(c.fp),
+            "fn": float(c.fn),
+            "bottleneck_windows": float(c.bottleneck_windows),
+        }
+
+    def summary_rows(self) -> List[str]:
+        """Human-readable summary of the monitoring session."""
+        c = self.counters
+        scores = self.scores()
+        rows = [
+            f"windows seen:        {c.windows} ({c.ticks} ticks)",
+            f"confident fraction:  {c.confident_fraction:.3f}",
+            f"fallback scheme:     {c.fallback_scheme_uses} windows",
+            f"adaptation steps:    {c.adaptation_steps}",
+            f"overload BA:         {scores['overload_ba']:.3f}",
+            f"bottleneck accuracy: {scores['bottleneck_accuracy']:.3f}",
+        ]
+        best = self.best_pi()
+        if best is not None and self.counters.ticks >= 2:
+            definition, corr = best
+            rows.append(f"best PI:             {definition.label} (corr {corr:.3f})")
+        return rows

@@ -190,12 +190,29 @@ class PerformanceSynopsis:
         x = np.array([metrics[a] for a in self.attributes], dtype=float)
         return self._learner.predict_one(x)
 
+    def predict_batch(self, X: np.ndarray) -> np.ndarray:
+        """Vectorized ``Predict(SYN, ·)`` over a prepared matrix.
+
+        ``X`` must be ``(n_windows, len(self.attributes))`` with columns
+        in ``self.attributes`` order (as produced by
+        ``Dataset.matrix(synopsis.attributes)``); the learners' matrix
+        ``predict`` runs once over all rows instead of per-dict calls.
+        """
+        if not self.is_trained:
+            raise RuntimeError("synopsis is not trained")
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2 or X.shape[1] != len(self.attributes):
+            raise ValueError(
+                f"expected a (n, {len(self.attributes)}) matrix over "
+                f"attributes {self.attributes}, got shape {X.shape}"
+            )
+        return self._learner.predict(X)
+
     def predict_dataset(self, dataset: Dataset) -> np.ndarray:
         """Batch prediction over a dataset with this synopsis' schema."""
         if not self.is_trained:
             raise RuntimeError("synopsis is not trained")
-        X = dataset.matrix(self.attributes)
-        return self._learner.predict(X)
+        return self.predict_batch(dataset.matrix(self.attributes))
 
     def evaluate(self, dataset: Dataset) -> ConfusionMatrix:
         """Confusion matrix of this synopsis on a labelled dataset."""

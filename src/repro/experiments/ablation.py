@@ -31,8 +31,11 @@ __all__ = [
 
 
 def _mean_ba(pipeline: ExperimentPipeline, meter, workloads) -> Dict[str, float]:
+    # every ablation variant scores the same memoized window instances
     return {
-        w: meter.evaluate_run(pipeline.test_run(w))["overload_ba"]
+        w: meter.evaluate_instances(
+            pipeline.coordinated_instances(w, meter.level)
+        )["overload_ba"]
         for w in workloads
     }
 

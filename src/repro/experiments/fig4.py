@@ -103,7 +103,11 @@ def run_fig4(
             scheme=scheme,
         )
         for workload in TEST_WORKLOADS:
-            scores = meter.evaluate_run(pipeline.test_run(workload))
+            # shared memoized window instances: every meter variant
+            # scores the same prebuilt windows instead of re-windowing
+            scores = meter.evaluate_instances(
+                pipeline.coordinated_instances(workload, level)
+            )
             result.cells.append(
                 Fig4Cell(
                     workload=workload,

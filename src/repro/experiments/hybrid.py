@@ -54,9 +54,9 @@ def run_hybrid_comparison(pipeline: ExperimentPipeline) -> HybridComparison:
     for level in (OS_LEVEL, HPC_LEVEL, HYBRID_LEVEL):
         meter = pipeline.meter(level)
         comparison.results[level] = {
-            workload: meter.evaluate_run(pipeline.test_run(workload))[
-                "overload_ba"
-            ]
+            workload: meter.evaluate_instances(
+                pipeline.coordinated_instances(workload, level)
+            )["overload_ba"]
             for workload in TEST_WORKLOADS
         }
     return comparison

@@ -14,8 +14,10 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Dict, Optional, Tuple
 
-from ..core.capacity import CapacityMeter
-from ..core.coordinator import Scheme
+from typing import List
+
+from ..core.capacity import CapacityMeter, build_coordinated_instances
+from ..core.coordinator import CoordinatedInstance, Scheme
 from ..core.labeler import SlaOracle
 from ..core.synopsis import PerformanceSynopsis, SynopsisConfig
 from ..telemetry.dataset import Dataset
@@ -80,6 +82,7 @@ class ExperimentPipeline:
         self._datasets: Dict[Tuple[str, str, str, bool], Dataset] = {}
         self._synopses: Dict[Tuple[str, str, str, str], PerformanceSynopsis] = {}
         self._meters: Dict[Tuple, CapacityMeter] = {}
+        self._instances: Dict[Tuple[str, str], List[CoordinatedInstance]] = {}
 
     # ------------------------------------------------------------------
     # measurement runs
@@ -205,6 +208,27 @@ class ExperimentPipeline:
             synopsis.train(self.dataset(workload, tier, level, training=True))
             self._synopses[key] = synopsis
         return self._synopses[key]
+
+    def coordinated_instances(
+        self, workload: str, level: str
+    ) -> List[CoordinatedInstance]:
+        """Memoized evaluation-window instances of one test run.
+
+        Window construction is the per-evaluation hot path; sharing the
+        instances lets every meter configuration (fig4 variants,
+        ablations, the hybrid comparison) score the same test run
+        without re-windowing it.
+        """
+        key = (workload, level)
+        if key not in self._instances:
+            self._instances[key] = build_coordinated_instances(
+                self.test_run(workload),
+                level=level,
+                tiers=["app", "db"],
+                labeler=self.labeler,
+                window=self.config.window,
+            )
+        return self._instances[key]
 
     # ------------------------------------------------------------------
     # coordinated meters

@@ -16,14 +16,19 @@ trade-off:
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
 
 from ..learners.base import learner_names, make_learner
 from ..telemetry.dataset import Dataset
 from .pipeline import ExperimentPipeline
 
-__all__ = ["TimingResult", "measure_build_and_decide", "run_timing"]
+__all__ = [
+    "TimingResult",
+    "measure_build_and_decide",
+    "measure_decision_paths",
+    "run_timing",
+]
 
 #: WEKA build+decide milliseconds reported by the paper, for reference.
 PAPER_MILLISECONDS = {"lr": 90.0, "naive": 10.0, "svm": 1710.0, "tan": 50.0}
@@ -37,6 +42,8 @@ class TimingResult:
     n_instances: int
     n_attributes: int
     repeats: int
+    loop_milliseconds: Dict[str, float] = field(default_factory=dict)
+    batch_milliseconds: Dict[str, float] = field(default_factory=dict)
 
     def rows(self) -> List[str]:
         out = [
@@ -51,6 +58,25 @@ class TimingResult:
             paper = PAPER_MILLISECONDS.get(name)
             paper_text = f"{paper:10.0f}" if paper is not None else f"{'-':>10}"
             out.append(f"{name:8} {measured:12.2f} {paper_text}")
+        if self.batch_milliseconds:
+            out.append("")
+            out.append(
+                f"Decision paths over {self.n_instances} windows "
+                "(per-window loop vs one batch call):"
+            )
+            out.append(
+                f"{'Learner':8} {'loop ms':>10} {'batch ms':>10} "
+                f"{'speedup':>8}"
+            )
+            for name in learner_names():
+                if name not in self.batch_milliseconds:
+                    continue
+                loop = self.loop_milliseconds[name]
+                batch = self.batch_milliseconds[name]
+                speedup = loop / batch if batch > 0 else float("inf")
+                out.append(
+                    f"{name:8} {loop:10.2f} {batch:10.2f} {speedup:7.1f}x"
+                )
         return out
 
 
@@ -73,6 +99,35 @@ def measure_build_and_decide(
     return best * 1000.0
 
 
+def measure_decision_paths(
+    learner_name: str, dataset: Dataset, *, repeats: int = 3
+) -> Tuple[float, float]:
+    """Best-of-N wall times (ms) to classify every window in a run.
+
+    Returns ``(loop_ms, batch_ms)``: the loop issues one predict call
+    per window, the way an online monitor pulls single decisions; the
+    batch path classifies the whole run in one vectorized call, the way
+    the offline experiments score test datasets.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be at least 1")
+    X = dataset.matrix()
+    y = dataset.labels()
+    learner = make_learner(learner_name)
+    learner.fit(X, y)
+    loop_best = float("inf")
+    batch_best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for i in range(X.shape[0]):
+            learner.predict(X[i : i + 1])
+        loop_best = min(loop_best, time.perf_counter() - start)
+        start = time.perf_counter()
+        learner.predict(X)
+        batch_best = min(batch_best, time.perf_counter() - start)
+    return loop_best * 1000.0, batch_best * 1000.0
+
+
 def run_timing(
     pipeline: ExperimentPipeline,
     *,
@@ -90,9 +145,17 @@ def run_timing(
         name: measure_build_and_decide(name, dataset, repeats=repeats)
         for name in names
     }
+    loop_ms: Dict[str, float] = {}
+    batch_ms: Dict[str, float] = {}
+    for name in names:
+        loop_ms[name], batch_ms[name] = measure_decision_paths(
+            name, dataset, repeats=repeats
+        )
     return TimingResult(
         milliseconds=times,
         n_instances=len(dataset),
         n_attributes=len(dataset.attribute_names),
         repeats=repeats,
+        loop_milliseconds=loop_ms,
+        batch_milliseconds=batch_ms,
     )

@@ -3,7 +3,8 @@
 Replaces the paper's PerfCtr kernel patch and Sysstat deployment:
 hardware-counter synthesis (:mod:`~repro.telemetry.hpc`), the 64
 OS-level metrics (:mod:`~repro.telemetry.osmetrics`), 1 s sampling with
-30 s window aggregation (:mod:`~repro.telemetry.sampler`), labelled
+30 s window aggregation (:mod:`~repro.telemetry.sampler`), streaming
+O(window) aggregation (:mod:`~repro.telemetry.streaming`), labelled
 dataset containers (:mod:`~repro.telemetry.dataset`) and collection
 overhead models (:mod:`~repro.telemetry.perfctr`).
 """
@@ -28,6 +29,13 @@ from .sampler import (
     WindowStats,
     aggregate_window,
     build_dataset,
+    metric_matrix,
+    metric_row,
+)
+from .streaming import (
+    RunningCorrelation,
+    StreamingWindow,
+    StreamingWindowAggregator,
 )
 
 __all__ = [
@@ -45,11 +53,16 @@ __all__ = [
     "OS_METRIC_NAMES",
     "OsMetricsModel",
     "PERFCTR_PROFILE",
+    "RunningCorrelation",
     "SYSSTAT_PROFILE",
+    "StreamingWindow",
+    "StreamingWindowAggregator",
     "TelemetrySampler",
     "WindowStats",
     "aggregate_window",
     "build_dataset",
     "load_run",
+    "metric_matrix",
+    "metric_row",
     "save_run",
 ]

@@ -82,6 +82,9 @@ class Dataset:
             missing = set(self.attribute_names) - set(inst.attributes)
             if missing:
                 raise ValueError(f"instance missing attributes {sorted(missing)}")
+        #: memoized matrix()/labels() results, invalidated by append()
+        self._matrix_cache: Dict[Tuple[str, ...], np.ndarray] = {}
+        self._labels_cache: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -98,17 +101,42 @@ class Dataset:
         if missing:
             raise ValueError(f"instance missing attributes {sorted(missing)}")
         self.instances.append(instance)
+        self._matrix_cache.clear()
+        self._labels_cache = None
 
     # ------------------------------------------------------------------
     def matrix(self, names: Optional[Sequence[str]] = None) -> np.ndarray:
-        """(n_instances, n_attributes) float matrix."""
-        names = list(names) if names is not None else self.attribute_names
-        if not self.instances:
-            return np.empty((0, len(names)))
-        return np.vstack([inst.vector(names) for inst in self.instances])
+        """(n_instances, n_attributes) float matrix.
+
+        Results are memoized per attribute tuple — synopsis training
+        and batch prediction ask for the same projections repeatedly —
+        and returned read-only so cache sharing stays safe.
+        """
+        names = tuple(names) if names is not None else tuple(self.attribute_names)
+        cached = self._matrix_cache.get(names)
+        if cached is None:
+            if not self.instances:
+                cached = np.empty((0, len(names)))
+            else:
+                cached = np.array(
+                    [
+                        [inst.attributes[n] for n in names]
+                        for inst in self.instances
+                    ],
+                    dtype=float,
+                )
+            cached.flags.writeable = False
+            self._matrix_cache[names] = cached
+        return cached
 
     def labels(self) -> np.ndarray:
-        return np.array([inst.label for inst in self.instances], dtype=int)
+        if self._labels_cache is None:
+            labels = np.array(
+                [inst.label for inst in self.instances], dtype=int
+            )
+            labels.flags.writeable = False
+            self._labels_cache = labels
+        return self._labels_cache
 
     def class_counts(self) -> Tuple[int, int]:
         """(n_underload, n_overload)."""

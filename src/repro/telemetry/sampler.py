@@ -19,7 +19,9 @@ with the corresponding high-level state, forms one training instance
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
 
 from ..simulator.engine import Simulator
 from ..simulator.website import MultiTierWebsite, WebsiteSample
@@ -37,6 +39,8 @@ __all__ = [
     "WindowStats",
     "aggregate_window",
     "build_dataset",
+    "metric_row",
+    "metric_matrix",
 ]
 
 HPC_LEVEL = "hpc"
@@ -128,7 +132,16 @@ class WindowStats:
 
 
 class TelemetrySampler:
-    """Samples a website every ``interval`` seconds into a run record."""
+    """Samples a website every ``interval`` seconds into a run record.
+
+    By default every interval record is retained in :attr:`run` — the
+    batch posture, right for offline training where the whole run is
+    windowed afterwards.  For *online* monitoring pass ``on_record`` (a
+    per-tick consumer, e.g.
+    :meth:`~repro.core.monitor.OnlineCapacityMonitor.push`) and bound
+    ``retain`` so arbitrarily long runs hold O(retain) memory instead
+    of growing without limit; ``retain=0`` keeps nothing.
+    """
 
     def __init__(
         self,
@@ -140,11 +153,18 @@ class TelemetrySampler:
         hpc_noise: float = 0.03,
         os_noise: float = 0.05,
         seed: int = 0,
+        on_record: Optional[Callable[["IntervalRecord"], None]] = None,
+        retain: Optional[int] = None,
     ):
         if interval <= 0:
             raise ValueError("sampling interval must be positive")
+        if retain is not None and retain < 0:
+            raise ValueError("retain must be non-negative when given")
         self.sim = sim
         self.website = website
+        self.on_record = on_record
+        self.retain = retain
+        self.samples_taken = 0
         self.run = MeasurementRun(workload=workload, interval=interval)
         self._hpc_models = {
             name: HpcModel(tier.spec, noise=hpc_noise, seed=seed * 1000 + i)
@@ -210,7 +230,13 @@ class TelemetrySampler:
                 for name in self._os_models
             },
         )
-        self.run.records.append(record)
+        self.samples_taken += 1
+        records = self.run.records
+        records.append(record)
+        if self.retain is not None and len(records) > self.retain:
+            del records[: len(records) - self.retain]
+        if self.on_record is not None:
+            self.on_record(record)
 
 
 # ----------------------------------------------------------------------
@@ -250,6 +276,73 @@ def aggregate_window(records: Sequence[IntervalRecord]) -> WindowStats:
     )
 
 
+def metric_row(
+    metrics: Mapping[str, float],
+    names: Sequence[str],
+    *,
+    index: int,
+    level: str,
+    tier: str,
+    strict: bool = True,
+) -> List[float]:
+    """One interval's metric dict as a row in ``names`` order, validated.
+
+    A record missing an expected attribute raises a descriptive error
+    naming the offending interval instead of a bare ``KeyError``; with
+    ``strict`` (the schema was inferred, not caller-chosen) extra
+    attributes are schema drift and raise too, rather than being
+    silently dropped.
+    """
+    try:
+        row = [metrics[name] for name in names]
+    except KeyError as exc:
+        raise ValueError(
+            f"interval {index} ({level}/{tier}) is missing attribute "
+            f"{exc.args[0]!r}; every record in a run must share the "
+            f"attribute schema {sorted(names)}"
+        ) from None
+    if strict and len(metrics) != len(names):
+        extra = sorted(set(metrics) - set(names))
+        raise ValueError(
+            f"interval {index} ({level}/{tier}) has unexpected "
+            f"attributes {extra} beyond the run's schema {sorted(names)}"
+        )
+    return row
+
+
+def metric_matrix(
+    records: Sequence[IntervalRecord],
+    *,
+    level: str,
+    tier: str,
+    names: Sequence[str],
+    strict: bool = True,
+    start_index: int = 0,
+) -> np.ndarray:
+    """(n_records, n_attributes) float matrix of one tier's metrics.
+
+    The shared fast path under :func:`build_dataset`,
+    :func:`~repro.core.capacity.build_coordinated_instances` and the
+    streaming aggregator: window averaging then becomes one vectorized
+    ``mean(axis=0)`` per window instead of a per-dict Python loop.
+    ``start_index`` offsets the interval number used in error messages.
+    """
+    return np.array(
+        [
+            metric_row(
+                record.metrics(level, tier),
+                names,
+                index=start_index + i,
+                level=level,
+                tier=tier,
+                strict=strict,
+            )
+            for i, record in enumerate(records)
+        ],
+        dtype=float,
+    )
+
+
 def build_dataset(
     run: MeasurementRun,
     *,
@@ -265,31 +358,52 @@ def build_dataset(
     30 one-second samples).  A trailing partial window is discarded.
     ``labeler`` maps the window's high-level state to the class
     variable; pair it with the oracles in :mod:`repro.core.labeler`.
+
+    Metric-dict key sets are validated across the whole run: a record
+    missing an attribute (or, when the schema is inferred from the
+    first record, carrying extras) raises a descriptive error naming
+    the interval.  Window averaging is vectorized — one numpy mean per
+    window over a prebuilt metric matrix.
     """
     if window <= 0:
         raise ValueError("window must be a positive number of intervals")
+    n_windows = len(run.records) // window
+    n_used = n_windows * window
+    strict = attributes is None
+    names: List[str] = (
+        list(attributes)
+        if attributes
+        else sorted(run.records[0].metrics(level, tier)) if run.records else []
+    )
     instances: List[Instance] = []
-    names: Optional[List[str]] = list(attributes) if attributes else None
-    for start in range(0, len(run.records) - window + 1, window):
-        chunk = run.records[start : start + window]
-        metric_dicts = [r.metrics(level, tier) for r in chunk]
-        if names is None:
-            names = sorted(metric_dicts[0])
-        averaged = {
-            name: sum(d[name] for d in metric_dicts) / len(metric_dicts)
-            for name in names
-        }
-        stats = aggregate_window(chunk)
-        label = labeler(stats)
-        instances.append(
-            Instance(
-                attributes=averaged,
-                label=label,
-                t_start=stats.t_start,
-                t_end=stats.t_end,
-                tier=tier,
-                workload=run.workload,
-                bottleneck=stats.bottleneck if label else None,
-            )
+    if n_windows:
+        rows = metric_matrix(
+            run.records[:n_used],
+            level=level,
+            tier=tier,
+            names=names,
+            strict=strict,
         )
-    return Dataset(instances, names or [])
+        for w in range(n_windows):
+            start = w * window
+            chunk = run.records[start : start + window]
+            averaged = {
+                name: float(value)
+                for name, value in zip(
+                    names, rows[start : start + window].mean(axis=0)
+                )
+            }
+            stats = aggregate_window(chunk)
+            label = labeler(stats)
+            instances.append(
+                Instance(
+                    attributes=averaged,
+                    label=label,
+                    t_start=stats.t_start,
+                    t_end=stats.t_end,
+                    tier=tier,
+                    workload=run.workload,
+                    bottleneck=stats.bottleneck if label else None,
+                )
+            )
+    return Dataset(instances, names)

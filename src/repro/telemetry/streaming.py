@@ -1,0 +1,260 @@
+"""Streaming window aggregation with O(window) memory.
+
+The paper's pipeline is *online*: statistics are sampled every second
+and folded into 30 s decision windows as the site runs, not replayed
+from a stored log.  :class:`StreamingWindowAggregator` reproduces that
+posture: each 1 s :class:`~repro.telemetry.sampler.IntervalRecord` is
+pushed into the current window incrementally — no re-scan of history,
+no unbounded retention — and a completed window emerges as the same
+per-tier averaged metric dicts and :class:`~repro.telemetry.sampler.WindowStats`
+the offline :func:`~repro.telemetry.sampler.build_dataset` /
+:func:`~repro.core.capacity.build_coordinated_instances` pair produces,
+bit-for-bit on the same records.
+
+Bit-for-bit equivalence is engineered, not hoped for: the aggregator
+buffers the current window's metric rows in a preallocated
+``(window, n_attributes)`` ring per tier and reduces it with the same
+``mean(axis=0)`` call the batch path applies to the same rows, and the
+high-level client/tier statistics accumulate in the same sequential
+order :func:`~repro.telemetry.sampler.aggregate_window` sums them in.
+
+:class:`RunningCorrelation` is the Welford-style incremental Pearson
+correlation used for online PI tracking (paper Equation 2) — constant
+memory, one update per sample, no stored series.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..simulator.website import WebsiteSample
+from .sampler import IntervalRecord, WindowStats, metric_row
+
+__all__ = [
+    "RunningCorrelation",
+    "StreamingWindow",
+    "StreamingWindowAggregator",
+]
+
+
+class RunningCorrelation:
+    """Incremental Pearson correlation (Welford-style co-moments).
+
+    Tracks running means and centered second moments of two series in
+    O(1) memory; :attr:`value` matches the offline
+    :func:`~repro.core.pi.correlation` semantics, including its
+    constant-series guard: a series whose variation is at rounding-noise
+    level relative to its magnitude correlates as 0.
+    """
+
+    def __init__(self) -> None:
+        self.n = 0
+        self._mean_x = 0.0
+        self._mean_y = 0.0
+        self._m2_x = 0.0
+        self._m2_y = 0.0
+        self._cov = 0.0
+        self._max_abs_x = 0.0
+        self._max_abs_y = 0.0
+
+    def update(self, x: float, y: float) -> None:
+        """Fold one (x, y) sample into the running moments."""
+        self.n += 1
+        dx = x - self._mean_x
+        self._mean_x += dx / self.n
+        self._m2_x += dx * (x - self._mean_x)
+        dy = y - self._mean_y
+        self._mean_y += dy / self.n
+        # co-moment uses the pre-update x delta and post-update y mean
+        self._cov += dx * (y - self._mean_y)
+        self._m2_y += dy * (y - self._mean_y)
+        self._max_abs_x = max(self._max_abs_x, abs(x))
+        self._max_abs_y = max(self._max_abs_y, abs(y))
+
+    @property
+    def value(self) -> float:
+        """Pearson correlation of everything seen so far (0 if < 2)."""
+        if self.n < 2:
+            return 0.0
+        sx = (self._m2_x / self.n) ** 0.5
+        sy = (self._m2_y / self.n) ** 0.5
+        tol_x = 1e-12 * max(1.0, self._max_abs_x)
+        tol_y = 1e-12 * max(1.0, self._max_abs_y)
+        if sx <= tol_x or sy <= tol_y:
+            return 0.0
+        return (self._cov / self.n) / (sx * sy)
+
+
+@dataclass(frozen=True)
+class StreamingWindow:
+    """One completed decision window emitted by the aggregator."""
+
+    index: int
+    metrics: Dict[str, Dict[str, float]]
+    stats: WindowStats
+
+
+class _TierAccumulator:
+    """Per-tier metric-row buffer for the current window."""
+
+    __slots__ = ("names", "ring")
+
+    def __init__(self, names: List[str], window: int):
+        self.names = names
+        #: current window's metric rows; reduced with the identical
+        #: ``mean(axis=0)`` the batch path applies to the same rows
+        self.ring = np.empty((window, len(names)), dtype=float)
+
+
+class StreamingWindowAggregator:
+    """Fold 1 s interval records into decision windows incrementally.
+
+    Parameters mirror the batch pipeline: ``level`` picks the metric
+    vocabulary, ``tiers`` the per-tier metric dicts to average,
+    ``window`` the number of sampling intervals per decision.  State is
+    O(window): one ``(window, n_attributes)`` row buffer per tier plus
+    scalar accumulators.  ``retain_records`` optionally keeps the last
+    N raw records in :attr:`recent` for debugging (0 keeps none).
+
+    ``push`` returns the completed :class:`StreamingWindow` on every
+    ``window``-th record, ``None`` otherwise.  Attribute schemas are
+    inferred from the first record (sorted, like the batch path) and
+    validated on every subsequent tick, so a mid-run schema change
+    fails loudly with the offending interval named.
+    """
+
+    def __init__(
+        self,
+        *,
+        level: str,
+        tiers: Sequence[str],
+        window: int = 30,
+        attributes: Optional[Dict[str, Sequence[str]]] = None,
+        retain_records: int = 0,
+    ):
+        if window <= 0:
+            raise ValueError("window must be a positive number of intervals")
+        if not tiers:
+            raise ValueError("need at least one tier")
+        if retain_records < 0:
+            raise ValueError("retain_records must be non-negative")
+        self.level = level
+        self.tiers = list(tiers)
+        self.window = window
+        self._explicit_attributes = attributes
+        self._acc: Optional[Dict[str, _TierAccumulator]] = None
+        self._fill = 0  # rows of the current window already folded
+        self.ticks_seen = 0
+        self.windows_emitted = 0
+        #: bounded raw-record tail for debugging
+        self.recent: Deque[IntervalRecord] = deque(maxlen=retain_records)
+        # high-level window accumulators (same sequential order as
+        # aggregate_window's sums, so the emitted stats are identical);
+        # stats cover *all* website tiers, like aggregate_window, even
+        # when metrics are collected for a subset
+        self._t_start = 0.0
+        self._t_end = 0.0
+        self._submitted = 0
+        self._completed = 0
+        self._dropped = 0
+        self._response_time_sum = 0.0
+        self._util_sum: Dict[str, float] = {}
+        self._queue_sum: Dict[str, float] = {}
+        self._workers: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def _start_accumulators(self, record: IntervalRecord) -> None:
+        self._acc = {}
+        for tier in self.tiers:
+            if self._explicit_attributes is not None:
+                names = list(self._explicit_attributes[tier])
+            else:
+                names = sorted(record.metrics(self.level, tier))
+            self._acc[tier] = _TierAccumulator(names, self.window)
+
+    def _reset_window(self, sample: WebsiteSample) -> None:
+        self._fill = 0
+        self._t_start = sample.t_start
+        self._submitted = 0
+        self._completed = 0
+        self._dropped = 0
+        self._response_time_sum = 0.0
+        self._util_sum = {tier: 0.0 for tier in sample.tiers}
+        self._queue_sum = {tier: 0.0 for tier in sample.tiers}
+        self._workers = {
+            tier: tier_sample.workers
+            for tier, tier_sample in sample.tiers.items()
+        }
+
+    # ------------------------------------------------------------------
+    def push(self, record: IntervalRecord) -> Optional[StreamingWindow]:
+        """Fold one interval record; emit the window when it completes."""
+        if self._acc is None:
+            self._start_accumulators(record)
+        if self._fill == 0:
+            self._reset_window(record.website)
+        strict = self._explicit_attributes is None
+        for tier in self.tiers:
+            acc = self._acc[tier]
+            acc.ring[self._fill] = metric_row(
+                record.metrics(self.level, tier),
+                acc.names,
+                index=self.ticks_seen,
+                level=self.level,
+                tier=tier,
+                strict=strict,
+            )
+        for tier, sample in record.website.tiers.items():
+            self._util_sum[tier] += sample.utilization
+            self._queue_sum[tier] += sample.queue_avg
+        client = record.website.client
+        self._submitted += client.submitted
+        self._completed += client.completed
+        self._dropped += client.dropped
+        self._response_time_sum += client.response_time_sum
+        self._t_end = record.t_end
+        self.ticks_seen += 1
+        self._fill += 1
+        self.recent.append(record)
+        if self._fill < self.window:
+            return None
+        return self._emit()
+
+    def _emit(self) -> StreamingWindow:
+        assert self._acc is not None
+        metrics: Dict[str, Dict[str, float]] = {}
+        for tier in self.tiers:
+            acc = self._acc[tier]
+            metrics[tier] = {
+                name: float(value)
+                for name, value in zip(acc.names, acc.ring.mean(axis=0))
+            }
+        util: Dict[str, float] = {}
+        queue: Dict[str, float] = {}
+        distress: Dict[str, float] = {}
+        for tier in self._util_sum:
+            util[tier] = self._util_sum[tier] / self.window
+            queue[tier] = self._queue_sum[tier] / self.window
+            backlog = queue[tier] / (queue[tier] + self._workers[tier])
+            distress[tier] = util[tier] + 0.5 * backlog
+        stats = WindowStats(
+            t_start=self._t_start,
+            t_end=self._t_end,
+            submitted=self._submitted,
+            completed=self._completed,
+            dropped=self._dropped,
+            response_time_sum=self._response_time_sum,
+            tier_utilization=util,
+            tier_queue=queue,
+            tier_distress=distress,
+        )
+        emitted = StreamingWindow(
+            index=self.windows_emitted, metrics=metrics, stats=stats
+        )
+        self.windows_emitted += 1
+        self._fill = 0
+        return emitted

@@ -147,6 +147,43 @@ class TestTrainingAndPrediction:
         with pytest.raises(RuntimeError):
             predictor.observe(OVERLOAD)
 
+    def test_observe_twice_for_one_prediction_raises(self, predictor):
+        self._train_sequences(predictor)
+        predictor.predict({"app": {"x": 0.1}, "db": {"x": 0.1}})
+        predictor.observe(UNDERLOAD)
+        with pytest.raises(RuntimeError):
+            predictor.observe(UNDERLOAD)
+        # a fresh predict re-arms observe
+        predictor.predict({"app": {"x": 0.1}, "db": {"x": 0.1}})
+        predictor.observe(UNDERLOAD)
+
+    def test_reset_history_rearms_observe_guard(self, predictor):
+        self._train_sequences(predictor)
+        predictor.predict({"app": {"x": 0.1}, "db": {"x": 0.1}})
+        predictor.reset_history()
+        with pytest.raises(RuntimeError):
+            predictor.observe(UNDERLOAD)
+
+    def test_zero_bpt_row_votes_none(self, predictor):
+        # untrained tables: every BPT row is all-zero, so the vote must
+        # abstain instead of picking tiers[0] arbitrarily
+        assert predictor.bpt_vote(0) is None
+
+    def test_zero_bpt_row_means_no_bottleneck_claim(self, predictor):
+        # overload episodes with no bottleneck label leave BPT empty
+        predictor.train([instance(0.9, 0.2, OVERLOAD)] * 40)
+        pred = predictor.predict({"app": {"x": 0.95}, "db": {"x": 0.2}})
+        assert pred.overloaded
+        assert pred.bottleneck is None
+
+    def test_abstaining_bottleneck_scored_incorrect(self, predictor):
+        predictor.train([instance(0.9, 0.2, OVERLOAD)] * 40)
+        scores = predictor.evaluate(
+            [instance(0.9, 0.2, OVERLOAD, "app")] * 4
+        )
+        assert scores["bottleneck_windows"] == 4.0
+        assert scores["bottleneck_accuracy"] == 0.0
+
     def test_observe_rejects_bad_truth(self, predictor):
         self._train_sequences(predictor)
         predictor.predict({"app": {"x": 0.1}, "db": {"x": 0.1}})

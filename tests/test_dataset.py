@@ -40,6 +40,31 @@ class TestDataset:
         assert ds.matrix().tolist() == [[1.0, 2.0], [3.0, 4.0]]
         assert ds.labels().tolist() == [0, 1]
 
+    def test_matrix_is_memoized_and_immutable(self):
+        ds = Dataset(
+            [
+                make_instance(label=0, a=1.0, b=2.0),
+                make_instance(label=1, a=3.0, b=4.0),
+            ]
+        )
+        first = ds.matrix()
+        assert ds.matrix() is first  # cached, not rebuilt
+        assert ds.labels() is ds.labels()
+        with pytest.raises(ValueError):
+            first[0, 0] = 99.0  # shared arrays must be read-only
+        # per-subset cache entries are independent
+        assert ds.matrix(["b"]) is ds.matrix(["b"])
+        assert ds.matrix(["b"]) is not first
+
+    def test_append_invalidates_matrix_cache(self):
+        ds = Dataset([make_instance(label=0, a=1.0, b=2.0)])
+        before = ds.matrix()
+        ds.append(make_instance(label=1, a=3.0, b=4.0))
+        after = ds.matrix()
+        assert after is not before
+        assert after.shape == (2, 2)
+        assert ds.labels().tolist() == [0, 1]
+
     def test_matrix_with_subset(self):
         ds = Dataset([make_instance(a=1.0, b=2.0)])
         assert ds.matrix(["b"]).tolist() == [[2.0]]

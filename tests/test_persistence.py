@@ -119,7 +119,29 @@ class TestCoordinatorRoundTrip:
         )
         payload = predictor.to_dict()
         payload["lht"] = [[0.0]]  # wrong shape
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="LHT"):
+            CoordinatedPredictor.from_dict(payload)
+
+    @pytest.mark.parametrize(
+        "table, bad",
+        [
+            ("gpt", [0.0, 0.0]),  # needs 2**n_synopses entries
+            ("bpt", [[0.0, 0.0]]),  # needs (2**n, len(tiers)) counts
+        ],
+    )
+    def test_corrupted_pattern_tables_rejected(self, rng, table, bad):
+        """A truncated GPT/BPT must fail at load, not at first predict."""
+        from tests.test_coordinator import make_synopsis
+
+        predictor = CoordinatedPredictor(
+            [make_synopsis("app"), make_synopsis("db", "browsing")],
+            ["app", "db"],
+            history_bits=2,
+            delta=1.0,
+        )
+        payload = predictor.to_dict()
+        payload[table] = bad
+        with pytest.raises(ValueError, match=table.upper()):
             CoordinatedPredictor.from_dict(payload)
 
 

@@ -153,6 +153,93 @@ class TestBuildDataset:
                 window=0,
             )
 
+    def test_missing_attribute_names_interval(self, sampled_run):
+        del sampled_run.records[7].hpc["app"]["ipc"]
+        with pytest.raises(ValueError) as err:
+            build_dataset(
+                sampled_run,
+                level=HPC_LEVEL,
+                tier="app",
+                labeler=lambda stats: UNDERLOAD,
+                window=10,
+            )
+        assert "interval 7" in str(err.value)
+        assert "'ipc'" in str(err.value)
+
+    def test_extra_attribute_rejected_when_schema_inferred(self, sampled_run):
+        sampled_run.records[3].hpc["app"]["bogus"] = 1.0
+        with pytest.raises(ValueError) as err:
+            build_dataset(
+                sampled_run,
+                level=HPC_LEVEL,
+                tier="app",
+                labeler=lambda stats: UNDERLOAD,
+                window=10,
+            )
+        assert "interval 3" in str(err.value)
+        assert "bogus" in str(err.value)
+
+    def test_extra_attribute_tolerated_with_explicit_schema(self, sampled_run):
+        sampled_run.records[3].hpc["app"]["bogus"] = 1.0
+        ds = build_dataset(
+            sampled_run,
+            level=HPC_LEVEL,
+            tier="app",
+            labeler=lambda stats: UNDERLOAD,
+            window=10,
+            attributes=["ipc", "l2_miss_rate"],
+        )
+        assert len(ds) == 3
+
+    def test_missing_attribute_with_explicit_schema_still_raises(
+        self, sampled_run
+    ):
+        del sampled_run.records[12].hpc["app"]["l2_miss_rate"]
+        with pytest.raises(ValueError) as err:
+            build_dataset(
+                sampled_run,
+                level=HPC_LEVEL,
+                tier="app",
+                labeler=lambda stats: UNDERLOAD,
+                window=10,
+                attributes=["ipc", "l2_miss_rate"],
+            )
+        assert "interval 12" in str(err.value)
+
+
+class TestStreamingSampler:
+    def test_on_record_sees_every_tick(self, sim, website):
+        seen = []
+        sampler = TelemetrySampler(
+            sim, website, interval=1.0, on_record=seen.append
+        )
+        sim.run(until=8.0)
+        sampler.stop()
+        assert len(seen) == 8
+        assert seen == sampler.run.records
+
+    def test_retain_bounds_the_run(self, sim, website):
+        sampler = TelemetrySampler(sim, website, interval=1.0, retain=5)
+        sim.run(until=20.0)
+        sampler.stop()
+        assert sampler.samples_taken == 20
+        assert len(sampler.run.records) == 5
+        assert sampler.run.records[-1].t_end == pytest.approx(20.0)
+
+    def test_retain_zero_keeps_nothing(self, sim, website):
+        seen = []
+        sampler = TelemetrySampler(
+            sim, website, interval=1.0, retain=0, on_record=seen.append
+        )
+        sim.run(until=6.0)
+        sampler.stop()
+        assert sampler.run.records == []
+        assert len(seen) == 6
+
+    def test_negative_retain_rejected(self, sim, website):
+        with pytest.raises(ValueError):
+            TelemetrySampler(sim, website, interval=1.0, retain=-1)
+
 
 class TestHybridLevel:
     """Paper Section VII future work: combined OS + HPC attributes."""

@@ -110,6 +110,30 @@ class TestEvaluation:
         synopsis.train(ds)
         assert synopsis.predict_dataset(ds).shape == (len(ds),)
 
+    def test_predict_batch_matches_per_dict_loop(self):
+        synopsis = PerformanceSynopsis("app", "ordering", "hpc")
+        ds = make_dataset()
+        synopsis.train(ds)
+        batch = synopsis.predict_batch(ds.matrix(synopsis.attributes))
+        loop = [synopsis.predict(inst.attributes) for inst in ds.instances]
+        assert batch.tolist() == loop
+
+    def test_predict_batch_validates_shape(self):
+        synopsis = PerformanceSynopsis("app", "ordering", "hpc")
+        ds = make_dataset()
+        synopsis.train(ds)
+        with pytest.raises(ValueError):
+            synopsis.predict_batch(np.zeros((4,)))
+        with pytest.raises(ValueError):
+            synopsis.predict_batch(
+                np.zeros((4, len(synopsis.attributes) + 1))
+            )
+
+    def test_predict_batch_requires_training(self):
+        synopsis = PerformanceSynopsis("app", "ordering", "hpc")
+        with pytest.raises(RuntimeError):
+            synopsis.predict_batch(np.zeros((1, 1)))
+
     def test_learner_choice_respected(self):
         config = SynopsisConfig(learner="svm", learner_kwargs={"C": 2.0})
         synopsis = PerformanceSynopsis("app", "ordering", "hpc", config)
