@@ -1,0 +1,130 @@
+"""P1 — parallel engine + artifact cache wall-clock trajectory.
+
+Measures the four costs the `repro.parallel` subsystem trades between:
+
+* serial in-process build (the reference path);
+* process-pool fan-out (``--jobs N``), which must be bit-identical;
+* cold content-addressed cache (build + store);
+* warm cache (load only — zero simulation, zero training).
+
+The numbers land in machine-readable
+``benchmarks/results/BENCH_parallel.json`` so the perf trajectory is
+tracked across PRs; the hard speedup assertions are conditional on the
+host actually having cores to parallelize over.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.experiments.pipeline import ExperimentPipeline, PipelineConfig
+from repro.parallel import ArtifactCache, resolve_jobs
+from repro.telemetry.persistence import run_to_dict
+
+from conftest import BENCH_SCALE, BENCH_WINDOW, RESULTS_DIR
+
+#: this benchmark times four full rebuilds, so it caps its own scale —
+#: the parallel/cache win is scale-independent, the wall-clock is not
+SCALE = min(BENCH_SCALE, 0.25)
+WINDOW = min(BENCH_WINDOW, 10)
+
+#: artifact subset: both training runs and the HPC-level synopses of
+#: the two cheap-to-train learners across both tiers (8 synopses)
+WARM_KWARGS = dict(test_workloads=(), levels=("hpc",), learners=("naive", "tan"))
+
+
+def _timed_warm(pipeline: ExperimentPipeline, jobs: int):
+    start = time.perf_counter()
+    report = pipeline.warm(jobs=jobs, **WARM_KWARGS)
+    return time.perf_counter() - start, report
+
+
+def test_parallel_engine_and_cache(benchmark, record_result, tmp_path_factory):
+    config = PipelineConfig(scale=SCALE, window=WINDOW)
+    cpu_count = os.cpu_count() or 1
+    parallel_jobs = max(2, resolve_jobs(None))
+
+    # serial reference build
+    serial = ExperimentPipeline(config)
+    serial_s, serial_report = _timed_warm(serial, jobs=1)
+    assert serial_report.runs_built == 2
+    assert serial_report.synopses_built == 8
+
+    # process-pool fan-out (oversubscribed on single-core hosts, which
+    # still exercises the merge path and the bit-equality guarantee)
+    parallel = ExperimentPipeline(config)
+    parallel_s, parallel_report = _timed_warm(parallel, jobs=parallel_jobs)
+    assert parallel_report.runs_built == 2
+    assert parallel_report.synopses_built == 8
+
+    bit_identical = all(
+        run_to_dict(serial.training_run(w)) == run_to_dict(parallel.training_run(w))
+        for w in ("ordering", "browsing")
+    ) and all(
+        serial.synopsis(w, tier, "hpc", learner).to_dict()
+        == parallel.synopsis(w, tier, "hpc", learner).to_dict()
+        for w in ("ordering", "browsing")
+        for tier in ("app", "db")
+        for learner in ("naive", "tan")
+    )
+    assert bit_identical
+
+    # cold cache: build everything once and store it
+    cache_dir = tmp_path_factory.mktemp("bench-cache")
+    cold = ExperimentPipeline(config, cache=ArtifactCache(cache_dir))
+    cold_s, _ = _timed_warm(cold, jobs=1)
+    assert cold.cache.stores["run"] == 2
+    assert cold.cache.stores["synopsis"] == 8
+
+    # warm cache: a fresh process-equivalent pipeline loads everything
+    warm = ExperimentPipeline(config, cache=ArtifactCache(cache_dir))
+    warm_s, _ = _timed_warm(warm, jobs=1)
+    assert warm.builds["run"] == 0
+    assert warm.builds["synopsis"] == 0
+
+    parallel_speedup = serial_s / parallel_s if parallel_s > 0 else None
+    warm_speedup = cold_s / warm_s if warm_s > 0 else None
+
+    # the ≥2x bars only mean something where the host can deliver them:
+    # fan-out needs real cores, the cache win holds everywhere
+    if cpu_count >= 4:
+        assert parallel_speedup >= 2.0
+    assert warm_speedup >= 2.0
+
+    payload = {
+        "name": "parallel_engine",
+        "scale": SCALE,
+        "window": WINDOW,
+        "cpu_count": cpu_count,
+        "parallel_jobs": parallel_jobs,
+        "runs_built": serial_report.runs_built,
+        "synopses_built": serial_report.synopses_built,
+        "serial_s": round(serial_s, 4),
+        "parallel_s": round(parallel_s, 4),
+        "parallel_speedup": round(parallel_speedup, 3),
+        "cold_cache_s": round(cold_s, 4),
+        "warm_cache_s": round(warm_s, 4),
+        "warm_speedup": round(warm_speedup, 3),
+        "bit_identical": bit_identical,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_parallel.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    record_result(
+        "parallel_engine",
+        [f"{key}: {value}" for key, value in payload.items()],
+    )
+
+    # headline number: the restart cost of a fully warmed invocation
+    def warm_restart():
+        restarted = ExperimentPipeline(config, cache=ArtifactCache(cache_dir))
+        restarted.warm(jobs=1, **WARM_KWARGS)
+        assert restarted.builds["run"] == 0
+        return restarted
+
+    benchmark.pedantic(warm_restart, rounds=3, iterations=1)

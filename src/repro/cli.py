@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Six subcommands cover the operational loop a downstream user needs:
+Eight subcommands cover the operational loop a downstream user needs:
 
 * ``repro simulate`` — run a workload on the simulated testbed and save
   the measurement run (the expensive step, separable from the rest);
@@ -13,10 +13,15 @@ Six subcommands cover the operational loop a downstream user needs:
 * ``repro monitor`` — run a live simulation with a streaming
   :class:`~repro.core.monitor.OnlineCapacityMonitor` attached, printing
   each window's decision as it is made (bounded memory, no saved run);
-* ``repro report`` — regenerate any of the paper's tables and figures.
+* ``repro report`` — regenerate any of the paper's tables and figures;
+* ``repro table1`` — both Table I sub-tables through the parallel
+  engine and the persistent artifact cache (``--jobs``, ``--cache-dir``);
+* ``repro cache`` — inspect or clear that artifact cache.
 
 Every command accepts ``--scale`` to shrink simulated durations; 1.0 is
-paper scale (3000 s training ramps, 30 s windows).
+paper scale (3000 s training ramps, 30 s windows).  ``--jobs N`` fans
+independent artifacts out over N worker processes (default: all CPUs);
+parallel output is bit-identical to ``--jobs 1``.
 """
 
 from __future__ import annotations
@@ -57,6 +62,41 @@ _COLLECTORS = {
 
 def _window_for(scale: float) -> int:
     return 30 if scale >= 0.8 else 10
+
+
+def _make_cache(args: argparse.Namespace, *, default_on: bool):
+    """ArtifactCache from ``--cache-dir`` / ``--no-cache``, or None.
+
+    Commands built on the artifact cache (``table1``) default it on;
+    the older commands only cache when ``--cache-dir`` is given, so
+    their behaviour is unchanged for existing scripts.
+    """
+    if getattr(args, "no_cache", False):
+        return None
+    cache_dir = getattr(args, "cache_dir", None)
+    if cache_dir is None and not default_on:
+        return None
+    from .parallel import ArtifactCache
+
+    return ArtifactCache(cache_dir)
+
+
+def _print_build_summary(pipeline, report, jobs: int) -> None:
+    """Machine-greppable build/cache counters (CI warm gate)."""
+    runs = pipeline.builds["run"]
+    synopses = pipeline.builds["synopsis"]
+    if report is not None and jobs > 1:
+        # worker-side builds are invisible to the parent's counter
+        runs += report.runs_built
+        synopses += report.synopses_built
+    print(f"# jobs: {jobs}")
+    print(f"# builds: runs={runs} synopses={synopses}")
+    if pipeline.cache is not None:
+        for kind, info in pipeline.cache.counters().items():
+            print(
+                f"# cache {kind}: hits={info['hits']} "
+                f"misses={info['misses']} stores={info['stores']}"
+            )
 
 
 def _resolve_mix(name: str):
@@ -120,6 +160,9 @@ def _training_runs(args: argparse.Namespace) -> Dict[str, MeasurementRun]:
 
 
 def cmd_train(args: argparse.Namespace) -> int:
+    from .parallel import resolve_jobs
+
+    jobs = resolve_jobs(args.jobs)
     runs = _training_runs(args)
     window = args.window or _window_for(args.scale)
     meter = CapacityMeter(
@@ -130,7 +173,13 @@ def cmd_train(args: argparse.Namespace) -> int:
         history_bits=args.history_bits,
         delta=args.delta,
     )
-    meter.train(runs)
+    if jobs > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=jobs) as executor:
+            meter.train(runs, executor=executor)
+    else:
+        meter.train(runs)
     for (workload, tier), synopsis in sorted(meter.synopses.items()):
         print(
             f"synopsis {workload}/{tier}: attributes {synopsis.attributes} "
@@ -275,6 +324,26 @@ _ARTIFACTS = (
 )
 
 
+#: which artifacts each report needs warmed (kwargs for ``warm``);
+#: None means the experiment drives its own simulations, so there is
+#: nothing to fan out
+_WARM_SPECS = {
+    "fig3": dict(
+        test_workloads=(), include_stress=True, levels=(), learners=()
+    ),
+    "table1a": dict(test_workloads=("browsing",)),
+    "table1b": dict(test_workloads=("ordering",)),
+    "fig4": dict(learners=("tan",)),
+    "timing": dict(test_workloads=(), levels=(), learners=()),
+    "overhead": None,
+    "history": dict(levels=("hpc",), learners=("tan",)),
+    "scheme": dict(levels=("hpc",), learners=("tan",)),
+    "delta": dict(levels=("hpc",), learners=("tan",)),
+    "fallback": dict(levels=("hpc",), learners=("tan",)),
+    "hybrid": dict(levels=("os", "hpc", "hybrid"), learners=("tan",)),
+}
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     from .experiments import (
         run_delta_ablation,
@@ -288,10 +357,16 @@ def cmd_report(args: argparse.Namespace) -> int:
         run_table1,
         run_timing,
     )
+    from .parallel import resolve_jobs
 
+    jobs = resolve_jobs(args.jobs)
     pipeline = ExperimentPipeline(
-        PipelineConfig(scale=args.scale, window=_window_for(args.scale))
+        PipelineConfig(scale=args.scale, window=_window_for(args.scale)),
+        cache=_make_cache(args, default_on=False),
     )
+    spec = _WARM_SPECS[args.artifact]
+    if jobs > 1 and spec is not None:
+        pipeline.warm(jobs=jobs, **spec)
     producers = {
         "fig3": lambda: run_fig3(pipeline).rows(every=60),
         "table1a": lambda: run_table1(pipeline, "browsing").rows(),
@@ -307,6 +382,46 @@ def cmd_report(args: argparse.Namespace) -> int:
     }
     for row in producers[args.artifact]():
         print(row)
+    return 0
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    from .experiments.table1 import run_table1
+    from .parallel import resolve_jobs
+
+    learners = tuple(
+        name for name in (args.learners or "").split(",") if name
+    )
+    inputs = (
+        ("browsing", "ordering") if args.input == "both" else (args.input,)
+    )
+    jobs = resolve_jobs(args.jobs)
+    pipeline = ExperimentPipeline(
+        PipelineConfig(scale=args.scale, window=_window_for(args.scale)),
+        cache=_make_cache(args, default_on=True),
+    )
+    warm_kwargs = {"test_workloads": inputs}
+    if learners:
+        warm_kwargs["learners"] = learners
+    report = pipeline.warm(jobs=jobs, **warm_kwargs)
+    for workload in inputs:
+        for row in run_table1(pipeline, workload, learners=learners).rows():
+            print(row)
+        print()
+    _print_build_summary(pipeline, report, jobs)
+    return 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    from .parallel import ArtifactCache
+
+    cache = ArtifactCache(args.cache_dir)
+    if args.action == "stats":
+        for row in cache.stats_rows():
+            print(row)
+    else:
+        removed = cache.clear()
+        print(f"removed {removed} entries from {cache.root}")
     return 0
 
 
@@ -355,6 +470,13 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--sla", type=float, default=0.5)
     train.add_argument("--history-bits", type=int, default=3)
     train.add_argument("--delta", type=float, default=5.0)
+    train.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for cross-validation folds "
+        "(default: all CPUs; bit-identical to --jobs 1)",
+    )
     train.add_argument("--out", required=True)
     train.set_defaults(func=cmd_train)
 
@@ -414,7 +536,68 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report.add_argument("--artifact", choices=_ARTIFACTS, required=True)
     report.add_argument("--scale", type=float, default=0.3)
+    report.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for independent artifacts "
+        "(default: all CPUs; bit-identical to --jobs 1)",
+    )
+    report.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persistent artifact cache directory (default: no cache)",
+    )
+    report.add_argument(
+        "--no-cache", action="store_true", help="disable the artifact cache"
+    )
     report.set_defaults(func=cmd_report)
+
+    table1 = sub.add_parser(
+        "table1",
+        help="both Table I sub-tables via the parallel engine + cache",
+    )
+    table1.add_argument(
+        "--input",
+        choices=("both", "browsing", "ordering"),
+        default="both",
+        help="which testing mix(es) to tabulate",
+    )
+    table1.add_argument("--scale", type=float, default=0.3)
+    table1.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for runs/synopses "
+        "(default: all CPUs; bit-identical to --jobs 1)",
+    )
+    table1.add_argument(
+        "--cache-dir",
+        default=None,
+        help="artifact cache directory "
+        "(default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    table1.add_argument(
+        "--no-cache", action="store_true", help="disable the artifact cache"
+    )
+    table1.add_argument(
+        "--learners",
+        default="",
+        help="comma-separated learner subset (default: all registered)",
+    )
+    table1.set_defaults(func=cmd_table1)
+
+    cache = sub.add_parser(
+        "cache", help="inspect or clear the persistent artifact cache"
+    )
+    cache.add_argument("action", choices=("stats", "clear"))
+    cache.add_argument(
+        "--cache-dir",
+        default=None,
+        help="cache directory "
+        "(default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    cache.set_defaults(func=cmd_cache)
 
     return parser
 

@@ -162,12 +162,18 @@ class CapacityMeter:
         )
 
     def train(
-        self, training_runs: Mapping[str, MeasurementRun]
+        self,
+        training_runs: Mapping[str, MeasurementRun],
+        *,
+        executor=None,
     ) -> "CapacityMeter":
         """Build all synopses and the coordinated predictor.
 
         ``training_runs`` maps workload names (e.g. "browsing",
-        "ordering") to their ramp+spike measurement runs.
+        "ordering") to their ramp+spike measurement runs.  ``executor``
+        (any ``concurrent.futures.Executor``) parallelizes the
+        cross-validation folds inside each synopsis' forward selection;
+        results are bit-identical to serial training.
         """
         if not training_runs:
             raise ValueError("need at least one training run")
@@ -180,7 +186,9 @@ class CapacityMeter:
                     level=self.level,
                     config=self.synopsis_config,
                 )
-                synopsis.train(self.training_dataset(run, tier))
+                synopsis.train(
+                    self.training_dataset(run, tier), executor=executor
+                )
                 self.synopses[(workload, tier)] = synopsis
 
         self.train_coordinator(training_runs)

@@ -22,9 +22,13 @@ from typing import Dict, List, Mapping, Optional
 
 import numpy as np
 
-from ..learners.base import SynopsisLearner, make_learner
+from ..learners.base import LearnerFactory, SynopsisLearner, make_learner
 from ..learners.information_gain import rank_attributes
-from ..learners.validation import ConfusionMatrix, cross_validate
+from ..learners.validation import (
+    ConfusionMatrix,
+    cross_validate_detailed,
+    stratified_kfold_indices,
+)
 from ..telemetry.dataset import Dataset
 
 __all__ = ["SynopsisConfig", "PerformanceSynopsis"]
@@ -49,6 +53,12 @@ class SynopsisConfig:
     workloads.  ``redundancy_threshold`` skips candidates whose Pearson
     correlation with an already-selected attribute exceeds it, so the
     forced minimum buys diversity rather than duplicates.
+
+    ``improvement_sigma`` judges a candidate's improvement against the
+    fold-to-fold spread of its CV scores: when positive, the required
+    improvement is ``max(min_improvement, improvement_sigma * SEM)``
+    where SEM is the standard error of the candidate's fold mean.  The
+    default 0.0 preserves the historical fixed-threshold rule.
     """
 
     learner: str = "tan"
@@ -60,6 +70,7 @@ class SynopsisConfig:
     patience: int = 3
     cv_folds: int = 10
     min_improvement: float = 0.002
+    improvement_sigma: float = 0.0
     redundancy_threshold: float = 0.98
     seed: int = 0
 
@@ -81,6 +92,8 @@ class PerformanceSynopsis:
         self.attributes: List[str] = []
         self.ranking: List[tuple] = []
         self.cv_score: float = 0.0
+        #: fold-score standard deviation behind :attr:`cv_score`
+        self.cv_std: float = 0.0
         self._learner: Optional[SynopsisLearner] = None
 
     # ------------------------------------------------------------------
@@ -99,8 +112,16 @@ class PerformanceSynopsis:
         return make_learner(self.config.learner, **dict(self.config.learner_kwargs))
 
     # ------------------------------------------------------------------
-    def train(self, dataset: Dataset) -> "PerformanceSynopsis":
-        """Select attributes and induce the model from a dataset."""
+    def train(
+        self, dataset: Dataset, *, executor=None
+    ) -> "PerformanceSynopsis":
+        """Select attributes and induce the model from a dataset.
+
+        ``executor`` (any ``concurrent.futures.Executor``) fans the
+        cross-validation folds of forward selection out over workers;
+        results are merged in fold order, so the selection — and the
+        final model — is bit-identical to a serial run.
+        """
         if len(dataset) == 0:
             raise ValueError("cannot train a synopsis on an empty dataset")
         cfg = self.config
@@ -112,13 +133,17 @@ class PerformanceSynopsis:
         if not cfg.select_attributes or len(np.unique(y)) < 2:
             self.attributes = list(names)
         else:
-            self.attributes = self._forward_select(dataset, y)
+            self.attributes = self._forward_select(
+                dataset, y, executor=executor
+            )
 
         X = dataset.matrix(self.attributes)
         self._learner = self._new_learner().fit(X, y)
         return self
 
-    def _forward_select(self, dataset: Dataset, y: np.ndarray) -> List[str]:
+    def _forward_select(
+        self, dataset: Dataset, y: np.ndarray, *, executor=None
+    ) -> List[str]:
         """Greedy info-gain-ordered forward selection with CV scoring.
 
         Candidates are visited in decreasing information gain; a
@@ -126,6 +151,10 @@ class PerformanceSynopsis:
         is skipped.  A candidate is kept when it improves the 10-fold
         CV balanced accuracy, or unconditionally while fewer than
         ``min_attributes`` diverse attributes have been accepted.
+
+        The stratified folds depend only on ``y``/``cv_folds``/``seed``,
+        so they are computed once and shared across every candidate
+        instead of re-splitting up to ``max_candidates`` times.
         """
         cfg = self.config
         candidates = [
@@ -137,8 +166,13 @@ class PerformanceSynopsis:
         columns = {
             name: dataset.matrix([name])[:, 0] for name in candidates
         }
+        folds = list(
+            stratified_kfold_indices(y, k=cfg.cv_folds, seed=cfg.seed)
+        )
+        factory = LearnerFactory(cfg.learner, dict(cfg.learner_kwargs))
         selected: List[str] = []
         best_score = 0.0
+        best_std = 0.0
         misses = 0
         for name in candidates:
             if len(selected) >= cfg.max_attributes:
@@ -147,19 +181,32 @@ class PerformanceSynopsis:
                 continue
             trial = selected + [name]
             X = dataset.matrix(trial)
-            score = cross_validate(
-                self._new_learner, X, y, k=cfg.cv_folds, seed=cfg.seed
+            result = cross_validate_detailed(
+                factory,
+                X,
+                y,
+                k=cfg.cv_folds,
+                seed=cfg.seed,
+                folds=folds,
+                executor=executor,
             )
+            score = result.mean
+            required = cfg.min_improvement
+            if cfg.improvement_sigma > 0.0:
+                required = max(required, cfg.improvement_sigma * result.sem)
             forced = len(selected) < cfg.min_attributes
-            if score > best_score + cfg.min_improvement or forced:
+            if score > best_score + required or forced:
                 selected = trial
-                best_score = max(best_score, score)
+                if score > best_score:
+                    best_score = score
+                    best_std = result.std
                 misses = 0
             else:
                 misses += 1
                 if misses >= cfg.patience:
                     break
         self.cv_score = best_score
+        self.cv_std = best_std
         return selected
 
     def _redundant(
@@ -242,12 +289,14 @@ class PerformanceSynopsis:
                 "patience": self.config.patience,
                 "cv_folds": self.config.cv_folds,
                 "min_improvement": self.config.min_improvement,
+                "improvement_sigma": self.config.improvement_sigma,
                 "redundancy_threshold": self.config.redundancy_threshold,
                 "seed": self.config.seed,
             },
             "attributes": list(self.attributes),
             "ranking": [[name, gain] for name, gain in self.ranking],
             "cv_score": self.cv_score,
+            "cv_std": self.cv_std,
         }
         if self.is_trained:
             payload["model"] = self._learner.to_dict()
@@ -270,6 +319,7 @@ class PerformanceSynopsis:
             (name, float(gain)) for name, gain in payload.get("ranking", [])
         ]
         synopsis.cv_score = float(payload.get("cv_score", 0.0))
+        synopsis.cv_std = float(payload.get("cv_std", 0.0))
         if "model" in payload:
             synopsis._learner = SynopsisLearner.from_dict(payload["model"])
         return synopsis

@@ -25,11 +25,13 @@ from .fig4 import Fig4Cell, Fig4Result, run_fig4
 from .overhead import OverheadResult, run_overhead
 from .pipeline import (
     LEVELS,
+    PIPELINE_TIERS,
     TEST_WORKLOADS,
     TRAINING_WORKLOADS,
     ExperimentPipeline,
     PipelineConfig,
     get_pipeline,
+    reset_pipelines,
 )
 from .table1 import Table1Cell, Table1Result, run_table1
 from .testbed import (
@@ -67,6 +69,8 @@ __all__ = [
     "TimingResult",
     "estimate_saturation",
     "get_pipeline",
+    "reset_pipelines",
+    "PIPELINE_TIERS",
     "interleaved_test_schedule",
     "measure_build_and_decide",
     "run_delta_ablation",

@@ -11,8 +11,9 @@ configuration so every benchmark in a session shares them.
 
 from __future__ import annotations
 
+from collections import Counter, OrderedDict
 from dataclasses import dataclass, replace
-from typing import Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 from typing import List
 
@@ -33,18 +34,25 @@ from .testbed import (
     unknown_test_schedule,
 )
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..parallel.cache import ArtifactCache
+    from ..parallel.engine import WarmReport
+
 __all__ = [
     "PipelineConfig",
     "ExperimentPipeline",
     "get_pipeline",
+    "reset_pipelines",
     "TRAINING_WORKLOADS",
     "TEST_WORKLOADS",
     "LEVELS",
+    "PIPELINE_TIERS",
 ]
 
 TRAINING_WORKLOADS = ("ordering", "browsing")
 TEST_WORKLOADS = ("ordering", "browsing", "interleaved", "unknown")
 LEVELS = (OS_LEVEL, HPC_LEVEL)
+PIPELINE_TIERS = ("app", "db")
 
 
 def _stable_hash(text: str) -> int:
@@ -71,10 +79,25 @@ class PipelineConfig:
 
 
 class ExperimentPipeline:
-    """Lazily-built, memoized experiment artifacts."""
+    """Lazily-built, memoized experiment artifacts.
 
-    def __init__(self, config: PipelineConfig = PipelineConfig()):
+    ``cache`` (an :class:`~repro.parallel.cache.ArtifactCache`) makes
+    runs and synopses restart-cheap: every accessor checks the memo,
+    then the cache, and only then simulates/trains — counting each real
+    build in :attr:`builds` so tests and CI can assert a warm
+    invocation rebuilt nothing.  :meth:`warm` fans the independent
+    artifacts out over worker processes (see :mod:`repro.parallel`).
+    """
+
+    def __init__(
+        self,
+        config: PipelineConfig = PipelineConfig(),
+        cache: Optional["ArtifactCache"] = None,
+    ):
         self.config = config
+        self.cache = cache
+        #: real simulations/trainings performed (cache hits excluded)
+        self.builds: Counter = Counter()
         self.labeler = SlaOracle(sla_response_time=config.sla_response_time)
         self._training_runs: Dict[str, MeasurementRun] = {}
         self._test_runs: Dict[str, MeasurementRun] = {}
@@ -83,6 +106,78 @@ class ExperimentPipeline:
         self._synopses: Dict[Tuple[str, str, str, str], PerformanceSynopsis] = {}
         self._meters: Dict[Tuple, CapacityMeter] = {}
         self._instances: Dict[Tuple[str, str], List[CoordinatedInstance]] = {}
+
+    # ------------------------------------------------------------------
+    # memo / cache plumbing
+    # ------------------------------------------------------------------
+    def _run_memo(self, kind: str) -> Dict[str, MeasurementRun]:
+        try:
+            return {
+                "training": self._training_runs,
+                "test": self._test_runs,
+                "stress": self._stress_runs,
+            }[kind]
+        except KeyError:
+            raise KeyError(f"unknown run kind {kind!r}") from None
+
+    def has_run(self, kind: str, workload: str) -> bool:
+        """Is this run already memoized (cache not consulted)?"""
+        return workload in self._run_memo(kind)
+
+    def has_synopsis(
+        self, workload: str, tier: str, level: str, learner: str
+    ) -> bool:
+        """Is this synopsis already memoized (cache not consulted)?"""
+        return (workload, tier, level, learner) in self._synopses
+
+    def adopt_run(self, kind: str, workload: str, run: MeasurementRun) -> None:
+        """Install an externally built run into the memo."""
+        self._run_memo(kind)[workload] = run
+
+    def adopt_synopsis(
+        self,
+        workload: str,
+        tier: str,
+        level: str,
+        learner: str,
+        synopsis: PerformanceSynopsis,
+    ) -> None:
+        """Install an externally trained synopsis into the memo."""
+        self._synopses[(workload, tier, level, learner)] = synopsis
+
+    def _cached_run(self, kind: str, workload: str) -> Optional[MeasurementRun]:
+        if self.cache is None:
+            return None
+        from ..telemetry.persistence import run_from_dict
+
+        payload = self.cache.get("run", self._run_cache_key(kind, workload))
+        return None if payload is None else run_from_dict(payload)
+
+    def _run_cache_key(self, kind: str, workload: str) -> str:
+        return self.cache.key("run", config=self.config, run_kind=kind, workload=workload)
+
+    def _store_run(self, kind: str, workload: str, run: MeasurementRun) -> None:
+        if self.cache is None:
+            return
+        from ..telemetry.persistence import run_to_dict
+
+        self.cache.put(
+            "run",
+            self._run_cache_key(kind, workload),
+            run_to_dict(run),
+            run_kind=kind,
+            workload=workload,
+        )
+
+    def warm(self, jobs: Optional[int] = None, **kwargs) -> "WarmReport":
+        """Build runs and synopses up front, in parallel when ``jobs > 1``.
+
+        Delegates to :func:`repro.parallel.engine.warm_pipeline`; see
+        it for the fan-out shape and the deterministic-merge guarantee.
+        """
+        from ..parallel.engine import warm_pipeline
+
+        return warm_pipeline(self, jobs, **kwargs)
 
     # ------------------------------------------------------------------
     # measurement runs
@@ -103,6 +198,10 @@ class ExperimentPipeline:
         if workload not in TRAINING_WORKLOADS:
             raise KeyError(f"no training workload {workload!r}")
         if workload not in self._training_runs:
+            cached = self._cached_run("training", workload)
+            if cached is not None:
+                self._training_runs[workload] = cached
+                return cached
             cfg = self.config
             mix = self._mix(workload)
             schedule = training_schedule(mix, cfg.testbed, scale=cfg.scale)
@@ -113,6 +212,8 @@ class ExperimentPipeline:
                 seed=cfg.seed + _stable_hash(workload) % 97,
                 config=cfg.testbed,
             )
+            self.builds["run"] += 1
+            self._store_run("training", workload, output.run)
             self._training_runs[workload] = output.run
         return self._training_runs[workload]
 
@@ -121,6 +222,10 @@ class ExperimentPipeline:
         if workload not in TEST_WORKLOADS:
             raise KeyError(f"no test workload {workload!r}")
         if workload not in self._test_runs:
+            cached = self._cached_run("test", workload)
+            if cached is not None:
+                self._test_runs[workload] = cached
+                return cached
             cfg = self.config
             if workload == "interleaved":
                 schedule = interleaved_test_schedule(cfg.testbed, scale=cfg.scale)
@@ -139,6 +244,8 @@ class ExperimentPipeline:
                 seed=1000 + cfg.seed + _stable_hash(workload) % 97,
                 config=cfg.testbed,
             )
+            self.builds["run"] += 1
+            self._store_run("test", workload, output.run)
             self._test_runs[workload] = output.run
         return self._test_runs[workload]
 
@@ -147,6 +254,10 @@ class ExperimentPipeline:
         if workload not in TRAINING_WORKLOADS:
             raise KeyError(f"no stress workload {workload!r}")
         if workload not in self._stress_runs:
+            cached = self._cached_run("stress", workload)
+            if cached is not None:
+                self._stress_runs[workload] = cached
+                return cached
             cfg = self.config
             mix = self._mix(workload)
             schedule = stress_schedule(mix, cfg.testbed, scale=cfg.scale)
@@ -157,6 +268,8 @@ class ExperimentPipeline:
                 seed=2000 + cfg.seed + _stable_hash(workload) % 97,
                 config=cfg.testbed,
             )
+            self.builds["run"] += 1
+            self._store_run("stress", workload, output.run)
             self._stress_runs[workload] = output.run
         return self._stress_runs[workload]
 
@@ -195,17 +308,42 @@ class ExperimentPipeline:
         """Trained synopsis for (training workload, tier, level, learner)."""
         key = (workload, tier, level, learner)
         if key not in self._synopses:
+            effective = (
+                config if config is not None else SynopsisConfig(learner=learner)
+            )
+            cache_key = None
+            if self.cache is not None:
+                cache_key = self.cache.key(
+                    "synopsis",
+                    config=self.config,
+                    synopsis_config=effective,
+                    workload=workload,
+                    tier=tier,
+                    level=level,
+                    learner=learner,
+                )
+                payload = self.cache.get("synopsis", cache_key)
+                if payload is not None:
+                    self._synopses[key] = PerformanceSynopsis.from_dict(payload)
+                    return self._synopses[key]
             synopsis = PerformanceSynopsis(
                 tier=tier,
                 workload=workload,
                 level=level,
-                config=(
-                    config
-                    if config is not None
-                    else SynopsisConfig(learner=learner)
-                ),
+                config=effective,
             )
             synopsis.train(self.dataset(workload, tier, level, training=True))
+            self.builds["synopsis"] += 1
+            if cache_key is not None:
+                self.cache.put(
+                    "synopsis",
+                    cache_key,
+                    synopsis.to_dict(),
+                    workload=workload,
+                    tier=tier,
+                    level=level,
+                    learner=learner,
+                )
             self._synopses[key] = synopsis
         return self._synopses[key]
 
@@ -267,11 +405,24 @@ class ExperimentPipeline:
         return self._meters[key]
 
 
-_PIPELINES: Dict[PipelineConfig, ExperimentPipeline] = {}
+#: most-recently-used pipelines, bounded so long sessions (REPLs, test
+#: suites sweeping configurations) don't accumulate every artifact set
+#: ever built — each pipeline can hold hundreds of MB of runs
+_PIPELINES: "OrderedDict[PipelineConfig, ExperimentPipeline]" = OrderedDict()
+MAX_PIPELINES = 8
 
 
 def get_pipeline(config: PipelineConfig = PipelineConfig()) -> ExperimentPipeline:
-    """Process-wide memoized pipeline per configuration."""
-    if config not in _PIPELINES:
-        _PIPELINES[config] = ExperimentPipeline(config)
-    return _PIPELINES[config]
+    """Process-wide memoized pipeline per configuration (LRU-bounded)."""
+    pipeline = _PIPELINES.get(config)
+    if pipeline is None:
+        pipeline = _PIPELINES[config] = ExperimentPipeline(config)
+    _PIPELINES.move_to_end(config)
+    while len(_PIPELINES) > MAX_PIPELINES:
+        _PIPELINES.popitem(last=False)
+    return pipeline
+
+
+def reset_pipelines() -> None:
+    """Drop every memoized pipeline (tests, long sessions)."""
+    _PIPELINES.clear()

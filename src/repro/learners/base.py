@@ -20,7 +20,13 @@ from typing import Callable, Dict, Type
 
 import numpy as np
 
-__all__ = ["SynopsisLearner", "register_learner", "make_learner", "learner_names"]
+__all__ = [
+    "SynopsisLearner",
+    "register_learner",
+    "make_learner",
+    "learner_names",
+    "LearnerFactory",
+]
 
 
 class SynopsisLearner(ABC):
@@ -137,6 +143,25 @@ def make_learner(name: str, **kwargs: object) -> SynopsisLearner:
             f"unknown learner {name!r}; available: {sorted(_REGISTRY)}"
         ) from None
     return factory(**kwargs)
+
+
+class LearnerFactory:
+    """Picklable zero-argument factory for a registered learner.
+
+    Cross-validation fans folds out over worker processes; a bound
+    method or closure would drag its whole enclosing object through
+    pickle, while this carries only the registry name and kwargs.
+    """
+
+    def __init__(self, name: str, kwargs: Dict[str, object] = None):
+        self.name = name
+        self.kwargs = dict(kwargs or {})
+
+    def __call__(self) -> SynopsisLearner:
+        return make_learner(self.name, **self.kwargs)
+
+    def __repr__(self) -> str:
+        return f"LearnerFactory({self.name!r}, {self.kwargs!r})"
 
 
 def learner_names() -> list:

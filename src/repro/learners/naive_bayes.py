@@ -56,6 +56,22 @@ class NaiveBayesSynopsis(SynopsisLearner):
         per_attr = -0.5 * z**2 - np.log(sigma) - 0.5 * np.log(2.0 * np.pi)
         return per_attr.sum(axis=1) + np.log(self.priors_[c])
 
+    def _log_posterior(self, X: np.ndarray) -> np.ndarray:
+        """(n, 2) joint log-likelihoods, both classes in one broadcast.
+
+        Element-for-element the same arithmetic as two
+        :meth:`_log_likelihood` calls — the (n, 2, p) broadcast just
+        evaluates both classes in a single vectorized pass, which
+        halves the Python/numpy dispatch cost on the CV hot path.
+        """
+        z = (X[:, None, :] - self.means_[None, :, :]) / self.stds_[None, :, :]
+        per_attr = (
+            -0.5 * z**2
+            - np.log(self.stds_)[None, :, :]
+            - 0.5 * np.log(2.0 * np.pi)
+        )
+        return per_attr.sum(axis=2) + np.log(self.priors_)[None, :]
+
     def _get_state(self):
         return {
             "priors": self.priors_.tolist(),
@@ -69,10 +85,9 @@ class NaiveBayesSynopsis(SynopsisLearner):
         self.stds_ = np.array(state["stds"], dtype=float)
 
     def _predict_proba(self, X: np.ndarray) -> np.ndarray:
-        log0 = self._log_likelihood(X, 0)
-        log1 = self._log_likelihood(X, 1)
+        log_post = self._log_posterior(X)
         # stable softmax over the two classes
-        m = np.maximum(log0, log1)
-        e0 = np.exp(log0 - m)
-        e1 = np.exp(log1 - m)
+        m = log_post.max(axis=1)
+        e0 = np.exp(log_post[:, 0] - m)
+        e1 = np.exp(log_post[:, 1] - m)
         return e1 / (e0 + e1)

@@ -95,8 +95,17 @@ class SvmSynopsis(SynopsisLearner):
         b = 0.0
         rng = np.random.default_rng(self.seed)
 
+        # SMO decision-function kernel: reuse work across passes.
+        # ``coef`` mirrors ``alpha * y`` via direct assignment whenever
+        # an alpha changes, so each f(i) costs one dot product instead
+        # of an n-element multiply plus a dot product.  The column view
+        # K[:, i] is kept deliberately: a contiguous-row dot takes a
+        # different BLAS path whose last-ulp rounding diverges from the
+        # historical trajectory.
+        coef = np.zeros(n)
+
         def f(i: int) -> float:
-            return float((alpha * y) @ K[:, i] + b)
+            return float(coef @ K[:, i] + b)
 
         passes = 0
         iters = 0
@@ -132,6 +141,7 @@ class SvmSynopsis(SynopsisLearner):
                     continue
                 a_i = a_i_old + y[i] * y[j] * (a_j_old - a_j)
                 alpha[i], alpha[j] = a_i, a_j
+                coef[i], coef[j] = a_i * y[i], a_j * y[j]
                 b1 = (
                     b
                     - e_i

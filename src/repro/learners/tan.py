@@ -26,16 +26,22 @@ __all__ = ["TanSynopsis"]
 def _conditional_mutual_information(
     a: np.ndarray, b: np.ndarray, y: np.ndarray, la: int, lb: int
 ) -> float:
-    """I(A; B | C) from discrete codes with levels ``la``/``lb``."""
+    """I(A; B | C) from discrete codes with levels ``la``/``lb``.
+
+    Per-class joint counts come from one ``np.bincount`` over the
+    combined ``(class, a, b)`` code — an order of magnitude faster than
+    ``np.add.at`` scatter-adds, with identical integer counts.
+    """
     n = a.size
+    joint_counts = np.bincount(
+        (y * la + a) * lb + b, minlength=2 * la * lb
+    ).reshape(2, la, lb)
     cmi = 0.0
     for c in (0, 1):
-        mask = y == c
-        nc = int(mask.sum())
+        nc = int(joint_counts[c].sum())
         if nc == 0:
             continue
-        joint = np.zeros((la, lb))
-        np.add.at(joint, (a[mask], b[mask]), 1.0)
+        joint = joint_counts[c].astype(float)
         joint /= nc
         pa = joint.sum(axis=1, keepdims=True)
         pb = joint.sum(axis=0, keepdims=True)
@@ -101,22 +107,28 @@ class TanSynopsis(SynopsisLearner):
         counts = np.array([(y == 0).sum(), (y == 1).sum()], dtype=float)
         self.log_prior_ = np.log((counts + self.alpha) / (n + 2 * self.alpha))
 
+        # CPT estimation: one bincount per attribute over the combined
+        # (class, parent, value) code replaces per-class scatter-adds;
+        # the integer counts — and therefore the smoothed tables — are
+        # identical to the element-at-a-time accumulation
         self.cpt_ = []
         for j in range(p):
             parent = self.parents_[j]
             lp = 1 if parent is None else levels[parent]
             lj = levels[j]
-            table = np.zeros((2, lp, lj))
             parent_codes = (
                 np.zeros(n, dtype=int) if parent is None else codes[:, parent]
             )
-            for c in (0, 1):
-                mask = y == c
-                np.add.at(
-                    table[c], (parent_codes[mask], codes[mask, j]), 1.0
+            table = (
+                np.bincount(
+                    (y * lp + parent_codes) * lj + codes[:, j],
+                    minlength=2 * lp * lj,
                 )
-                table[c] += self.alpha
-                table[c] /= table[c].sum(axis=1, keepdims=True)
+                .reshape(2, lp, lj)
+                .astype(float)
+            )
+            table += self.alpha
+            table /= table.sum(axis=2, keepdims=True)
             self.cpt_.append(np.log(table))
 
     # ------------------------------------------------------------------

@@ -8,8 +8,9 @@ IV.A) — and validates attribute subsets with 10-fold cross-validation
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Callable, Iterator, List, Tuple
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -19,7 +20,9 @@ __all__ = [
     "ConfusionMatrix",
     "balanced_accuracy",
     "stratified_kfold_indices",
+    "CrossValidationResult",
     "cross_validate",
+    "cross_validate_detailed",
 ]
 
 
@@ -102,6 +105,93 @@ def stratified_kfold_indices(
         yield train, test
 
 
+@dataclass(frozen=True)
+class CrossValidationResult:
+    """Per-fold balanced accuracies plus their mean and spread.
+
+    ``std`` is the population standard deviation of the fold scores and
+    ``sem`` the standard error of the mean — the yardstick forward
+    selection can hold a candidate's improvement against, instead of
+    treating the CV mean as exact.
+    """
+
+    scores: Tuple[float, ...]
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.scores)) if self.scores else 0.0
+
+    @property
+    def std(self) -> float:
+        return float(np.std(self.scores)) if self.scores else 0.0
+
+    @property
+    def sem(self) -> float:
+        n = len(self.scores)
+        return self.std / math.sqrt(n) if n else 0.0
+
+
+def _fit_and_score_fold(
+    learner_factory: Callable[[], SynopsisLearner],
+    X_train: np.ndarray,
+    y_train: np.ndarray,
+    X_test: np.ndarray,
+    y_test: np.ndarray,
+) -> float:
+    """One fold's balanced accuracy (module-level: picklable for pools)."""
+    learner = learner_factory()
+    learner.fit(X_train, y_train)
+    return balanced_accuracy(y_test, learner.predict(X_test))
+
+
+def cross_validate_detailed(
+    learner_factory: Callable[[], SynopsisLearner],
+    X: np.ndarray,
+    y: np.ndarray,
+    *,
+    k: int = 10,
+    seed: int = 0,
+    folds: Optional[Sequence[Tuple[np.ndarray, np.ndarray]]] = None,
+    executor=None,
+) -> CrossValidationResult:
+    """Stratified k-fold CV with per-fold scores.
+
+    ``learner_factory`` builds a fresh, unfitted learner per fold so no
+    state leaks between folds.  ``folds`` accepts precomputed
+    ``(train_idx, test_idx)`` pairs so repeated calls over the same
+    labels (forward selection's candidate scan) split only once — the
+    pairs must come from :func:`stratified_kfold_indices` with the same
+    ``k``/``seed`` for results to match the unshared path bit for bit.
+
+    ``executor`` (any ``concurrent.futures.Executor``) fans the folds
+    out; scores are collected in fold order, so parallel execution is
+    bit-identical to serial.
+    """
+    X = np.asarray(X, dtype=float)
+    y = np.asarray(y, dtype=int)
+    if folds is None:
+        folds = list(stratified_kfold_indices(y, k=k, seed=seed))
+    if executor is None:
+        scores = [
+            _fit_and_score_fold(learner_factory, X[train], y[train], X[test], y[test])
+            for train, test in folds
+        ]
+    else:
+        futures = [
+            executor.submit(
+                _fit_and_score_fold,
+                learner_factory,
+                X[train],
+                y[train],
+                X[test],
+                y[test],
+            )
+            for train, test in folds
+        ]
+        scores = [future.result() for future in futures]
+    return CrossValidationResult(scores=tuple(scores))
+
+
 def cross_validate(
     learner_factory: Callable[[], SynopsisLearner],
     X: np.ndarray,
@@ -109,18 +199,14 @@ def cross_validate(
     *,
     k: int = 10,
     seed: int = 0,
+    folds: Optional[Sequence[Tuple[np.ndarray, np.ndarray]]] = None,
+    executor=None,
 ) -> float:
     """Mean balanced accuracy over stratified k-fold CV.
 
-    ``learner_factory`` builds a fresh, unfitted learner per fold so no
-    state leaks between folds.
+    The historical scalar-return entry point; use
+    :func:`cross_validate_detailed` for per-fold scores.
     """
-    X = np.asarray(X, dtype=float)
-    y = np.asarray(y, dtype=int)
-    scores = []
-    for train, test in stratified_kfold_indices(y, k=k, seed=seed):
-        learner = learner_factory()
-        learner.fit(X[train], y[train])
-        pred = learner.predict(X[test])
-        scores.append(balanced_accuracy(y[test], pred))
-    return float(np.mean(scores))
+    return cross_validate_detailed(
+        learner_factory, X, y, k=k, seed=seed, folds=folds, executor=executor
+    ).mean

@@ -1,0 +1,27 @@
+"""Parallel experiment engine and persistent artifact cache.
+
+Two pieces make regeneration of the paper's artifacts cheap enough for
+the online setting the paper argues for:
+
+* :mod:`repro.parallel.engine` — a process-pool fan-out over the
+  independent artifacts (measurement runs, per-(workload, tier, level,
+  learner) synopses) with a deterministic-merge guarantee: parallel
+  results are bit-identical to a serial build;
+* :mod:`repro.parallel.cache` — a content-addressed on-disk cache so a
+  second invocation (CLI or CI) skips simulation and training
+  entirely.
+
+See ``docs/architecture.md`` for the cache keying rules.
+"""
+
+from .cache import SCHEMA_VERSION, ArtifactCache, default_cache_dir
+from .engine import WarmReport, resolve_jobs, warm_pipeline
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "ArtifactCache",
+    "default_cache_dir",
+    "WarmReport",
+    "resolve_jobs",
+    "warm_pipeline",
+]

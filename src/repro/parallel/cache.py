@@ -1,0 +1,188 @@
+"""Content-addressed on-disk cache for expensive experiment artifacts.
+
+Regenerating the paper's tables rebuilds the same measurement runs and
+trained synopses on every CLI or CI invocation.  :class:`ArtifactCache`
+makes those artifacts restart-cheap: each one is stored under a key
+derived from *everything that determines its content* —
+
+* a schema version (:data:`SCHEMA_VERSION`), bumped whenever the
+  serialized representation or the generating code changes shape;
+* the full :class:`~repro.experiments.pipeline.PipelineConfig`
+  (including the nested testbed config), serialized field by field;
+* the artifact's own coordinates (kind, workload, tier, level,
+  learner, synopsis configuration).
+
+The key material is canonical JSON (sorted keys); the address is its
+SHA-256.  Two processes that agree on config and code therefore agree
+on the address, so a cache can be shared between parallel workers and
+across CLI invocations — a second ``repro table1`` run performs zero
+simulation and zero training.
+
+Entries are one gzip-compressed JSON file each, written atomically
+(temp file + ``os.replace``) so concurrent workers never observe a
+torn entry.  The cache never invalidates by time: a key either exists
+with the right content or does not exist.  Stale entries from older
+schema versions are only removed by :meth:`ArtifactCache.clear`.
+"""
+
+from __future__ import annotations
+
+import gzip
+import hashlib
+import json
+import os
+import tempfile
+from collections import Counter
+from dataclasses import asdict, is_dataclass
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+__all__ = ["SCHEMA_VERSION", "ArtifactCache", "default_cache_dir"]
+
+#: bump when the serialized artifact formats (run payloads, synopsis
+#: dicts) or the deterministic generation pipeline changes shape
+SCHEMA_VERSION = 1
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` or ``~/.cache/repro``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env).expanduser()
+    return Path("~/.cache/repro").expanduser()
+
+
+def _jsonable(value: object) -> object:
+    """Canonical JSON-compatible form of key material."""
+    if is_dataclass(value) and not isinstance(value, type):
+        return {"__dataclass__": type(value).__name__, **asdict(value)}
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+class ArtifactCache:
+    """Filesystem-backed content-addressed artifact store.
+
+    ``hits`` / ``misses`` / ``stores`` count per artifact *kind* (e.g.
+    ``"run"``, ``"synopsis"``) so callers — and the warm-cache CI gate
+    — can assert that a warmed invocation skipped every rebuild.
+    """
+
+    def __init__(self, root: Union[str, Path, None] = None):
+        self.root = Path(root).expanduser() if root is not None else default_cache_dir()
+        self.hits: Counter = Counter()
+        self.misses: Counter = Counter()
+        self.stores: Counter = Counter()
+
+    # ------------------------------------------------------------------
+    # keying
+    # ------------------------------------------------------------------
+    def key(self, kind: str, **fields: object) -> str:
+        """Stable SHA-256 address of one artifact."""
+        material = json.dumps(
+            {
+                "schema": SCHEMA_VERSION,
+                "kind": kind,
+                "fields": _jsonable(fields),
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+    def path_for(self, kind: str, key: str) -> Path:
+        return self.root / f"{kind}-{key}.json.gz"
+
+    # ------------------------------------------------------------------
+    # storage
+    # ------------------------------------------------------------------
+    def get(self, kind: str, key: str) -> Optional[dict]:
+        """Cached artifact payload, or None (counted as hit/miss)."""
+        path = self.path_for(kind, key)
+        try:
+            with gzip.open(path, "rt", encoding="utf-8") as fh:
+                entry = json.load(fh)
+        except (OSError, EOFError, json.JSONDecodeError):
+            self.misses[kind] += 1
+            return None
+        self.hits[kind] += 1
+        return entry["artifact"]
+
+    def put(self, kind: str, key: str, artifact: dict, **describe: object) -> Path:
+        """Atomically store one artifact payload under its address."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(kind, key)
+        entry = {"kind": kind, "describe": _jsonable(describe), "artifact": artifact}
+        fd, tmp_name = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as raw:
+                with gzip.GzipFile(fileobj=raw, mode="wb", mtime=0) as gz:
+                    gz.write(json.dumps(entry).encode("utf-8"))
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stores[kind] += 1
+        return path
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def entries(self) -> Dict[str, Dict[str, int]]:
+        """Per-kind ``{"count": ..., "bytes": ...}`` from a disk scan."""
+        summary: Dict[str, Dict[str, int]] = {}
+        if not self.root.is_dir():
+            return summary
+        for path in sorted(self.root.glob("*-*.json.gz")):
+            kind = path.name.split("-", 1)[0]
+            bucket = summary.setdefault(kind, {"count": 0, "bytes": 0})
+            bucket["count"] += 1
+            bucket["bytes"] += path.stat().st_size
+        return summary
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns how many were removed."""
+        removed = 0
+        if not self.root.is_dir():
+            return removed
+        for path in self.root.glob("*-*.json.gz"):
+            path.unlink()
+            removed += 1
+        for path in self.root.glob("*.tmp"):
+            path.unlink()
+        return removed
+
+    def counters(self) -> Dict[str, Dict[str, int]]:
+        """Session counters: per-kind hits / misses / stores."""
+        kinds = set(self.hits) | set(self.misses) | set(self.stores)
+        return {
+            kind: {
+                "hits": self.hits[kind],
+                "misses": self.misses[kind],
+                "stores": self.stores[kind],
+            }
+            for kind in sorted(kinds)
+        }
+
+    def stats_rows(self) -> list:
+        """Human-readable stats (disk contents + session counters)."""
+        rows = [f"cache {self.root} (schema v{SCHEMA_VERSION})"]
+        entries = self.entries()
+        if not entries:
+            rows.append("  empty")
+        for kind, info in sorted(entries.items()):
+            rows.append(
+                f"  {kind:10} {info['count']:5d} entries "
+                f"{info['bytes'] / 1024:10.1f} KiB"
+            )
+        for kind, info in self.counters().items():
+            rows.append(
+                f"  session {kind}: {info['hits']} hits, "
+                f"{info['misses']} misses, {info['stores']} stores"
+            )
+        return rows

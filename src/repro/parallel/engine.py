@@ -1,0 +1,214 @@
+"""Process-pool fan-out for experiment artifacts.
+
+The artifacts behind the paper's tables are *embarrassingly parallel*:
+the six measurement runs are independent simulations, and every
+(workload, tier, level, learner) synopsis depends only on its own
+training run.  :func:`warm_pipeline` builds them with a
+:class:`~concurrent.futures.ProcessPoolExecutor` and adopts the results
+into an :class:`~repro.experiments.pipeline.ExperimentPipeline`'s
+memos, after which the existing lazy accessors (and every experiment
+built on them) run entirely from memory.
+
+Determinism / bit-equality
+--------------------------
+Parallel results are bit-identical to a serial build:
+
+* every artifact is generated from the same ``PipelineConfig`` with the
+  same derived seed, in its own process, with no shared mutable state;
+* runs cross process boundaries as :func:`run_to_dict` payloads, which
+  round-trip every float exactly;
+* results are merged in canonical task order (the order a serial build
+  would produce them), never in completion order.
+
+Workers share the parent's :class:`~repro.parallel.cache.ArtifactCache`
+directory when one is configured, so a warm fan-out degenerates to a
+parallel cache read and repeated invocations skip simulation and
+training entirely.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..telemetry.persistence import run_from_dict, run_to_dict
+from .cache import ArtifactCache
+
+__all__ = ["WarmReport", "warm_pipeline", "resolve_jobs"]
+
+#: run kinds in canonical (serial) build order
+_RUN_KINDS = ("training", "test", "stress")
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """``jobs`` with the documented default of ``os.cpu_count()``."""
+    if jobs is None:
+        return os.cpu_count() or 1
+    if jobs < 1:
+        raise ValueError("jobs must be a positive worker count")
+    return jobs
+
+
+@dataclass
+class WarmReport:
+    """What a :func:`warm_pipeline` call did."""
+
+    jobs: int = 1
+    runs_built: int = 0
+    runs_cached: int = 0
+    synopses_built: int = 0
+    synopses_cached: int = 0
+    run_keys: List[Tuple[str, str]] = field(default_factory=list)
+    synopsis_keys: List[Tuple[str, str, str, str]] = field(default_factory=list)
+
+
+# ----------------------------------------------------------------------
+# worker entry points (module-level: picklable under any start method)
+# ----------------------------------------------------------------------
+def _build_run_task(config, kind: str, workload: str, cache_root) -> Dict:
+    """Build (or cache-load) one measurement run in a worker process."""
+    from ..experiments.pipeline import ExperimentPipeline
+
+    cache = ArtifactCache(cache_root) if cache_root is not None else None
+    pipeline = ExperimentPipeline(config, cache=cache)
+    run = getattr(pipeline, f"{kind}_run")(workload)
+    return {"payload": run_to_dict(run), "built": pipeline.builds["run"]}
+
+
+def _build_synopsis_task(
+    config,
+    workload: str,
+    tier: str,
+    level: str,
+    learner: str,
+    run_payload: Optional[Dict],
+    cache_root,
+) -> Dict:
+    """Train (or cache-load) one synopsis in a worker process."""
+    from ..experiments.pipeline import ExperimentPipeline
+
+    cache = ArtifactCache(cache_root) if cache_root is not None else None
+    pipeline = ExperimentPipeline(config, cache=cache)
+    if run_payload is not None:
+        pipeline.adopt_run("training", workload, run_from_dict(run_payload))
+    synopsis = pipeline.synopsis(workload, tier, level, learner)
+    return {"payload": synopsis.to_dict(), "built": pipeline.builds["synopsis"]}
+
+
+# ----------------------------------------------------------------------
+def warm_pipeline(
+    pipeline,
+    jobs: Optional[int] = None,
+    *,
+    test_workloads: Optional[Sequence[str]] = None,
+    include_stress: bool = False,
+    levels: Optional[Sequence[str]] = None,
+    learners: Optional[Sequence[str]] = None,
+    tiers: Optional[Sequence[str]] = None,
+) -> WarmReport:
+    """Fan the pipeline's runs and synopses out over worker processes.
+
+    With ``jobs == 1`` everything is built serially in-process (the
+    reference order); with more jobs, independent artifacts build
+    concurrently and are merged in that same canonical order.  Already
+    memoized artifacts are never rebuilt.
+    """
+    from ..experiments.pipeline import (
+        LEVELS,
+        PIPELINE_TIERS,
+        TEST_WORKLOADS,
+        TRAINING_WORKLOADS,
+    )
+    from ..learners.base import learner_names
+
+    jobs = resolve_jobs(jobs)
+    test_workloads = tuple(test_workloads if test_workloads is not None else TEST_WORKLOADS)
+    levels = tuple(levels if levels is not None else LEVELS)
+    learners = tuple(learners if learners is not None else learner_names())
+    tiers = tuple(tiers if tiers is not None else PIPELINE_TIERS)
+
+    report = WarmReport(jobs=jobs)
+
+    # canonical task lists, in the order a serial build would run them
+    run_tasks: List[Tuple[str, str]] = [
+        ("training", w) for w in TRAINING_WORKLOADS
+    ] + [("test", w) for w in test_workloads]
+    if include_stress:
+        run_tasks += [("stress", w) for w in TRAINING_WORKLOADS]
+    run_tasks = [
+        (kind, w) for kind, w in run_tasks if not pipeline.has_run(kind, w)
+    ]
+    synopsis_tasks: List[Tuple[str, str, str, str]] = [
+        (w, tier, level, learner)
+        for w in TRAINING_WORKLOADS
+        for tier in tiers
+        for level in levels
+        for learner in learners
+        if not pipeline.has_synopsis(w, tier, level, learner)
+    ]
+    report.run_keys = list(run_tasks)
+    report.synopsis_keys = list(synopsis_tasks)
+
+    cache_root = pipeline.cache.root if pipeline.cache is not None else None
+
+    if jobs == 1 or not (run_tasks or synopsis_tasks):
+        before = dict(pipeline.builds)
+        for kind, workload in run_tasks:
+            getattr(pipeline, f"{kind}_run")(workload)
+        for workload, tier, level, learner in synopsis_tasks:
+            pipeline.synopsis(workload, tier, level, learner)
+        report.runs_built = pipeline.builds["run"] - before.get("run", 0)
+        report.synopses_built = (
+            pipeline.builds["synopsis"] - before.get("synopsis", 0)
+        )
+        report.runs_cached = len(run_tasks) - report.runs_built
+        report.synopses_cached = len(synopsis_tasks) - report.synopses_built
+        return report
+
+    config = pipeline.config
+    max_workers = min(jobs, max(len(run_tasks), len(synopsis_tasks), 1))
+    with ProcessPoolExecutor(max_workers=max_workers) as executor:
+        # phase 1: measurement runs
+        futures = [
+            executor.submit(_build_run_task, config, kind, workload, cache_root)
+            for kind, workload in run_tasks
+        ]
+        # merge strictly in submission (canonical) order
+        for (kind, workload), future in zip(run_tasks, futures):
+            result = future.result()
+            pipeline.adopt_run(
+                kind, workload, run_from_dict(result["payload"])
+            )
+            report.runs_built += result["built"]
+        report.runs_cached = len(run_tasks) - report.runs_built
+
+        # phase 2: synopses, each shipped its own training run payload
+        train_payloads = {
+            w: run_to_dict(pipeline.training_run(w))
+            for w in sorted({task[0] for task in synopsis_tasks})
+        }
+        futures = [
+            executor.submit(
+                _build_synopsis_task,
+                config,
+                workload,
+                tier,
+                level,
+                learner,
+                train_payloads[workload],
+                cache_root,
+            )
+            for workload, tier, level, learner in synopsis_tasks
+        ]
+        from ..core.synopsis import PerformanceSynopsis
+
+        for key, future in zip(synopsis_tasks, futures):
+            result = future.result()
+            pipeline.adopt_synopsis(
+                *key, PerformanceSynopsis.from_dict(result["payload"])
+            )
+            report.synopses_built += result["built"]
+        report.synopses_cached = len(synopsis_tasks) - report.synopses_built
+    return report

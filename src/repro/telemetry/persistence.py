@@ -24,7 +24,7 @@ from ..simulator.server import TierSample
 from ..simulator.website import ClientSample, WebsiteSample
 from .sampler import IntervalRecord, MeasurementRun
 
-__all__ = ["save_run", "load_run"]
+__all__ = ["run_to_dict", "run_from_dict", "save_run", "load_run"]
 
 _FORMAT = "repro.measurement-run/1"
 
@@ -44,9 +44,15 @@ def _read_text(path: Path) -> str:
     return path.read_text()
 
 
-def save_run(run: MeasurementRun, path: Union[str, Path]) -> None:
-    """Serialize a measurement run (gzip when the path ends in .gz)."""
-    payload = {
+def run_to_dict(run: MeasurementRun) -> dict:
+    """JSON-serializable payload of a measurement run.
+
+    The dict round-trips losslessly through :func:`run_from_dict`
+    (``json`` preserves float values exactly), which is what lets the
+    parallel engine ship runs between worker processes and the artifact
+    cache store them on disk without perturbing downstream results.
+    """
+    return {
         "format": _FORMAT,
         "workload": run.workload,
         "interval": run.interval,
@@ -67,14 +73,17 @@ def save_run(run: MeasurementRun, path: Union[str, Path]) -> None:
             for record in run.records
         ],
     }
-    _write_text(Path(path), json.dumps(payload))
 
 
-def load_run(path: Union[str, Path]) -> MeasurementRun:
-    """Restore a run saved with :func:`save_run`."""
-    payload = json.loads(_read_text(Path(path)))
+def save_run(run: MeasurementRun, path: Union[str, Path]) -> None:
+    """Serialize a measurement run (gzip when the path ends in .gz)."""
+    _write_text(Path(path), json.dumps(run_to_dict(run)))
+
+
+def run_from_dict(payload: dict) -> MeasurementRun:
+    """Rebuild a measurement run from a :func:`run_to_dict` payload."""
     if payload.get("format") != _FORMAT:
-        raise ValueError(f"{path} is not a saved measurement run")
+        raise ValueError("payload is not a serialized measurement run")
     run = MeasurementRun(
         workload=str(payload["workload"]),
         interval=float(payload["interval"]),
@@ -104,3 +113,11 @@ def load_run(path: Union[str, Path]) -> MeasurementRun:
             )
         )
     return run
+
+
+def load_run(path: Union[str, Path]) -> MeasurementRun:
+    """Restore a run saved with :func:`save_run`."""
+    try:
+        return run_from_dict(json.loads(_read_text(Path(path))))
+    except ValueError:
+        raise ValueError(f"{path} is not a saved measurement run") from None

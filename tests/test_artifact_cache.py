@@ -1,0 +1,221 @@
+"""Content-addressed artifact cache: keying, round-trips, CLI gates.
+
+Covers the satellite acceptance criteria: a cold build populates the
+cache, a warm rerun performs zero simulation/training (asserted via
+the pipeline build counters and the CLI's greppable summary lines),
+and any change to the `PipelineConfig` or the schema version changes
+the address so stale entries can never be served.
+"""
+
+from __future__ import annotations
+
+import gzip
+
+import pytest
+
+from repro.cli import main
+from repro.core.synopsis import SynopsisConfig
+from repro.experiments.pipeline import ExperimentPipeline, PipelineConfig
+from repro.parallel import ArtifactCache, default_cache_dir
+from repro.parallel import cache as cache_module
+from repro.telemetry.persistence import run_to_dict
+
+TINY = PipelineConfig(scale=0.07, window=5)
+WARM_KWARGS = dict(test_workloads=(), levels=("hpc",), learners=("naive",))
+
+
+class TestKeying:
+    def test_key_is_stable(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        a = cache.key("run", config=TINY, run_kind="training", workload="ordering")
+        b = cache.key("run", config=TINY, run_kind="training", workload="ordering")
+        assert a == b
+        assert len(a) == 64  # sha256 hex
+
+    def test_key_depends_on_every_coordinate(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        base = cache.key("run", config=TINY, run_kind="training", workload="ordering")
+        assert base != cache.key(
+            "run", config=TINY, run_kind="training", workload="browsing"
+        )
+        assert base != cache.key(
+            "run", config=TINY, run_kind="test", workload="ordering"
+        )
+        assert base != cache.key(
+            "synopsis", config=TINY, run_kind="training", workload="ordering"
+        )
+
+    def test_pipeline_config_change_invalidates(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        changed = PipelineConfig(scale=0.07, window=5, seed=TINY.seed + 1)
+        a = cache.key("run", config=TINY, run_kind="training", workload="ordering")
+        b = cache.key("run", config=changed, run_kind="training", workload="ordering")
+        assert a != b
+        assert cache.get("run", b) is None  # never served stale
+
+    def test_synopsis_config_change_invalidates(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        kwargs = dict(
+            config=TINY, workload="ordering", tier="app", level="hpc", learner="naive"
+        )
+        a = cache.key("synopsis", synopsis_config=SynopsisConfig(learner="naive"), **kwargs)
+        b = cache.key(
+            "synopsis",
+            synopsis_config=SynopsisConfig(learner="naive", cv_folds=5),
+            **kwargs,
+        )
+        assert a != b
+
+    def test_schema_version_invalidates(self, tmp_path, monkeypatch):
+        cache = ArtifactCache(tmp_path)
+        a = cache.key("run", config=TINY, run_kind="training", workload="ordering")
+        monkeypatch.setattr(cache_module, "SCHEMA_VERSION", cache_module.SCHEMA_VERSION + 1)
+        b = cache.key("run", config=TINY, run_kind="training", workload="ordering")
+        assert a != b
+
+    def test_default_dir_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "custom"))
+        assert default_cache_dir() == tmp_path / "custom"
+        assert ArtifactCache().root == tmp_path / "custom"
+
+
+class TestStorage:
+    def test_put_get_roundtrip_and_counters(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        key = cache.key("run", workload="w")
+        assert cache.get("run", key) is None
+        payload = {"records": [1.5, 2.25], "name": "w"}
+        path = cache.put("run", key, payload, workload="w")
+        assert path.exists()
+        assert cache.get("run", key) == payload
+        assert cache.counters() == {
+            "run": {"hits": 1, "misses": 1, "stores": 1}
+        }
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        key = cache.key("run", workload="w")
+        cache.put("run", key, {"ok": True})
+        cache.path_for("run", key).write_bytes(b"not gzip")
+        assert cache.get("run", key) is None
+        truncated = gzip.compress(b'{"artifact": ')
+        cache.path_for("run", key).write_bytes(truncated)
+        assert cache.get("run", key) is None
+
+    def test_entries_clear_and_stats_rows(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.put("run", cache.key("run", w=1), {"a": 1})
+        cache.put("synopsis", cache.key("synopsis", w=1), {"b": 2})
+        entries = cache.entries()
+        assert entries["run"]["count"] == 1
+        assert entries["synopsis"]["count"] == 1
+        assert entries["run"]["bytes"] > 0
+        assert any("entries" in row for row in cache.stats_rows())
+        assert cache.clear() == 2
+        assert cache.entries() == {}
+
+    def test_writes_are_deterministic(self, tmp_path):
+        """gzip mtime is pinned, so identical payloads share bytes."""
+        a = ArtifactCache(tmp_path / "a")
+        b = ArtifactCache(tmp_path / "b")
+        key = a.key("run", workload="w")
+        payload = {"records": list(range(50))}
+        path_a = a.put("run", key, payload)
+        path_b = b.put("run", key, payload)
+        assert path_a.read_bytes() == path_b.read_bytes()
+
+
+class TestPipelineRoundTrip:
+    @pytest.fixture(scope="class")
+    def shared_cache_dir(self, tmp_path_factory):
+        return tmp_path_factory.mktemp("artifact-cache")
+
+    @pytest.fixture(scope="class")
+    def cold(self, shared_cache_dir) -> ExperimentPipeline:
+        pipeline = ExperimentPipeline(TINY, cache=ArtifactCache(shared_cache_dir))
+        pipeline.warm(jobs=1, **WARM_KWARGS)
+        return pipeline
+
+    def test_cold_build_populates_cache(self, cold):
+        assert cold.builds["run"] == 2
+        assert cold.builds["synopsis"] == 4
+        assert cold.cache.stores["run"] == 2
+        assert cold.cache.stores["synopsis"] == 4
+
+    def test_warm_pipeline_builds_nothing(self, cold, shared_cache_dir):
+        warm = ExperimentPipeline(TINY, cache=ArtifactCache(shared_cache_dir))
+        warm.warm(jobs=1, **WARM_KWARGS)
+        # the acceptance criterion: zero simulation, zero training
+        assert warm.builds["run"] == 0
+        assert warm.builds["synopsis"] == 0
+        assert warm.cache.hits["run"] == 2
+        assert warm.cache.hits["synopsis"] == 4
+        # and the loaded artifacts are bit-identical to the built ones
+        for workload in ("ordering", "browsing"):
+            assert run_to_dict(warm.training_run(workload)) == run_to_dict(
+                cold.training_run(workload)
+            )
+            for tier in ("app", "db"):
+                assert (
+                    warm.synopsis(workload, tier, "hpc", "naive").to_dict()
+                    == cold.synopsis(workload, tier, "hpc", "naive").to_dict()
+                )
+
+    def test_changed_config_misses(self, cold, shared_cache_dir):
+        other = ExperimentPipeline(
+            PipelineConfig(scale=0.07, window=5, seed=TINY.seed + 1),
+            cache=ArtifactCache(shared_cache_dir),
+        )
+        assert other._cached_run("training", "ordering") is None
+        assert other.cache.misses["run"] == 1
+
+    def test_schema_bump_misses(self, cold, shared_cache_dir, monkeypatch):
+        monkeypatch.setattr(
+            cache_module, "SCHEMA_VERSION", cache_module.SCHEMA_VERSION + 1
+        )
+        fresh = ExperimentPipeline(TINY, cache=ArtifactCache(shared_cache_dir))
+        assert fresh._cached_run("training", "ordering") is None
+        assert fresh.cache.misses["run"] == 1
+
+
+class TestCli:
+    def _table_rows(self, text: str):
+        """Result rows only — the `# ...` summary lines are metadata."""
+        return [line for line in text.splitlines() if not line.startswith("#")]
+
+    def test_table1_warm_rerun_skips_everything(self, tmp_path, capsys):
+        argv = [
+            "table1",
+            "--input",
+            "ordering",
+            "--scale",
+            "0.1",
+            "--learners",
+            "naive",
+            "--jobs",
+            "1",
+            "--cache-dir",
+            str(tmp_path),
+        ]
+        assert main(argv) == 0
+        cold_out = capsys.readouterr().out
+        # 2 training + 1 test run; 2 workloads x 2 tiers x 2 levels
+        assert "# builds: runs=3 synopses=8" in cold_out
+
+        assert main(argv) == 0
+        warm_out = capsys.readouterr().out
+        assert "# builds: runs=0 synopses=0" in warm_out
+        assert "# cache run: hits=3 misses=0 stores=0" in warm_out
+        assert "# cache synopsis: hits=8 misses=0 stores=0" in warm_out
+        assert self._table_rows(cold_out) == self._table_rows(warm_out)
+
+    def test_cache_stats_and_clear(self, tmp_path, capsys):
+        cache = ArtifactCache(tmp_path)
+        cache.put("run", cache.key("run", w=1), {"a": 1})
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "run" in out and "1 entries" in out
+        assert main(["cache", "clear", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "removed 1 entries" in out
+        assert cache.entries() == {}

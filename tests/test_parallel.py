@@ -1,0 +1,246 @@
+"""Parallel engine determinism: parallel == serial, bit for bit.
+
+The `repro.parallel` fan-out must be invisible in the results — the
+same measurement-run payloads, synopsis dicts, and meter decisions as
+a serial build, merged in the same canonical order (see the
+deterministic-merge guarantee in `repro/parallel/engine.py`).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.core.synopsis import PerformanceSynopsis, SynopsisConfig
+from repro.experiments.pipeline import (
+    ExperimentPipeline,
+    MAX_PIPELINES,
+    PipelineConfig,
+    _PIPELINES,
+    get_pipeline,
+    reset_pipelines,
+)
+from repro.learners.base import LearnerFactory
+from repro.learners.validation import (
+    CrossValidationResult,
+    cross_validate,
+    cross_validate_detailed,
+)
+from repro.parallel import WarmReport, resolve_jobs
+from repro.telemetry.persistence import run_to_dict
+
+#: one tiny-but-trainable configuration shared by the equality tests
+TINY = PipelineConfig(scale=0.07, window=5)
+WARM_KWARGS = dict(
+    test_workloads=("ordering",), levels=("hpc",), learners=("naive",)
+)
+
+
+def _cv_data(n=60, p=4, seed=3):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, p))
+    y = (X[:, 0] + 0.3 * rng.normal(size=n) > 0).astype(int)
+    return X, y
+
+
+class TestResolveJobs:
+    def test_default_is_cpu_count(self):
+        assert resolve_jobs(None) >= 1
+
+    def test_explicit(self):
+        assert resolve_jobs(3) == 3
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_rejects_non_positive(self, bad):
+        with pytest.raises(ValueError):
+            resolve_jobs(bad)
+
+
+class TestWarmEquality:
+    """warm(jobs=2) must reproduce the serial build bit for bit."""
+
+    @pytest.fixture(scope="class")
+    def serial(self) -> ExperimentPipeline:
+        pipeline = ExperimentPipeline(TINY)
+        report = pipeline.warm(jobs=1, **WARM_KWARGS)
+        assert isinstance(report, WarmReport)
+        assert report.runs_built == 3  # 2 training + 1 test
+        assert report.synopses_built == 4  # 2 workloads x 2 tiers
+        return pipeline
+
+    @pytest.fixture(scope="class")
+    def parallel(self) -> ExperimentPipeline:
+        pipeline = ExperimentPipeline(TINY)
+        report = pipeline.warm(jobs=2, **WARM_KWARGS)
+        assert report.jobs == 2
+        assert report.runs_built == 3
+        assert report.synopses_built == 4
+        return pipeline
+
+    def test_runs_bit_identical(self, serial, parallel):
+        for workload in ("ordering", "browsing"):
+            assert run_to_dict(serial.training_run(workload)) == run_to_dict(
+                parallel.training_run(workload)
+            )
+        assert run_to_dict(serial.test_run("ordering")) == run_to_dict(
+            parallel.test_run("ordering")
+        )
+
+    def test_synopses_bit_identical(self, serial, parallel):
+        for workload in ("ordering", "browsing"):
+            for tier in ("app", "db"):
+                a = serial.synopsis(workload, tier, "hpc", "naive")
+                b = parallel.synopsis(workload, tier, "hpc", "naive")
+                assert a.to_dict() == b.to_dict()
+
+    def test_meter_decisions_bit_identical(self, serial, parallel):
+        meter_s = serial.meter("hpc", learner="naive")
+        meter_p = parallel.meter("hpc", learner="naive")
+        instances = serial.coordinated_instances("ordering", "hpc")
+        assert instances, "test run shorter than one window"
+        for instance in instances:
+            pred_s = meter_s.predict_window(instance.metrics)
+            pred_p = meter_p.predict_window(instance.metrics)
+            meter_s.observe(instance.label)
+            meter_p.observe(instance.label)
+            assert pred_s.state == pred_p.state
+            assert pred_s.bottleneck == pred_p.bottleneck
+            assert pred_s.confident == pred_p.confident
+
+    def test_warm_is_idempotent(self, serial):
+        report = serial.warm(jobs=1, **WARM_KWARGS)
+        assert report.runs_built == 0
+        assert report.synopses_built == 0
+        assert report.run_keys == []
+        assert report.synopsis_keys == []
+
+
+class TestFoldExecutor:
+    """Fold-level parallelism inside forward selection."""
+
+    def test_cross_validate_keeps_scalar_shape(self):
+        X, y = _cv_data()
+        factory = LearnerFactory("naive")
+        score = cross_validate(factory, X, y, k=5, seed=1)
+        assert isinstance(score, float)
+        detailed = cross_validate_detailed(factory, X, y, k=5, seed=1)
+        assert isinstance(detailed, CrossValidationResult)
+        assert score == detailed.mean
+        assert len(detailed.scores) == 5
+        assert detailed.std >= 0.0
+        assert detailed.sem == detailed.std / np.sqrt(len(detailed.scores))
+
+    def test_executor_folds_bit_identical(self):
+        X, y = _cv_data()
+        factory = LearnerFactory("tan")
+        serial = cross_validate_detailed(factory, X, y, k=5, seed=1)
+        with ProcessPoolExecutor(max_workers=2) as executor:
+            parallel = cross_validate_detailed(
+                factory, X, y, k=5, seed=1, executor=executor
+            )
+        assert serial.scores == parallel.scores
+
+    def test_synopsis_train_executor_bit_identical(self, mini_pipeline):
+        dataset = mini_pipeline.dataset(
+            "ordering", "app", "hpc", training=True
+        )
+        config = SynopsisConfig(learner="naive")
+
+        def fresh():
+            return PerformanceSynopsis(
+                tier="app", workload="ordering", level="hpc", config=config
+            )
+
+        serial = fresh()
+        serial.train(dataset)
+        parallel = fresh()
+        with ProcessPoolExecutor(max_workers=2) as executor:
+            parallel.train(dataset, executor=executor)
+        assert serial.to_dict() == parallel.to_dict()
+
+
+class TestImprovementSigma:
+    """min_improvement judged against fold variance (satellite)."""
+
+    def test_cv_std_recorded_and_serialized(self, mini_pipeline):
+        dataset = mini_pipeline.dataset(
+            "ordering", "app", "hpc", training=True
+        )
+        synopsis = PerformanceSynopsis(
+            tier="app",
+            workload="ordering",
+            level="hpc",
+            config=SynopsisConfig(learner="naive"),
+        )
+        synopsis.train(dataset)
+        assert synopsis.cv_std >= 0.0
+        payload = synopsis.to_dict()
+        assert payload["cv_std"] == synopsis.cv_std
+        assert payload["config"]["improvement_sigma"] == 0.0
+        restored = PerformanceSynopsis.from_dict(payload)
+        assert restored.cv_std == synopsis.cv_std
+
+    def test_sigma_gate_prunes_at_least_as_hard(self, mini_pipeline):
+        dataset = mini_pipeline.dataset(
+            "ordering", "app", "hpc", training=True
+        )
+
+        def attrs(sigma):
+            synopsis = PerformanceSynopsis(
+                tier="app",
+                workload="ordering",
+                level="hpc",
+                config=SynopsisConfig(
+                    learner="naive", improvement_sigma=sigma
+                ),
+            )
+            synopsis.train(dataset)
+            return synopsis.attributes
+
+        # a stricter acceptance bar can only keep a prefix of the
+        # greedy selection, never add attributes
+        loose, strict = attrs(0.0), attrs(5.0)
+        assert len(strict) <= len(loose)
+        assert list(strict) == list(loose)[: len(strict)]
+
+
+class TestPipelineMemoBound:
+    """_PIPELINES is a bounded LRU with a public reset (satellite)."""
+
+    def test_lru_bound_and_reset(self):
+        reset_pipelines()
+        try:
+            configs = [
+                PipelineConfig(scale=0.07, window=5, seed=100 + i)
+                for i in range(MAX_PIPELINES + 3)
+            ]
+            for config in configs:
+                get_pipeline(config)
+            assert len(_PIPELINES) == MAX_PIPELINES
+            # the oldest configurations were evicted...
+            assert configs[0] not in _PIPELINES
+            # ...and the newest survive, identity-stable on re-request
+            newest = configs[-1]
+            assert get_pipeline(newest) is _PIPELINES[newest]
+        finally:
+            reset_pipelines()
+        assert len(_PIPELINES) == 0
+
+    def test_reuse_refreshes_recency(self):
+        reset_pipelines()
+        try:
+            first = PipelineConfig(scale=0.07, window=5, seed=200)
+            keeper = get_pipeline(first)
+            for i in range(MAX_PIPELINES - 1):
+                get_pipeline(
+                    PipelineConfig(scale=0.07, window=5, seed=201 + i)
+                )
+            # touching `first` makes it most-recent, so the next insert
+            # evicts the second-oldest instead
+            assert get_pipeline(first) is keeper
+            get_pipeline(PipelineConfig(scale=0.07, window=5, seed=300))
+            assert first in _PIPELINES
+        finally:
+            reset_pipelines()
