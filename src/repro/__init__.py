@@ -15,6 +15,8 @@ The package layers:
   performance synopses and the two-level coordinated predictor behind
   the :class:`~repro.core.capacity.CapacityMeter` façade;
 * :mod:`repro.control` — measurement-based admission control;
+* :mod:`repro.faults` — deterministic fault injection, degraded-mode
+  campaigns, watchdog re-arming and monitor checkpoint/restore;
 * :mod:`repro.experiments` — regeneration of every table and figure;
 * :mod:`repro.analysis` — run summaries and text rendering.
 

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Eight subcommands cover the operational loop a downstream user needs:
+Nine subcommands cover the operational loop a downstream user needs:
 
 * ``repro simulate`` — run a workload on the simulated testbed and save
   the measurement run (the expensive step, separable from the rest);
@@ -13,6 +13,12 @@ Eight subcommands cover the operational loop a downstream user needs:
 * ``repro monitor`` — run a live simulation with a streaming
   :class:`~repro.core.monitor.OnlineCapacityMonitor` attached, printing
   each window's decision as it is made (bounded memory, no saved run);
+  ``--checkpoint``/``--resume`` snapshot and restore the full monitor
+  state so a crashed monitor resumes without retraining;
+* ``repro faults`` — run a deterministic fault-injection campaign
+  (counter dropout, value spikes, stalled collectors, lost/duplicated
+  records) and report the decision-accuracy degradation vs the clean
+  replay, with an optional ``--min-ba`` CI gate;
 * ``repro report`` — regenerate any of the paper's tables and figures;
 * ``repro table1`` — both Table I sub-tables through the parallel
   engine and the persistent artifact cache (``--jobs``, ``--cache-dir``);
@@ -240,8 +246,14 @@ def cmd_monitor(args: argparse.Namespace) -> int:
     mix = _resolve_mix(args.mix)
     if args.retain is not None and args.retain < 0:
         raise SystemExit("--retain must be non-negative")
+    if args.checkpoint_every < 1:
+        raise SystemExit("--checkpoint-every must be at least 1 window")
+    if args.resume and not args.checkpoint:
+        raise SystemExit("--resume requires --checkpoint")
 
-    if args.meter:
+    if args.resume:
+        meter = None  # the checkpoint embeds the trained meter
+    elif args.meter:
         meter = CapacityMeter.load(args.meter, labeler=SlaOracle())
     else:
         print(
@@ -286,12 +298,43 @@ def cmd_monitor(args: argparse.Namespace) -> int:
             f"{'yes' if prediction.confident else 'no':>5}"
         )
 
-    monitor = OnlineCapacityMonitor(
-        meter,
-        adapt=args.adapt,
-        retain_decisions=args.retain,
-        on_decision=show,
-    )
+    if args.resume:
+        from .faults import load_checkpoint
+
+        monitor = load_checkpoint(
+            args.checkpoint,
+            labeler=SlaOracle(),
+            retain_decisions=args.retain,
+            on_decision=show,
+        )
+        print(
+            f"# resumed from {args.checkpoint}: "
+            f"{monitor.counters.windows} windows / "
+            f"{monitor.counters.ticks} ticks already folded, "
+            f"no retraining"
+        )
+    else:
+        monitor = OnlineCapacityMonitor(
+            meter,
+            adapt=args.adapt,
+            retain_decisions=args.retain,
+            on_decision=show,
+        )
+    if args.checkpoint:
+        from .faults import save_checkpoint
+
+        windows_since = [0]
+        inner = monitor.on_decision
+
+        def checkpointing(decision: MonitorDecision) -> None:
+            if inner is not None:
+                inner(decision)
+            windows_since[0] += 1
+            if windows_since[0] >= args.checkpoint_every:
+                windows_since[0] = 0
+                save_checkpoint(monitor, args.checkpoint)
+
+        monitor.on_decision = checkpointing
     sampler = monitor.attach(
         sim,
         website,
@@ -303,9 +346,117 @@ def cmd_monitor(args: argparse.Namespace) -> int:
     )
     sim.run(until=schedule.duration)
     sampler.stop()
+    if args.checkpoint:
+        from .faults import save_checkpoint
+
+        # final snapshot captures the trailing partial window too
+        save_checkpoint(monitor, args.checkpoint)
+        print(f"# checkpoint saved to {args.checkpoint}")
     print()
     for row in monitor.summary_rows():
         print(row)
+    return 0
+
+
+def cmd_faults(args: argparse.Namespace) -> int:
+    from .faults import FaultPlan, FaultSpec, run_campaign
+    from .telemetry.sampler import HPC_LEVEL
+
+    if args.plan:
+        plan = FaultPlan.load(args.plan)
+    else:
+        specs = []
+        if args.dropout > 0:
+            specs.append(
+                FaultSpec(
+                    kind="dropout",
+                    probability=args.dropout,
+                    level=HPC_LEVEL if args.level == "hybrid" else args.level,
+                )
+            )
+        if args.corrupt > 0:
+            specs.append(
+                FaultSpec(
+                    kind="corrupt",
+                    probability=args.corrupt,
+                    magnitude=args.magnitude,
+                    level=HPC_LEVEL if args.level == "hybrid" else args.level,
+                )
+            )
+        if args.stall:
+            specs.append(
+                FaultSpec(
+                    kind="stall",
+                    tier=args.stall,
+                    start=args.stall_at,
+                    end=args.stall_at + 1,
+                )
+            )
+        if args.drop_records > 0:
+            specs.append(
+                FaultSpec(kind="drop_record", probability=args.drop_records)
+            )
+        if args.duplicate_records > 0:
+            specs.append(
+                FaultSpec(
+                    kind="duplicate_record",
+                    probability=args.duplicate_records,
+                )
+            )
+        if not specs:
+            raise SystemExit(
+                "empty fault plan: give --plan or at least one of "
+                "--dropout/--corrupt/--stall/--drop-records/"
+                "--duplicate-records"
+            )
+        plan = FaultPlan(seed=args.fault_seed, faults=tuple(specs))
+
+    pipeline = None
+    if args.meter:
+        meter = CapacityMeter.load(args.meter, labeler=SlaOracle())
+        labeler = SlaOracle()
+    else:
+        print(
+            f"# no --meter given: training a fresh {args.level} meter "
+            f"at scale {args.scale}"
+        )
+        pipeline = ExperimentPipeline(
+            PipelineConfig(scale=args.scale, window=_window_for(args.scale))
+        )
+        meter = pipeline.meter(args.level)
+        labeler = pipeline.labeler
+    if args.run:
+        records = load_run(args.run).records
+    else:
+        if pipeline is None:
+            pipeline = ExperimentPipeline(
+                PipelineConfig(
+                    scale=args.scale, window=_window_for(args.scale)
+                )
+            )
+        records = pipeline.test_run(args.mix).records
+
+    result = run_campaign(
+        meter,
+        records,
+        plan,
+        labeler=labeler,
+        use_watchdog=not args.no_watchdog,
+        stall_ticks=args.stall_ticks,
+    )
+    for row in result.rows():
+        print(row)
+    import hashlib
+
+    digest = hashlib.sha256(result.signature.encode("utf-8")).hexdigest()
+    print(f"# decision signature: {digest[:16]}")
+    if args.min_ba is not None and result.fault_scores["overload_ba"] < args.min_ba:
+        print(
+            f"# FAIL: degraded overload BA "
+            f"{result.fault_scores['overload_ba']:.3f} "
+            f"below floor {args.min_ba:.3f}"
+        )
+        return 1
     return 0
 
 
@@ -529,7 +680,96 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="bound the kept decision tail (default: keep all)",
     )
+    monitor.add_argument(
+        "--checkpoint",
+        default=None,
+        help="periodically snapshot monitor + meter state to this file",
+    )
+    monitor.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=10,
+        help="windows between checkpoints (default 10)",
+    )
+    monitor.add_argument(
+        "--resume",
+        action="store_true",
+        help="restore monitor + trained meter from --checkpoint "
+        "(no retraining) before streaming",
+    )
     monitor.set_defaults(func=cmd_monitor)
+
+    faults = sub.add_parser(
+        "faults",
+        help="run a deterministic fault-injection campaign and report "
+        "decision-accuracy degradation vs the clean replay",
+    )
+    faults.add_argument(
+        "--mix",
+        choices=("ordering", "browsing", "interleaved", "unknown"),
+        default="ordering",
+        help="test workload to replay (ignored with --run)",
+    )
+    faults.add_argument("--scale", type=float, default=0.3)
+    faults.add_argument(
+        "--level", choices=("hpc", "os", "hybrid"), default="hpc",
+        help="metric level when training a fresh meter",
+    )
+    faults.add_argument(
+        "--meter", default=None, help="saved meter; omit to train fresh"
+    )
+    faults.add_argument(
+        "--run", default=None, help="saved run to replay; omit to simulate"
+    )
+    faults.add_argument(
+        "--plan", default=None, help="JSON fault plan (overrides the flags)"
+    )
+    faults.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="seed of the synthesized plan's RNG streams",
+    )
+    faults.add_argument(
+        "--dropout", type=float, default=0.0,
+        help="per-tick per-attribute counter dropout probability",
+    )
+    faults.add_argument(
+        "--corrupt", type=float, default=0.0,
+        help="per-tick per-attribute value-spike probability",
+    )
+    faults.add_argument(
+        "--magnitude", type=float, default=10.0,
+        help="multiplicative spike of corrupted values",
+    )
+    faults.add_argument(
+        "--stall", default=None, metavar="TIER",
+        help="stall this tier's collector (watchdog must re-arm it)",
+    )
+    faults.add_argument(
+        "--stall-at", type=int, default=30,
+        help="tick at which the --stall fault fires",
+    )
+    faults.add_argument(
+        "--drop-records", type=float, default=0.0,
+        help="per-tick whole-record loss probability",
+    )
+    faults.add_argument(
+        "--duplicate-records", type=float, default=0.0,
+        help="per-tick record duplication probability",
+    )
+    faults.add_argument(
+        "--no-watchdog", action="store_true",
+        help="disable the stalled-collector watchdog",
+    )
+    faults.add_argument(
+        "--stall-ticks", type=int, default=3,
+        help="silent ticks before the watchdog flags a tier",
+    )
+    faults.add_argument(
+        "--min-ba", type=float, default=None,
+        help="exit non-zero when the degraded overload BA drops below "
+        "this floor (CI gate)",
+    )
+    faults.set_defaults(func=cmd_faults)
 
     report = sub.add_parser(
         "report", help="regenerate one of the paper's tables/figures"

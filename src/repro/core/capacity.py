@@ -281,19 +281,16 @@ class CapacityMeter:
     # ------------------------------------------------------------------
     # persistence
     # ------------------------------------------------------------------
-    def save(self, path) -> None:
-        """Persist a trained meter to a JSON file.
+    def to_payload(self) -> Dict[str, object]:
+        """JSON-serializable snapshot of a trained meter.
 
         The labeler is a training-time concern and is not serialized; a
-        loaded meter predicts and evaluates against whatever labeler it
-        is constructed with.
+        restored meter predicts and evaluates against whatever labeler
+        it is constructed with.
         """
-        import json
-        from pathlib import Path
-
         if not self.is_trained:
-            raise RuntimeError("cannot save an untrained CapacityMeter")
-        payload = {
+            raise RuntimeError("cannot serialize an untrained CapacityMeter")
+        return {
             "format": "repro.capacity-meter/1",
             "tiers": list(self.tiers),
             "level": self.level,
@@ -308,22 +305,24 @@ class CapacityMeter:
             },
             "coordinator": self.coordinator.to_dict(),
         }
-        Path(path).write_text(json.dumps(payload))
 
-    @classmethod
-    def load(
-        cls,
-        path,
-        *,
-        labeler: Optional[Callable[[WindowStats], int]] = None,
-    ) -> "CapacityMeter":
-        """Restore a meter saved with :meth:`save`."""
+    def save(self, path) -> None:
+        """Persist a trained meter to a JSON file."""
         import json
         from pathlib import Path
 
-        payload = json.loads(Path(path).read_text())
+        Path(path).write_text(json.dumps(self.to_payload()))
+
+    @classmethod
+    def from_payload(
+        cls,
+        payload: Dict[str, object],
+        *,
+        labeler: Optional[Callable[[WindowStats], int]] = None,
+    ) -> "CapacityMeter":
+        """Rebuild a meter from a :meth:`to_payload` snapshot."""
         if payload.get("format") != "repro.capacity-meter/1":
-            raise ValueError(f"{path} is not a saved CapacityMeter")
+            raise ValueError("payload is not a serialized CapacityMeter")
         meter = cls(
             tiers=list(payload["tiers"]),
             level=str(payload["level"]),
@@ -343,3 +342,19 @@ class CapacityMeter:
             payload["coordinator"]
         )
         return meter
+
+    @classmethod
+    def load(
+        cls,
+        path,
+        *,
+        labeler: Optional[Callable[[WindowStats], int]] = None,
+    ) -> "CapacityMeter":
+        """Restore a meter saved with :meth:`save`."""
+        import json
+        from pathlib import Path
+
+        payload = json.loads(Path(path).read_text())
+        if not isinstance(payload, dict) or payload.get("format") != "repro.capacity-meter/1":
+            raise ValueError(f"{path} is not a saved CapacityMeter")
+        return cls.from_payload(payload, labeler=labeler)

@@ -36,7 +36,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -60,7 +60,16 @@ class Scheme(Enum):
 
 @dataclass(frozen=True)
 class CoordinatedPrediction:
-    """One interval's coordinated decision."""
+    """One interval's coordinated decision.
+
+    ``degraded`` marks a decision made from incomplete telemetry;
+    ``abstained`` lists the synopsis indices whose vote had to be
+    substituted (held last vote, else training prior) and
+    ``imputed_attributes`` counts attribute values filled from training
+    marginals across the non-abstaining synopses.  Clean-telemetry
+    predictions carry the defaults, so equality comparisons against
+    the offline pipeline are unaffected.
+    """
 
     state: int
     bottleneck: Optional[str]
@@ -68,6 +77,9 @@ class CoordinatedPrediction:
     hc: float
     confident: bool
     synopsis_votes: Tuple[int, ...]
+    degraded: bool = False
+    abstained: Tuple[int, ...] = ()
+    imputed_attributes: int = 0
 
     @property
     def overloaded(self) -> bool:
@@ -140,6 +152,9 @@ class CoordinatedPredictor:
         self._bpt = np.zeros((n_patterns, len(self.tiers)))
         self._last_gpv: Optional[int] = None
         self._last_hist: int = 0
+        # last concrete (non-substituted) vote per synopsis — the
+        # hold-last-vote fill for abstaining synopses in degraded mode
+        self._last_votes: List[Optional[int]] = [None] * m
 
     # ------------------------------------------------------------------
     @property
@@ -151,6 +166,7 @@ class CoordinatedPredictor:
         self._history[:] = 0
         self._last_gpv = None
         self._last_hist = 0
+        self._last_votes = [None] * len(self.synopses)
 
     def synopsis_votes(
         self, metrics: Mapping[str, Mapping[str, float]]
@@ -257,7 +273,17 @@ class CoordinatedPredictor:
         (speculative); call :meth:`observe` when ground truth becomes
         available to keep the history exact.
         """
-        votes = self.synopsis_votes(metrics)
+        return self._predict_from_votes(self.synopsis_votes(metrics))
+
+    def _predict_from_votes(
+        self,
+        votes: Tuple[int, ...],
+        *,
+        degraded: bool = False,
+        abstained: Tuple[int, ...] = (),
+        imputed_attributes: int = 0,
+    ) -> CoordinatedPrediction:
+        """The GPT/LHT decision for one fully-resolved vote vector."""
         gpv = self._gpv(votes)
         hist = int(self._history[gpv])
         hc = float(self._lht[gpv, hist])
@@ -266,6 +292,10 @@ class CoordinatedPredictor:
         self._shift_history(gpv, state)
         self._last_gpv = gpv
         self._last_hist = hist
+        substituted = set(abstained)
+        for i, vote in enumerate(votes):
+            if i not in substituted:
+                self._last_votes[i] = vote
         return CoordinatedPrediction(
             state=state,
             bottleneck=bottleneck,
@@ -273,6 +303,73 @@ class CoordinatedPredictor:
             hc=hc,
             confident=confident,
             synopsis_votes=votes,
+            degraded=degraded,
+            abstained=abstained,
+            imputed_attributes=imputed_attributes,
+        )
+
+    def predict_degraded(
+        self,
+        metrics: Mapping[str, Mapping[str, float]],
+        *,
+        min_votes: Optional[int] = None,
+        max_imputed_fraction: float = 0.5,
+    ) -> Optional[CoordinatedPrediction]:
+        """Quorum-ruled decision over possibly-degraded telemetry.
+
+        Each synopsis votes through
+        :meth:`~repro.core.synopsis.PerformanceSynopsis.predict_degraded`:
+        a tier with partial counters is imputed from training marginals
+        (at most ``max_imputed_fraction`` of its selected attributes),
+        and a tier that is absent or too incomplete *abstains*.  When at
+        least ``min_votes`` synopses (default: a strict majority) cast
+        concrete votes, the abstaining GPV bits are filled with each
+        synopsis' last concrete vote (its training-majority prior when
+        it has never voted) and the usual GPT/LHT decision runs over the
+        completed pattern, flagged ``degraded``.
+
+        When quorum fails the method returns ``None`` **without touching
+        any history register** — the window is treated as unmeasurable
+        and the caller applies its documented fallback (the online
+        monitor holds the last decision with decaying confidence).
+        Clean telemetry takes exactly the :meth:`predict` path, so a
+        zero-fault stream is bit-for-bit unaffected.
+        """
+        m = len(self.synopses)
+        quorum = (m // 2 + 1) if min_votes is None else min_votes
+        votes: List[Optional[int]] = []
+        imputed = 0
+        for synopsis in self.synopses:
+            tier_metrics = metrics.get(synopsis.tier)
+            limit = max(
+                0, int(max_imputed_fraction * len(synopsis.attributes))
+            )
+            vote, n_imputed = synopsis.predict_degraded(
+                tier_metrics, max_imputed=limit
+            )
+            votes.append(vote)
+            if vote is not None:
+                imputed += n_imputed
+        abstained = tuple(i for i, vote in enumerate(votes) if vote is None)
+        if m - len(abstained) < quorum:
+            return None
+        if not abstained and not imputed:
+            return self._predict_from_votes(tuple(votes))
+        filled = tuple(
+            vote
+            if vote is not None
+            else (
+                self._last_votes[i]
+                if self._last_votes[i] is not None
+                else int(getattr(self.synopses[i], "prior_vote", UNDERLOAD))
+            )
+            for i, vote in enumerate(votes)
+        )
+        return self._predict_from_votes(
+            filled,
+            degraded=True,
+            abstained=abstained,
+            imputed_attributes=imputed,
         )
 
     def observe(
@@ -328,6 +425,46 @@ class CoordinatedPredictor:
                     self._bpt[gpv, k] += 1.0 if tier == bottleneck else -1.0
         self._history[gpv] = (self._history[gpv] & ~1) | truth
         self._last_gpv = None
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def runtime_state(self) -> Dict[str, object]:
+        """Run-local speculative state (history registers, last votes).
+
+        :meth:`to_dict` deliberately omits this — a freshly loaded
+        predictor starts clean — but a *checkpointed* online monitor
+        must resume with the exact registers it crashed with, or its
+        subsequent decisions diverge from an uninterrupted run.
+        """
+        return {
+            "history": self._history.tolist(),
+            "last_gpv": self._last_gpv,
+            "last_hist": self._last_hist,
+            "last_votes": list(self._last_votes),
+        }
+
+    def restore_runtime_state(self, state: Mapping[str, object]) -> None:
+        """Restore registers captured by :meth:`runtime_state`."""
+        history = np.asarray(state["history"], dtype=int)
+        if history.shape != self._history.shape:
+            raise ValueError(
+                f"history register shape {history.shape} does not match "
+                f"{self._history.shape}"
+            )
+        self._history = history
+        last_gpv = state["last_gpv"]
+        self._last_gpv = None if last_gpv is None else int(last_gpv)
+        self._last_hist = int(state["last_hist"])
+        last_votes = list(state["last_votes"])
+        if len(last_votes) != len(self.synopses):
+            raise ValueError(
+                f"{len(last_votes)} last votes for "
+                f"{len(self.synopses)} synopses"
+            )
+        self._last_votes = [
+            None if vote is None else int(vote) for vote in last_votes
+        ]
 
     # ------------------------------------------------------------------
     # persistence

@@ -15,17 +15,28 @@ offline pipeline (:func:`~repro.core.capacity.build_coordinated_instances`
 followed by :meth:`CoordinatedPredictor.evaluate`) on the same records,
 because the streaming aggregator reproduces the batch window arithmetic
 exactly and the same predict/observe sequence runs underneath.
+
+Degraded telemetry never silences the monitor.  The aggregator runs in
+lenient mode, so records with missing tiers or dropped counters flow
+through the dropout path instead of raising; per-window quality flags
+drive imputation/abstention inside
+:meth:`~repro.core.coordinator.CoordinatedPredictor.predict_degraded`;
+and when even the vote quorum fails, the monitor emits a *held*
+decision — the last real decision with geometrically decaying
+confidence — so every window produces exactly one decision, flagged in
+:class:`MonitorCounters`.  A clean stream takes the exact historical
+code path, bit-for-bit.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
 from ..simulator.engine import Simulator
 from ..simulator.website import MultiTierWebsite
-from ..telemetry.dataset import OVERLOAD
+from ..telemetry.dataset import OVERLOAD, UNDERLOAD
 from ..telemetry.sampler import (
     IntervalRecord,
     TelemetrySampler,
@@ -35,17 +46,60 @@ from ..telemetry.streaming import (
     RunningCorrelation,
     StreamingWindow,
     StreamingWindowAggregator,
+    WindowQuality,
 )
 from .capacity import CapacityMeter
-from .coordinator import CoordinatedPrediction
+from .coordinator import CoordinatedPrediction, Scheme
 from .pi import DEFAULT_PI_CANDIDATES, PiDefinition
 
 __all__ = ["MonitorDecision", "MonitorCounters", "OnlineCapacityMonitor"]
 
 
+def _prediction_to_dict(
+    prediction: Optional[CoordinatedPrediction],
+) -> Optional[dict]:
+    if prediction is None:
+        return None
+    return {
+        "state": prediction.state,
+        "bottleneck": prediction.bottleneck,
+        "gpv": prediction.gpv,
+        "hc": prediction.hc,
+        "confident": prediction.confident,
+        "synopsis_votes": list(prediction.synopsis_votes),
+        "degraded": prediction.degraded,
+        "abstained": list(prediction.abstained),
+        "imputed_attributes": prediction.imputed_attributes,
+    }
+
+
+def _prediction_from_dict(
+    payload: Optional[dict],
+) -> Optional[CoordinatedPrediction]:
+    if payload is None:
+        return None
+    return CoordinatedPrediction(
+        state=int(payload["state"]),
+        bottleneck=payload["bottleneck"],
+        gpv=int(payload["gpv"]),
+        hc=float(payload["hc"]),
+        confident=bool(payload["confident"]),
+        synopsis_votes=tuple(int(v) for v in payload["synopsis_votes"]),
+        degraded=bool(payload["degraded"]),
+        abstained=tuple(int(i) for i in payload["abstained"]),
+        imputed_attributes=int(payload["imputed_attributes"]),
+    )
+
+
 @dataclass(frozen=True)
 class MonitorDecision:
-    """One decision window's record: prediction, truth and window state."""
+    """One decision window's record: prediction, truth and window state.
+
+    ``held`` marks a window where telemetry was too degraded for a vote
+    quorum and the previous decision was re-emitted with decayed
+    confidence; ``quality`` carries the window's telemetry completeness
+    (``None`` only for pre-fault-era producers).
+    """
 
     index: int
     t_start: float
@@ -54,10 +108,26 @@ class MonitorDecision:
     truth: int
     truth_bottleneck: Optional[str]
     stats: WindowStats
+    held: bool = False
+    quality: Optional[WindowQuality] = None
 
     @property
     def correct(self) -> bool:
         return self.prediction.state == self.truth
+
+    @property
+    def degraded(self) -> bool:
+        """Was this decision made from incomplete telemetry?
+
+        True when the vote was held/imputed/abstained *or* when the
+        window's cells were only partially measured — even if enough
+        samples survived for every synopsis to vote concretely.
+        """
+        return (
+            self.held
+            or self.prediction.degraded
+            or (self.quality is not None and self.quality.degraded)
+        )
 
 
 @dataclass
@@ -75,10 +145,26 @@ class MonitorCounters:
     fn: int = 0
     bottleneck_windows: int = 0
     bottleneck_correct: int = 0
+    #: ticks whose record lacked at least one configured tier's metrics
+    partial_ticks: int = 0
+    #: PI tracker updates skipped because the metrics were missing
+    pi_skipped_updates: int = 0
+    #: windows decided from incomplete telemetry (imputed or abstained)
+    degraded_windows: int = 0
+    #: synopsis abstentions summed over all degraded windows
+    abstained_votes: int = 0
+    #: attribute values imputed from training marginals, summed
+    imputed_attributes: int = 0
+    #: quorum failures answered by holding the last decision
+    held_decisions: int = 0
 
     @property
     def confident_fraction(self) -> float:
         return self.confident_windows / self.windows if self.windows else 0.0
+
+    @property
+    def degraded_fraction(self) -> float:
+        return self.degraded_windows / self.windows if self.windows else 0.0
 
 
 class OnlineCapacityMonitor:
@@ -93,6 +179,13 @@ class OnlineCapacityMonitor:
     all — fine for tests, unbounded for production monitoring; pass a
     small number there).  ``on_decision`` delivers every decision to a
     consumer regardless of retention.
+
+    Degraded-mode knobs: ``min_votes`` is the synopsis-vote quorum
+    (default: strict majority), ``max_imputed_fraction`` bounds how much
+    of a synopsis' attribute set may be imputed from training marginals
+    before it abstains, and ``confidence_decay`` is the per-window
+    geometric decay applied to a held decision's counter value while
+    quorum stays lost.
     """
 
     def __init__(
@@ -106,18 +199,29 @@ class OnlineCapacityMonitor:
         retain_decisions: Optional[int] = None,
         retain_records: int = 0,
         on_decision: Optional[Callable[[MonitorDecision], None]] = None,
+        min_votes: Optional[int] = None,
+        max_imputed_fraction: float = 0.5,
+        confidence_decay: float = 0.5,
     ):
         if not meter.is_trained:
             raise ValueError("OnlineCapacityMonitor needs a trained meter")
+        if not 0.0 <= confidence_decay <= 1.0:
+            raise ValueError("confidence_decay must be in [0, 1]")
+        if not 0.0 <= max_imputed_fraction <= 1.0:
+            raise ValueError("max_imputed_fraction must be in [0, 1]")
         self.meter = meter
         self.adapt = adapt
         self.labeler = labeler if labeler is not None else meter.labeler
         self.on_decision = on_decision
+        self.min_votes = min_votes
+        self.max_imputed_fraction = max_imputed_fraction
+        self.confidence_decay = confidence_decay
         self.aggregator = StreamingWindowAggregator(
             level=meter.level,
             tiers=meter.tiers,
             window=meter.window,
             retain_records=retain_records,
+            lenient=True,
         )
         self.counters = MonitorCounters()
         self.decisions: Deque[MonitorDecision] = deque(maxlen=retain_decisions)
@@ -129,6 +233,9 @@ class OnlineCapacityMonitor:
                 for yield_metric, cost_metric in pi_candidates:
                     definition = PiDefinition(tier, yield_metric, cost_metric)
                     self._pi_trackers[definition] = RunningCorrelation()
+        # hold-last-decision fallback state (quorum failures)
+        self._held_streak = 0
+        self._last_prediction: Optional[CoordinatedPrediction] = None
         # the same clean-history start the offline evaluate() performs
         self.meter.coordinator.reset_history()
 
@@ -167,33 +274,108 @@ class OnlineCapacityMonitor:
     def push(self, record: IntervalRecord) -> Optional[MonitorDecision]:
         """Fold one 1 s record; returns the decision on window completion."""
         self.counters.ticks += 1
+        partial = False
         for definition, tracker in self._pi_trackers.items():
-            metrics = record.metrics(definition.level, definition.tier)
-            tracker.update(
-                definition.value(metrics), record.website.client.throughput
-            )
+            try:
+                metrics = record.metrics(definition.level, definition.tier)
+                value = definition.value(metrics)
+            except KeyError:
+                # dropped tier or counter: the PI sample is unmeasurable
+                self.counters.pi_skipped_updates += 1
+                partial = True
+                continue
+            tracker.update(value, record.website.client.throughput)
+        if not partial:
+            for tier in self.meter.tiers:
+                try:
+                    record.metrics(self.meter.level, tier)
+                except KeyError:
+                    partial = True
+                    break
+        if partial:
+            self.counters.partial_ticks += 1
         window = self.aggregator.push(record)
         if window is None:
             return None
         return self._decide(window)
 
+    def _held_prediction(self) -> CoordinatedPrediction:
+        """The quorum-failure fallback: last decision, decayed.
+
+        With no prior decision at all, fall back to the coordinator's
+        configured scheme (optimistic → underload), exactly what λ does
+        inside its confidence band.
+        """
+        coordinator = self.meter.coordinator
+        everyone = tuple(range(coordinator.n_synopses))
+        last = self._last_prediction
+        if last is None:
+            state = (
+                UNDERLOAD
+                if coordinator.scheme is Scheme.OPTIMISTIC
+                else OVERLOAD
+            )
+            return CoordinatedPrediction(
+                state=state,
+                bottleneck=None,
+                gpv=0,
+                hc=0.0,
+                confident=False,
+                synopsis_votes=(),
+                degraded=True,
+                abstained=everyone,
+            )
+        decay = self.confidence_decay ** (self._held_streak + 1)
+        return CoordinatedPrediction(
+            state=last.state,
+            bottleneck=last.bottleneck,
+            gpv=last.gpv,
+            hc=last.hc * decay,
+            confident=False,
+            synopsis_votes=(),
+            degraded=True,
+            abstained=everyone,
+        )
+
     def _decide(self, window: StreamingWindow) -> MonitorDecision:
         coordinator = self.meter.coordinator
-        prediction = coordinator.predict(window.metrics)
+        prediction = coordinator.predict_degraded(
+            window.metrics,
+            min_votes=self.min_votes,
+            max_imputed_fraction=self.max_imputed_fraction,
+        )
+        held = prediction is None
+        if held:
+            prediction = self._held_prediction()
         truth = self.labeler(window.stats)
         truth_bottleneck = window.stats.bottleneck if truth == OVERLOAD else None
-        coordinator.observe(
-            truth,
-            bottleneck=truth_bottleneck if self.adapt else None,
-            adapt=self.adapt,
-        )
+        if held:
+            # no predict() ran underneath: the history registers were
+            # never speculated on, so there is nothing to observe/repair
+            self._held_streak += 1
+        else:
+            coordinator.observe(
+                truth,
+                bottleneck=truth_bottleneck if self.adapt else None,
+                adapt=self.adapt,
+            )
+            self._held_streak = 0
+            self._last_prediction = prediction
         counters = self.counters
         counters.windows += 1
         if prediction.confident:
             counters.confident_windows += 1
         else:
             counters.fallback_scheme_uses += 1
-        if self.adapt:
+        quality_degraded = window.quality is not None and window.quality.degraded
+        if held or prediction.degraded or quality_degraded:
+            counters.degraded_windows += 1
+        if prediction.degraded:
+            counters.abstained_votes += len(prediction.abstained)
+            counters.imputed_attributes += prediction.imputed_attributes
+        if held:
+            counters.held_decisions += 1
+        if self.adapt and not held:
             counters.adaptation_steps += 1
         if truth == OVERLOAD:
             if prediction.overloaded:
@@ -217,11 +399,68 @@ class OnlineCapacityMonitor:
             truth=truth,
             truth_bottleneck=truth_bottleneck,
             stats=window.stats,
+            held=held,
+            quality=window.quality,
         )
         self.decisions.append(decision)
         if self.on_decision is not None:
             self.on_decision(decision)
         return decision
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Run-local monitor state for checkpoint/restore.
+
+        Together with the meter payload (which carries the coordinator
+        tables, including any online adaptation so far) this is enough
+        to resume mid-stream with decisions bit-identical to an
+        uninterrupted run.  The bounded decision tail is debug state and
+        is not captured.
+        """
+        return {
+            "counters": asdict(self.counters),
+            "aggregator": self.aggregator.state_dict(),
+            "coordinator": self.meter.coordinator.runtime_state(),
+            "pi": [
+                {
+                    "tier": definition.tier,
+                    "yield_metric": definition.yield_metric,
+                    "cost_metric": definition.cost_metric,
+                    "level": definition.level,
+                    "state": tracker.state_dict(),
+                }
+                for definition, tracker in self._pi_trackers.items()
+            ],
+            "held_streak": self._held_streak,
+            "last_prediction": _prediction_to_dict(self._last_prediction),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore run-local state captured by :meth:`state_dict`."""
+        counters = state["counters"]
+        self.counters = MonitorCounters(
+            **{k: int(v) for k, v in counters.items()}
+        )
+        self.aggregator.load_state(state["aggregator"])
+        self.meter.coordinator.restore_runtime_state(state["coordinator"])
+        restored = {}
+        for item in state["pi"]:
+            definition = PiDefinition(
+                tier=str(item["tier"]),
+                yield_metric=str(item["yield_metric"]),
+                cost_metric=str(item["cost_metric"]),
+                level=str(item["level"]),
+            )
+            tracker = RunningCorrelation()
+            tracker.load_state(item["state"])
+            restored[definition] = tracker
+        self._pi_trackers = restored
+        self._held_streak = int(state["held_streak"])
+        self._last_prediction = _prediction_from_dict(
+            state["last_prediction"]
+        )
 
     # ------------------------------------------------------------------
     def pi_correlations(self) -> Dict[PiDefinition, float]:
@@ -270,6 +509,13 @@ class OnlineCapacityMonitor:
             f"overload BA:         {scores['overload_ba']:.3f}",
             f"bottleneck accuracy: {scores['bottleneck_accuracy']:.3f}",
         ]
+        if c.degraded_windows or c.partial_ticks:
+            rows.append(
+                f"degraded windows:    {c.degraded_windows} "
+                f"({c.held_decisions} held, {c.abstained_votes} abstained "
+                f"votes, {c.imputed_attributes} imputed attributes)"
+            )
+            rows.append(f"partial ticks:       {c.partial_ticks}")
         best = self.best_pi()
         if best is not None and self.counters.ticks >= 2:
             definition, corr = best

@@ -18,7 +18,7 @@ several synopses into the site-wide decision.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional
+from typing import Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -94,6 +94,12 @@ class PerformanceSynopsis:
         self.cv_score: float = 0.0
         #: fold-score standard deviation behind :attr:`cv_score`
         self.cv_std: float = 0.0
+        #: training-set mean of each selected attribute — the marginal
+        #: a degraded-mode prediction imputes a missing counter from
+        self.attribute_marginals: Dict[str, float] = {}
+        #: majority training label; the vote a coordinated predictor
+        #: substitutes when this synopsis abstains with no history
+        self.prior_vote: int = 0
         self._learner: Optional[SynopsisLearner] = None
 
     # ------------------------------------------------------------------
@@ -138,6 +144,11 @@ class PerformanceSynopsis:
             )
 
         X = dataset.matrix(self.attributes)
+        self.attribute_marginals = {
+            name: float(value)
+            for name, value in zip(self.attributes, X.mean(axis=0))
+        }
+        self.prior_vote = int(np.mean(y) > 0.5)
         self._learner = self._new_learner().fit(X, y)
         return self
 
@@ -237,6 +248,46 @@ class PerformanceSynopsis:
         x = np.array([metrics[a] for a in self.attributes], dtype=float)
         return self._learner.predict_one(x)
 
+    def predict_degraded(
+        self,
+        metrics: Optional[Mapping[str, float]],
+        *,
+        max_imputed: Optional[int] = None,
+    ) -> Tuple[Optional[int], int]:
+        """Degraded-telemetry ``Predict``: ``(vote, n_imputed)``.
+
+        ``metrics`` may be ``None`` (the tier's collector was silent all
+        window) or missing selected attributes (counter dropout).  Up to
+        ``max_imputed`` missing attributes are imputed from the training
+        marginals (:attr:`attribute_marginals`); beyond that — or when
+        the tier is entirely absent, no marginals were recorded, or
+        *every* selected attribute is missing — the synopsis abstains
+        (``vote is None``).  A complete metric dict takes exactly the
+        :meth:`predict` path, so clean telemetry is unaffected.
+        """
+        if not self.is_trained:
+            raise RuntimeError("synopsis is not trained")
+        if metrics is None:
+            return None, 0
+        missing = [a for a in self.attributes if a not in metrics]
+        if not missing:
+            return self.predict(metrics), 0
+        limit = len(self.attributes) - 1 if max_imputed is None else max_imputed
+        if (
+            not self.attribute_marginals
+            or len(missing) > limit
+            or len(missing) >= len(self.attributes)
+        ):
+            return None, len(missing)
+        x = np.array(
+            [
+                metrics.get(a, self.attribute_marginals.get(a, 0.0))
+                for a in self.attributes
+            ],
+            dtype=float,
+        )
+        return self._learner.predict_one(x), len(missing)
+
     def predict_batch(self, X: np.ndarray) -> np.ndarray:
         """Vectorized ``Predict(SYN, ·)`` over a prepared matrix.
 
@@ -297,6 +348,8 @@ class PerformanceSynopsis:
             "ranking": [[name, gain] for name, gain in self.ranking],
             "cv_score": self.cv_score,
             "cv_std": self.cv_std,
+            "marginals": dict(self.attribute_marginals),
+            "prior_vote": self.prior_vote,
         }
         if self.is_trained:
             payload["model"] = self._learner.to_dict()
@@ -320,6 +373,11 @@ class PerformanceSynopsis:
         ]
         synopsis.cv_score = float(payload.get("cv_score", 0.0))
         synopsis.cv_std = float(payload.get("cv_std", 0.0))
+        synopsis.attribute_marginals = {
+            str(name): float(value)
+            for name, value in payload.get("marginals", {}).items()
+        }
+        synopsis.prior_vote = int(payload.get("prior_vote", 0))
         if "model" in payload:
             synopsis._learner = SynopsisLearner.from_dict(payload["model"])
         return synopsis

@@ -1,0 +1,47 @@
+"""Fault injection and degraded-mode operation.
+
+Real perf-counter telemetry degrades: counters drop out of multiplexed
+sets, collectors stall, values glitch, intervals arrive late or twice.
+This package makes those failure modes *first-class and reproducible*:
+
+* :mod:`~repro.faults.plan` — declarative, seedable fault schedules;
+* :mod:`~repro.faults.injector` — deterministic injection over the
+  interval-record stream (copy-on-write; producers never see mutations);
+* :mod:`~repro.faults.watchdog` — stalled-collector detection with
+  bounded-exponential-backoff re-arming;
+* :mod:`~repro.faults.checkpoint` — monitor checkpoint/restore so a
+  crashed ``repro monitor`` resumes bit-identically without retraining;
+* :mod:`~repro.faults.retry` — bounded retry-with-backoff for I/O;
+* :mod:`~repro.faults.campaign` — clean-vs-faulted replay campaigns
+  reporting decision-accuracy degradation (the ``repro faults`` CLI).
+"""
+
+from .campaign import CampaignResult, decision_signature, run_campaign
+from .checkpoint import (
+    CHECKPOINT_FORMAT,
+    checkpoint_payload,
+    load_checkpoint,
+    save_checkpoint,
+)
+from .injector import FaultInjector, InjectionCounters
+from .plan import FAULT_KINDS, FaultPlan, FaultSpec
+from .retry import retry_io
+from .watchdog import SamplerWatchdog, WatchdogCounters
+
+__all__ = [
+    "CHECKPOINT_FORMAT",
+    "CampaignResult",
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectionCounters",
+    "SamplerWatchdog",
+    "WatchdogCounters",
+    "checkpoint_payload",
+    "decision_signature",
+    "load_checkpoint",
+    "run_campaign",
+    "retry_io",
+    "save_checkpoint",
+]

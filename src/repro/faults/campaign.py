@@ -1,0 +1,219 @@
+"""Fault campaigns: clean replay vs faulted replay, same records.
+
+:func:`run_campaign` replays one recorded measurement run through the
+online monitor twice — once pristine, once through a
+:class:`~repro.faults.injector.FaultInjector` (with an optional
+:class:`~repro.faults.watchdog.SamplerWatchdog` re-arming stalled
+tiers) — and reports the decision-accuracy degradation the faults
+caused.  Both phases run on a *fresh copy* of the trained meter
+(payload round-trip), so neither run's speculative or adapted state
+leaks into the other and the campaign is a pure function of
+``(meter, records, plan)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..core.capacity import CapacityMeter
+from ..core.monitor import (
+    MonitorCounters,
+    MonitorDecision,
+    OnlineCapacityMonitor,
+)
+from ..telemetry.sampler import IntervalRecord, WindowStats
+from .injector import FaultInjector, InjectionCounters
+from .plan import FaultPlan
+from .watchdog import SamplerWatchdog, WatchdogCounters
+
+__all__ = ["CampaignResult", "decision_signature", "run_campaign"]
+
+
+def decision_signature(decisions: Sequence[MonitorDecision]) -> str:
+    """Compact deterministic fingerprint of a decision sequence.
+
+    Two campaign runs with the same plan over the same records must
+    produce identical signatures — this is the CI determinism probe.
+    """
+    return ";".join(
+        f"{d.index}:{d.prediction.state}:{d.prediction.gpv}"
+        f":{int(d.held)}:{int(d.prediction.degraded)}"
+        for d in decisions
+    )
+
+
+@dataclass
+class CampaignResult:
+    """Outcome of one clean-vs-faulted campaign."""
+
+    plan: FaultPlan
+    clean_decisions: List[MonitorDecision]
+    fault_decisions: List[MonitorDecision]
+    clean_counters: MonitorCounters
+    fault_counters: MonitorCounters
+    clean_scores: Dict[str, float]
+    fault_scores: Dict[str, float]
+    injection: InjectionCounters
+    watchdog: Optional[WatchdogCounters] = None
+    _signature: str = field(init=False, repr=False, default="")
+
+    def __post_init__(self):
+        self._signature = decision_signature(self.fault_decisions)
+
+    # ------------------------------------------------------------------
+    @property
+    def signature(self) -> str:
+        """Fingerprint of the faulted decision sequence."""
+        return self._signature
+
+    @property
+    def clean_signature(self) -> str:
+        return decision_signature(self.clean_decisions)
+
+    @property
+    def agreement(self) -> float:
+        """Fraction of index-aligned windows deciding the same state."""
+        n = min(len(self.clean_decisions), len(self.fault_decisions))
+        if n == 0:
+            return 1.0
+        same = sum(
+            1
+            for c, f in zip(self.clean_decisions, self.fault_decisions)
+            if c.prediction.state == f.prediction.state
+        )
+        return same / n
+
+    @property
+    def ba_drop(self) -> float:
+        """Overload-BA lost to the faults (clean minus faulted)."""
+        return (
+            self.clean_scores["overload_ba"]
+            - self.fault_scores["overload_ba"]
+        )
+
+    def rows(self) -> List[str]:
+        """Human-readable campaign report."""
+        inj = self.injection
+        rows = [
+            f"faults in plan:       {len(self.plan)} (seed {self.plan.seed})",
+            f"records injected:     {inj.ticks} "
+            f"(-{inj.records_dropped} dropped, "
+            f"+{inj.records_duplicated} duplicated)",
+            f"attributes faulted:   {inj.attributes_dropped} dropped, "
+            f"{inj.attributes_corrupted} corrupted",
+            f"stalls:               {inj.stall_events} events, "
+            f"{inj.stalled_tier_ticks} tier-ticks silent, "
+            f"{inj.rearms_granted} re-armed",
+            f"clean windows:        {self.clean_counters.windows} "
+            f"(BA {self.clean_scores['overload_ba']:.3f})",
+            f"faulted windows:      {self.fault_counters.windows} "
+            f"(BA {self.fault_scores['overload_ba']:.3f}, "
+            f"{self.fault_counters.degraded_windows} degraded, "
+            f"{self.fault_counters.held_decisions} held)",
+            f"decision agreement:   {self.agreement:.3f}",
+            f"overload BA drop:     {self.ba_drop:+.3f}",
+        ]
+        if self.watchdog is not None:
+            wd = self.watchdog
+            rows.append(
+                f"watchdog:             {wd.stalls_detected} stalls "
+                f"detected, {wd.rearm_attempts} attempts, "
+                f"{wd.rearms_succeeded} succeeded"
+            )
+        return rows
+
+
+def _fresh_monitor(
+    meter: CapacityMeter,
+    labeler: Optional[Callable[[WindowStats], int]],
+    *,
+    adapt: bool,
+    min_votes: Optional[int],
+    max_imputed_fraction: float,
+    confidence_decay: float,
+) -> OnlineCapacityMonitor:
+    clone = CapacityMeter.from_payload(meter.to_payload(), labeler=labeler)
+    return OnlineCapacityMonitor(
+        clone,
+        adapt=adapt,
+        labeler=labeler,
+        min_votes=min_votes,
+        max_imputed_fraction=max_imputed_fraction,
+        confidence_decay=confidence_decay,
+    )
+
+
+def run_campaign(
+    meter: CapacityMeter,
+    records: Sequence[IntervalRecord],
+    plan: FaultPlan,
+    *,
+    labeler: Optional[Callable[[WindowStats], int]] = None,
+    adapt: bool = False,
+    use_watchdog: bool = True,
+    stall_ticks: int = 3,
+    base_backoff: int = 2,
+    max_backoff: int = 32,
+    min_votes: Optional[int] = None,
+    max_imputed_fraction: float = 0.5,
+    confidence_decay: float = 0.5,
+) -> CampaignResult:
+    """Replay ``records`` clean and faulted; report the degradation.
+
+    ``labeler`` defaults to the meter's own training labeler so both
+    phases are scored against the same ground truth.
+    """
+    if labeler is None:
+        labeler = meter.labeler
+
+    clean_monitor = _fresh_monitor(
+        meter,
+        labeler,
+        adapt=adapt,
+        min_votes=min_votes,
+        max_imputed_fraction=max_imputed_fraction,
+        confidence_decay=confidence_decay,
+    )
+    for record in records:
+        clean_monitor.push(record)
+
+    fault_monitor = _fresh_monitor(
+        meter,
+        labeler,
+        adapt=adapt,
+        min_votes=min_votes,
+        max_imputed_fraction=max_imputed_fraction,
+        confidence_decay=confidence_decay,
+    )
+    injector = FaultInjector(plan)
+    watchdog: Optional[SamplerWatchdog] = None
+    if use_watchdog:
+        watchdog = SamplerWatchdog(
+            meter.tiers,
+            injector.rearm,
+            stall_ticks=stall_ticks,
+            base_backoff=base_backoff,
+            max_backoff=max_backoff,
+        )
+
+    def deliver(record: IntervalRecord) -> None:
+        if watchdog is not None:
+            watchdog.observe(record)
+        fault_monitor.push(record)
+
+    injector.downstream = deliver
+    for record in records:
+        injector.push(record)
+
+    return CampaignResult(
+        plan=plan,
+        clean_decisions=list(clean_monitor.decisions),
+        fault_decisions=list(fault_monitor.decisions),
+        clean_counters=clean_monitor.counters,
+        fault_counters=fault_monitor.counters,
+        clean_scores=clean_monitor.scores(),
+        fault_scores=fault_monitor.scores(),
+        injection=injector.counters,
+        watchdog=watchdog.counters if watchdog is not None else None,
+    )

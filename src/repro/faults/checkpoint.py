@@ -1,0 +1,121 @@
+"""Checkpoint/restore for the online capacity monitor.
+
+A crashed ``repro monitor`` should not need retraining: the checkpoint
+embeds the full trained-meter payload (synopses, GPT/LHT/BPT tables —
+including any online adaptation accumulated so far) *plus* the run-local
+state the meter payload deliberately omits — coordinator history
+registers, the aggregator's mid-window row buffers, PI-correlation
+moments, operational counters and the hold-last-decision fallback
+state.  Restoring and resuming the stream from the next record yields
+decisions bit-identical to an uninterrupted run.
+
+Checkpoint files are written atomically (temp file + rename) and both
+directions are wrapped in :func:`~repro.faults.retry.retry_io`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+from typing import Callable, Dict, Optional
+
+from ..core.capacity import CapacityMeter
+from ..core.monitor import MonitorDecision, OnlineCapacityMonitor
+from ..telemetry.sampler import WindowStats
+from .retry import retry_io
+
+__all__ = [
+    "CHECKPOINT_FORMAT",
+    "checkpoint_payload",
+    "save_checkpoint",
+    "load_checkpoint",
+]
+
+CHECKPOINT_FORMAT = "repro.monitor-checkpoint/1"
+
+
+def checkpoint_payload(monitor: OnlineCapacityMonitor) -> Dict[str, object]:
+    """Self-contained JSON snapshot of a running monitor."""
+    return {
+        "format": CHECKPOINT_FORMAT,
+        "meter": monitor.meter.to_payload(),
+        "config": {
+            "adapt": monitor.adapt,
+            "min_votes": monitor.min_votes,
+            "max_imputed_fraction": monitor.max_imputed_fraction,
+            "confidence_decay": monitor.confidence_decay,
+        },
+        "state": monitor.state_dict(),
+    }
+
+
+def save_checkpoint(
+    monitor: OnlineCapacityMonitor,
+    path,
+    *,
+    attempts: int = 3,
+    sleep: Callable[[float], None] = time.sleep,
+) -> None:
+    """Atomically write a monitor checkpoint, retrying transient I/O."""
+    payload = json.dumps(checkpoint_payload(monitor))
+    target = Path(path)
+
+    def write() -> None:
+        target.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=str(target.parent), prefix=target.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(payload)
+            os.replace(tmp, target)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    retry_io(write, attempts=attempts, sleep=sleep)
+
+
+def load_checkpoint(
+    path,
+    *,
+    labeler: Optional[Callable[[WindowStats], int]] = None,
+    retain_decisions: Optional[int] = None,
+    on_decision: Optional[Callable[[MonitorDecision], None]] = None,
+    attempts: int = 3,
+    sleep: Callable[[float], None] = time.sleep,
+) -> OnlineCapacityMonitor:
+    """Rebuild a monitor exactly where :func:`save_checkpoint` left it.
+
+    ``labeler``/``retain_decisions``/``on_decision`` are process-local
+    concerns (callables don't serialize) and are re-supplied by the
+    caller; everything that influences decisions comes from the file.
+    """
+    target = Path(path)
+    payload = json.loads(
+        retry_io(target.read_text, attempts=attempts, sleep=sleep)
+    )
+    if not isinstance(payload, dict) or payload.get("format") != CHECKPOINT_FORMAT:
+        raise ValueError(f"{path} is not a monitor checkpoint")
+    meter = CapacityMeter.from_payload(payload["meter"], labeler=labeler)
+    config = payload["config"]
+    monitor = OnlineCapacityMonitor(
+        meter,
+        adapt=bool(config["adapt"]),
+        labeler=labeler,
+        retain_decisions=retain_decisions,
+        on_decision=on_decision,
+        min_votes=(
+            None if config["min_votes"] is None else int(config["min_votes"])
+        ),
+        max_imputed_fraction=float(config["max_imputed_fraction"]),
+        confidence_decay=float(config["confidence_decay"]),
+    )
+    monitor.load_state(payload["state"])
+    return monitor

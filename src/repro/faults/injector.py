@@ -1,0 +1,208 @@
+"""Deterministic fault injection over the interval-record stream.
+
+:class:`FaultInjector` sits between a record producer (a
+:class:`~repro.telemetry.sampler.TelemetrySampler` ``on_record`` hook,
+or a replayed :class:`~repro.telemetry.sampler.MeasurementRun`) and any
+downstream consumer, mutating / dropping / duplicating records
+according to a :class:`~repro.faults.plan.FaultPlan`.
+
+Determinism contract: spec *i* owns the RNG stream
+``np.random.default_rng([plan.seed, i])`` and consumes draws only as a
+function of the delivered-record index and the (deterministic) stall /
+re-arm state, so two replays of the same plan over the same records
+produce byte-identical faulted streams.  No wall-clock anywhere.
+
+Records are mutated copy-on-write: the producer's record objects are
+never touched (other consumers of the same stream see pristine data),
+and the per-tier metric dicts are shallow-copied only when a fault
+actually fires on that tick.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..telemetry.sampler import HPC_LEVEL, OS_LEVEL, IntervalRecord
+from .plan import FaultPlan
+
+__all__ = ["InjectionCounters", "FaultInjector"]
+
+
+@dataclass
+class InjectionCounters:
+    """What the injector actually did, for campaign reports."""
+
+    ticks: int = 0
+    delivered: int = 0
+    records_dropped: int = 0
+    records_duplicated: int = 0
+    attributes_dropped: int = 0
+    attributes_corrupted: int = 0
+    stall_events: int = 0
+    stalled_tier_ticks: int = 0
+    rearms_granted: int = 0
+    rearms_refused: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "ticks": self.ticks,
+            "delivered": self.delivered,
+            "records_dropped": self.records_dropped,
+            "records_duplicated": self.records_duplicated,
+            "attributes_dropped": self.attributes_dropped,
+            "attributes_corrupted": self.attributes_corrupted,
+            "stall_events": self.stall_events,
+            "stalled_tier_ticks": self.stalled_tier_ticks,
+            "rearms_granted": self.rearms_granted,
+            "rearms_refused": self.rearms_refused,
+        }
+
+
+def _level_dict(record: IntervalRecord, level: str) -> Dict[str, Dict[str, float]]:
+    if level == HPC_LEVEL:
+        return record.hpc
+    if level == OS_LEVEL:
+        return record.os
+    raise KeyError(f"faults target concrete levels, not {level!r}")
+
+
+class FaultInjector:
+    """Apply a :class:`FaultPlan` to a stream of interval records.
+
+    ``push(record)`` delivers 0, 1 or 2 (possibly mutated) records to
+    ``downstream``; :meth:`rearm` is the watchdog's hook for clearing a
+    stalled tier.  A stall outlives its spec's armed window — it is a
+    *state*, cleared only by a successful re-arm — and a still-armed
+    spec may immediately re-stall a re-armed tier, which is exactly the
+    flapping behaviour the watchdog's exponential backoff exists for.
+    """
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        downstream: Optional[Callable[[IntervalRecord], None]] = None,
+    ):
+        self.plan = plan
+        self.downstream = downstream
+        self.counters = InjectionCounters()
+        self._rngs = [
+            np.random.default_rng([plan.seed, index])
+            for index in range(len(plan.faults))
+        ]
+        #: tier name -> index of the spec whose stall silenced it
+        self._stalled: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def stalled_tiers(self) -> List[str]:
+        return sorted(self._stalled)
+
+    def rearm(self, tier: str) -> bool:
+        """Watchdog hook: try to clear a stalled tier's collector.
+
+        Returns True when the stall was cleared; False when the tier is
+        not stalled or its spec is not ``rearmable`` (dead host).
+        """
+        spec_index = self._stalled.get(tier)
+        if spec_index is None:
+            return False
+        if not self.plan.faults[spec_index].rearmable:
+            self.counters.rearms_refused += 1
+            return False
+        del self._stalled[tier]
+        self.counters.rearms_granted += 1
+        return True
+
+    # ------------------------------------------------------------------
+    def _target_tiers(self, spec_tier: Optional[str], record: IntervalRecord):
+        if spec_tier is not None:
+            return [spec_tier]
+        return list(record.hpc)
+
+    @staticmethod
+    def _mutable(
+        record: IntervalRecord, current: Optional[IntervalRecord]
+    ) -> IntervalRecord:
+        """Copy-on-write: the first mutation clones the metric dicts."""
+        if current is not None:
+            return current
+        return IntervalRecord(
+            website=record.website,
+            hpc={tier: dict(m) for tier, m in record.hpc.items()},
+            os={tier: dict(m) for tier, m in record.os.items()},
+        )
+
+    def push(self, record: IntervalRecord) -> int:
+        """Run one record through the plan; returns deliveries made."""
+        tick = self.counters.ticks
+        self.counters.ticks += 1
+        out: Optional[IntervalRecord] = None
+        deliveries = 1
+        for index, spec in enumerate(self.plan.faults):
+            if not spec.active(tick):
+                continue
+            rng = self._rngs[index]
+            if spec.kind == "drop_record":
+                # keep drawing even when a previous spec already dropped
+                # the record, so every spec's stream advances exactly
+                # once per armed tick regardless of the others' outcomes
+                if rng.random() < spec.probability:
+                    deliveries = 0
+                    self.counters.records_dropped += 1
+                continue
+            if spec.kind == "duplicate_record":
+                if rng.random() < spec.probability and deliveries:
+                    deliveries = 2
+                    self.counters.records_duplicated += 1
+                continue
+            if spec.kind == "stall":
+                for tier in self._target_tiers(spec.tier, record):
+                    if tier in self._stalled:
+                        continue
+                    if rng.random() < spec.probability:
+                        self._stalled[tier] = index
+                        self.counters.stall_events += 1
+                continue
+            level = _level_dict(record if out is None else out, spec.level)
+            for tier in self._target_tiers(spec.tier, record):
+                metrics = level.get(tier)
+                if not metrics:
+                    continue
+                names = sorted(metrics)
+                if spec.attributes:
+                    chosen = set(spec.attributes)
+                    names = [n for n in names if n in chosen]
+                if not names:
+                    continue
+                hits = rng.random(len(names)) < spec.probability
+                if not hits.any():
+                    continue
+                out = self._mutable(record, out)
+                target = _level_dict(out, spec.level)[tier]
+                for name, hit in zip(names, hits):
+                    if not hit:
+                        continue
+                    if spec.kind == "dropout":
+                        target.pop(name, None)
+                        self.counters.attributes_dropped += 1
+                    else:  # corrupt
+                        target[name] = target[name] * spec.magnitude
+                        self.counters.attributes_corrupted += 1
+                level = _level_dict(out, spec.level)
+        if self._stalled and deliveries:
+            out = self._mutable(record, out)
+            for tier in self._stalled:
+                out.hpc.pop(tier, None)
+                out.os.pop(tier, None)
+                self.counters.stalled_tier_ticks += 1
+        if deliveries == 0:
+            return 0
+        delivered = out if out is not None else record
+        for _ in range(deliveries):
+            self.counters.delivered += 1
+            if self.downstream is not None:
+                self.downstream(delivered)
+        return deliveries

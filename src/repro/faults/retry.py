@@ -1,0 +1,51 @@
+"""Bounded retry-with-backoff for I/O on flaky storage.
+
+Artifact caches and run persistence sit on real filesystems that
+occasionally return transient errors (NFS hiccups, contended tmpfs,
+containers being checkpointed).  :func:`retry_io` wraps one I/O
+callable in a bounded exponential-backoff retry loop; the sleep
+function is injectable so tests (and deterministic campaigns) never
+actually wait.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional, Tuple, Type, TypeVar
+
+__all__ = ["retry_io"]
+
+T = TypeVar("T")
+
+
+def retry_io(
+    fn: Callable[[], T],
+    *,
+    attempts: int = 3,
+    base_delay: float = 0.05,
+    max_delay: float = 1.0,
+    retry_on: Tuple[Type[BaseException], ...] = (OSError,),
+    sleep: Callable[[float], None] = time.sleep,
+    on_retry: Optional[Callable[[int, BaseException], None]] = None,
+) -> T:
+    """Call ``fn`` with up to ``attempts`` tries and exponential backoff.
+
+    Delays run ``base_delay * 2**k`` capped at ``max_delay``.  Only
+    exceptions in ``retry_on`` are retried; the final failure is
+    re-raised unchanged.  ``on_retry(attempt_number, exc)`` observes
+    each failed attempt (the campaign counts them).
+    """
+    if attempts < 1:
+        raise ValueError("attempts must be at least 1")
+    if base_delay < 0 or max_delay < 0:
+        raise ValueError("delays must be non-negative")
+    for attempt in range(1, attempts + 1):
+        try:
+            return fn()
+        except retry_on as exc:
+            if attempt == attempts:
+                raise
+            if on_retry is not None:
+                on_retry(attempt, exc)
+            sleep(min(max_delay, base_delay * (2 ** (attempt - 1))))
+    raise AssertionError("unreachable")  # pragma: no cover

@@ -1,0 +1,117 @@
+"""Stalled-collector detection with bounded-backoff re-arming.
+
+A hung per-tier collector shows up downstream as a tier that simply
+stops appearing in delivered records.  :class:`SamplerWatchdog`
+observes the delivered stream, counts consecutive silent ticks per
+tier, and once a tier has been silent for ``stall_ticks`` ticks starts
+calling the supplied ``rearm`` hook — retrying with exponential backoff
+bounded at ``max_backoff`` ticks, so a permanently dead collector costs
+O(log) attempts before settling into the capped retry cadence instead
+of hammering every tick.
+
+Everything is indexed by delivered-tick count — no wall-clock — so a
+campaign containing a watchdog is exactly as deterministic as its
+fault plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Sequence
+
+from ..telemetry.sampler import IntervalRecord
+
+__all__ = ["WatchdogCounters", "SamplerWatchdog"]
+
+
+@dataclass
+class WatchdogCounters:
+    """Observability of the watchdog's interventions."""
+
+    stalls_detected: int = 0
+    rearm_attempts: int = 0
+    rearms_succeeded: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "stalls_detected": self.stalls_detected,
+            "rearm_attempts": self.rearm_attempts,
+            "rearms_succeeded": self.rearms_succeeded,
+        }
+
+
+class SamplerWatchdog:
+    """Detect silent tiers in a delivered record stream and re-arm them.
+
+    ``rearm(tier) -> bool`` is the recovery hook (True = the collector
+    was successfully restarted); with the fault harness it is
+    :meth:`~repro.faults.injector.FaultInjector.rearm`, in a real
+    deployment it would restart a sampler process.
+    """
+
+    def __init__(
+        self,
+        tiers: Sequence[str],
+        rearm: Callable[[str], bool],
+        *,
+        stall_ticks: int = 3,
+        base_backoff: int = 2,
+        max_backoff: int = 32,
+    ):
+        if stall_ticks < 1:
+            raise ValueError("stall_ticks must be at least 1")
+        if base_backoff < 1:
+            raise ValueError("base_backoff must be at least 1 tick")
+        if max_backoff < base_backoff:
+            raise ValueError("max_backoff must be >= base_backoff")
+        self.tiers = list(tiers)
+        self.rearm = rearm
+        self.stall_ticks = stall_ticks
+        self.base_backoff = base_backoff
+        self.max_backoff = max_backoff
+        self.counters = WatchdogCounters()
+        self._tick = 0
+        self._silent_streak: Dict[str, int] = {t: 0 for t in self.tiers}
+        self._flagged: Dict[str, bool] = {t: False for t in self.tiers}
+        self._backoff: Dict[str, int] = {t: base_backoff for t in self.tiers}
+        self._next_attempt: Dict[str, int] = {t: 0 for t in self.tiers}
+
+    # ------------------------------------------------------------------
+    def observe(self, record: IntervalRecord) -> None:
+        """Fold one delivered record; may fire re-arm attempts."""
+        self._tick += 1
+        for tier in self.tiers:
+            present = tier in record.hpc or tier in record.os
+            if present:
+                self._silent_streak[tier] = 0
+                self._flagged[tier] = False
+                self._backoff[tier] = self.base_backoff
+                self._next_attempt[tier] = 0
+                continue
+            self._silent_streak[tier] += 1
+            if self._silent_streak[tier] < self.stall_ticks:
+                continue
+            if not self._flagged[tier]:
+                self._flagged[tier] = True
+                self.counters.stalls_detected += 1
+                self._next_attempt[tier] = self._tick
+            if self._tick < self._next_attempt[tier]:
+                continue
+            self.counters.rearm_attempts += 1
+            if self.rearm(tier):
+                self.counters.rearms_succeeded += 1
+                # the collector restarts; give it a full detection
+                # window before flagging again
+                self._silent_streak[tier] = 0
+                self._flagged[tier] = False
+                self._backoff[tier] = self.base_backoff
+                self._next_attempt[tier] = 0
+            else:
+                self._next_attempt[tier] = self._tick + self._backoff[tier]
+                self._backoff[tier] = min(
+                    self.max_backoff, self._backoff[tier] * 2
+                )
+
+    @property
+    def flagged_tiers(self) -> Sequence[str]:
+        return sorted(t for t, f in self._flagged.items() if f)

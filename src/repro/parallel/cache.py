@@ -41,7 +41,8 @@ __all__ = ["SCHEMA_VERSION", "ArtifactCache", "default_cache_dir"]
 
 #: bump when the serialized artifact formats (run payloads, synopsis
 #: dicts) or the deterministic generation pipeline changes shape
-SCHEMA_VERSION = 1
+#: (v2: synopsis payloads gained imputation marginals and prior votes)
+SCHEMA_VERSION = 2
 
 
 def default_cache_dir() -> Path:
@@ -76,6 +77,7 @@ class ArtifactCache:
         self.hits: Counter = Counter()
         self.misses: Counter = Counter()
         self.stores: Counter = Counter()
+        self.evictions: Counter = Counter()
 
     # ------------------------------------------------------------------
     # keying
@@ -99,34 +101,71 @@ class ArtifactCache:
     # storage
     # ------------------------------------------------------------------
     def get(self, kind: str, key: str) -> Optional[dict]:
-        """Cached artifact payload, or None (counted as hit/miss)."""
+        """Cached artifact payload, or None (counted as hit/miss).
+
+        A present-but-unreadable entry — truncated gzip, corrupt JSON,
+        an entry missing its ``artifact`` body — is *evicted*: the file
+        is removed so the subsequent rebuild's :meth:`put` replaces it,
+        instead of every future run paying the decode failure again.
+        Evictions are counted per kind and surfaced by
+        ``repro cache stats``.
+        """
         path = self.path_for(kind, key)
         try:
             with gzip.open(path, "rt", encoding="utf-8") as fh:
                 entry = json.load(fh)
-        except (OSError, EOFError, json.JSONDecodeError):
+        except FileNotFoundError:
             self.misses[kind] += 1
+            return None
+        except (OSError, EOFError, json.JSONDecodeError, UnicodeDecodeError):
+            self._evict(kind, path)
+            return None
+        if not isinstance(entry, dict) or "artifact" not in entry:
+            self._evict(kind, path)
             return None
         self.hits[kind] += 1
         return entry["artifact"]
 
+    def _evict(self, kind: str, path: Path) -> None:
+        """Remove a corrupt entry; the caller rebuilds and re-stores."""
+        try:
+            path.unlink()
+        except OSError:
+            pass  # already gone, or unremovable — either way a miss
+        self.evictions[kind] += 1
+        self.misses[kind] += 1
+
     def put(self, kind: str, key: str, artifact: dict, **describe: object) -> Path:
-        """Atomically store one artifact payload under its address."""
-        self.root.mkdir(parents=True, exist_ok=True)
+        """Atomically store one artifact payload under its address.
+
+        The write is retried with bounded backoff (transient filesystem
+        errors on shared/networked cache directories); a final failure
+        still raises.
+        """
+        # local import: repro.faults imports the core stack, which would
+        # cycle back here at module-import time
+        from ..faults.retry import retry_io
+
         path = self.path_for(kind, key)
         entry = {"kind": kind, "describe": _jsonable(describe), "artifact": artifact}
-        fd, tmp_name = tempfile.mkstemp(dir=self.root, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as raw:
-                with gzip.GzipFile(fileobj=raw, mode="wb", mtime=0) as gz:
-                    gz.write(json.dumps(entry).encode("utf-8"))
-            os.replace(tmp_name, path)
-        except BaseException:
+        payload = json.dumps(entry).encode("utf-8")
+
+        def write() -> None:
+            self.root.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(dir=self.root, suffix=".tmp")
             try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+                with os.fdopen(fd, "wb") as raw:
+                    with gzip.GzipFile(fileobj=raw, mode="wb", mtime=0) as gz:
+                        gz.write(payload)
+                os.replace(tmp_name, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+
+        retry_io(write)
         self.stores[kind] += 1
         return path
 
@@ -158,13 +197,19 @@ class ArtifactCache:
         return removed
 
     def counters(self) -> Dict[str, Dict[str, int]]:
-        """Session counters: per-kind hits / misses / stores."""
-        kinds = set(self.hits) | set(self.misses) | set(self.stores)
+        """Session counters: per-kind hits / misses / stores / evictions."""
+        kinds = (
+            set(self.hits)
+            | set(self.misses)
+            | set(self.stores)
+            | set(self.evictions)
+        )
         return {
             kind: {
                 "hits": self.hits[kind],
                 "misses": self.misses[kind],
                 "stores": self.stores[kind],
+                "evictions": self.evictions[kind],
             }
             for kind in sorted(kinds)
         }
@@ -183,6 +228,7 @@ class ArtifactCache:
         for kind, info in self.counters().items():
             rows.append(
                 f"  session {kind}: {info['hits']} hits, "
-                f"{info['misses']} misses, {info['stores']} stores"
+                f"{info['misses']} misses, {info['stores']} stores, "
+                f"{info['evictions']} evictions"
             )
         return rows

@@ -25,6 +25,7 @@ from .sampler import (
     OS_LEVEL,
     IntervalRecord,
     MeasurementRun,
+    TelemetryError,
     TelemetrySampler,
     WindowStats,
     aggregate_window,
@@ -36,6 +37,7 @@ from .streaming import (
     RunningCorrelation,
     StreamingWindow,
     StreamingWindowAggregator,
+    WindowQuality,
 )
 
 __all__ = [
@@ -57,7 +59,9 @@ __all__ = [
     "SYSSTAT_PROFILE",
     "StreamingWindow",
     "StreamingWindowAggregator",
+    "TelemetryError",
     "TelemetrySampler",
+    "WindowQuality",
     "WindowStats",
     "aggregate_window",
     "build_dataset",

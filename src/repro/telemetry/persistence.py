@@ -76,8 +76,17 @@ def run_to_dict(run: MeasurementRun) -> dict:
 
 
 def save_run(run: MeasurementRun, path: Union[str, Path]) -> None:
-    """Serialize a measurement run (gzip when the path ends in .gz)."""
-    _write_text(Path(path), json.dumps(run_to_dict(run)))
+    """Serialize a measurement run (gzip when the path ends in .gz).
+
+    The write is retried with bounded backoff — run archival is the
+    expensive artifact; losing it to a transient filesystem error means
+    re-simulating.
+    """
+    # local import: repro.faults imports this package at module level
+    from ..faults.retry import retry_io
+
+    text = json.dumps(run_to_dict(run))
+    retry_io(lambda: _write_text(Path(path), text))
 
 
 def run_from_dict(payload: dict) -> MeasurementRun:
@@ -116,8 +125,15 @@ def run_from_dict(payload: dict) -> MeasurementRun:
 
 
 def load_run(path: Union[str, Path]) -> MeasurementRun:
-    """Restore a run saved with :func:`save_run`."""
+    """Restore a run saved with :func:`save_run`.
+
+    Reads are retried on transient I/O errors; a well-formed read of a
+    non-run payload still fails immediately.
+    """
+    from ..faults.retry import retry_io
+
+    text = retry_io(lambda: _read_text(Path(path)))
     try:
-        return run_from_dict(json.loads(_read_text(Path(path))))
+        return run_from_dict(json.loads(text))
     except ValueError:
         raise ValueError(f"{path} is not a saved measurement run") from None

@@ -35,6 +35,7 @@ __all__ = [
     "HYBRID_LEVEL",
     "IntervalRecord",
     "MeasurementRun",
+    "TelemetryError",
     "TelemetrySampler",
     "WindowStats",
     "aggregate_window",
@@ -42,6 +43,15 @@ __all__ = [
     "metric_row",
     "metric_matrix",
 ]
+
+
+class TelemetryError(ValueError):
+    """A record violated the telemetry contract (missing tier/schema).
+
+    Subclasses ``ValueError`` so existing schema-validation handlers
+    keep working, while letting fault-aware consumers distinguish
+    telemetry-shape problems from ordinary argument errors.
+    """
 
 HPC_LEVEL = "hpc"
 OS_LEVEL = "os"

@@ -89,18 +89,34 @@ class TestStorage:
         assert path.exists()
         assert cache.get("run", key) == payload
         assert cache.counters() == {
-            "run": {"hits": 1, "misses": 1, "stores": 1}
+            "run": {"hits": 1, "misses": 1, "stores": 1, "evictions": 0}
         }
 
-    def test_corrupt_entry_is_a_miss(self, tmp_path):
+    def test_corrupt_entry_is_evicted_and_rebuilt(self, tmp_path):
         cache = ArtifactCache(tmp_path)
         key = cache.key("run", workload="w")
         cache.put("run", key, {"ok": True})
-        cache.path_for("run", key).write_bytes(b"not gzip")
+        path = cache.path_for("run", key)
+        path.write_bytes(b"not gzip")
         assert cache.get("run", key) is None
+        # the corrupt file was removed, so the miss is rebuildable
+        assert not path.exists()
+        assert cache.evictions["run"] == 1
         truncated = gzip.compress(b'{"artifact": ')
-        cache.path_for("run", key).write_bytes(truncated)
+        path.write_bytes(truncated)
         assert cache.get("run", key) is None
+        assert cache.evictions["run"] == 2
+        # an entry without an artifact body is structurally corrupt too
+        path.write_bytes(gzip.compress(b'{"kind": "run"}'))
+        assert cache.get("run", key) is None
+        assert cache.evictions["run"] == 3
+        # a clean re-put serves again, and a plain absence is NOT an
+        # eviction — just a miss
+        cache.put("run", key, {"ok": True})
+        assert cache.get("run", key) == {"ok": True}
+        assert cache.get("run", "0" * 64) is None
+        assert cache.evictions["run"] == 3
+        assert "evictions" in str(cache.stats_rows())
 
     def test_entries_clear_and_stats_rows(self, tmp_path):
         cache = ArtifactCache(tmp_path)
