@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-smoke examples clean
+.PHONY: install test lint type bench bench-smoke bench-compare obs-overhead examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -10,12 +10,26 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
+lint:
+	ruff check .
+
+type:
+	mypy
+
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 bench-smoke:
 	REPRO_BENCH_SCALE=0.25 REPRO_BENCH_WINDOW=10 \
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# gate fresh smoke-scale benchmark artifacts against committed baselines
+bench-compare:
+	$(PYTHON) benchmarks/compare_baselines.py --time-tolerance 2.0
+
+# measure the instrumentation layer's own decision-path cost
+obs-overhead:
+	$(PYTHON) -m repro.cli obs overhead --scale 0.2
 
 examples:
 	$(PYTHON) examples/quickstart.py 0.2
@@ -26,5 +40,6 @@ examples:
 	$(PYTHON) examples/three_tier_chain.py 0.2
 
 clean:
-	rm -rf .pytest_cache .hypothesis .benchmarks benchmarks/results
+	rm -rf .pytest_cache .hypothesis .benchmarks .repro-cache htmlcov .coverage
+	find benchmarks/results -type f ! -name baselines.json -delete 2>/dev/null || true
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,281 @@
+"""Compare fresh benchmark results against committed baselines.
+
+The bench-regression CI job (and any developer, locally) runs the
+benchmark suite and then this comparator.  Three artifacts are
+tracked, covering the repository's performance-sensitive subsystems:
+
+* ``decision_time.txt`` — per-learner synopsis build + decide cost;
+* ``BENCH_parallel.json`` — serial build, cold-cache and warm-cache
+  wall clock (``parallel_s`` is deliberately ignored: it depends on
+  the host's core count, not on the code);
+* ``fig4_coordinated_accuracy.txt`` — coordinated prediction accuracy
+  across the four workloads at both metric levels.
+
+Timing metrics are compared one-sidedly: a fresh number may beat the
+baseline by any margin but may exceed it only by ``--time-tolerance``
+(a fraction; 0.2 means +20%).  Accuracy metrics are deterministic at
+fixed seed and scale, so they must match the baseline exactly unless
+``--accuracy-tolerance`` loosens them.
+
+Usage::
+
+    # refresh committed baselines after an intentional perf change
+    REPRO_BENCH_SCALE=0.25 REPRO_BENCH_WINDOW=10 \
+        python -m pytest benchmarks/test_decision_time.py \
+            benchmarks/test_parallel_engine.py \
+            benchmarks/test_fig4_coordinated_accuracy.py
+    python benchmarks/compare_baselines.py --update
+
+    # gate a change (CI uses a wider tolerance for shared runners)
+    python benchmarks/compare_baselines.py --time-tolerance 0.2
+
+Exit status: 0 all within tolerance, 1 regression, 2 missing inputs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+RESULTS_DIR = Path(__file__).parent / "results"
+BASELINES = RESULTS_DIR / "baselines.json"
+
+#: BENCH_parallel.json keys that gate (host-independent wall clocks)
+PARALLEL_KEYS = ("serial_s", "cold_cache_s", "warm_cache_s")
+
+_DECISION_ROW = re.compile(r"^(\w+)\s+([\d.]+)\s+(?:[\d.]+|-)\s*$")
+_FIG4_ROW = re.compile(
+    r"^(\w+)\s+([\d.]+)\s+([\d.]+)\s+([\d.]+)\s+([\d.]+)\s*$"
+)
+_FIG4_COLUMNS = ("os_ba", "hpc_ba", "os_bottleneck", "hpc_bottleneck")
+
+
+def parse_decision_time(path: Path) -> Dict[str, float]:
+    """``{learner: measured_ms}`` from the T-TIME text artifact."""
+    out: Dict[str, float] = {}
+    for line in path.read_text().splitlines():
+        match = _DECISION_ROW.match(line.strip())
+        if match and match.group(1) != "Learner":
+            out[match.group(1)] = float(match.group(2))
+    if not out:
+        raise ValueError(f"no learner rows found in {path}")
+    return out
+
+
+def parse_fig4(path: Path) -> Dict[str, Dict[str, float]]:
+    """``{workload: {column: value}}`` from the Fig. 4 text artifact.
+
+    The trailing bar-chart lines contain ``|`` and never match the
+    four-float row pattern, so only the table body is read.
+    """
+    out: Dict[str, Dict[str, float]] = {}
+    for line in path.read_text().splitlines():
+        match = _FIG4_ROW.match(line.strip())
+        if match and match.group(1) != "Workload":
+            out[match.group(1)] = {
+                column: float(match.group(i + 2))
+                for i, column in enumerate(_FIG4_COLUMNS)
+            }
+    if not out:
+        raise ValueError(f"no workload rows found in {path}")
+    return out
+
+
+def parse_parallel(path: Path) -> Dict[str, float]:
+    payload = json.loads(path.read_text())
+    return {key: float(payload[key]) for key in PARALLEL_KEYS}
+
+
+def collect(results_dir: Path) -> Dict[str, object]:
+    """Current benchmark numbers, or raise FileNotFoundError."""
+    return {
+        "decision_time_ms": parse_decision_time(
+            results_dir / "decision_time.txt"
+        ),
+        "parallel_engine_s": parse_parallel(
+            results_dir / "BENCH_parallel.json"
+        ),
+        "fig4_accuracy": parse_fig4(
+            results_dir / "fig4_coordinated_accuracy.txt"
+        ),
+    }
+
+
+def _compare_timing(
+    label: str,
+    baseline: Dict[str, float],
+    fresh: Dict[str, float],
+    tolerance: float,
+    failures: List[str],
+    rows: List[str],
+) -> None:
+    for key, base in sorted(baseline.items()):
+        current: Optional[float] = fresh.get(key)
+        if current is None:
+            failures.append(f"{label}.{key}: missing from fresh results")
+            continue
+        ceiling = base * (1.0 + tolerance)
+        verdict = "ok" if current <= ceiling else "REGRESSION"
+        rows.append(
+            f"  {label}.{key:16} base {base:10.4f}  "
+            f"now {current:10.4f}  ceiling {ceiling:10.4f}  {verdict}"
+        )
+        if current > ceiling:
+            failures.append(
+                f"{label}.{key}: {current:.4f} exceeds "
+                f"{base:.4f} +{tolerance * 100:.0f}% = {ceiling:.4f}"
+            )
+
+
+def _compare_accuracy(
+    baseline: Dict[str, Dict[str, float]],
+    fresh: Dict[str, Dict[str, float]],
+    tolerance: float,
+    failures: List[str],
+    rows: List[str],
+) -> None:
+    for workload, columns in sorted(baseline.items()):
+        got = fresh.get(workload)
+        if got is None:
+            failures.append(f"fig4.{workload}: missing from fresh results")
+            continue
+        for column, base in columns.items():
+            current = got.get(column)
+            if current is None:
+                failures.append(f"fig4.{workload}.{column}: missing")
+                continue
+            delta = abs(current - base)
+            verdict = "ok" if delta <= tolerance else "MISMATCH"
+            rows.append(
+                f"  fig4.{workload}.{column:15} base {base:6.3f}  "
+                f"now {current:6.3f}  {verdict}"
+            )
+            if delta > tolerance:
+                failures.append(
+                    f"fig4.{workload}.{column}: {current:.3f} != "
+                    f"{base:.3f} (tolerance {tolerance})"
+                )
+
+
+def compare(
+    baselines: Dict[str, object],
+    fresh: Dict[str, object],
+    *,
+    time_tolerance: float,
+    accuracy_tolerance: float,
+) -> Tuple[List[str], List[str]]:
+    """(report rows, failure messages) for fresh vs. baseline."""
+    failures: List[str] = []
+    rows: List[str] = []
+    _compare_timing(
+        "decision_time_ms",
+        baselines["decision_time_ms"],
+        fresh["decision_time_ms"],
+        time_tolerance,
+        failures,
+        rows,
+    )
+    _compare_timing(
+        "parallel_engine_s",
+        baselines["parallel_engine_s"],
+        fresh["parallel_engine_s"],
+        time_tolerance,
+        failures,
+        rows,
+    )
+    _compare_accuracy(
+        baselines["fig4_accuracy"],
+        fresh["fig4_accuracy"],
+        accuracy_tolerance,
+        failures,
+        rows,
+    )
+    return rows, failures
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--results-dir",
+        type=Path,
+        default=RESULTS_DIR,
+        help="directory holding the fresh benchmark artifacts",
+    )
+    parser.add_argument(
+        "--baselines",
+        type=Path,
+        default=BASELINES,
+        help="committed baselines JSON to compare against (or update)",
+    )
+    parser.add_argument(
+        "--time-tolerance",
+        type=float,
+        default=0.2,
+        help="allowed fractional slowdown for timing metrics "
+        "(0.2 = +20%%; speedups always pass)",
+    )
+    parser.add_argument(
+        "--accuracy-tolerance",
+        type=float,
+        default=0.0,
+        help="allowed absolute accuracy drift (default: exact match)",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="write the fresh numbers as the new baselines and exit",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        fresh = collect(args.results_dir)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"cannot read fresh benchmark results: {exc}")
+        print(
+            "run the benchmark suite first, e.g.\n"
+            "  REPRO_BENCH_SCALE=0.25 REPRO_BENCH_WINDOW=10 "
+            "python -m pytest benchmarks/test_decision_time.py "
+            "benchmarks/test_parallel_engine.py "
+            "benchmarks/test_fig4_coordinated_accuracy.py"
+        )
+        return 2
+
+    if args.update:
+        args.baselines.parent.mkdir(parents=True, exist_ok=True)
+        args.baselines.write_text(json.dumps(fresh, indent=2) + "\n")
+        print(f"baselines updated: {args.baselines}")
+        return 0
+
+    if not args.baselines.is_file():
+        print(f"no baselines at {args.baselines}; run with --update first")
+        return 2
+    baselines = json.loads(args.baselines.read_text())
+
+    rows, failures = compare(
+        baselines,
+        fresh,
+        time_tolerance=args.time_tolerance,
+        accuracy_tolerance=args.accuracy_tolerance,
+    )
+    print(
+        f"comparing {args.results_dir} against {args.baselines} "
+        f"(time +{args.time_tolerance * 100:.0f}%, "
+        f"accuracy ±{args.accuracy_tolerance})"
+    )
+    for row in rows:
+        print(row)
+    if failures:
+        print(f"\n{len(failures)} regression(s):")
+        for failure in failures:
+            print(f"  FAIL {failure}")
+        return 1
+    print("\nall benchmarks within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,7 +22,17 @@ Nine subcommands cover the operational loop a downstream user needs:
 * ``repro report`` — regenerate any of the paper's tables and figures;
 * ``repro table1`` — both Table I sub-tables through the parallel
   engine and the persistent artifact cache (``--jobs``, ``--cache-dir``);
-* ``repro cache`` — inspect or clear that artifact cache.
+* ``repro cache`` — inspect or clear that artifact cache;
+* ``repro obs`` — render a recorded metrics event log as Prometheus
+  text (``dump``) or self-measure the instrumentation layer's cost on
+  the decision path (``overhead``).
+
+``monitor``, ``faults``, ``report`` and ``table1`` accept
+``--metrics-out PATH`` to record internal metrics for the invocation
+(:mod:`repro.obs`); a ``.jsonl`` suffix selects the event-log shape,
+anything else the text exposition.  Without the flag the
+instrumentation layer stays disabled and outputs are byte-identical
+to earlier releases.
 
 Every command accepts ``--scale`` to shrink simulated durations; 1.0 is
 paper scale (3000 s training ramps, 30 s windows).  ``--jobs N`` fans
@@ -38,6 +48,7 @@ from typing import Dict, Optional, Sequence
 
 from .analysis.metrics import summarize_run
 from .core.capacity import CapacityMeter
+from .obs import OBS
 from .core.labeler import SlaOracle
 from .core.synopsis import SynopsisConfig
 from .experiments.pipeline import (
@@ -563,6 +574,56 @@ def cmd_table1(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_obs(args: argparse.Namespace) -> int:
+    if args.action == "dump":
+        from .obs import exposition, registry_from_jsonl
+
+        if not args.source:
+            raise SystemExit("obs dump requires --from FILE.jsonl")
+        registry = registry_from_jsonl(args.source)
+        text = exposition(registry)
+        if args.out:
+            from pathlib import Path
+
+            Path(args.out).write_text(text, encoding="utf-8")
+            print(f"# wrote {len(registry)} metric series to {args.out}")
+        else:
+            print(text, end="")
+        return 0
+
+    # overhead: self-measure the instrumentation layer's decision-path
+    # cost, mirroring the paper's own collection-agent experiment
+    from .obs.overhead import measure_decision_overhead
+
+    pipeline = ExperimentPipeline(
+        PipelineConfig(scale=args.scale, window=_window_for(args.scale))
+    )
+    print(
+        f"# training a fresh {args.level} meter at scale {args.scale} "
+        f"and replaying the {args.mix} test run"
+    )
+    meter = pipeline.meter(args.level)
+    records = pipeline.test_run(args.mix).records
+    result = measure_decision_overhead(
+        meter, records, repeats=args.repeats, passes=args.passes
+    )
+    for row in result.rows():
+        print(row)
+    if not result.identical_decisions:
+        print("# FAIL: instrumentation changed the decision sequence")
+        return 1
+    if (
+        args.max_overhead is not None
+        and result.overhead_percent > args.max_overhead
+    ):
+        print(
+            f"# FAIL: overhead {result.overhead_percent:+.2f}% above "
+            f"ceiling {args.max_overhead:.2f}%"
+        )
+        return 1
+    return 0
+
+
 def cmd_cache(args: argparse.Namespace) -> int:
     from .parallel import ArtifactCache
 
@@ -574,6 +635,16 @@ def cmd_cache(args: argparse.Namespace) -> int:
         removed = cache.clear()
         print(f"removed {removed} entries from {cache.root}")
     return 0
+
+
+def _add_metrics_out(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="record internal metrics for this invocation and write "
+        "them here (.jsonl: event log, otherwise Prometheus text)",
+    )
 
 
 # ----------------------------------------------------------------------
@@ -697,6 +768,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="restore monitor + trained meter from --checkpoint "
         "(no retraining) before streaming",
     )
+    _add_metrics_out(monitor)
     monitor.set_defaults(func=cmd_monitor)
 
     faults = sub.add_parser(
@@ -769,6 +841,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit non-zero when the degraded overload BA drops below "
         "this floor (CI gate)",
     )
+    _add_metrics_out(faults)
     faults.set_defaults(func=cmd_faults)
 
     report = sub.add_parser(
@@ -791,6 +864,7 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument(
         "--no-cache", action="store_true", help="disable the artifact cache"
     )
+    _add_metrics_out(report)
     report.set_defaults(func=cmd_report)
 
     table1 = sub.add_parser(
@@ -825,6 +899,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="",
         help="comma-separated learner subset (default: all registered)",
     )
+    _add_metrics_out(table1)
     table1.set_defaults(func=cmd_table1)
 
     cache = sub.add_parser(
@@ -839,12 +914,74 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cache.set_defaults(func=cmd_cache)
 
+    obs = sub.add_parser(
+        "obs",
+        help="inspect recorded metrics or self-measure instrumentation "
+        "overhead",
+    )
+    obs.add_argument(
+        "action",
+        choices=("dump", "overhead"),
+        help="dump: render a --metrics-out .jsonl event log as "
+        "Prometheus text; overhead: measure the instrumentation "
+        "layer's decision-path cost",
+    )
+    obs.add_argument(
+        "--from",
+        dest="source",
+        default=None,
+        metavar="FILE.jsonl",
+        help="event log to render (dump)",
+    )
+    obs.add_argument(
+        "--out", default=None, help="write exposition here instead of stdout"
+    )
+    obs.add_argument("--scale", type=float, default=0.2)
+    obs.add_argument(
+        "--mix",
+        choices=("ordering", "browsing", "interleaved", "unknown"),
+        default="ordering",
+        help="test workload replayed by the overhead measurement",
+    )
+    obs.add_argument(
+        "--level", choices=("hpc", "os", "hybrid"), default="hpc",
+        help="metric level of the freshly trained meter (overhead)",
+    )
+    obs.add_argument(
+        "--repeats", type=int, default=5,
+        help="timing repetitions; best-of-N is reported (overhead)",
+    )
+    obs.add_argument(
+        "--passes", type=int, default=3,
+        help="back-to-back record-stream passes per timed replay; more "
+        "passes shrink timer noise (overhead)",
+    )
+    obs.add_argument(
+        "--max-overhead", type=float, default=None,
+        help="exit non-zero when overhead exceeds this percentage "
+        "(CI gate)",
+    )
+    obs.set_defaults(func=cmd_obs)
+
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    metrics_out = getattr(args, "metrics_out", None)
+    if metrics_out:
+        if str(metrics_out).endswith(".jsonl"):
+            # stream span events live; the final snapshot appends to them
+            OBS.enable(events=metrics_out)
+        else:
+            OBS.enable()
+    try:
+        status = args.func(args)
+    finally:
+        if metrics_out:
+            OBS.dump(metrics_out)
+            OBS.reset()
+    return status
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via tests

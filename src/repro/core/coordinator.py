@@ -40,6 +40,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..obs import OBS
 from ..telemetry.dataset import OVERLOAD, UNDERLOAD
 from .synopsis import PerformanceSynopsis
 
@@ -155,6 +156,9 @@ class CoordinatedPredictor:
         # last concrete (non-substituted) vote per synopsis — the
         # hold-last-vote fill for abstaining synopses in degraded mode
         self._last_votes: List[Optional[int]] = [None] * m
+        # cached metric handles, valid while OBS.registry is the same
+        # object (transient; never serialized)
+        self._obs_cache: Optional[tuple] = None
 
     # ------------------------------------------------------------------
     @property
@@ -296,6 +300,35 @@ class CoordinatedPredictor:
         for i, vote in enumerate(votes):
             if i not in substituted:
                 self._last_votes[i] = vote
+        if OBS.enabled:
+            cache = self._obs_cache
+            if cache is None or cache[0] is not OBS.registry:
+                registry = OBS.registry
+                cache = self._obs_cache = (
+                    registry,
+                    {
+                        flag: registry.counter(
+                            "repro_coordinator_decisions_total",
+                            help="coordinated GPT/LHT decisions, by "
+                            "confidence source",
+                            confident=flag,
+                        )
+                        for flag in ("yes", "no")
+                    },
+                    registry.gauge(
+                        "repro_coordinator_last_gpv",
+                        help="global pattern vector of the latest decision",
+                    ),
+                    registry.counter(
+                        "repro_coordinator_degraded_decisions_total",
+                        help="decisions made from imputed or substituted "
+                        "votes",
+                    ),
+                )
+            cache[1]["yes" if confident else "no"].inc()
+            cache[2].set(float(gpv))
+            if degraded:
+                cache[3].inc()
         return CoordinatedPrediction(
             state=state,
             bottleneck=bottleneck,
@@ -352,6 +385,11 @@ class CoordinatedPredictor:
                 imputed += n_imputed
         abstained = tuple(i for i, vote in enumerate(votes) if vote is None)
         if m - len(abstained) < quorum:
+            if OBS.enabled:
+                OBS.inc(
+                    "repro_coordinator_quorum_failures_total",
+                    help="windows where too few synopses cast concrete votes",
+                )
             return None
         if not abstained and not imputed:
             return self._predict_from_votes(tuple(votes))

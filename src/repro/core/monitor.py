@@ -34,6 +34,7 @@ from collections import deque
 from dataclasses import asdict, dataclass
 from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
+from ..obs import OBS
 from ..simulator.engine import Simulator
 from ..simulator.website import MultiTierWebsite
 from ..telemetry.dataset import OVERLOAD, UNDERLOAD
@@ -233,6 +234,9 @@ class OnlineCapacityMonitor:
                 for yield_metric, cost_metric in pi_candidates:
                     definition = PiDefinition(tier, yield_metric, cost_metric)
                     self._pi_trackers[definition] = RunningCorrelation()
+        # cached metric handles, valid while OBS.registry is the same
+        # object (transient; excluded from checkpoint state)
+        self._obs_cache: Optional[tuple] = None
         # hold-last-decision fallback state (quorum failures)
         self._held_streak = 0
         self._last_prediction: Optional[CoordinatedPrediction] = None
@@ -338,6 +342,7 @@ class OnlineCapacityMonitor:
         )
 
     def _decide(self, window: StreamingWindow) -> MonitorDecision:
+        t0 = OBS.clock() if OBS.enabled else None
         coordinator = self.meter.coordinator
         prediction = coordinator.predict_degraded(
             window.metrics,
@@ -405,6 +410,48 @@ class OnlineCapacityMonitor:
         self.decisions.append(decision)
         if self.on_decision is not None:
             self.on_decision(decision)
+        if t0 is not None:
+            cache = self._obs_cache
+            if cache is None or cache[0] is not OBS.registry:
+                registry = OBS.registry
+                cache = self._obs_cache = (
+                    registry,
+                    registry.counter(
+                        "repro_monitor_windows_total",
+                        help="decision windows completed by online monitors",
+                    ),
+                    registry.counter(
+                        "repro_monitor_ticks_total",
+                        help="interval records folded by online monitors",
+                    ),
+                    registry.counter(
+                        "repro_monitor_held_decisions_total",
+                        help="quorum failures answered by holding the "
+                        "last decision",
+                    ),
+                    registry.counter(
+                        "repro_monitor_degraded_windows_total",
+                        help="windows decided from incomplete telemetry",
+                    ),
+                    registry.gauge(
+                        "repro_monitor_overload_ba",
+                        help="running overload balanced accuracy of the "
+                        "monitor",
+                    ),
+                )
+            cache[1].inc()
+            # per-record ticks flush here, once per completed window,
+            # keeping push() itself free of metric operations
+            cache[2].inc(self.meter.window)
+            if held:
+                cache[3].inc()
+            if decision.degraded:
+                cache[4].inc()
+            c = self.counters
+            tpr = c.tp / (c.tp + c.fn) if (c.tp + c.fn) else 1.0
+            tnr = c.tn / (c.tn + c.fp) if (c.tn + c.fp) else 1.0
+            cache[5].set(0.5 * (tpr + tnr))
+            OBS.observe_span("monitor_decide", OBS.clock() - t0)
         return decision
 
     # ------------------------------------------------------------------

@@ -23,6 +23,7 @@ from typing import Dict, List, Mapping, Optional, Tuple
 import numpy as np
 
 from ..learners.base import LearnerFactory, SynopsisLearner, make_learner
+from ..obs import OBS
 from ..learners.information_gain import rank_attributes
 from ..learners.validation import (
     ConfusionMatrix,
@@ -101,6 +102,9 @@ class PerformanceSynopsis:
         #: substitutes when this synopsis abstains with no history
         self.prior_vote: int = 0
         self._learner: Optional[SynopsisLearner] = None
+        #: cached metric handles, valid while ``OBS.registry`` is the
+        #: same object (transient; never serialized)
+        self._obs_cache: Optional[tuple] = None
 
     # ------------------------------------------------------------------
     def __repr__(self) -> str:
@@ -268,9 +272,13 @@ class PerformanceSynopsis:
         if not self.is_trained:
             raise RuntimeError("synopsis is not trained")
         if metrics is None:
+            if OBS.enabled:
+                self._count_vote("abstained")
             return None, 0
         missing = [a for a in self.attributes if a not in metrics]
         if not missing:
+            if OBS.enabled:
+                self._count_vote("clean")
             return self.predict(metrics), 0
         limit = len(self.attributes) - 1 if max_imputed is None else max_imputed
         if (
@@ -278,6 +286,8 @@ class PerformanceSynopsis:
             or len(missing) > limit
             or len(missing) >= len(self.attributes)
         ):
+            if OBS.enabled:
+                self._count_vote("abstained")
             return None, len(missing)
         x = np.array(
             [
@@ -286,7 +296,40 @@ class PerformanceSynopsis:
             ],
             dtype=float,
         )
+        if OBS.enabled:
+            self._count_vote("imputed")
+            # _count_vote just refreshed the handle cache
+            self._obs_cache[2].inc(float(len(missing)))
         return self._learner.predict_one(x), len(missing)
+
+    def _count_vote(self, outcome: str) -> None:
+        """Record one degraded-path vote outcome (enabled path only).
+
+        Handles are cached per registry object so the per-window cost
+        is one dict probe and a float add, not a get-or-create walk.
+        """
+        cache = self._obs_cache
+        if cache is None or cache[0] is not OBS.registry:
+            registry = OBS.registry
+            cache = self._obs_cache = (
+                registry,
+                {
+                    o: registry.counter(
+                        "repro_synopsis_votes_total",
+                        help="degraded-path synopsis votes by outcome "
+                        "(clean/imputed/abstained)",
+                        tier=self.tier,
+                        outcome=o,
+                    )
+                    for o in ("clean", "imputed", "abstained")
+                },
+                registry.counter(
+                    "repro_synopsis_imputed_attributes_total",
+                    help="attribute values filled from training marginals",
+                    tier=self.tier,
+                ),
+            )
+        cache[1][outcome].inc()
 
     def predict_batch(self, X: np.ndarray) -> np.ndarray:
         """Vectorized ``Predict(SYN, ·)`` over a prepared matrix.

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, Sequence
 
+from ..obs import OBS
 from ..telemetry.sampler import IntervalRecord
 
 __all__ = ["WatchdogCounters", "SamplerWatchdog"]
@@ -95,11 +96,29 @@ class SamplerWatchdog:
                 self._flagged[tier] = True
                 self.counters.stalls_detected += 1
                 self._next_attempt[tier] = self._tick
+                if OBS.enabled:
+                    OBS.inc(
+                        "repro_watchdog_stalls_total",
+                        help="collector stalls detected, by tier",
+                        tier=tier,
+                    )
             if self._tick < self._next_attempt[tier]:
                 continue
             self.counters.rearm_attempts += 1
+            if OBS.enabled:
+                OBS.inc(
+                    "repro_watchdog_rearm_attempts_total",
+                    help="collector re-arm attempts, by tier",
+                    tier=tier,
+                )
             if self.rearm(tier):
                 self.counters.rearms_succeeded += 1
+                if OBS.enabled:
+                    OBS.inc(
+                        "repro_watchdog_rearms_succeeded_total",
+                        help="collector re-arms that restarted the tier",
+                        tier=tier,
+                    )
                 # the collector restarts; give it a full detection
                 # window before flagging again
                 self._silent_streak[tier] = 0

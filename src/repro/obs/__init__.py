@@ -1,0 +1,237 @@
+"""``repro.obs`` — self-observability for the measurement pipeline.
+
+The paper's premise is *online measurement with negligible overhead*
+(Section V.D reports <2% collection cost); this package holds the
+reproduction to the same standard by making its own pipeline
+measurable.  It provides a dependency-free metrics registry
+(:mod:`~repro.obs.registry`), timing spans (:mod:`~repro.obs.spans`),
+two sinks (:mod:`~repro.obs.sinks`: JSONL event log and
+Prometheus-style text exposition) and an overhead self-measurement
+mode (:mod:`~repro.obs.overhead`) that reruns a fixed-seed campaign
+with instrumentation on vs. off, mirroring the paper's own overhead
+experiment.
+
+Design contract — **disabled means invisible**:
+
+* the layer is **off by default**; every instrumented call site is
+  guarded by a single attribute check (``if OBS.enabled:``) and the
+  disabled path performs no allocation, no dict lookup, no call into
+  this package;
+* enabling it changes *no* behaviour: metrics are pure observations,
+  so every bit-identical guarantee in the repository (streaming vs
+  batch, parallel vs serial, faulted replay determinism) holds with
+  the layer on or off;
+* hot paths never hold metric references — the registry's
+  get-or-create accessors are cheap enough to call per event, and the
+  measured enabled-path overhead on the decision loop is reported by
+  ``repro obs overhead`` (acceptance floor: under 5%).
+
+Usage::
+
+    from repro.obs import OBS
+
+    OBS.enable()
+    ... run a monitor / campaign / table ...
+    print(OBS.exposition())          # Prometheus text
+    OBS.disable()
+
+The singleton :data:`OBS` is what instrumented modules import; tests
+and the CLI may also build private :class:`Observability` instances.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import IO, Optional, Sequence, Union
+
+from .registry import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    Metric,
+    MetricsRegistry,
+)
+from .sinks import (
+    exposition,
+    registry_from_jsonl,
+    snapshot_lines,
+    write_exposition,
+    write_snapshot,
+)
+from .spans import NOOP_SPAN, SPAN_METRIC, NoopSpan, Span, record_span
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Metric",
+    "MetricsRegistry",
+    "NoopSpan",
+    "OBS",
+    "Observability",
+    "SPAN_METRIC",
+    "Span",
+    "exposition",
+    "registry_from_jsonl",
+    "snapshot_lines",
+    "write_exposition",
+    "write_snapshot",
+]
+
+
+class Observability:
+    """Enable/disable switch plus convenience recording API.
+
+    ``enabled`` is a plain attribute so the guard at every instrumented
+    call site is a single load-and-branch; all recording methods assume
+    the caller already checked it (calling them while disabled still
+    works — it records into the registry — which keeps tests simple).
+    """
+
+    __slots__ = (
+        "enabled",
+        "registry",
+        "events",
+        "_owns_events",
+        "_span_cache",
+        "_span_registry",
+    )
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.registry = MetricsRegistry()
+        self.events: Optional[IO[str]] = None
+        self._owns_events = False
+        # per-registry cache of span-name -> histogram child, so the
+        # per-window observe_span is a dict probe, not a get-or-create
+        self._span_cache: dict = {}
+        self._span_registry: Optional[MetricsRegistry] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def enable(
+        self,
+        *,
+        registry: Optional[MetricsRegistry] = None,
+        events: Union[IO[str], str, Path, None] = None,
+    ) -> MetricsRegistry:
+        """Turn collection on, optionally attaching a JSONL event sink.
+
+        ``events`` may be an open text stream or a path (opened for
+        append; closed again by :meth:`disable`/:meth:`reset` only when
+        opened here).
+        """
+        if registry is not None:
+            self.registry = registry
+        if events is not None:
+            self._close_events()
+            if isinstance(events, (str, Path)):
+                self.events = open(events, "a", encoding="utf-8")
+                self._owns_events = True
+            else:
+                self.events = events
+                self._owns_events = False
+        self.enabled = True
+        return self.registry
+
+    def disable(self) -> None:
+        """Stop collecting; the registry keeps its state for dumping."""
+        self.enabled = False
+        self._close_events()
+
+    def reset(self) -> None:
+        """Disable and drop all collected state (test isolation)."""
+        self.disable()
+        self.registry = MetricsRegistry()
+
+    def _close_events(self) -> None:
+        if self.events is not None and self._owns_events:
+            self.events.close()
+        self.events = None
+        self._owns_events = False
+
+    # ------------------------------------------------------------------
+    # recording (call sites guard with ``if OBS.enabled:``)
+    # ------------------------------------------------------------------
+    def inc(
+        self, name: str, amount: float = 1.0, help: str = "", **labels: object
+    ) -> None:
+        self.registry.counter(name, help=help, **labels).inc(amount)
+
+    def set(
+        self, name: str, value: float, help: str = "", **labels: object
+    ) -> None:
+        self.registry.gauge(name, help=help, **labels).set(value)
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        help: str = "",
+        buckets: Optional[Sequence[float]] = None,
+        **labels: object,
+    ) -> None:
+        self.registry.histogram(
+            name, help=help, buckets=buckets, **labels
+        ).observe(value)
+
+    def span(self, name: str) -> Union[Span, NoopSpan]:
+        """Context manager timing one section (no-op when disabled)."""
+        if not self.enabled:
+            return NOOP_SPAN
+        return Span(self.registry, name, self.events)
+
+    def observe_span(self, name: str, seconds: float) -> None:
+        """Record an externally timed duration as a span."""
+        if self.events is not None:
+            # slow path: the JSONL sink needs the event line too
+            record_span(self.registry, name, seconds, self.events)
+            return
+        if self._span_registry is not self.registry:
+            self._span_cache = {}
+            self._span_registry = self.registry
+        histogram = self._span_cache.get(name)
+        if histogram is None:
+            histogram = self._span_cache[name] = self.registry.histogram(
+                SPAN_METRIC,
+                help="duration of instrumented sections, by span name",
+                span=name,
+            )
+        histogram.observe(seconds)
+
+    @staticmethod
+    def clock() -> float:
+        """The span clock (``time.perf_counter``)."""
+        return time.perf_counter()
+
+    # ------------------------------------------------------------------
+    # sinks
+    # ------------------------------------------------------------------
+    def exposition(self) -> str:
+        """Current registry as Prometheus text exposition."""
+        return exposition(self.registry)
+
+    def dump(self, path: Union[str, Path]) -> Path:
+        """Write the registry to ``path``.
+
+        A ``.jsonl`` suffix selects the JSONL event-log shape (snapshot
+        appended, preserving any live span events already in the file);
+        anything else gets the text exposition.
+        """
+        target = Path(path)
+        if target.suffix == ".jsonl":
+            if self.events is not None:
+                write_snapshot(self.registry, self.events)
+            else:
+                with open(target, "a", encoding="utf-8") as fh:
+                    write_snapshot(self.registry, fh)
+            return target
+        return write_exposition(self.registry, target)
+
+
+#: process-wide singleton every instrumented module guards on
+OBS = Observability()

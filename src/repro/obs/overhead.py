@@ -1,0 +1,157 @@
+"""Observability overhead self-measurement (mirrors paper Section V.D).
+
+The paper quantifies its *collection agents'* cost by running the same
+workload with and without them; this module applies the identical
+method to the reproduction's own instrumentation layer.  A fixed-seed
+interval-record stream is replayed through the online decision path
+(:class:`~repro.core.monitor.OnlineCapacityMonitor.push` per record)
+twice — once with :data:`~repro.obs.OBS` disabled, once enabled — on a
+fresh meter clone each time, and the wall-clock delta is the layer's
+measured overhead.  The two replays must (and are verified to) produce
+identical decision sequences, because instrumentation is observation
+only.
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, List, Optional, Sequence
+
+from . import OBS, MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.capacity import CapacityMeter
+    from ..telemetry.sampler import IntervalRecord
+
+__all__ = ["OverheadSelfReport", "measure_decision_overhead"]
+
+
+@dataclass(frozen=True)
+class OverheadSelfReport:
+    """Measured cost of the instrumentation layer on the decision path."""
+
+    #: best-of-N wall seconds with instrumentation off / on
+    off_seconds: float
+    on_seconds: float
+    records: int
+    windows: int
+    repeats: int
+    #: the two replays' decision signatures matched (they must)
+    identical_decisions: bool
+    #: sample counts collected during the enabled replay
+    metrics_collected: int
+
+    @property
+    def overhead_percent(self) -> float:
+        """Enabled-path slowdown relative to the disabled path."""
+        if self.off_seconds <= 0:
+            return 0.0
+        return 100.0 * (self.on_seconds - self.off_seconds) / self.off_seconds
+
+    def rows(self) -> List[str]:
+        return [
+            f"Observability overhead (decision path, {self.records} records "
+            f"/ {self.windows} windows, best of {self.repeats}):",
+            f"instrumentation off: {self.off_seconds * 1e3:10.2f} ms",
+            f"instrumentation on:  {self.on_seconds * 1e3:10.2f} ms "
+            f"({self.metrics_collected} metric series)",
+            f"overhead:            {self.overhead_percent:+10.2f} %",
+            f"decisions identical: {'yes' if self.identical_decisions else 'NO'}",
+        ]
+
+
+def _replay(
+    meter: "CapacityMeter",
+    records: Sequence["IntervalRecord"],
+    passes: int = 1,
+) -> Any:
+    """One timed replay on a fresh meter clone; returns (seconds, monitor).
+
+    ``passes`` repeats the record stream back to back through the same
+    monitor, stretching the timed region so timer jitter and scheduler
+    noise shrink relative to the measured work.
+    """
+    from ..core.capacity import CapacityMeter
+    from ..core.monitor import OnlineCapacityMonitor
+
+    clone = CapacityMeter.from_payload(meter.to_payload(), labeler=meter.labeler)
+    monitor = OnlineCapacityMonitor(clone, retain_decisions=None)
+    push = monitor.push
+    start = time.perf_counter()
+    for _ in range(passes):
+        for record in records:
+            push(record)
+    return time.perf_counter() - start, monitor
+
+
+def measure_decision_overhead(
+    meter: "CapacityMeter",
+    records: Sequence["IntervalRecord"],
+    *,
+    repeats: int = 3,
+    passes: int = 3,
+    registry: Optional[MetricsRegistry] = None,
+) -> OverheadSelfReport:
+    """Replay ``records`` with instrumentation off and on; report the delta.
+
+    The prior global OBS state is saved and restored, so the caller's
+    configuration (including a CLI ``--metrics-out`` session) survives
+    the measurement.  ``registry`` receives the enabled replays' samples
+    (a private registry by default, keeping the caller's metrics clean).
+    """
+    from ..faults.campaign import decision_signature
+
+    if repeats < 1:
+        raise ValueError("repeats must be at least 1")
+    if passes < 1:
+        raise ValueError("passes must be at least 1")
+    records = list(records)
+
+    saved_enabled = OBS.enabled
+    saved_registry = OBS.registry
+    scratch = registry if registry is not None else MetricsRegistry()
+
+    off_best = float("inf")
+    on_best = float("inf")
+    off_signature = on_signature = ""
+    windows = 0
+    gc_was_enabled = gc.isenabled()
+    try:
+        # one untimed warm-up per mode settles allocator and code caches
+        OBS.enabled = False
+        _replay(meter, records)
+        OBS.enabled = True
+        OBS.registry = scratch
+        _replay(meter, records)
+        # interleaved best-of-N pairs with the collector paused, so a
+        # GC pause or frequency excursion cannot land on one mode only
+        gc.disable()
+        for _ in range(repeats):
+            OBS.enabled = False
+            seconds, monitor = _replay(meter, records, passes)
+            off_best = min(off_best, seconds)
+            off_signature = decision_signature(list(monitor.decisions))
+            windows = monitor.counters.windows
+
+            OBS.enabled = True
+            OBS.registry = scratch
+            seconds, monitor = _replay(meter, records, passes)
+            on_best = min(on_best, seconds)
+            on_signature = decision_signature(list(monitor.decisions))
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+        OBS.enabled = saved_enabled
+        OBS.registry = saved_registry
+
+    return OverheadSelfReport(
+        off_seconds=off_best,
+        on_seconds=on_best,
+        records=len(records) * passes,
+        windows=windows,
+        repeats=repeats,
+        identical_decisions=off_signature == on_signature,
+        metrics_collected=len(scratch),
+    )

@@ -1,0 +1,274 @@
+"""Dependency-free metrics registry: counters, gauges, histograms.
+
+The observability layer's storage is deliberately tiny and allocation
+conscious: a metric is one small object holding plain Python floats, a
+registry is one dict keyed by ``(name, sorted label items)``, and the
+hot-path operations (``Counter.inc``, ``Histogram.observe``) touch no
+containers beyond a fixed-size bucket list.  Nothing here imports any
+other ``repro`` module, so instrumented code anywhere in the tree can
+depend on it without cycles.
+
+Semantics follow the Prometheus data model:
+
+* :class:`Counter` — monotonically non-decreasing float;
+* :class:`Gauge` — arbitrary settable float;
+* :class:`Histogram` — observations bucketed by *fixed* upper bounds
+  chosen at creation (plus an implicit ``+Inf`` overflow bucket), with
+  a running sum and count.  Bucket counts are stored per-bucket and
+  cumulated only at exposition time.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Metric",
+    "MetricsRegistry",
+]
+
+#: default histogram upper bounds (seconds) — spans from microseconds
+#: (a guarded counter bump) to tens of seconds (a full warm build)
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+LabelItems = Tuple[Tuple[str, str], ...]
+
+
+def label_key(labels: Mapping[str, object]) -> LabelItems:
+    """Canonical hashable form of a label set."""
+    if len(labels) == 1:
+        # the common instrumented shape — no sort needed
+        ((k, v),) = labels.items()
+        return ((k, str(v)),)
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """Monotonically non-decreasing value."""
+
+    kind = "counter"
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelItems = ()):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        self.value += amount
+
+
+class Gauge:
+    """Arbitrary settable value."""
+
+    kind = "gauge"
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelItems = ()):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Fixed-boundary histogram with running sum and count.
+
+    ``bounds`` are the inclusive upper bucket boundaries, strictly
+    increasing; observations above the last bound land in the implicit
+    ``+Inf`` bucket.  ``counts`` holds *per-bucket* tallies (length
+    ``len(bounds) + 1``); :meth:`cumulative` produces the
+    Prometheus-style running totals.
+    """
+
+    kind = "histogram"
+    __slots__ = ("name", "labels", "bounds", "counts", "sum", "count")
+
+    def __init__(
+        self,
+        name: str,
+        labels: LabelItems = (),
+        bounds: Sequence[float] = DEFAULT_BUCKETS,
+    ):
+        if not bounds:
+            raise ValueError("a histogram needs at least one bucket bound")
+        bounds_t = tuple(float(b) for b in bounds)
+        if any(b >= a for b, a in zip(bounds_t, bounds_t[1:])):
+            raise ValueError("bucket bounds must be strictly increasing")
+        self.name = name
+        self.labels = labels
+        self.bounds = bounds_t
+        self.counts: List[int] = [0] * (len(bounds_t) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.sum += value
+        self.count += 1
+        # bisect_left: first bound >= value, i.e. the smallest bucket
+        # whose "le" boundary admits the observation; len(bounds) (all
+        # bounds smaller) is exactly the +Inf slot of ``counts``
+        self.counts[bisect_left(self.bounds, value)] += 1
+
+    def cumulative(self) -> List[int]:
+        """Prometheus-style cumulative bucket counts (incl. ``+Inf``)."""
+        out: List[int] = []
+        total = 0
+        for tally in self.counts:
+            total += tally
+            out.append(total)
+        return out
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Insertion-ordered store of named, labelled metrics.
+
+    ``counter`` / ``gauge`` / ``histogram`` are get-or-create: the first
+    call for a ``(name, labels)`` pair creates the child, later calls
+    return the same object, so instrumented call sites never need to
+    hold references.  A name is bound to one metric kind (and, for
+    histograms, one bucket layout) for the registry's lifetime.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[Tuple[str, LabelItems], Metric] = {}
+        #: name -> (kind, help text); fixes a name's kind on first use
+        self._meta: Dict[str, Tuple[str, str]] = {}
+
+    # ------------------------------------------------------------------
+    def _check_kind(self, name: str, kind: str, help: str) -> None:
+        meta = self._meta.get(name)
+        if meta is None:
+            self._meta[name] = (kind, help)
+        elif meta[0] != kind:
+            raise ValueError(
+                f"metric {name!r} is a {meta[0]}, not a {kind}"
+            )
+        elif help and not meta[1]:
+            self._meta[name] = (kind, help)
+
+    def counter(self, name: str, help: str = "", **labels: object) -> Counter:
+        # hot path: an existing child is one dict probe plus a kind check
+        key = (name, label_key(labels) if labels else ())
+        metric = self._metrics.get(key)
+        if metric is None:
+            self._check_kind(name, "counter", help)
+            metric = self._metrics[key] = Counter(name, key[1])
+        elif metric.__class__ is not Counter:
+            raise ValueError(
+                f"metric {name!r} is a {metric.kind}, not a counter"
+            )
+        return metric
+
+    def gauge(self, name: str, help: str = "", **labels: object) -> Gauge:
+        key = (name, label_key(labels) if labels else ())
+        metric = self._metrics.get(key)
+        if metric is None:
+            self._check_kind(name, "gauge", help)
+            metric = self._metrics[key] = Gauge(name, key[1])
+        elif metric.__class__ is not Gauge:
+            raise ValueError(
+                f"metric {name!r} is a {metric.kind}, not a gauge"
+            )
+        return metric
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Optional[Sequence[float]] = None,
+        **labels: object,
+    ) -> Histogram:
+        key = (name, label_key(labels) if labels else ())
+        metric = self._metrics.get(key)
+        if metric is None:
+            self._check_kind(name, "histogram", help)
+            metric = self._metrics[key] = Histogram(
+                name, key[1], buckets if buckets is not None else DEFAULT_BUCKETS
+            )
+            return metric
+        if metric.__class__ is not Histogram:
+            raise ValueError(
+                f"metric {name!r} is a {metric.kind}, not a histogram"
+            )
+        if buckets is not None and tuple(float(b) for b in buckets) != metric.bounds:
+            raise ValueError(
+                f"histogram {name!r} already exists with bounds "
+                f"{metric.bounds}"
+            )
+        return metric
+
+    # ------------------------------------------------------------------
+    def help_for(self, name: str) -> str:
+        meta = self._meta.get(name)
+        return meta[1] if meta is not None else ""
+
+    def kind_of(self, name: str) -> Optional[str]:
+        meta = self._meta.get(name)
+        return meta[0] if meta is not None else None
+
+    def names(self) -> List[str]:
+        """Metric family names in first-use order."""
+        return list(self._meta)
+
+    def children(self, name: str) -> List[Metric]:
+        """All labelled children of one family, in creation order."""
+        return [m for (n, _), m in self._metrics.items() if n == name]
+
+    def __iter__(self) -> Iterator[Metric]:
+        return iter(self._metrics.values())
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def get(
+        self, name: str, **labels: object
+    ) -> Optional[Metric]:
+        """Existing child, or None — never creates."""
+        return self._metrics.get((name, label_key(labels)))
+
+    def value(self, name: str, **labels: object) -> float:
+        """Scalar value of an existing counter/gauge (0.0 if absent)."""
+        metric = self._metrics.get((name, label_key(labels)))
+        if metric is None or isinstance(metric, Histogram):
+            return 0.0
+        return metric.value
+
+    def clear(self) -> None:
+        self._metrics.clear()
+        self._meta.clear()

@@ -1,0 +1,203 @@
+"""Metric sinks: Prometheus-style text exposition and a JSONL log.
+
+Two complementary output shapes:
+
+* :func:`exposition` renders a registry in the Prometheus text format
+  (``# HELP`` / ``# TYPE`` headers, ``name{label="v"} value`` samples,
+  cumulative ``_bucket`` rows for histograms) — the scrape-friendly
+  snapshot ``--metrics-out metrics.prom`` writes;
+* :func:`write_snapshot` appends one JSON line per metric sample to a
+  JSONL stream — the event-log shape.  Span events are appended live
+  (see :class:`~repro.obs.spans.Span`); the snapshot lines carry the
+  final registry state.  :func:`registry_from_jsonl` rebuilds a
+  registry from such a file (ignoring transient ``span`` event lines,
+  whose durations are already folded into the span histogram), so
+  ``repro obs dump`` round-trips a JSONL log back into exposition text.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, Dict, List, Union
+
+from .registry import Counter, Gauge, Histogram, Metric, MetricsRegistry
+
+__all__ = [
+    "exposition",
+    "registry_from_jsonl",
+    "snapshot_lines",
+    "write_exposition",
+    "write_snapshot",
+]
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_labels(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+def _merged_labels(metric: Metric, extra: Dict[str, str]) -> Dict[str, str]:
+    labels = {k: v for k, v in metric.labels}
+    labels.update(extra)
+    return labels
+
+
+def exposition(registry: MetricsRegistry) -> str:
+    """The registry as Prometheus text-format exposition."""
+    out: List[str] = []
+    for name in registry.names():
+        kind = registry.kind_of(name)
+        help_text = registry.help_for(name)
+        if help_text:
+            out.append(f"# HELP {name} {help_text}")
+        out.append(f"# TYPE {name} {kind}")
+        for metric in registry.children(name):
+            if isinstance(metric, (Counter, Gauge)):
+                out.append(
+                    f"{name}{_format_labels(_merged_labels(metric, {}))} "
+                    f"{_format_value(metric.value)}"
+                )
+                continue
+            assert isinstance(metric, Histogram)
+            cumulative = metric.cumulative()
+            for bound, total in zip(metric.bounds, cumulative):
+                labels = _merged_labels(metric, {"le": _format_value(bound)})
+                out.append(
+                    f"{name}_bucket{_format_labels(labels)} {total}"
+                )
+            labels = _merged_labels(metric, {"le": "+Inf"})
+            out.append(f"{name}_bucket{_format_labels(labels)} {cumulative[-1]}")
+            base = _format_labels(_merged_labels(metric, {}))
+            out.append(f"{name}_sum{base} {_format_value(metric.sum)}")
+            out.append(f"{name}_count{base} {metric.count}")
+    return "\n".join(out) + ("\n" if out else "")
+
+
+def write_exposition(
+    registry: MetricsRegistry, path: Union[str, Path]
+) -> Path:
+    """Write the text exposition to ``path`` and return it."""
+    target = Path(path)
+    target.write_text(exposition(registry), encoding="utf-8")
+    return target
+
+
+# ----------------------------------------------------------------------
+# JSONL event log
+# ----------------------------------------------------------------------
+def snapshot_lines(registry: MetricsRegistry) -> List[str]:
+    """One JSON line per metric sample, capturing full registry state."""
+    lines: List[str] = []
+    for name in registry.names():
+        lines.append(
+            json.dumps(
+                {
+                    "event": "meta",
+                    "name": name,
+                    "kind": registry.kind_of(name),
+                    "help": registry.help_for(name),
+                },
+                sort_keys=True,
+            )
+        )
+    for metric in registry:
+        labels = {k: v for k, v in metric.labels}
+        if isinstance(metric, (Counter, Gauge)):
+            lines.append(
+                json.dumps(
+                    {
+                        "event": "sample",
+                        "name": metric.name,
+                        "labels": labels,
+                        "value": metric.value,
+                    },
+                    sort_keys=True,
+                )
+            )
+            continue
+        assert isinstance(metric, Histogram)
+        lines.append(
+            json.dumps(
+                {
+                    "event": "histogram",
+                    "name": metric.name,
+                    "labels": labels,
+                    "bounds": list(metric.bounds),
+                    "counts": list(metric.counts),
+                    "sum": metric.sum,
+                    "count": metric.count,
+                },
+                sort_keys=True,
+            )
+        )
+    return lines
+
+
+def write_snapshot(registry: MetricsRegistry, stream: IO[str]) -> int:
+    """Append the snapshot lines to an open JSONL stream."""
+    lines = snapshot_lines(registry)
+    for line in lines:
+        stream.write(line + "\n")
+    stream.flush()
+    return len(lines)
+
+
+def registry_from_jsonl(path: Union[str, Path]) -> MetricsRegistry:
+    """Rebuild a registry from a JSONL metric log.
+
+    ``span`` event lines are an activity log, not state — their
+    durations were folded into the span histogram before the snapshot
+    was written — so they are skipped.  When a file holds several
+    snapshots, later samples simply overwrite earlier ones, i.e. the
+    *last* snapshot wins.
+    """
+    registry = MetricsRegistry()
+    with open(path, "r", encoding="utf-8") as fh:
+        for raw in fh:
+            raw = raw.strip()
+            if not raw:
+                continue
+            event = json.loads(raw)
+            kind = event.get("event")
+            if kind == "meta":
+                registry._check_kind(
+                    str(event["name"]),
+                    str(event["kind"]),
+                    str(event.get("help", "")),
+                )
+            elif kind == "sample":
+                name = str(event["name"])
+                labels = {
+                    str(k): str(v) for k, v in event.get("labels", {}).items()
+                }
+                if registry.kind_of(name) == "gauge":
+                    registry.gauge(name, **labels).set(float(event["value"]))
+                else:
+                    child = registry.counter(name, **labels)
+                    child.value = float(event["value"])
+            elif kind == "histogram":
+                name = str(event["name"])
+                labels = {
+                    str(k): str(v) for k, v in event.get("labels", {}).items()
+                }
+                child = registry.histogram(
+                    name,
+                    buckets=[float(b) for b in event["bounds"]],
+                    **labels,
+                )
+                child.counts = [int(c) for c in event["counts"]]
+                child.sum = float(event["sum"])
+                child.count = int(event["count"])
+            # "span" and unknown events: activity log, skipped
+    return registry

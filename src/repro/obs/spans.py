@@ -1,0 +1,96 @@
+"""Lightweight timing spans.
+
+A span measures one timed section and folds its duration into the
+shared ``repro_span_seconds`` histogram (labelled by span name), plus
+an optional JSONL event when an event sink is attached.  The disabled
+path allocates nothing: :data:`NOOP_SPAN` is a module-level singleton
+whose ``__enter__``/``__exit__`` do nothing, and
+:meth:`~repro.obs.Observability.span` hands it out whenever the layer
+is off.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from types import TracebackType
+from typing import IO, Optional, Type
+
+from .registry import MetricsRegistry
+
+__all__ = ["SPAN_METRIC", "NoopSpan", "NOOP_SPAN", "Span"]
+
+#: histogram family every span duration lands in
+SPAN_METRIC = "repro_span_seconds"
+
+
+class NoopSpan:
+    """Shared do-nothing span for the disabled path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "NoopSpan":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
+        return None
+
+
+NOOP_SPAN = NoopSpan()
+
+
+class Span:
+    """One timed section; records on exit."""
+
+    __slots__ = ("registry", "name", "events", "started")
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        name: str,
+        events: Optional[IO[str]] = None,
+    ):
+        self.registry = registry
+        self.name = name
+        self.events = events
+        self.started = 0.0
+
+    def __enter__(self) -> "Span":
+        self.started = time.perf_counter()
+        return self
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
+        seconds = time.perf_counter() - self.started
+        record_span(self.registry, self.name, seconds, self.events)
+
+
+def record_span(
+    registry: MetricsRegistry,
+    name: str,
+    seconds: float,
+    events: Optional[IO[str]] = None,
+) -> None:
+    """Fold one measured duration into the span histogram (+ event log)."""
+    registry.histogram(
+        SPAN_METRIC,
+        help="duration of instrumented sections, by span name",
+        span=name,
+    ).observe(seconds)
+    if events is not None:
+        events.write(
+            json.dumps(
+                {"event": "span", "name": name, "seconds": seconds},
+                sort_keys=True,
+            )
+            + "\n"
+        )

@@ -37,6 +37,8 @@ from dataclasses import asdict, is_dataclass
 from pathlib import Path
 from typing import Dict, Optional, Union
 
+from ..obs import OBS
+
 __all__ = ["SCHEMA_VERSION", "ArtifactCache", "default_cache_dir"]
 
 #: bump when the serialized artifact formats (run payloads, synopsis
@@ -116,6 +118,13 @@ class ArtifactCache:
                 entry = json.load(fh)
         except FileNotFoundError:
             self.misses[kind] += 1
+            if OBS.enabled:
+                OBS.inc(
+                    "repro_cache_requests_total",
+                    help="artifact cache lookups by kind and outcome",
+                    kind=kind,
+                    outcome="miss",
+                )
             return None
         except (OSError, EOFError, json.JSONDecodeError, UnicodeDecodeError):
             self._evict(kind, path)
@@ -124,6 +133,13 @@ class ArtifactCache:
             self._evict(kind, path)
             return None
         self.hits[kind] += 1
+        if OBS.enabled:
+            OBS.inc(
+                "repro_cache_requests_total",
+                help="artifact cache lookups by kind and outcome",
+                kind=kind,
+                outcome="hit",
+            )
         return entry["artifact"]
 
     def _evict(self, kind: str, path: Path) -> None:
@@ -134,6 +150,18 @@ class ArtifactCache:
             pass  # already gone, or unremovable — either way a miss
         self.evictions[kind] += 1
         self.misses[kind] += 1
+        if OBS.enabled:
+            OBS.inc(
+                "repro_cache_evictions_total",
+                help="corrupt cache entries removed, by kind",
+                kind=kind,
+            )
+            OBS.inc(
+                "repro_cache_requests_total",
+                help="artifact cache lookups by kind and outcome",
+                kind=kind,
+                outcome="miss",
+            )
 
     def put(self, kind: str, key: str, artifact: dict, **describe: object) -> Path:
         """Atomically store one artifact payload under its address.
@@ -167,6 +195,12 @@ class ArtifactCache:
 
         retry_io(write)
         self.stores[kind] += 1
+        if OBS.enabled:
+            OBS.inc(
+                "repro_cache_stores_total",
+                help="artifacts written to the cache, by kind",
+                kind=kind,
+            )
         return path
 
     # ------------------------------------------------------------------

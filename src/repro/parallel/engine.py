@@ -33,6 +33,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..obs import OBS
 from ..telemetry.persistence import run_from_dict, run_to_dict
 from .cache import ArtifactCache
 
@@ -151,6 +152,26 @@ def warm_pipeline(
     report.run_keys = list(run_tasks)
     report.synopsis_keys = list(synopsis_tasks)
 
+    t0 = OBS.clock() if OBS.enabled else None
+    if t0 is not None:
+        OBS.set(
+            "repro_parallel_jobs",
+            jobs,
+            help="worker count of the most recent warm_pipeline call",
+        )
+        OBS.inc(
+            "repro_parallel_tasks_total",
+            amount=len(run_tasks),
+            help="artifact build tasks scheduled, by kind",
+            kind="run",
+        )
+        OBS.inc(
+            "repro_parallel_tasks_total",
+            amount=len(synopsis_tasks),
+            help="artifact build tasks scheduled, by kind",
+            kind="synopsis",
+        )
+
     cache_root = pipeline.cache.root if pipeline.cache is not None else None
 
     if jobs == 1 or not (run_tasks or synopsis_tasks):
@@ -165,6 +186,8 @@ def warm_pipeline(
         )
         report.runs_cached = len(run_tasks) - report.runs_built
         report.synopses_cached = len(synopsis_tasks) - report.synopses_built
+        if t0 is not None:
+            OBS.observe_span("parallel_warm", OBS.clock() - t0)
         return report
 
     config = pipeline.config
@@ -211,4 +234,6 @@ def warm_pipeline(
             )
             report.synopses_built += result["built"]
         report.synopses_cached = len(synopsis_tasks) - report.synopses_built
+    if t0 is not None:
+        OBS.observe_span("parallel_warm", OBS.clock() - t0)
     return report

@@ -23,6 +23,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
+from ..obs import OBS
 from ..simulator.engine import Simulator
 from ..simulator.website import MultiTierWebsite, WebsiteSample
 from .dataset import Dataset, Instance
@@ -198,6 +199,7 @@ class TelemetrySampler:
 
     # ------------------------------------------------------------------
     def _tick(self) -> None:
+        t0 = OBS.clock() if OBS.enabled else None
         ws = self.website.sample()
         duration = max(ws.client.duration, 1e-9)
 
@@ -247,6 +249,12 @@ class TelemetrySampler:
             del records[: len(records) - self.retain]
         if self.on_record is not None:
             self.on_record(record)
+        if t0 is not None:
+            OBS.inc(
+                "repro_sampler_ticks_total",
+                help="sampling intervals collected across all tiers",
+            )
+            OBS.observe_span("sampler_tick", OBS.clock() - t0)
 
 
 # ----------------------------------------------------------------------

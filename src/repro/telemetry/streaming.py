@@ -41,6 +41,7 @@ from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..obs import OBS
 from ..simulator.website import WebsiteSample
 from .sampler import IntervalRecord, TelemetryError, WindowStats, metric_row
 
@@ -271,6 +272,9 @@ class StreamingWindowAggregator:
         self._util_sum: Dict[str, float] = {}
         self._queue_sum: Dict[str, float] = {}
         self._workers: Dict[str, int] = {}
+        # cached metric handles, valid while OBS.registry is the same
+        # object (transient; excluded from checkpoint state)
+        self._obs_cache: Optional[tuple] = None
 
     # ------------------------------------------------------------------
     def _tier_metrics(self, record: IntervalRecord, tier: str):
@@ -382,6 +386,7 @@ class StreamingWindowAggregator:
         return self._emit()
 
     def _emit(self) -> StreamingWindow:
+        t0 = OBS.clock() if OBS.enabled else None
         metrics: Dict[str, Dict[str, float]] = {}
         coverage: Dict[str, float] = {}
         missing: Dict[str, Tuple[str, ...]] = {}
@@ -444,6 +449,35 @@ class StreamingWindowAggregator:
         )
         self.windows_emitted += 1
         self._fill = 0
+        if t0 is not None:
+            cache = self._obs_cache
+            if cache is None or cache[0] is not OBS.registry:
+                registry = OBS.registry
+                cache = self._obs_cache = (
+                    registry,
+                    registry.counter(
+                        "repro_streaming_windows_total",
+                        help="decision windows emitted by streaming "
+                        "aggregators",
+                    ),
+                    registry.counter(
+                        "repro_streaming_ticks_total",
+                        help="interval records folded by streaming "
+                        "aggregators",
+                    ),
+                    registry.counter(
+                        "repro_streaming_degraded_windows_total",
+                        help="emitted windows with incomplete telemetry",
+                    ),
+                )
+            cache[1].inc()
+            # ticks are flushed per emitted window (a window completes
+            # after exactly ``window`` pushes) to keep the per-record
+            # hot path free of metric operations
+            cache[2].inc(self.window)
+            if emitted.quality is not None and emitted.quality.degraded:
+                cache[3].inc()
+            OBS.observe_span("window_emit", OBS.clock() - t0)
         return emitted
 
     # ------------------------------------------------------------------
