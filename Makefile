@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint type bench bench-smoke bench-compare obs-overhead examples clean
+.PHONY: install test lint type bench bench-smoke bench-compare obs-overhead serve-demo examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -30,6 +30,10 @@ bench-compare:
 # measure the instrumentation layer's own decision-path cost
 obs-overhead:
 	$(PYTHON) -m repro.cli obs overhead --scale 0.2
+
+# two monitored sites behind AIMD admission gates, live
+serve-demo:
+	$(PYTHON) -m repro.cli serve --sites 2 --profile stress --scale 0.2 --seed 7
 
 examples:
 	$(PYTHON) examples/quickstart.py 0.2

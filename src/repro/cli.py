@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Nine subcommands cover the operational loop a downstream user needs:
+Ten subcommands cover the operational loop a downstream user needs:
 
 * ``repro simulate`` — run a workload on the simulated testbed and save
   the measurement run (the expensive step, separable from the rest);
@@ -19,6 +19,11 @@ Nine subcommands cover the operational loop a downstream user needs:
   (counter dropout, value spikes, stalled collectors, lost/duplicated
   records) and report the decision-accuracy degradation vs the clean
   replay, with an optional ``--min-ba`` CI gate;
+* ``repro serve`` — run N independent websites behind per-site online
+  monitors and AIMD admission gates
+  (:class:`~repro.control.service.CapacityService`): one simulator,
+  shared batched synopsis inference, per-site checkpoint/resume via
+  ``--checkpoint``/``--resume``;
 * ``repro report`` — regenerate any of the paper's tables and figures;
 * ``repro table1`` — both Table I sub-tables through the parallel
   engine and the persistent artifact cache (``--jobs``, ``--cache-dir``);
@@ -27,7 +32,7 @@ Nine subcommands cover the operational loop a downstream user needs:
   text (``dump``) or self-measure the instrumentation layer's cost on
   the decision path (``overhead``).
 
-``monitor``, ``faults``, ``report`` and ``table1`` accept
+``monitor``, ``faults``, ``serve``, ``report`` and ``table1`` accept
 ``--metrics-out PATH`` to record internal metrics for the invocation
 (:mod:`repro.obs`); a ``.jsonl`` suffix selects the event-log shape,
 anything else the text exposition.  Without the flag the
@@ -471,6 +476,133 @@ def cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .control.service import CapacityService, SiteSpec
+    from .core.monitor import MonitorDecision
+    from .simulator import (
+        AppServer,
+        DatabaseServer,
+        MultiTierWebsite,
+        Simulator,
+    )
+    from .workload.generator import ScheduleDriver
+    from .workload.rbe import RemoteBrowserEmulator
+
+    mix = _resolve_mix(args.mix)
+    if args.sites < 1:
+        raise SystemExit("--sites must be at least 1")
+    if args.checkpoint_every < 1:
+        raise SystemExit("--checkpoint-every must be at least 1 window")
+    if args.resume and not args.checkpoint:
+        raise SystemExit("--resume requires --checkpoint")
+
+    labeler = SlaOracle()
+    if args.resume:
+        meter = None  # every site's checkpoint embeds its trained meter
+    elif args.meter:
+        meter = CapacityMeter.load(args.meter, labeler=labeler)
+    else:
+        print(
+            f"# no --meter given: training a fresh {args.level} meter "
+            f"at scale {args.scale}"
+        )
+        pipeline = ExperimentPipeline(
+            PipelineConfig(scale=args.scale, window=_window_for(args.scale))
+        )
+        meter = pipeline.meter(args.level)
+        labeler = pipeline.labeler
+    config = TestbedConfig()
+    if args.profile == "training":
+        schedule = training_schedule(mix, config, scale=args.scale)
+    elif args.profile == "test":
+        schedule = steady_test_schedule(mix, config, scale=args.scale)
+    else:
+        schedule = stress_schedule(mix, config, scale=args.scale)
+
+    specs = [
+        SiteSpec(
+            name=f"site{i}",
+            seed=args.seed + i,
+            confidence_floor=args.confidence_floor,
+        )
+        for i in range(args.sites)
+    ]
+
+    print(f"{'site':>6} {'window':>6} {'state':>9} {'truth':>6} {'p':>5}")
+
+    def show(name: str, decision: MonitorDecision) -> None:
+        prediction = decision.prediction
+        gate = service.site(name).gate
+        print(
+            f"{name:>6} "
+            f"{decision.index:6d} "
+            f"{'OVERLOAD' if prediction.overloaded else 'ok':>9} "
+            f"{'OVERLOAD' if decision.truth else 'ok':>6} "
+            f"{gate.admission_probability:5.2f}"
+        )
+
+    if args.resume:
+        service = CapacityService.resume(
+            args.checkpoint, specs, labeler=labeler, on_decision=show
+        )
+        print(
+            f"# resumed {len(service.sites)} sites from "
+            f"{args.checkpoint}: {service.ticks} ticks already folded, "
+            f"no retraining"
+        )
+    else:
+        service = CapacityService(
+            meter, specs, labeler=labeler, on_decision=show
+        )
+    if args.checkpoint:
+        windows_since = [0]
+        inner = service.on_decision
+
+        def checkpointing(name: str, decision: MonitorDecision) -> None:
+            if inner is not None:
+                inner(name, decision)
+            windows_since[0] += 1
+            if windows_since[0] >= args.checkpoint_every * args.sites:
+                windows_since[0] = 0
+                service.save(args.checkpoint)
+
+        service.on_decision = checkpointing
+
+    sim = Simulator()
+    websites = {}
+    for spec in specs:
+        app = AppServer(sim, workers=config.app_workers)
+        db = DatabaseServer(sim, connections=config.db_connections)
+        website = MultiTierWebsite(sim, app, db)
+        websites[spec.name] = website
+        rbe = RemoteBrowserEmulator(
+            sim,
+            service.front_end(sim, spec.name, website),
+            mix,
+            think_time_mean=config.think_time_mean,
+            continuity=config.continuity,
+            seed=spec.seed,
+        )
+        ScheduleDriver(sim, rbe, schedule)
+    service.attach(
+        sim,
+        websites,
+        interval=config.sampling_interval,
+        hpc_noise=config.hpc_noise,
+        os_noise=config.os_noise,
+    )
+    sim.run(until=schedule.duration)
+    service.stop()
+    if args.checkpoint:
+        # final snapshot captures the trailing partial windows too
+        service.save(args.checkpoint)
+        print(f"# checkpoint saved to {args.checkpoint}")
+    print()
+    for row in service.summary_rows():
+        print(row)
+    return 0
+
+
 _ARTIFACTS = (
     "fig3",
     "table1a",
@@ -843,6 +975,66 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_metrics_out(faults)
     faults.set_defaults(func=cmd_faults)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run N capacity-monitored websites behind AIMD admission "
+        "gates (one simulator, batched synopsis inference)",
+    )
+    serve.add_argument(
+        "--sites", type=int, default=2,
+        help="number of independently monitored websites (default 2)",
+    )
+    serve.add_argument(
+        "--mix",
+        default="ordering",
+        help="browsing | shopping | ordering | unknown",
+    )
+    serve.add_argument(
+        "--profile",
+        choices=("training", "test", "stress"),
+        default="stress",
+        help="schedule shape driven at every site (default: stress, so "
+        "the gates have an overload to regulate)",
+    )
+    serve.add_argument("--scale", type=float, default=0.3)
+    serve.add_argument(
+        "--seed", type=int, default=1,
+        help="base seed; site i uses seed+i for traffic and sampling",
+    )
+    serve.add_argument(
+        "--meter", default=None, help="saved meter; omit to train fresh"
+    )
+    serve.add_argument(
+        "--level", choices=("hpc", "os", "hybrid"), default="hpc",
+        help="metric level when training a fresh meter",
+    )
+    serve.add_argument(
+        "--confidence-floor", type=float, default=0.75,
+        help="decisions below this telemetry confidence hold the "
+        "admission probability steady (default 0.75)",
+    )
+    serve.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="DIR",
+        help="periodically snapshot every site's monitor + gate state "
+        "into this directory",
+    )
+    serve.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=10,
+        help="windows per site between checkpoints (default 10)",
+    )
+    serve.add_argument(
+        "--resume",
+        action="store_true",
+        help="restore all sites from --checkpoint (no retraining) "
+        "before streaming",
+    )
+    _add_metrics_out(serve)
+    serve.set_defaults(func=cmd_serve)
 
     report = sub.add_parser(
         "report", help="regenerate one of the paper's tables/figures"

@@ -1,12 +1,27 @@
-"""QoS control applications built on the capacity meter."""
+"""QoS control applications built on the capacity meter.
 
-from .admission import AdmissionController, AdmissionStats, OnlineCapacityMonitor
+All controllers here sense through the *canonical*
+:class:`~repro.core.monitor.OnlineCapacityMonitor` — there is exactly
+one online monitor implementation in the codebase, shared with the
+``repro monitor`` CLI and the fault-campaign harness.
+"""
+
+from .admission import (
+    AdmissionController,
+    AdmissionStats,
+    AimdGate,
+    GatedFrontEnd,
+)
 from .differentiation import ClassDifferentiator, ClassStats
+from .service import CapacityService, SiteSpec
 
 __all__ = [
     "AdmissionController",
     "AdmissionStats",
+    "AimdGate",
+    "CapacityService",
     "ClassDifferentiator",
     "ClassStats",
-    "OnlineCapacityMonitor",
+    "GatedFrontEnd",
+    "SiteSpec",
 ]

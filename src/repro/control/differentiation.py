@@ -11,17 +11,23 @@ interactions first, protecting *order*-class transactions — the ones
 that carry revenue in the TPC-W bookstore.  Only if shedding all
 sheddable browse traffic is not enough does it start rejecting order
 traffic too; during recovery the order class is restored first.
+
+Like :class:`~repro.control.admission.AdmissionController`, the sensing
+path is the canonical :class:`~repro.core.monitor.OnlineCapacityMonitor`
+and every decision's telemetry confidence is checked against
+``confidence_floor`` before the per-class probabilities move — a held
+or mostly-substituted vote moves nothing.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional
 
 import numpy as np
 
 from ..core.capacity import CapacityMeter
-from ..core.coordinator import CoordinatedPrediction
+from ..core.monitor import MonitorDecision, OnlineCapacityMonitor
 from ..simulator.engine import Simulator
 from ..simulator.website import (
     BROWSE,
@@ -30,7 +36,7 @@ from ..simulator.website import (
     ORDER,
     Request,
 )
-from .admission import OnlineCapacityMonitor
+from ..telemetry.sampler import TelemetrySampler, WindowStats
 
 __all__ = ["ClassStats", "ClassDifferentiator"]
 
@@ -48,6 +54,8 @@ class ClassStats:
     rejected: Dict[str, int] = field(
         default_factory=lambda: {BROWSE: 0, ORDER: 0}
     )
+    #: decisions below the confidence floor that moved no probability
+    low_confidence_holds: int = 0
 
     def rejection_rate(self, category: str) -> float:
         offered = self.offered[category]
@@ -72,12 +80,16 @@ class ClassDifferentiator:
         increase_step: float = 0.08,
         min_browse_admission: float = 0.02,
         min_order_admission: float = 0.3,
+        confidence_floor: float = 0.75,
+        labeler: Optional[Callable[[WindowStats], int]] = None,
         seed: int = 0,
-    ):
+    ) -> None:
         if not 0.0 < decrease_factor < 1.0:
             raise ValueError("decrease_factor must be in (0, 1)")
         if increase_step <= 0:
             raise ValueError("increase_step must be positive")
+        if not 0.0 <= confidence_floor <= 1.0:
+            raise ValueError("confidence_floor must be in [0, 1]")
         self.sim = sim
         self.website = website
         self.meter = meter
@@ -85,22 +97,29 @@ class ClassDifferentiator:
         self.increase_step = increase_step
         self.min_browse_admission = min_browse_admission
         self.min_order_admission = min_order_admission
+        self.confidence_floor = confidence_floor
         #: per-class admission probabilities
         self.admission: Dict[str, float] = {BROWSE: 1.0, ORDER: 1.0}
         self.stats = ClassStats()
         self._rng = np.random.default_rng(seed)
         self.monitor = OnlineCapacityMonitor(
-            sim,
-            website,
             meter,
-            interval=interval,
-            on_prediction=self._on_prediction,
-            seed=seed,
+            labeler=labeler,
+            retain_decisions=0,
+            on_decision=self._on_decision,
+        )
+        self._sampler: TelemetrySampler = self.monitor.attach(
+            sim, website, workload="online", interval=interval, seed=seed
         )
 
     # ------------------------------------------------------------------
-    def _on_prediction(self, prediction: CoordinatedPrediction) -> None:
-        if prediction.overloaded:
+    def _on_decision(self, decision: MonitorDecision) -> None:
+        if decision.confidence < self.confidence_floor:
+            # degraded telemetry: neither shed on a stale overload vote
+            # nor re-admit the crowd on a blind "healthy" one
+            self.stats.low_confidence_holds += 1
+            return
+        if decision.prediction.overloaded:
             browse = self.admission[BROWSE]
             if browse > self.min_browse_admission:
                 # shed the sheddable class first
@@ -149,4 +168,4 @@ class ClassDifferentiator:
         self.website.submit(request, on_complete)
 
     def stop(self) -> None:
-        self.monitor.stop()
+        self._sampler.stop()

@@ -1,0 +1,518 @@
+"""Multi-site capacity service: N monitored, gated websites, one loop.
+
+The paper measures one website; a hosting platform runs many.
+:class:`CapacityService` generalizes the closed loop to N independent
+sites sharing one trained :class:`~repro.core.capacity.CapacityMeter`:
+every site gets a *fresh clone* of the meter (its own speculative
+history and online adaptation — clones are made through
+:func:`~repro.faults.campaign.fresh_monitor`), its own
+:class:`~repro.control.admission.AimdGate`, and optionally its own
+:class:`~repro.faults.injector.FaultInjector` +
+:class:`~repro.faults.watchdog.SamplerWatchdog`, so degraded-telemetry
+scenarios replay per site exactly as ``repro faults`` replays them for
+one.
+
+Synopsis inference is *batched across sites*: each tick every site
+folds its record (:meth:`OnlineCapacityMonitor.fold`), and when windows
+complete the service stacks the clean windows' attribute rows into one
+matrix per tier synopsis and calls
+:meth:`~repro.core.synopsis.PerformanceSynopsis.predict_batch` once —
+valid because all clones share identical trained synopses (online
+adaptation touches only the coordinator tables).  Each site's
+:meth:`~repro.core.monitor.OnlineCapacityMonitor.decide` then consumes
+its precomputed vote vector, bit-identical to the per-site path
+(``batch_votes=False``); degraded windows always fall back to the
+per-site quorum path.
+
+Checkpoint/resume reuses :mod:`repro.faults.checkpoint`: one monitor
+checkpoint per site plus a service manifest with the gate states,
+written atomically.  Fault injectors are *not* checkpointed — a resumed
+service restarts whatever plans its specs carry from tick zero of the
+resumed stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+import numpy as np
+
+from ..core.capacity import CapacityMeter
+from ..core.monitor import MonitorDecision, OnlineCapacityMonitor
+from ..faults.campaign import fresh_monitor
+from ..faults.checkpoint import (
+    load_checkpoint,
+    read_json_checkpoint,
+    save_checkpoint,
+    write_json_atomic,
+)
+from ..faults.injector import FaultInjector
+from ..faults.plan import FaultPlan
+from ..faults.watchdog import SamplerWatchdog
+from ..obs import OBS
+from ..simulator.engine import Simulator
+from ..simulator.website import MultiTierWebsite
+from ..telemetry.sampler import IntervalRecord, TelemetrySampler, WindowStats
+from ..telemetry.streaming import StreamingWindow
+from .admission import AimdGate, GatedFrontEnd
+
+__all__ = [
+    "SERVICE_FORMAT",
+    "CapacityService",
+    "SiteDecision",
+    "SiteSpec",
+]
+
+SERVICE_FORMAT = "repro.service-checkpoint/1"
+
+#: (site name, decision) pair emitted by :meth:`CapacityService.push`
+SiteDecision = Tuple[str, MonitorDecision]
+
+
+@dataclass(frozen=True)
+class SiteSpec:
+    """Configuration of one hosted website in a :class:`CapacityService`.
+
+    ``plan`` optionally injects a deterministic fault schedule into this
+    site's telemetry stream (the other sites stay clean); the gate knobs
+    mirror :class:`~repro.control.admission.AimdGate`.
+    """
+
+    name: str
+    seed: int = 0
+    plan: Optional[FaultPlan] = None
+    decrease_factor: float = 0.65
+    increase_step: float = 0.05
+    min_admission: float = 0.05
+    confidence_floor: float = 0.75
+
+    def make_gate(self) -> AimdGate:
+        return AimdGate(
+            decrease_factor=self.decrease_factor,
+            increase_step=self.increase_step,
+            min_admission=self.min_admission,
+            confidence_floor=self.confidence_floor,
+            seed=self.seed,
+            site=self.name,
+        )
+
+
+class SiteRuntime:
+    """One site's live pieces: monitor, gate, optional fault path."""
+
+    def __init__(
+        self,
+        spec: SiteSpec,
+        monitor: OnlineCapacityMonitor,
+        gate: AimdGate,
+        *,
+        use_watchdog: bool = True,
+        stall_ticks: int = 3,
+    ) -> None:
+        self.spec = spec
+        self.monitor = monitor
+        self.gate = gate
+        #: windows folded this tick, awaiting the batched decide pass
+        self.pending: List[StreamingWindow] = []
+        self.injector: Optional[FaultInjector] = None
+        self.watchdog: Optional[SamplerWatchdog] = None
+        if spec.plan is not None:
+            self.injector = FaultInjector(spec.plan)
+            self.injector.downstream = self._deliver
+            if use_watchdog:
+                self.watchdog = SamplerWatchdog(
+                    monitor.meter.tiers,
+                    self.injector.rearm,
+                    stall_ticks=stall_ticks,
+                )
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    def offer(self, record: IntervalRecord) -> None:
+        """Route one interval record through this site's fault path."""
+        if self.injector is not None:
+            self.injector.push(record)
+        else:
+            self._deliver(record)
+
+    def _deliver(self, record: IntervalRecord) -> None:
+        if self.watchdog is not None:
+            self.watchdog.observe(record)
+        window = self.monitor.fold(record)
+        if window is not None:
+            self.pending.append(window)
+
+
+class CapacityService:
+    """N independent capacity-monitored websites behind AIMD gates.
+
+    Drive it in replay mode (:meth:`push` / :meth:`replay` with
+    recorded interval records — every site sees the same stream through
+    its own fault plan) or live mode (:meth:`attach` with one simulator
+    and per-site websites).  ``on_decision`` receives
+    ``(site_name, decision)`` for every decided window, in deterministic
+    site order.
+    """
+
+    def __init__(
+        self,
+        meter: CapacityMeter,
+        sites: Sequence[SiteSpec],
+        *,
+        adapt: bool = False,
+        labeler: Optional[Callable[[WindowStats], int]] = None,
+        min_votes: Optional[int] = None,
+        max_imputed_fraction: float = 0.5,
+        confidence_decay: float = 0.5,
+        use_watchdog: bool = True,
+        stall_ticks: int = 3,
+        batch_votes: bool = True,
+        retain_decisions: Optional[int] = None,
+        on_decision: Optional[Callable[[str, MonitorDecision], None]] = None,
+    ) -> None:
+        if not sites:
+            raise ValueError("CapacityService needs at least one site")
+        if labeler is None:
+            labeler = meter.labeler
+        self._init_base(batch_votes=batch_votes, on_decision=on_decision)
+        payload = meter.to_payload()  # serialize once, clone N times
+        for spec in sites:
+            monitor = fresh_monitor(
+                meter,
+                labeler,
+                adapt=adapt,
+                min_votes=min_votes,
+                max_imputed_fraction=max_imputed_fraction,
+                confidence_decay=confidence_decay,
+                payload=payload,
+                retain_decisions=retain_decisions,
+            )
+            self._add_site(
+                spec,
+                monitor,
+                spec.make_gate(),
+                use_watchdog=use_watchdog,
+                stall_ticks=stall_ticks,
+            )
+
+    # ------------------------------------------------------------------
+    # construction plumbing (shared with resume())
+    # ------------------------------------------------------------------
+    def _init_base(
+        self,
+        *,
+        batch_votes: bool,
+        on_decision: Optional[Callable[[str, MonitorDecision], None]],
+    ) -> None:
+        self.sites: List[SiteRuntime] = []
+        self.batch_votes = batch_votes
+        self.on_decision = on_decision
+        self.ticks = 0
+        self._samplers: List[TelemetrySampler] = []
+        self._flush_timer: Optional[Any] = None
+
+    def _add_site(
+        self,
+        spec: SiteSpec,
+        monitor: OnlineCapacityMonitor,
+        gate: AimdGate,
+        *,
+        use_watchdog: bool,
+        stall_ticks: int,
+    ) -> None:
+        if any(site.name == spec.name for site in self.sites):
+            raise ValueError(f"duplicate site name {spec.name!r}")
+        self.sites.append(
+            SiteRuntime(
+                spec,
+                monitor,
+                gate,
+                use_watchdog=use_watchdog,
+                stall_ticks=stall_ticks,
+            )
+        )
+
+    def site(self, name: str) -> SiteRuntime:
+        """Look one site up by name."""
+        for runtime in self.sites:
+            if runtime.name == name:
+                return runtime
+        raise KeyError(f"no site named {name!r}")
+
+    # ------------------------------------------------------------------
+    # replay mode
+    # ------------------------------------------------------------------
+    def push(self, record: IntervalRecord) -> List[SiteDecision]:
+        """Offer one record to every site, then decide completed windows."""
+        self.ticks += 1
+        for site in self.sites:
+            site.offer(record)
+        return self._flush()
+
+    def replay(
+        self, records: Sequence[IntervalRecord]
+    ) -> List[SiteDecision]:
+        """Replay a recorded stream through all sites."""
+        decisions: List[SiteDecision] = []
+        for record in records:
+            decisions.extend(self.push(record))
+        return decisions
+
+    # ------------------------------------------------------------------
+    # live mode
+    # ------------------------------------------------------------------
+    def attach(
+        self,
+        sim: Simulator,
+        websites: Mapping[str, MultiTierWebsite],
+        *,
+        interval: float = 1.0,
+        hpc_noise: float = 0.03,
+        os_noise: float = 0.05,
+    ) -> None:
+        """Sample every site's website live, deciding windows per tick.
+
+        One sampler per site streams into that site's fault path; a
+        single flush timer (registered *after* the samplers, so it runs
+        last at each shared timestamp) drives the batched decide pass.
+        """
+        missing = [s.name for s in self.sites if s.name not in websites]
+        if missing:
+            raise ValueError(f"no website for sites {missing}")
+        for site in self.sites:
+            self._samplers.append(
+                TelemetrySampler(
+                    sim,
+                    websites[site.name],
+                    workload=f"serve-{site.name}",
+                    interval=interval,
+                    hpc_noise=hpc_noise,
+                    os_noise=os_noise,
+                    seed=site.spec.seed,
+                    on_record=site.offer,
+                    retain=0,
+                )
+            )
+        self._flush_timer = sim.every(interval, self._on_tick)
+
+    def front_end(
+        self, sim: Simulator, name: str, website: MultiTierWebsite
+    ) -> GatedFrontEnd:
+        """A website-shaped submit gate bound to ``name``'s AIMD gate."""
+        return GatedFrontEnd(sim, self.site(name).gate, website)
+
+    def stop(self) -> None:
+        """Stop live sampling and the flush timer."""
+        if self._flush_timer is not None:
+            self._flush_timer.cancel()
+            self._flush_timer = None
+        for sampler in self._samplers:
+            sampler.stop()
+        self._samplers = []
+
+    def _on_tick(self) -> None:
+        self.ticks += 1
+        self._flush()
+
+    # ------------------------------------------------------------------
+    # the batched decide pass
+    # ------------------------------------------------------------------
+    def _flush(self) -> List[SiteDecision]:
+        pending: List[Tuple[SiteRuntime, StreamingWindow]] = []
+        for site in self.sites:
+            for window in site.pending:
+                pending.append((site, window))
+            site.pending = []
+        if not pending:
+            return []
+        votes: List[Optional[Tuple[int, ...]]] = [None] * len(pending)
+        if self.batch_votes:
+            eligible = [
+                i
+                for i, (_, window) in enumerate(pending)
+                if self._batch_eligible(window)
+            ]
+            if eligible:
+                batched = self._batched_votes(
+                    [pending[i][1] for i in eligible]
+                )
+                for i, vote in zip(eligible, batched):
+                    votes[i] = vote
+        decisions: List[SiteDecision] = []
+        for (site, window), vote in zip(pending, votes):
+            if OBS.enabled:
+                t0 = OBS.clock()
+                decision = site.monitor.decide(window, votes=vote)
+                OBS.observe_span(
+                    f"site_decide.{site.name}", OBS.clock() - t0
+                )
+            else:
+                decision = site.monitor.decide(window, votes=vote)
+            site.gate.update(decision)
+            if self.on_decision is not None:
+                self.on_decision(site.name, decision)
+            decisions.append((site.name, decision))
+        return decisions
+
+    @property
+    def _synopses(self) -> List[Any]:
+        # all clones carry identical trained synopses; the first site's
+        # serve as the batch schema and model
+        return list(self.sites[0].monitor.meter.coordinator.synopses)
+
+    def _batch_eligible(self, window: StreamingWindow) -> bool:
+        """Clean windows only: complete coverage, every attribute present.
+
+        Anything else must go through the per-site
+        :meth:`~repro.core.coordinator.CoordinatedPredictor.predict_degraded`
+        quorum path, which owns imputation and abstention.
+        """
+        quality = window.quality
+        if quality is not None and not quality.complete:
+            return False
+        for synopsis in self._synopses:
+            tier_metrics = window.metrics.get(synopsis.tier)
+            if tier_metrics is None:
+                return False
+            for attribute in synopsis.attributes:
+                if attribute not in tier_metrics:
+                    return False
+        return True
+
+    def _batched_votes(
+        self, windows: Sequence[StreamingWindow]
+    ) -> List[Tuple[int, ...]]:
+        """One ``predict_batch`` call per synopsis over all windows."""
+        synopses = self._synopses
+        per_synopsis: List[np.ndarray] = []
+        for synopsis in synopses:
+            matrix = np.array(
+                [
+                    [
+                        window.metrics[synopsis.tier][attribute]
+                        for attribute in synopsis.attributes
+                    ]
+                    for window in windows
+                ],
+                dtype=float,
+            )
+            per_synopsis.append(synopsis.predict_batch(matrix))
+        return [
+            tuple(int(per_synopsis[j][i]) for j in range(len(synopses)))
+            for i in range(len(windows))
+        ]
+
+    # ------------------------------------------------------------------
+    # checkpoint / resume
+    # ------------------------------------------------------------------
+    def save(self, directory: Union[str, Path]) -> Path:
+        """Checkpoint every site's monitor plus the gate manifest.
+
+        Layout: ``<dir>/<site>.monitor.json`` (one full
+        :mod:`repro.faults.checkpoint` file per site) and
+        ``<dir>/service.json`` (format tag, tick count, per-site gate
+        states).  All writes are atomic.
+        """
+        target = Path(directory)
+        target.mkdir(parents=True, exist_ok=True)
+        for site in self.sites:
+            save_checkpoint(site.monitor, target / f"{site.name}.monitor.json")
+        manifest: Dict[str, object] = {
+            "format": SERVICE_FORMAT,
+            "ticks": self.ticks,
+            "gates": {
+                site.name: site.gate.state_dict() for site in self.sites
+            },
+        }
+        write_json_atomic(target / "service.json", manifest)
+        return target
+
+    @classmethod
+    def resume(
+        cls,
+        directory: Union[str, Path],
+        sites: Sequence[SiteSpec],
+        *,
+        labeler: Optional[Callable[[WindowStats], int]] = None,
+        use_watchdog: bool = True,
+        stall_ticks: int = 3,
+        batch_votes: bool = True,
+        retain_decisions: Optional[int] = None,
+        on_decision: Optional[Callable[[str, MonitorDecision], None]] = None,
+    ) -> "CapacityService":
+        """Rebuild a service exactly where :meth:`save` left it.
+
+        ``sites`` re-supplies the process-local spec objects (fault
+        plans and gate knobs don't round-trip through the manifest);
+        every spec must have a monitor checkpoint in ``directory``.
+        Monitors resume bit-identically (meter payload + run-local
+        state); gates resume probability, counters and RNG state.  Fault
+        injectors restart their plans from the resumed stream's first
+        tick.
+        """
+        target = Path(directory)
+        manifest = read_json_checkpoint(target / "service.json")
+        if manifest.get("format") != SERVICE_FORMAT:
+            raise ValueError(f"{target} is not a service checkpoint")
+        service = cls.__new__(cls)
+        service._init_base(batch_votes=batch_votes, on_decision=on_decision)
+        gate_states = manifest["gates"]
+        for spec in sites:
+            if spec.name not in gate_states:
+                raise ValueError(
+                    f"checkpoint has no gate state for site {spec.name!r}"
+                )
+            monitor = load_checkpoint(
+                target / f"{spec.name}.monitor.json",
+                labeler=labeler,
+                retain_decisions=retain_decisions,
+            )
+            gate = spec.make_gate()
+            gate.load_state(gate_states[spec.name])
+            service._add_site(
+                spec,
+                monitor,
+                gate,
+                use_watchdog=use_watchdog,
+                stall_ticks=stall_ticks,
+            )
+        if not service.sites:
+            raise ValueError("CapacityService needs at least one site")
+        service.ticks = int(manifest["ticks"])
+        return service
+
+    # ------------------------------------------------------------------
+    def summary_rows(self) -> List[str]:
+        """One compact status block per site."""
+        rows: List[str] = []
+        for site in self.sites:
+            counters = site.monitor.counters
+            scores = site.monitor.scores()
+            stats = site.gate.stats
+            rows.append(
+                f"site {site.name}: {counters.windows} windows, "
+                f"BA {scores['overload_ba']:.3f}, "
+                f"{counters.degraded_windows} degraded "
+                f"({counters.held_decisions} held)"
+            )
+            rows.append(
+                f"  gate: p={site.gate.admission_probability:.2f}, "
+                f"{stats.admitted}/{stats.offered} admitted, "
+                f"{stats.overload_signals} overload signals, "
+                f"{stats.low_confidence_holds} low-confidence holds"
+            )
+        return rows

@@ -341,6 +341,25 @@ class CoordinatedPredictor:
             imputed_attributes=imputed_attributes,
         )
 
+    def predict_votes(
+        self, votes: Sequence[int]
+    ) -> CoordinatedPrediction:
+        """Clean-path decision from precomputed synopsis votes.
+
+        The multi-site service computes synopsis votes for many sites in
+        one vectorized ``predict_batch`` call and hands each site's vote
+        vector here; the GPT/LHT decision (including the speculative
+        history shift) is exactly the one :meth:`predict` would have
+        made from the same metrics.  Callers must only pass votes
+        obtained from *complete* telemetry — degraded windows go through
+        :meth:`predict_degraded`.
+        """
+        if len(votes) != len(self.synopses):
+            raise ValueError(
+                f"{len(votes)} votes for {len(self.synopses)} synopses"
+            )
+        return self._predict_from_votes(tuple(int(v) for v in votes))
+
     def predict_degraded(
         self,
         metrics: Mapping[str, Mapping[str, float]],

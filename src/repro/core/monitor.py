@@ -130,6 +130,25 @@ class MonitorDecision:
             or (self.quality is not None and self.quality.degraded)
         )
 
+    @property
+    def confidence(self) -> float:
+        """Telemetry confidence of this decision in [0, 1].
+
+        The fraction of synopses that cast a *concrete* vote: 1.0 for a
+        clean (or merely imputed) window, lower when votes had to be
+        substituted, and 0.0 for a held decision, where no synopsis
+        voted at all.  This is deliberately distinct from the
+        predictor's statistical ``confident`` flag (Hc vs. δ): a
+        fallback-scheme decision over pristine telemetry still carries
+        full telemetry confidence, so clean-stream consumers behave
+        exactly as they did before degraded-mode support existed.
+        """
+        prediction = self.prediction
+        total = len(prediction.synopsis_votes) or len(prediction.abstained)
+        if total == 0:
+            return 0.0 if self.held else 1.0
+        return (total - len(prediction.abstained)) / total
+
 
 @dataclass
 class MonitorCounters:
@@ -277,6 +296,21 @@ class OnlineCapacityMonitor:
     # ------------------------------------------------------------------
     def push(self, record: IntervalRecord) -> Optional[MonitorDecision]:
         """Fold one 1 s record; returns the decision on window completion."""
+        window = self.fold(record)
+        if window is None:
+            return None
+        return self.decide(window)
+
+    def fold(self, record: IntervalRecord) -> Optional[StreamingWindow]:
+        """Fold one record without deciding; returns a completed window.
+
+        :meth:`push` is ``fold`` + :meth:`decide`.  Callers that batch
+        inference across several monitors (the multi-site
+        :class:`~repro.control.service.CapacityService`) fold every
+        site's record first, compute synopsis votes for all completed
+        windows in one vectorized pass, and then hand each window back
+        to its own monitor's :meth:`decide`.
+        """
         self.counters.ticks += 1
         partial = False
         for definition, tracker in self._pi_trackers.items():
@@ -298,10 +332,7 @@ class OnlineCapacityMonitor:
                     break
         if partial:
             self.counters.partial_ticks += 1
-        window = self.aggregator.push(record)
-        if window is None:
-            return None
-        return self._decide(window)
+        return self.aggregator.push(record)
 
     def _held_prediction(self) -> CoordinatedPrediction:
         """The quorum-failure fallback: last decision, decayed.
@@ -341,14 +372,32 @@ class OnlineCapacityMonitor:
             abstained=everyone,
         )
 
-    def _decide(self, window: StreamingWindow) -> MonitorDecision:
+    def decide(
+        self,
+        window: StreamingWindow,
+        *,
+        votes: Optional[Tuple[int, ...]] = None,
+    ) -> MonitorDecision:
+        """Turn one completed window into a scored decision.
+
+        ``votes`` optionally supplies precomputed synopsis votes for a
+        *complete* window (the batched multi-site fast path); they must
+        be exactly the votes the synopses would cast on
+        ``window.metrics``, so the decision is bit-identical to the
+        unbatched path.  Degraded windows must leave ``votes`` unset.
+        """
         t0 = OBS.clock() if OBS.enabled else None
         coordinator = self.meter.coordinator
-        prediction = coordinator.predict_degraded(
-            window.metrics,
-            min_votes=self.min_votes,
-            max_imputed_fraction=self.max_imputed_fraction,
-        )
+        if votes is not None:
+            prediction: Optional[CoordinatedPrediction] = (
+                coordinator.predict_votes(votes)
+            )
+        else:
+            prediction = coordinator.predict_degraded(
+                window.metrics,
+                min_votes=self.min_votes,
+                max_imputed_fraction=self.max_imputed_fraction,
+            )
         held = prediction is None
         if held:
             prediction = self._held_prediction()

@@ -16,12 +16,19 @@ This package makes those failure modes *first-class and reproducible*:
   reporting decision-accuracy degradation (the ``repro faults`` CLI).
 """
 
-from .campaign import CampaignResult, decision_signature, run_campaign
+from .campaign import (
+    CampaignResult,
+    decision_signature,
+    fresh_monitor,
+    run_campaign,
+)
 from .checkpoint import (
     CHECKPOINT_FORMAT,
     checkpoint_payload,
     load_checkpoint,
+    read_json_checkpoint,
     save_checkpoint,
+    write_json_atomic,
 )
 from .injector import FaultInjector, InjectionCounters
 from .plan import FAULT_KINDS, FaultPlan, FaultSpec
@@ -40,8 +47,11 @@ __all__ = [
     "WatchdogCounters",
     "checkpoint_payload",
     "decision_signature",
+    "fresh_monitor",
     "load_checkpoint",
+    "read_json_checkpoint",
     "run_campaign",
     "retry_io",
     "save_checkpoint",
+    "write_json_atomic",
 ]

@@ -27,7 +27,12 @@ from .injector import FaultInjector, InjectionCounters
 from .plan import FaultPlan
 from .watchdog import SamplerWatchdog, WatchdogCounters
 
-__all__ = ["CampaignResult", "decision_signature", "run_campaign"]
+__all__ = [
+    "CampaignResult",
+    "decision_signature",
+    "fresh_monitor",
+    "run_campaign",
+]
 
 
 def decision_signature(decisions: Sequence[MonitorDecision]) -> str:
@@ -124,16 +129,31 @@ class CampaignResult:
         return rows
 
 
-def _fresh_monitor(
+def fresh_monitor(
     meter: CapacityMeter,
     labeler: Optional[Callable[[WindowStats], int]],
     *,
-    adapt: bool,
-    min_votes: Optional[int],
-    max_imputed_fraction: float,
-    confidence_decay: float,
+    adapt: bool = False,
+    min_votes: Optional[int] = None,
+    max_imputed_fraction: float = 0.5,
+    confidence_decay: float = 0.5,
+    payload: Optional[dict] = None,
+    retain_decisions: Optional[int] = None,
+    on_decision: Optional[Callable[[MonitorDecision], None]] = None,
 ) -> OnlineCapacityMonitor:
-    clone = CapacityMeter.from_payload(meter.to_payload(), labeler=labeler)
+    """A monitor over a *fresh clone* of ``meter`` (payload round-trip).
+
+    The clone isolates the new monitor's speculative history and any
+    online adaptation from the caller's meter — campaigns replay the
+    same meter twice without cross-talk, and the multi-site
+    :class:`~repro.control.service.CapacityService` gives every site an
+    independent predictor.  Pass a precomputed ``payload``
+    (``meter.to_payload()``) to amortize serialization across many
+    clones of the same meter.
+    """
+    if payload is None:
+        payload = meter.to_payload()
+    clone = CapacityMeter.from_payload(payload, labeler=labeler)
     return OnlineCapacityMonitor(
         clone,
         adapt=adapt,
@@ -141,6 +161,8 @@ def _fresh_monitor(
         min_votes=min_votes,
         max_imputed_fraction=max_imputed_fraction,
         confidence_decay=confidence_decay,
+        retain_decisions=retain_decisions,
+        on_decision=on_decision,
     )
 
 
@@ -167,7 +189,7 @@ def run_campaign(
     if labeler is None:
         labeler = meter.labeler
 
-    clean_monitor = _fresh_monitor(
+    clean_monitor = fresh_monitor(
         meter,
         labeler,
         adapt=adapt,
@@ -178,7 +200,7 @@ def run_campaign(
     for record in records:
         clean_monitor.push(record)
 
-    fault_monitor = _fresh_monitor(
+    fault_monitor = fresh_monitor(
         meter,
         labeler,
         adapt=adapt,

@@ -20,7 +20,7 @@ import os
 import tempfile
 import time
 from pathlib import Path
-from typing import Callable, Dict, Optional
+from typing import Any, Callable, Dict, Optional
 
 from ..core.capacity import CapacityMeter
 from ..core.monitor import MonitorDecision, OnlineCapacityMonitor
@@ -30,11 +30,65 @@ from .retry import retry_io
 __all__ = [
     "CHECKPOINT_FORMAT",
     "checkpoint_payload",
-    "save_checkpoint",
     "load_checkpoint",
+    "read_json_checkpoint",
+    "save_checkpoint",
+    "write_json_atomic",
 ]
 
 CHECKPOINT_FORMAT = "repro.monitor-checkpoint/1"
+
+
+def write_json_atomic(
+    path,
+    payload: Dict[str, object],
+    *,
+    attempts: int = 3,
+    sleep: Callable[[float], None] = time.sleep,
+) -> None:
+    """Atomically write ``payload`` as JSON (temp file + rename).
+
+    The write is wrapped in :func:`~repro.faults.retry.retry_io`; a
+    reader never observes a torn file.  Shared by the monitor
+    checkpoint below and the multi-site service manifest
+    (:meth:`~repro.control.service.CapacityService.save`).
+    """
+    text = json.dumps(payload)
+    target = Path(path)
+
+    def write() -> None:
+        target.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=str(target.parent), prefix=target.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(text)
+            os.replace(tmp, target)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    retry_io(write, attempts=attempts, sleep=sleep)
+
+
+def read_json_checkpoint(
+    path,
+    *,
+    attempts: int = 3,
+    sleep: Callable[[float], None] = time.sleep,
+) -> Dict[str, Any]:
+    """Read a JSON checkpoint written by :func:`write_json_atomic`."""
+    target = Path(path)
+    payload = json.loads(
+        retry_io(target.read_text, attempts=attempts, sleep=sleep)
+    )
+    if not isinstance(payload, dict):
+        raise ValueError(f"{path} is not a JSON-object checkpoint")
+    return payload
 
 
 def checkpoint_payload(monitor: OnlineCapacityMonitor) -> Dict[str, object]:
@@ -60,26 +114,9 @@ def save_checkpoint(
     sleep: Callable[[float], None] = time.sleep,
 ) -> None:
     """Atomically write a monitor checkpoint, retrying transient I/O."""
-    payload = json.dumps(checkpoint_payload(monitor))
-    target = Path(path)
-
-    def write() -> None:
-        target.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(
-            dir=str(target.parent), prefix=target.name, suffix=".tmp"
-        )
-        try:
-            with os.fdopen(fd, "w") as handle:
-                handle.write(payload)
-            os.replace(tmp, target)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
-
-    retry_io(write, attempts=attempts, sleep=sleep)
+    write_json_atomic(
+        path, checkpoint_payload(monitor), attempts=attempts, sleep=sleep
+    )
 
 
 def load_checkpoint(
@@ -97,11 +134,8 @@ def load_checkpoint(
     concerns (callables don't serialize) and are re-supplied by the
     caller; everything that influences decisions comes from the file.
     """
-    target = Path(path)
-    payload = json.loads(
-        retry_io(target.read_text, attempts=attempts, sleep=sleep)
-    )
-    if not isinstance(payload, dict) or payload.get("format") != CHECKPOINT_FORMAT:
+    payload = read_json_checkpoint(path, attempts=attempts, sleep=sleep)
+    if payload.get("format") != CHECKPOINT_FORMAT:
         raise ValueError(f"{path} is not a monitor checkpoint")
     meter = CapacityMeter.from_payload(payload["meter"], labeler=labeler)
     config = payload["config"]

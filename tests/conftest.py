@@ -46,3 +46,59 @@ def mini_pipeline() -> ExperimentPipeline:
 @pytest.fixture
 def rng() -> np.random.Generator:
     return np.random.default_rng(12345)
+
+
+def make_decision(overloaded: bool, *, held: bool = False, index: int = 0):
+    """Fabricate a MonitorDecision for driving AIMD gates directly.
+
+    ``held=True`` produces a quorum-failure decision (no concrete votes,
+    everyone abstained → telemetry confidence 0.0); otherwise the
+    decision is clean (confidence 1.0).
+    """
+    from repro.core.coordinator import CoordinatedPrediction
+    from repro.core.monitor import MonitorDecision
+    from repro.telemetry.dataset import OVERLOAD, UNDERLOAD
+    from repro.telemetry.sampler import WindowStats
+
+    state = OVERLOAD if overloaded else UNDERLOAD
+    if held:
+        prediction = CoordinatedPrediction(
+            state=state,
+            bottleneck=None,
+            gpv=0,
+            hc=0.0,
+            confident=False,
+            synopsis_votes=(),
+            degraded=True,
+            abstained=(0, 1),
+        )
+    else:
+        prediction = CoordinatedPrediction(
+            state=state,
+            bottleneck=None,
+            gpv=0,
+            hc=2.0,
+            confident=True,
+            synopsis_votes=(state, state),
+        )
+    stats = WindowStats(
+        t_start=index * 10.0,
+        t_end=index * 10.0 + 10.0,
+        submitted=10,
+        completed=10,
+        dropped=0,
+        response_time_sum=1.0,
+        tier_utilization={"app": 0.5, "db": 0.4},
+        tier_queue={"app": 1.0, "db": 0.5},
+        tier_distress={"app": 0.0, "db": 0.0},
+    )
+    return MonitorDecision(
+        index=index,
+        t_start=stats.t_start,
+        t_end=stats.t_end,
+        prediction=prediction,
+        truth=state,
+        truth_bottleneck=None,
+        stats=stats,
+        held=held,
+    )

@@ -8,6 +8,7 @@ from repro.simulator.website import BROWSE, ORDER
 from repro.telemetry.sampler import HPC_LEVEL
 from repro.workload.openloop import OpenLoopSource
 from repro.workload.tpcw import INTERACTIONS, ORDERING_MIX
+from tests.conftest import make_decision
 
 
 class TestOpenLoopSource:
@@ -83,22 +84,14 @@ class TestClassDifferentiator:
 
     def test_browse_shed_before_order(self, gate):
         _, _, differentiator = gate
-
-        class Overloaded:
-            overloaded = True
-
-        differentiator._on_prediction(Overloaded())
+        differentiator._on_decision(make_decision(True))
         assert differentiator.admission[BROWSE] < 1.0
         assert differentiator.admission[ORDER] == 1.0
 
     def test_order_gives_only_after_browse_floors(self, gate):
         _, _, differentiator = gate
-
-        class Overloaded:
-            overloaded = True
-
         for _ in range(30):
-            differentiator._on_prediction(Overloaded())
+            differentiator._on_decision(make_decision(True))
         assert differentiator.admission[BROWSE] == pytest.approx(
             differentiator.min_browse_admission
         )
@@ -112,13 +105,21 @@ class TestClassDifferentiator:
         _, _, differentiator = gate
         differentiator.admission[BROWSE] = 0.1
         differentiator.admission[ORDER] = 0.5
-
-        class Healthy:
-            overloaded = False
-
-        differentiator._on_prediction(Healthy())
+        differentiator._on_decision(make_decision(False))
         assert differentiator.admission[ORDER] > 0.5
         assert differentiator.admission[BROWSE] == 0.1
+
+    def test_low_confidence_decision_holds_both_classes(self, gate):
+        """A quorum-failure (held) decision freezes both admission
+        probabilities: no blind shedding, no blind recovery."""
+        _, _, differentiator = gate
+        differentiator.admission[BROWSE] = 0.3
+        differentiator.admission[ORDER] = 0.7
+        differentiator._on_decision(make_decision(True, held=True))
+        differentiator._on_decision(make_decision(False, held=True))
+        assert differentiator.admission[BROWSE] == 0.3
+        assert differentiator.admission[ORDER] == 0.7
+        assert differentiator.stats.low_confidence_holds == 2
 
     def test_per_class_rejection_counters(self, gate):
         sim, _, differentiator = gate

