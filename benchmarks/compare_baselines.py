@@ -1,13 +1,16 @@
 """Compare fresh benchmark results against committed baselines.
 
 The bench-regression CI job (and any developer, locally) runs the
-benchmark suite and then this comparator.  Three artifacts are
+benchmark suite and then this comparator.  Four artifacts are
 tracked, covering the repository's performance-sensitive subsystems:
 
 * ``decision_time.txt`` — per-learner synopsis build + decide cost;
 * ``BENCH_parallel.json`` — serial build, cold-cache and warm-cache
   wall clock (``parallel_s`` is deliberately ignored: it depends on
   the host's core count, not on the code);
+* ``BENCH_serve.json`` — fleet-scale serving throughput: the per-site
+  loop and the structure-of-arrays fleet path over the same 1k-site
+  replay;
 * ``fig4_coordinated_accuracy.txt`` — coordinated prediction accuracy
   across the four workloads at both metric levels.
 
@@ -17,12 +20,21 @@ baseline by any margin but may exceed it only by ``--time-tolerance``
 fixed seed and scale, so they must match the baseline exactly unless
 ``--accuracy-tolerance`` loosens them.
 
+On top of the baseline deltas, two *speedup floors* gate from the
+fresh artifacts alone.  The fleet-serving floor (``fleet_speedup``
+>= 5) compares two interpreter-bound runs on the same host, so it
+always applies; the parallel-engine floor (``parallel_speedup`` >= 2)
+needs real cores, so hosts reporting fewer than 4 CPUs show the row
+as SKIPPED instead of letting a 1-core runner pass it vacuously —
+each bench records ``cpu_count`` in its artifact for exactly this.
+
 Usage::
 
     # refresh committed baselines after an intentional perf change
     REPRO_BENCH_SCALE=0.25 REPRO_BENCH_WINDOW=10 \
         python -m pytest benchmarks/test_decision_time.py \
             benchmarks/test_parallel_engine.py \
+            benchmarks/test_serve_fleet.py \
             benchmarks/test_fig4_coordinated_accuracy.py
     python benchmarks/compare_baselines.py --update
 
@@ -46,6 +58,16 @@ BASELINES = RESULTS_DIR / "baselines.json"
 
 #: BENCH_parallel.json keys that gate (host-independent wall clocks)
 PARALLEL_KEYS = ("serial_s", "cold_cache_s", "warm_cache_s")
+
+#: BENCH_serve.json keys that gate against the committed baseline
+SERVE_KEYS = ("per_site_s", "fleet_s")
+
+#: hard speedup floors checked from the fresh artifacts alone:
+#: (artifact, speedup key, floor, cores needed or None for always)
+SPEEDUP_FLOORS = (
+    ("BENCH_parallel.json", "parallel_speedup", 2.0, 4),
+    ("BENCH_serve.json", "fleet_speedup", 5.0, None),
+)
 
 _DECISION_ROW = re.compile(r"^(\w+)\s+([\d.]+)\s+(?:[\d.]+|-)\s*$")
 _FIG4_ROW = re.compile(
@@ -90,6 +112,11 @@ def parse_parallel(path: Path) -> Dict[str, float]:
     return {key: float(payload[key]) for key in PARALLEL_KEYS}
 
 
+def parse_serve(path: Path) -> Dict[str, float]:
+    payload = json.loads(path.read_text())
+    return {key: float(payload[key]) for key in SERVE_KEYS}
+
+
 def collect(results_dir: Path) -> Dict[str, object]:
     """Current benchmark numbers, or raise FileNotFoundError."""
     return {
@@ -99,10 +126,41 @@ def collect(results_dir: Path) -> Dict[str, object]:
         "parallel_engine_s": parse_parallel(
             results_dir / "BENCH_parallel.json"
         ),
+        "serve_s": parse_serve(results_dir / "BENCH_serve.json"),
         "fig4_accuracy": parse_fig4(
             results_dir / "fig4_coordinated_accuracy.txt"
         ),
     }
+
+
+def check_speedup_floors(
+    results_dir: Path, failures: List[str], rows: List[str]
+) -> None:
+    """Gate the recorded speedups against their hard floors.
+
+    A floor that needs more cores than the artifact's ``cpu_count``
+    reports SKIPPED — a small runner must not pass a parallelism gate
+    it never actually exercised.
+    """
+    for artifact, key, floor, cores_needed in SPEEDUP_FLOORS:
+        payload = json.loads((results_dir / artifact).read_text())
+        speedup = float(payload[key])
+        cpu_count = int(payload.get("cpu_count", 1))
+        if cores_needed is not None and cpu_count < cores_needed:
+            rows.append(
+                f"  {key:28} {speedup:6.2f}x  floor {floor:.1f}x  "
+                f"SKIPPED ({cpu_count} < {cores_needed} cores)"
+            )
+            continue
+        verdict = "ok" if speedup >= floor else "REGRESSION"
+        rows.append(
+            f"  {key:28} {speedup:6.2f}x  floor {floor:.1f}x  {verdict}"
+        )
+        if speedup < floor:
+            failures.append(
+                f"{artifact}:{key}: {speedup:.2f}x below the "
+                f"{floor:.1f}x floor"
+            )
 
 
 def _compare_timing(
@@ -187,6 +245,14 @@ def compare(
         failures,
         rows,
     )
+    _compare_timing(
+        "serve_s",
+        baselines.get("serve_s", {}),
+        fresh["serve_s"],
+        time_tolerance,
+        failures,
+        rows,
+    )
     _compare_accuracy(
         baselines["fig4_accuracy"],
         fresh["fig4_accuracy"],
@@ -240,6 +306,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             "  REPRO_BENCH_SCALE=0.25 REPRO_BENCH_WINDOW=10 "
             "python -m pytest benchmarks/test_decision_time.py "
             "benchmarks/test_parallel_engine.py "
+            "benchmarks/test_serve_fleet.py "
             "benchmarks/test_fig4_coordinated_accuracy.py"
         )
         return 2
@@ -261,6 +328,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         time_tolerance=args.time_tolerance,
         accuracy_tolerance=args.accuracy_tolerance,
     )
+    check_speedup_floors(args.results_dir, failures, rows)
     print(
         f"comparing {args.results_dir} against {args.baselines} "
         f"(time +{args.time_tolerance * 100:.0f}%, "

@@ -1,0 +1,107 @@
+"""P2 — fleet-scale CapacityService throughput (sites × windows / s).
+
+Replays one recorded interval stream through ``REPRO_BENCH_SITES``
+monitored sites (default 1000, the fleet-scale operating point) twice:
+once through the per-site Python loop (``use_fleet=False,
+batch_votes=False``) and once through the structure-of-arrays
+:class:`~repro.control.fleet.FleetState` backend.  Decisions must be
+bit-identical; the fleet path must deliver at least a 5x windows/sec
+speedup.  The numbers land in machine-readable
+``benchmarks/results/BENCH_serve.json`` (with the host's CPU core
+count, so downstream gates can tell a regression from a small runner).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.control import CapacityService, SiteSpec
+from repro.experiments.pipeline import ExperimentPipeline, PipelineConfig
+from repro.faults import decision_signature
+
+from conftest import BENCH_SCALE, BENCH_WINDOW, RESULTS_DIR
+
+#: the fleet win is interpreter-bound, not simulation-bound, so the
+#: recorded stream can come from a smoke-scale pipeline
+SCALE = min(BENCH_SCALE, 0.2)
+WINDOW = min(BENCH_WINDOW, 10)
+
+SITES = int(os.environ.get("REPRO_BENCH_SITES", "1000"))
+#: decision windows replayed per site
+WINDOWS_PER_SITE = 6
+
+
+def _signatures(decisions):
+    per_site = {}
+    for name, decision in decisions:
+        per_site.setdefault(name, []).append(decision)
+    return {
+        name: decision_signature(site_decisions)
+        for name, site_decisions in per_site.items()
+    }
+
+
+def test_serve_fleet_throughput(record_result):
+    pipeline = ExperimentPipeline(
+        PipelineConfig(scale=SCALE, window=WINDOW)
+    )
+    meter = pipeline.meter("hpc")
+    records = pipeline.test_run("ordering").records[
+        : WINDOW * WINDOWS_PER_SITE
+    ]
+    assert len(records) == WINDOW * WINDOWS_PER_SITE
+    specs = [SiteSpec(name=f"site{i}", seed=i) for i in range(SITES)]
+
+    per_site = CapacityService(
+        meter,
+        specs,
+        labeler=pipeline.labeler,
+        use_fleet=False,
+        batch_votes=False,
+    )
+    start = time.perf_counter()
+    scalar_decisions = per_site.replay(records)
+    per_site_s = time.perf_counter() - start
+
+    fleet = CapacityService(
+        meter, specs, labeler=pipeline.labeler, use_fleet=True
+    )
+    start = time.perf_counter()
+    fleet_decisions = fleet.replay(records)
+    fleet_s = time.perf_counter() - start
+
+    windows = SITES * WINDOWS_PER_SITE
+    assert len(scalar_decisions) == len(fleet_decisions) == windows
+    assert _signatures(scalar_decisions) == _signatures(fleet_decisions)
+
+    speedup = per_site_s / fleet_s if fleet_s > 0 else float("inf")
+    payload = {
+        "name": "serve_fleet",
+        "scale": SCALE,
+        "window": WINDOW,
+        "cpu_count": os.cpu_count() or 1,
+        "sites": SITES,
+        "windows": windows,
+        "per_site_s": round(per_site_s, 4),
+        "fleet_s": round(fleet_s, 4),
+        "per_site_windows_per_s": round(windows / per_site_s, 1),
+        "fleet_windows_per_s": round(windows / fleet_s, 1),
+        "fleet_speedup": round(speedup, 3),
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_serve.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    record_result(
+        "serve_fleet",
+        [f"{key}: {value}" for key, value in payload.items()],
+    )
+
+    # the tentpole's acceptance bar: >= 5x windows/sec at fleet scale
+    assert speedup >= 5.0, (
+        f"fleet path only {speedup:.2f}x faster than the per-site loop "
+        f"({windows / fleet_s:.0f} vs {windows / per_site_s:.0f} "
+        f"windows/s at {SITES} sites)"
+    )

@@ -543,7 +543,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     if args.resume:
         service = CapacityService.resume(
-            args.checkpoint, specs, labeler=labeler, on_decision=show
+            args.checkpoint,
+            specs,
+            labeler=labeler,
+            use_fleet=not args.no_fleet,
+            allow_subset=args.allow_subset,
+            on_decision=show,
         )
         print(
             f"# resumed {len(service.sites)} sites from "
@@ -552,7 +557,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
         )
     else:
         service = CapacityService(
-            meter, specs, labeler=labeler, on_decision=show
+            meter,
+            specs,
+            labeler=labeler,
+            use_fleet=not args.no_fleet,
+            on_decision=show,
         )
     if args.checkpoint:
         windows_since = [0]
@@ -1032,6 +1041,18 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="restore all sites from --checkpoint (no retraining) "
         "before streaming",
+    )
+    serve.add_argument(
+        "--allow-subset",
+        action="store_true",
+        help="with --resume, permit dropping checkpointed sites from "
+        "the fleet instead of erroring on orphaned state",
+    )
+    serve.add_argument(
+        "--no-fleet",
+        action="store_true",
+        help="disable the vectorized structure-of-arrays fleet backend "
+        "(per-site loops; bit-identical decisions)",
     )
     _add_metrics_out(serve)
     serve.set_defaults(func=cmd_serve)

@@ -13,6 +13,7 @@ from .admission import (
     GatedFrontEnd,
 )
 from .differentiation import ClassDifferentiator, ClassStats
+from .fleet import FleetState
 from .service import CapacityService, SiteSpec
 
 __all__ = [
@@ -22,6 +23,7 @@ __all__ = [
     "CapacityService",
     "ClassDifferentiator",
     "ClassStats",
+    "FleetState",
     "GatedFrontEnd",
     "SiteSpec",
 ]

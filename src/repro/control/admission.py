@@ -29,7 +29,16 @@ mode compared to queueing them into a collapsing server.
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass
-from typing import Any, Callable, Dict, Optional, Tuple, cast
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+    cast,
+)
 
 import numpy as np
 
@@ -94,7 +103,7 @@ class AimdGate:
         increase_step: float = 0.05,
         min_admission: float = 0.05,
         confidence_floor: float = 0.75,
-        seed: int = 0,
+        seed: Union[int, np.random.SeedSequence] = 0,
         site: str = "default",
     ) -> None:
         if not 0.0 < decrease_factor < 1.0:
@@ -140,6 +149,55 @@ class AimdGate:
                 handles[5].inc()
             elif decision.prediction.overloaded:
                 handles[4].inc()
+
+    @staticmethod
+    def update_many(
+        gates: Sequence["AimdGate"],
+        decisions: Sequence[MonitorDecision],
+    ) -> None:
+        """Fold one decision into each of N aligned gates, vectorized.
+
+        The fleet-scale service drives all sites' AIMD moves from one
+        numpy pass instead of N Python ``update`` calls.  The
+        elementwise ``where/maximum/minimum`` arithmetic is bit-identical
+        to the scalar ``max``/``min`` updates, and the per-gate counters
+        are applied from the same masks, so a gate cannot tell which
+        path moved it.  Each gate must appear at most once per call
+        (its probability is read once); with observability enabled this
+        falls back to sequential updates so the per-site metric
+        side-effects stay exact.
+        """
+        if OBS.enabled or len(gates) <= 1:
+            for gate, decision in zip(gates, decisions):
+                gate.update(decision)
+            return
+        confidence = np.array([d.confidence for d in decisions])
+        overloaded = np.array(
+            [d.prediction.overloaded for d in decisions]
+        )
+        probability = np.array(
+            [gate.admission_probability for gate in gates]
+        )
+        floor = np.array([gate.confidence_floor for gate in gates])
+        decrease = np.array([gate.decrease_factor for gate in gates])
+        step = np.array([gate.increase_step for gate in gates])
+        min_admission = np.array([gate.min_admission for gate in gates])
+        held = confidence < floor
+        moved = np.where(
+            ~held & overloaded,
+            np.maximum(min_admission, probability * decrease),
+            np.where(
+                ~held & ~overloaded,
+                np.minimum(1.0, probability + step),
+                probability,
+            ),
+        )
+        for i, gate in enumerate(gates):
+            if held[i]:
+                gate.stats.low_confidence_holds += 1
+            elif overloaded[i]:
+                gate.stats.overload_signals += 1
+            gate.admission_probability = float(moved[i])
 
     def admit(self) -> bool:
         """Draw one admission decision at the current probability."""

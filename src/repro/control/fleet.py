@@ -1,0 +1,585 @@
+"""Structure-of-arrays fleet backend for the multi-site service.
+
+PR 5's :class:`~repro.control.service.CapacityService` keeps a full
+Python monitor clone per site and loops site-by-site for everything
+except the one batched synopsis call; at fleet scale (1k+ sites) the
+interpreter loop, not the hardware, bounds throughput.
+:class:`FleetState` removes that bound without forking the code path:
+
+* Every site's coordinator tables are stacked into shared
+  structure-of-arrays blocks — LHT ``(S, patterns, histories)``, GPT
+  ``(S, patterns)``, history registers ``(S, patterns)`` and BPT
+  ``(S, patterns, tiers)`` — and each
+  :class:`~repro.core.coordinator.CoordinatedPredictor` re-points its
+  tables at basic-slice *views* of its shard
+  (:meth:`~repro.core.coordinator.CoordinatedPredictor.adopt_tables`).
+  The per-site code path therefore reads and writes the same memory the
+  vectorized path does: degraded windows can drop to the existing
+  per-site quorum path mid-stream and the two stay bit-identical by
+  construction.
+
+* The clean-window decide path (:meth:`decide_clean`) replays the exact
+  GPT/LHT/BPT arithmetic of
+  :meth:`~repro.core.coordinator.CoordinatedPredictor.predict_votes`
+  followed by
+  :meth:`~repro.core.coordinator.CoordinatedPredictor.observe`
+  elementwise across all sites in one numpy pass — identical IEEE
+  operations in identical per-site order, so every decision is
+  bit-for-bit the one the scalar path produces.
+
+* Per-tick fold work is shared through
+  :meth:`~repro.telemetry.streaming.StreamingWindowAggregator.prepare`
+  (one row extraction per distinct record object, not per site) and the
+  PI correlation moments live in one ``(S, definitions, 8)`` Welford
+  array updated vectorized (:meth:`fold_group`); each monitor's
+  trackers become :class:`_PiTrackerView` objects over that array so
+  the scalar fallback path shares the same state.
+
+* Sites whose fold state is bit-identical — same records folded from
+  the same start, the entire fleet on a clean stream — form a *cohort*
+  that folds through one representative aggregator; an emitted window
+  is shared by every member (identical values by construction), and
+  members materialize real copies of the state only where sharing ends
+  (a fault delivers a diverging record, instrumentation or live-mode
+  sampling needs per-site folds, or a checkpoint/state read requires
+  every monitor to stand alone — :meth:`sync` / :meth:`dissolve`).
+
+Bit-identity with the per-site path is the hard constraint throughout
+and is pinned by ``tests/test_fleet.py`` the same way ``batch_votes``
+parity is pinned in ``tests/test_service.py``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.coordinator import CoordinatedPrediction, Scheme
+from ..core.monitor import MonitorDecision, OnlineCapacityMonitor
+from ..telemetry.dataset import OVERLOAD, UNDERLOAD
+from ..telemetry.sampler import IntervalRecord
+from ..telemetry.streaming import StreamingWindow
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle is type-only
+    from .service import SiteRuntime
+
+__all__ = ["FleetState"]
+
+#: field order of one PI tracker's row in the stacked moment array
+_PI_FIELDS = (
+    "n",
+    "mean_x",
+    "mean_y",
+    "m2_x",
+    "m2_y",
+    "cov",
+    "max_abs_x",
+    "max_abs_y",
+)
+
+
+class _PiTrackerView:
+    """:class:`~repro.telemetry.streaming.RunningCorrelation` over one
+    ``(site, definition)`` row of the fleet's stacked moment array.
+
+    Same update arithmetic in the same order, same ``state_dict``
+    schema; scalar updates (the per-site fallback fold) and the fleet's
+    vectorized group update therefore interleave freely on shared
+    state without ever diverging from a plain tracker.
+    """
+
+    __slots__ = ("_row",)
+
+    def __init__(self, row: np.ndarray) -> None:
+        self._row = row  # shape (8,) view
+
+    @property
+    def n(self) -> int:
+        return int(self._row[0])
+
+    def update(self, x: float, y: float) -> None:
+        row = self._row
+        n = row[0] + 1.0
+        row[0] = n
+        dx = x - row[1]
+        row[1] += dx / n
+        row[3] += dx * (x - row[1])
+        dy = y - row[2]
+        row[2] += dy / n
+        # co-moment uses the pre-update x delta and post-update y mean
+        row[5] += dx * (y - row[2])
+        row[4] += dy * (y - row[2])
+        if abs(x) > row[6]:
+            row[6] = abs(x)
+        if abs(y) > row[7]:
+            row[7] = abs(y)
+
+    @property
+    def value(self) -> float:
+        row = self._row
+        n = row[0]
+        if n < 2:
+            return 0.0
+        sx = (row[3] / n) ** 0.5
+        sy = (row[4] / n) ** 0.5
+        tol_x = 1e-12 * max(1.0, row[6])
+        tol_y = 1e-12 * max(1.0, row[7])
+        if sx <= tol_x or sy <= tol_y:
+            return 0.0
+        return float((row[5] / n) / (sx * sy))
+
+    def state_dict(self) -> Dict[str, float]:
+        row = self._row
+        state = {
+            name: float(row[k]) for k, name in enumerate(_PI_FIELDS)
+        }
+        state["n"] = int(row[0])
+        return state
+
+    def load_state(self, state: Dict[str, float]) -> None:
+        for k, name in enumerate(_PI_FIELDS):
+            self._row[k] = float(state[name])
+
+
+class FleetState:
+    """Shared structure-of-arrays state for a homogeneous monitor fleet.
+
+    ``monitors`` are the service's per-site clones (one trained meter,
+    N clones); their coordinator parameters, adaptation flags and PI
+    definitions must be homogeneous — the stacked tables assume one
+    shared decision function.  Construction re-points every
+    coordinator's tables and every monitor's PI trackers at views of
+    the stacked arrays; from then on either path may touch any site.
+    """
+
+    def __init__(self, monitors: Sequence[OnlineCapacityMonitor]) -> None:
+        if not monitors:
+            raise ValueError("FleetState needs at least one monitor")
+        self.monitors = list(monitors)
+        coords = [m.meter.coordinator for m in self.monitors]
+        ref = coords[0]
+        signature = (
+            ref.history_bits,
+            ref.delta,
+            ref.scheme,
+            ref.counter_limit,
+            ref.pattern_fallback,
+            ref.pattern_counter_limit,
+            tuple(ref.tiers),
+            ref.n_synopses,
+        )
+        for coordinator in coords[1:]:
+            other = (
+                coordinator.history_bits,
+                coordinator.delta,
+                coordinator.scheme,
+                coordinator.counter_limit,
+                coordinator.pattern_fallback,
+                coordinator.pattern_counter_limit,
+                tuple(coordinator.tiers),
+                coordinator.n_synopses,
+            )
+            if other != signature:
+                raise ValueError(
+                    "fleet coordinators must share parameters; got "
+                    f"{other} vs {signature}"
+                )
+        adapt_flags = {m.adapt for m in self.monitors}
+        if len(adapt_flags) != 1:
+            raise ValueError("fleet monitors must share the adapt flag")
+        self._adapt = adapt_flags.pop()
+        self._delta = ref.delta
+        self._counter_limit = ref.counter_limit
+        self._pattern_fallback = ref.pattern_fallback
+        self._pattern_counter_limit = ref.pattern_counter_limit
+        self._fallback_state = (
+            UNDERLOAD if ref.scheme is Scheme.OPTIMISTIC else OVERLOAD
+        )
+        self._mask = (1 << ref.history_bits) - 1
+        self._bits = 1 << np.arange(ref.n_synopses, dtype=np.int64)
+        self._tiers = list(ref.tiers)
+        self._tier_index = {tier: k for k, tier in enumerate(self._tiers)}
+        # BPT adaptation adds exactly one ±1.0 per cell (the per-site
+        # loop's `+= 1.0 if tier == bottleneck else -1.0`); a
+        # precomputed delta row per bottleneck keeps the float ops
+        # identical — never "-1 everywhere then +2 on the winner"
+        n_tiers = len(self._tiers)
+        self._bpt_delta = np.full((n_tiers, n_tiers), -1.0)
+        np.fill_diagonal(self._bpt_delta, 1.0)
+
+        # ---- stack the coordinator tables and hand back views -------
+        # (intra-package reach into CoordinatedPredictor's tables: the
+        # adopt_tables contract is exactly this handshake)
+        self.lht = np.stack([c._lht for c in coords])
+        self.gpt = np.stack([c._gpt for c in coords])
+        self.bpt = np.stack([c._bpt for c in coords])
+        self.history = np.stack([c._history for c in coords])
+        for i, coordinator in enumerate(coords):
+            coordinator.adopt_tables(
+                self.lht[i], self.gpt[i], self.bpt[i], self.history[i]
+            )
+
+        # ---- stack the PI tracker moments and hand back views -------
+        items = self.monitors[0].pi_tracker_items()
+        self.pi_definitions = [definition for definition, _ in items]
+        for monitor in self.monitors[1:]:
+            defs = [d for d, _ in monitor.pi_tracker_items()]
+            if defs != self.pi_definitions:
+                raise ValueError(
+                    "fleet monitors must track identical PI definitions"
+                )
+        n_defs = len(self.pi_definitions)
+        self.pi = np.zeros((len(self.monitors), n_defs, len(_PI_FIELDS)))
+        for i, monitor in enumerate(self.monitors):
+            trackers = {}
+            for d, (definition, tracker) in enumerate(
+                monitor.pi_tracker_items()
+            ):
+                state = tracker.state_dict()
+                for k, name in enumerate(_PI_FIELDS):
+                    self.pi[i, d, k] = float(state[name])
+                trackers[definition] = _PiTrackerView(self.pi[i, d])
+            if trackers:
+                monitor.adopt_pi_trackers(trackers)
+
+        # ---- fold cohorts -------------------------------------------
+        # Sites whose fold state is bit-identical (same records folded
+        # from the same start) share one *representative* whose
+        # aggregator actually folds; the other members are materialized
+        # from it lazily (:meth:`sync`, cohort splits, slow-path folds).
+        # Only still-fresh monitors can be pooled up front — resumed
+        # fleets start as singletons and simply fold per site.
+        n = len(self.monitors)
+        self._cohort: List[int] = list(range(n))
+        self._members: Dict[int, List[int]] = {i: [i] for i in range(n)}
+        self._rep: Dict[int, int] = {i: i for i in range(n)}
+        self._next_cid = n
+        self._flat = True
+        fresh: Dict[tuple, List[int]] = {}
+        for i, monitor in enumerate(self.monitors):
+            aggregator = monitor.aggregator
+            if (
+                monitor.counters.ticks
+                or aggregator.ticks_seen
+                or aggregator.windows_emitted
+                or aggregator._fill
+                or aggregator._acc
+            ):
+                continue
+            key = (
+                aggregator.window,
+                aggregator.level,
+                tuple(aggregator.tiers),
+                aggregator.lenient,
+                aggregator.recent.maxlen,
+            )
+            fresh.setdefault(key, []).append(i)
+        for indices in fresh.values():
+            if len(indices) < 2:
+                continue
+            cid = self._next_cid
+            self._next_cid += 1
+            for i in indices:
+                del self._members[self._cohort[i]]
+                del self._rep[self._cohort[i]]
+                self._cohort[i] = cid
+            self._members[cid] = list(indices)
+            self._rep[cid] = indices[0]
+            self._flat = False
+
+    # ------------------------------------------------------------------
+    @property
+    def n_sites(self) -> int:
+        return len(self.monitors)
+
+    # ------------------------------------------------------------------
+    # cohort bookkeeping
+    # ------------------------------------------------------------------
+    def _copy_state(self, src: int, dst: int) -> None:
+        """Materialize site ``dst``'s fold state from its cohort rep."""
+        source = self.monitors[src]
+        target = self.monitors[dst]
+        target.counters.ticks = source.counters.ticks
+        target.aggregator.copy_state_from(source.aggregator)
+
+    def _split(self, cid: int, advancing: List[int]) -> int:
+        """Split ``advancing`` (a strict subset of cohort ``cid``) off.
+
+        The subset about to fold a record the rest of the cohort did
+        not receive becomes a new cohort; whichever side loses the
+        representative gets one materialized *before* any state moves.
+        """
+        moving = set(advancing)
+        remainder = [i for i in self._members[cid] if i not in moving]
+        rep = self._rep[cid]
+        new_cid = self._next_cid
+        self._next_cid += 1
+        if rep in moving:
+            if remainder:
+                self._copy_state(rep, remainder[0])
+                self._rep[cid] = remainder[0]
+                self._members[cid] = remainder
+            new_rep = rep
+        else:
+            new_rep = advancing[0]
+            self._copy_state(rep, new_rep)
+            self._members[cid] = remainder
+        for i in advancing:
+            self._cohort[i] = new_cid
+        self._members[new_cid] = list(advancing)
+        self._rep[new_cid] = new_rep
+        return new_cid
+
+    def sync(self) -> None:
+        """Materialize every cohort member from its representative.
+
+        After this call each monitor's own aggregator and tick counter
+        hold the state the per-site path would have produced — required
+        before reading ``state_dict`` or checkpointing, and before any
+        fold that bypasses :meth:`fold_group`.  Cohorts stay pooled.
+        """
+        if self._flat:
+            return
+        for cid, members in self._members.items():
+            rep = self._rep[cid]
+            for i in members:
+                if i != rep:
+                    self._copy_state(rep, i)
+
+    def dissolve(self) -> None:
+        """Sync, then drop to one-site cohorts (per-site folding).
+
+        Called when the service leaves the fleet fold path (OBS
+        instrumentation, live-mode sampling): sites then fold
+        individually, so pooled state sharing must end first.
+        """
+        if self._flat:
+            return
+        self.sync()
+        n = len(self.monitors)
+        self._cohort = list(range(n))
+        self._members = {i: [i] for i in range(n)}
+        self._rep = {i: i for i in range(n)}
+        self._next_cid = n
+        self._flat = True
+
+    # ------------------------------------------------------------------
+    # vectorized fold
+    # ------------------------------------------------------------------
+    def fold_group(
+        self, record: IntervalRecord, members: Sequence["SiteRuntime"]
+    ) -> None:
+        """Fold one distinct record object into its member sites.
+
+        ``members`` are site runtimes (``.index``, ``.monitor``,
+        ``.pending``) that all received *this exact record object* this
+        tick.  The record's rows are extracted once per group; within
+        each cohort of state-identical sites only the representative
+        actually folds (an emitted window is shared by every member —
+        same values by construction), with one vectorized PI update
+        across all fast sites.  Cohorts whose members diverge this tick
+        (a faulted sibling got a different record, or the schema no
+        longer accepts the shared rows) split first, materializing
+        state exactly where it is about to stop being shared; slow
+        folds (schema drift, missing tiers or counters) then run per
+        site — their tracker views write into the same moment array, so
+        the paths stay interchangeable per tick.
+        """
+        ref = self._rep[self._cohort[members[0].index]]
+        prepared = self.monitors[ref].aggregator.prepare(record)
+        x_values: Optional[np.ndarray] = None
+        if prepared is not None and self.pi_definitions:
+            try:
+                x_values = np.array(
+                    [
+                        definition.value(
+                            record.metrics(definition.level, definition.tier)
+                        )
+                        for definition in self.pi_definitions
+                    ],
+                    dtype=float,
+                )
+            except KeyError:
+                # a PI metric is missing: the per-site path would count
+                # skipped updates / partial ticks, so everyone takes it
+                prepared = None
+        by_cohort: Dict[int, List["SiteRuntime"]] = {}
+        cohort = self._cohort
+        for site in members:
+            by_cohort.setdefault(cohort[site.index], []).append(site)
+        fast: List["SiteRuntime"] = []
+        for cid, group in by_cohort.items():
+            if len(group) != len(self._members[cid]):
+                cid = self._split(cid, [site.index for site in group])
+            rep = self._rep[cid]
+            rep_monitor = self.monitors[rep]
+            if prepared is not None and rep_monitor.aggregator.accepts(
+                prepared
+            ):
+                fast.extend(group)
+                window = rep_monitor.fold_prepared(record, prepared)
+                if window is not None:
+                    for site in group:
+                        site.pending.append(window)
+            else:
+                # everyone folds for real: materialize members from the
+                # rep's pre-fold state first, then advance in lockstep
+                # (identical state + same record keeps the cohort alive)
+                for site in group:
+                    if site.index != rep:
+                        self._copy_state(rep, site.index)
+                for site in group:
+                    window = site.monitor.fold(record)
+                    if window is not None:
+                        site.pending.append(window)
+        if not fast:
+            return
+        if self.pi_definitions:
+            assert x_values is not None
+            self._pi_update(
+                np.array([site.index for site in fast], dtype=np.intp),
+                x_values,
+                float(record.website.client.throughput),
+            )
+
+    def _pi_update(
+        self, idx: np.ndarray, x: np.ndarray, y: float
+    ) -> None:
+        """One Welford step for ``len(idx)`` sites, all definitions.
+
+        Elementwise ops in the exact order
+        :meth:`~repro.telemetry.streaming.RunningCorrelation.update`
+        applies them, so the result is bit-identical to scalar updates.
+        """
+        sub = self.pi[idx]  # (B, D, 8) — fancy index copies
+        n = sub[..., 0] + 1.0
+        dx = x[None, :] - sub[..., 1]
+        mean_x = sub[..., 1] + dx / n
+        m2_x = sub[..., 3] + dx * (x[None, :] - mean_x)
+        dy = y - sub[..., 2]
+        mean_y = sub[..., 2] + dy / n
+        cov = sub[..., 5] + dx * (y - mean_y)
+        m2_y = sub[..., 4] + dy * (y - mean_y)
+        sub[..., 0] = n
+        sub[..., 1] = mean_x
+        sub[..., 2] = mean_y
+        sub[..., 3] = m2_x
+        sub[..., 4] = m2_y
+        sub[..., 5] = cov
+        sub[..., 6] = np.maximum(sub[..., 6], np.abs(x)[None, :])
+        sub[..., 7] = np.maximum(sub[..., 7], abs(y))
+        self.pi[idx] = sub
+
+    # ------------------------------------------------------------------
+    # vectorized clean-window decide
+    # ------------------------------------------------------------------
+    def decide_clean(
+        self,
+        entries: Sequence[
+            Tuple[int, OnlineCapacityMonitor, StreamingWindow, Tuple[int, ...]]
+        ],
+    ) -> List[MonitorDecision]:
+        """Decide one clean (batch-eligible) window per entry, stacked.
+
+        ``entries`` are ``(site_index, monitor, window, votes)`` with
+        **unique site indices** — the service batches multi-window
+        flushes in waves so each site appears once per call.  The numpy
+        pass reproduces ``predict_votes`` (GPV → history → Hc → λ with
+        pattern fallback → BPT vote → speculative shift) and
+        ``observe`` (history repair, ±1 LHT/GPT/BPT adaptation when the
+        fleet adapts) elementwise; per-site bookkeeping then lands via
+        :meth:`~repro.core.coordinator.CoordinatedPredictor.commit_clean_votes`
+        and
+        :meth:`~repro.core.monitor.OnlineCapacityMonitor.finish_fleet_decision`.
+        """
+        if not entries:
+            return []
+        idx = np.array([entry[0] for entry in entries], dtype=np.intp)
+        vote_matrix = np.array(
+            [entry[3] for entry in entries], dtype=np.int64
+        )
+        if ((vote_matrix != 0) & (vote_matrix != 1)).any():
+            raise ValueError("synopsis votes must be 0/1")
+        gpv = vote_matrix @ self._bits
+        hist = self.history[idx, gpv]
+        hc = self.lht[idx, gpv, hist]
+        pattern_count = self.gpt[idx, gpv]
+        hc_over = hc > self._delta
+        hc_under = hc < -self._delta
+        undecided = ~hc_over & ~hc_under
+        if self._pattern_fallback:
+            pattern_over = undecided & (pattern_count > self._delta)
+            pattern_under = undecided & (pattern_count < -self._delta)
+        else:
+            pattern_over = pattern_under = np.zeros_like(hc_over)
+        overload = hc_over | pattern_over
+        underload = hc_under | pattern_under
+        confident = overload | underload
+        state = np.where(
+            overload,
+            OVERLOAD,
+            np.where(underload, UNDERLOAD, self._fallback_state),
+        ).astype(np.int64)
+        bpt_rows = self.bpt[idx, gpv]
+        bpt_has_vote = bpt_rows.any(axis=1)
+        bpt_argmax = bpt_rows.argmax(axis=1)
+        # speculative shift, exactly as _shift_history does per site
+        self.history[idx, gpv] = ((hist << 1) | state) & self._mask
+
+        predictions: List[CoordinatedPrediction] = []
+        truths = np.empty(len(entries), dtype=np.int64)
+        truth_bottlenecks: List[Optional[str]] = []
+        for b, (_, monitor, window, votes) in enumerate(entries):
+            state_b = int(state[b])
+            bottleneck = None
+            if state_b == OVERLOAD and bool(bpt_has_vote[b]):
+                bottleneck = self._tiers[int(bpt_argmax[b])]
+            predictions.append(
+                CoordinatedPrediction(
+                    state=state_b,
+                    bottleneck=bottleneck,
+                    gpv=int(gpv[b]),
+                    hc=float(hc[b]),
+                    confident=bool(confident[b]),
+                    synopsis_votes=tuple(int(v) for v in votes),
+                )
+            )
+            monitor.meter.coordinator.commit_clean_votes(
+                votes, int(hist[b])
+            )
+            truth = int(monitor.labeler(window.stats))
+            truths[b] = truth
+            truth_bottlenecks.append(
+                window.stats.bottleneck if truth == OVERLOAD else None
+            )
+
+        # ---- observe(): history repair + optional adaptation --------
+        if self._adapt:
+            step = np.where(truths == OVERLOAD, 1.0, -1.0)
+            self.lht[idx, gpv, hist] = np.clip(
+                hc + step, -self._counter_limit, self._counter_limit
+            )
+            self.gpt[idx, gpv] = np.clip(
+                pattern_count + step,
+                -self._pattern_counter_limit,
+                self._pattern_counter_limit,
+            )
+            for b, bottleneck in enumerate(truth_bottlenecks):
+                if bottleneck is None:
+                    continue
+                tier_k = self._tier_index.get(bottleneck)
+                if tier_k is None:
+                    raise ValueError(
+                        f"unknown bottleneck tier {bottleneck!r}"
+                    )
+                self.bpt[idx[b], gpv[b]] += self._bpt_delta[tier_k]
+        shifted = self.history[idx, gpv]
+        self.history[idx, gpv] = (shifted & ~1) | truths
+
+        return [
+            monitor.finish_fleet_decision(
+                window, predictions[b], int(truths[b]), truth_bottlenecks[b]
+            )
+            for b, (_, monitor, window, _) in enumerate(entries)
+        ]

@@ -24,11 +24,24 @@ its precomputed vote vector, bit-identical to the per-site path
 (``batch_votes=False``); degraded windows always fall back to the
 per-site quorum path.
 
-Checkpoint/resume reuses :mod:`repro.faults.checkpoint`: one monitor
-checkpoint per site plus a service manifest with the gate states,
-written atomically.  Fault injectors are *not* checkpointed — a resumed
-service restarts whatever plans its specs carry from tick zero of the
-resumed stream.
+With ``use_fleet=True`` (the default) the remaining per-site Python
+loops collapse into the structure-of-arrays
+:class:`~repro.control.fleet.FleetState` backend: coordinator tables
+and PI moments live in stacked arrays (each site's objects hold views),
+per-tick fold work is shared per distinct record object, clean windows
+decide in one vectorized pass per flush wave, and AIMD gates move via
+:meth:`~repro.control.admission.AimdGate.update_many`.  Degraded
+windows and schema-drifted sites drop to the per-site path mid-stream;
+because both paths operate on the same memory, every decision stays
+bit-identical to ``use_fleet=False`` (pinned in ``tests/test_fleet.py``).
+
+Checkpoint/resume reuses :mod:`repro.faults.checkpoint`: a service
+manifest (format tag, tick count, gate states, and — since format v2 —
+fault-injector and watchdog state, so resumed campaigns replay their
+plans from where they stopped rather than from tick zero) plus either
+one monitor checkpoint per site or, when the fleet backend is active,
+one fleet-sharded file storing the shared meter template once.  All
+writes are atomic; v1 manifests are still read.
 """
 
 from __future__ import annotations
@@ -54,8 +67,10 @@ from ..core.monitor import MonitorDecision, OnlineCapacityMonitor
 from ..faults.campaign import fresh_monitor
 from ..faults.checkpoint import (
     load_checkpoint,
+    load_fleet_checkpoint,
     read_json_checkpoint,
     save_checkpoint,
+    save_fleet_checkpoint,
     write_json_atomic,
 )
 from ..faults.injector import FaultInjector
@@ -67,6 +82,7 @@ from ..simulator.website import MultiTierWebsite
 from ..telemetry.sampler import IntervalRecord, TelemetrySampler, WindowStats
 from ..telemetry.streaming import StreamingWindow
 from .admission import AimdGate, GatedFrontEnd
+from .fleet import FleetState
 
 __all__ = [
     "SERVICE_FORMAT",
@@ -75,7 +91,10 @@ __all__ = [
     "SiteSpec",
 ]
 
-SERVICE_FORMAT = "repro.service-checkpoint/1"
+#: current manifest format: v2 adds fault-injector / watchdog state and
+#: the checkpoint layout tag ("per-site" or "fleet")
+SERVICE_FORMAT = "repro.service-checkpoint/2"
+SERVICE_FORMAT_V1 = "repro.service-checkpoint/1"
 
 #: (site name, decision) pair emitted by :meth:`CapacityService.push`
 SiteDecision = Tuple[str, MonitorDecision]
@@ -88,6 +107,14 @@ class SiteSpec:
     ``plan`` optionally injects a deterministic fault schedule into this
     site's telemetry stream (the other sites stay clean); the gate knobs
     mirror :class:`~repro.control.admission.AimdGate`.
+
+    ``seed`` is the site's *root* seed.  The AIMD gate's admission RNG
+    and the live-mode sampler noise draw from independent
+    ``SeedSequence`` substreams spawned off it — feeding one integer to
+    both generators (the pre-fix behaviour) correlates admission
+    coin-flips with telemetry noise, which is exactly the kind of
+    coupling a capacity experiment must not carry.  Replay mode never
+    draws from the gate RNG, so recorded-stream goldens are unaffected.
     """
 
     name: str
@@ -98,13 +125,27 @@ class SiteSpec:
     min_admission: float = 0.05
     confidence_floor: float = 0.75
 
+    def seed_streams(self) -> Tuple[np.random.SeedSequence, int]:
+        """(gate substream, sampler seed) derived from the root seed."""
+        gate_stream, sampler_stream = np.random.SeedSequence(
+            self.seed
+        ).spawn(2)
+        # samplers derive per-tier child seeds with integer arithmetic,
+        # so they get a plain int drawn from their substream
+        return gate_stream, int(sampler_stream.generate_state(1)[0])
+
+    @property
+    def sampler_seed(self) -> int:
+        return self.seed_streams()[1]
+
     def make_gate(self) -> AimdGate:
+        gate_stream, _ = self.seed_streams()
         return AimdGate(
             decrease_factor=self.decrease_factor,
             increase_step=self.increase_step,
             min_admission=self.min_admission,
             confidence_floor=self.confidence_floor,
-            seed=self.seed,
+            seed=gate_stream,
             site=self.name,
         )
 
@@ -124,8 +165,14 @@ class SiteRuntime:
         self.spec = spec
         self.monitor = monitor
         self.gate = gate
+        #: position in the service's site list (fleet array row)
+        self.index = 0
         #: windows folded this tick, awaiting the batched decide pass
         self.pending: List[StreamingWindow] = []
+        #: when set (fleet fold), delivered records queue here instead
+        #: of folding immediately, so the service can group identical
+        #: record objects across sites and fold them vectorized
+        self._capture: Optional[List[IntervalRecord]] = None
         self.injector: Optional[FaultInjector] = None
         self.watchdog: Optional[SamplerWatchdog] = None
         if spec.plan is not None:
@@ -152,6 +199,9 @@ class SiteRuntime:
     def _deliver(self, record: IntervalRecord) -> None:
         if self.watchdog is not None:
             self.watchdog.observe(record)
+        if self._capture is not None:
+            self._capture.append(record)
+            return
         window = self.monitor.fold(record)
         if window is not None:
             self.pending.append(window)
@@ -181,6 +231,7 @@ class CapacityService:
         use_watchdog: bool = True,
         stall_ticks: int = 3,
         batch_votes: bool = True,
+        use_fleet: bool = True,
         retain_decisions: Optional[int] = None,
         on_decision: Optional[Callable[[str, MonitorDecision], None]] = None,
     ) -> None:
@@ -208,6 +259,7 @@ class CapacityService:
                 use_watchdog=use_watchdog,
                 stall_ticks=stall_ticks,
             )
+        self._init_fleet(use_fleet)
 
     # ------------------------------------------------------------------
     # construction plumbing (shared with resume())
@@ -222,8 +274,16 @@ class CapacityService:
         self.batch_votes = batch_votes
         self.on_decision = on_decision
         self.ticks = 0
+        self.fleet: Optional[FleetState] = None
         self._samplers: List[TelemetrySampler] = []
         self._flush_timer: Optional[Any] = None
+
+    def _init_fleet(self, use_fleet: bool) -> None:
+        """Adopt all sites into the structure-of-arrays backend."""
+        if use_fleet:
+            self.fleet = FleetState(
+                [site.monitor for site in self.sites]
+            )
 
     def _add_site(
         self,
@@ -236,15 +296,15 @@ class CapacityService:
     ) -> None:
         if any(site.name == spec.name for site in self.sites):
             raise ValueError(f"duplicate site name {spec.name!r}")
-        self.sites.append(
-            SiteRuntime(
-                spec,
-                monitor,
-                gate,
-                use_watchdog=use_watchdog,
-                stall_ticks=stall_ticks,
-            )
+        runtime = SiteRuntime(
+            spec,
+            monitor,
+            gate,
+            use_watchdog=use_watchdog,
+            stall_ticks=stall_ticks,
         )
+        runtime.index = len(self.sites)
+        self.sites.append(runtime)
 
     def site(self, name: str) -> SiteRuntime:
         """Look one site up by name."""
@@ -259,9 +319,54 @@ class CapacityService:
     def push(self, record: IntervalRecord) -> List[SiteDecision]:
         """Offer one record to every site, then decide completed windows."""
         self.ticks += 1
-        for site in self.sites:
-            site.offer(record)
+        if self.fleet is not None and not OBS.enabled:
+            try:
+                for site in self.sites:
+                    site._capture = []
+                for site in self.sites:
+                    site.offer(record)
+                self._fold_tick_fleet()
+            finally:
+                for site in self.sites:
+                    site._capture = None
+        else:
+            if self.fleet is not None:
+                # instrumented pushes fold per site: cohort-pooled fold
+                # state must be materialized and unpooled first
+                self.fleet.dissolve()
+            for site in self.sites:
+                site.offer(record)
         return self._flush()
+
+    def _fold_tick_fleet(self) -> None:
+        """Fold this tick's captured deliveries through the fleet.
+
+        Fault paths may deliver 0, 1 or 2 records per site per tick
+        (drops / duplicates), so deliveries are consumed position by
+        position: at each position, sites holding *the same record
+        object* (the common case — injector-less sites all receive the
+        producer's record untouched) fold as one group with a single
+        row extraction and one vectorized PI update.
+        """
+        assert self.fleet is not None
+        position = 0
+        while True:
+            groups: Dict[int, Tuple[IntervalRecord, List[SiteRuntime]]] = {}
+            for site in self.sites:
+                capture = site._capture
+                if capture is None or position >= len(capture):
+                    continue
+                delivered = capture[position]
+                entry = groups.get(id(delivered))
+                if entry is None:
+                    groups[id(delivered)] = (delivered, [site])
+                else:
+                    entry[1].append(site)
+            if not groups:
+                return
+            for delivered, members in groups.values():
+                self.fleet.fold_group(delivered, members)
+            position += 1
 
     def replay(
         self, records: Sequence[IntervalRecord]
@@ -270,6 +375,10 @@ class CapacityService:
         decisions: List[SiteDecision] = []
         for record in records:
             decisions.extend(self.push(record))
+        if self.fleet is not None:
+            # leave every monitor individually readable (state_dict,
+            # counters) — cohort members materialize from their reps
+            self.fleet.sync()
         return decisions
 
     # ------------------------------------------------------------------
@@ -293,6 +402,10 @@ class CapacityService:
         missing = [s.name for s in self.sites if s.name not in websites]
         if missing:
             raise ValueError(f"no website for sites {missing}")
+        if self.fleet is not None:
+            # live samplers deliver straight into each site's fault
+            # path (per-site folds): end cohort-pooled folding first
+            self.fleet.dissolve()
         for site in self.sites:
             self._samplers.append(
                 TelemetrySampler(
@@ -302,7 +415,7 @@ class CapacityService:
                     interval=interval,
                     hpc_noise=hpc_noise,
                     os_noise=os_noise,
-                    seed=site.spec.seed,
+                    seed=site.spec.sampler_seed,
                     on_record=site.offer,
                     retain=0,
                 )
@@ -341,17 +454,32 @@ class CapacityService:
             return []
         votes: List[Optional[Tuple[int, ...]]] = [None] * len(pending)
         if self.batch_votes:
-            eligible = [
-                i
-                for i, (_, window) in enumerate(pending)
-                if self._batch_eligible(window)
-            ]
+            # a cohort-shared window appears once per member site:
+            # eligibility and votes are pure functions of the window,
+            # so compute them once per distinct object
+            eligibility: Dict[int, bool] = {}
+            eligible: List[int] = []
+            for i, (_, window) in enumerate(pending):
+                flag = eligibility.get(id(window))
+                if flag is None:
+                    flag = eligibility[id(window)] = self._batch_eligible(
+                        window
+                    )
+                if flag:
+                    eligible.append(i)
             if eligible:
-                batched = self._batched_votes(
-                    [pending[i][1] for i in eligible]
-                )
-                for i, vote in zip(eligible, batched):
-                    votes[i] = vote
+                unique: List[StreamingWindow] = []
+                slot: Dict[int, int] = {}
+                for i in eligible:
+                    key = id(pending[i][1])
+                    if key not in slot:
+                        slot[key] = len(unique)
+                        unique.append(pending[i][1])
+                batched = self._batched_votes(unique)
+                for i in eligible:
+                    votes[i] = batched[slot[id(pending[i][1])]]
+        if self.fleet is not None and not OBS.enabled:
+            return self._flush_fleet(pending, votes)
         decisions: List[SiteDecision] = []
         for (site, window), vote in zip(pending, votes):
             if OBS.enabled:
@@ -363,6 +491,67 @@ class CapacityService:
             else:
                 decision = site.monitor.decide(window, votes=vote)
             site.gate.update(decision)
+            if self.on_decision is not None:
+                self.on_decision(site.name, decision)
+            decisions.append((site.name, decision))
+        return decisions
+
+    def _flush_fleet(
+        self,
+        pending: Sequence[Tuple["SiteRuntime", StreamingWindow]],
+        votes: Sequence[Optional[Tuple[int, ...]]],
+    ) -> List[SiteDecision]:
+        """Decide pending windows through the structure-of-arrays path.
+
+        A site can complete more than one window per flush (duplicate
+        faults), so the pending list is split into *waves* — wave k
+        holds each site's k-th window — guaranteeing unique site rows
+        per vectorized :meth:`~repro.control.fleet.FleetState.decide_clean`
+        call.  Within a wave, batch-eligible windows with precomputed
+        votes decide vectorized; degraded (or unbatched) windows take
+        the per-site quorum path on the same shared tables.  Gates move
+        per wave via
+        :meth:`~repro.control.admission.AimdGate.update_many`, and the
+        final emission loop preserves the per-site path's canonical
+        ``(site order, window order)`` sequence exactly.
+        """
+        assert self.fleet is not None
+        waves: List[List[int]] = []
+        seen: Dict[int, int] = {}
+        for k, (site, _) in enumerate(pending):
+            occurrence = seen.get(site.index, 0)
+            seen[site.index] = occurrence + 1
+            if occurrence == len(waves):
+                waves.append([])
+            waves[occurrence].append(k)
+        decided: List[Optional[MonitorDecision]] = [None] * len(pending)
+        for wave in waves:
+            clean = [k for k in wave if votes[k] is not None]
+            if clean:
+                fleet_decisions = self.fleet.decide_clean(
+                    [
+                        (
+                            pending[k][0].index,
+                            pending[k][0].monitor,
+                            pending[k][1],
+                            votes[k],
+                        )
+                        for k in clean
+                    ]
+                )
+                for k, decision in zip(clean, fleet_decisions):
+                    decided[k] = decision
+            for k in wave:
+                if votes[k] is None:
+                    site, window = pending[k]
+                    decided[k] = site.monitor.decide(window)
+            AimdGate.update_many(
+                [pending[k][0].gate for k in wave],
+                [decided[k] for k in wave],
+            )
+        decisions: List[SiteDecision] = []
+        for (site, _), decision in zip(pending, decided):
+            assert decision is not None
             if self.on_decision is not None:
                 self.on_decision(site.name, decision)
             decisions.append((site.name, decision))
@@ -422,20 +611,49 @@ class CapacityService:
     def save(self, directory: Union[str, Path]) -> Path:
         """Checkpoint every site's monitor plus the gate manifest.
 
-        Layout: ``<dir>/<site>.monitor.json`` (one full
-        :mod:`repro.faults.checkpoint` file per site) and
-        ``<dir>/service.json`` (format tag, tick count, per-site gate
-        states).  All writes are atomic.
+        Layout: monitor state as either ``<dir>/<site>.monitor.json``
+        (one full :mod:`repro.faults.checkpoint` file per site) or — when
+        the fleet backend is active — a single fleet-sharded
+        ``<dir>/fleet.monitor.json`` storing the shared meter template
+        once; plus ``<dir>/service.json`` (format tag, checkpoint
+        layout, tick count, per-site gate states, and the run-local
+        state of every fault injector and watchdog, so resumed
+        campaigns pick their fault plans up mid-stream instead of
+        replaying them from tick zero).  All writes are atomic.
         """
         target = Path(directory)
         target.mkdir(parents=True, exist_ok=True)
-        for site in self.sites:
-            save_checkpoint(site.monitor, target / f"{site.name}.monitor.json")
+        if self.fleet is not None:
+            # checkpoints read each monitor's own state: materialize
+            # cohort members before serializing
+            self.fleet.sync()
+            layout = "fleet"
+            save_fleet_checkpoint(
+                [(site.name, site.monitor) for site in self.sites],
+                target / "fleet.monitor.json",
+            )
+        else:
+            layout = "per-site"
+            for site in self.sites:
+                save_checkpoint(
+                    site.monitor, target / f"{site.name}.monitor.json"
+                )
         manifest: Dict[str, object] = {
             "format": SERVICE_FORMAT,
+            "layout": layout,
             "ticks": self.ticks,
             "gates": {
                 site.name: site.gate.state_dict() for site in self.sites
+            },
+            "injectors": {
+                site.name: site.injector.state_dict()
+                for site in self.sites
+                if site.injector is not None
+            },
+            "watchdogs": {
+                site.name: site.watchdog.state_dict()
+                for site in self.sites
+                if site.watchdog is not None
             },
         }
         write_json_atomic(target / "service.json", manifest)
@@ -451,6 +669,8 @@ class CapacityService:
         use_watchdog: bool = True,
         stall_ticks: int = 3,
         batch_votes: bool = True,
+        use_fleet: bool = True,
+        allow_subset: bool = False,
         retain_decisions: Optional[int] = None,
         on_decision: Optional[Callable[[str, MonitorDecision], None]] = None,
     ) -> "CapacityService":
@@ -458,29 +678,67 @@ class CapacityService:
 
         ``sites`` re-supplies the process-local spec objects (fault
         plans and gate knobs don't round-trip through the manifest);
-        every spec must have a monitor checkpoint in ``directory``.
+        every spec must have monitor state in ``directory``, and —
+        unless ``allow_subset=True`` — every checkpointed site must
+        appear in ``sites``: a site silently dropped from a resumed
+        fleet is almost always an operator mistake, so orphaned
+        checkpoint state raises :class:`ValueError` naming the sites.
         Monitors resume bit-identically (meter payload + run-local
-        state); gates resume probability, counters and RNG state.  Fault
-        injectors restart their plans from the resumed stream's first
-        tick.
+        state); gates resume probability, counters and RNG state; and —
+        for format-v2 checkpoints — fault injectors and watchdogs
+        resume their plan cursors, stall maps, RNG streams and backoff
+        schedules, so the resumed faulted stream continues exactly
+        where the saved one stopped.  v1 checkpoints (no injector /
+        watchdog state, always per-site layout) are still read; their
+        injectors restart from the resumed stream's first tick as
+        before.
         """
         target = Path(directory)
         manifest = read_json_checkpoint(target / "service.json")
-        if manifest.get("format") != SERVICE_FORMAT:
+        if manifest.get("format") not in (SERVICE_FORMAT, SERVICE_FORMAT_V1):
             raise ValueError(f"{target} is not a service checkpoint")
         service = cls.__new__(cls)
         service._init_base(batch_votes=batch_votes, on_decision=on_decision)
         gate_states = manifest["gates"]
+        supplied = {spec.name for spec in sites}
         for spec in sites:
             if spec.name not in gate_states:
                 raise ValueError(
                     f"checkpoint has no gate state for site {spec.name!r}"
                 )
-            monitor = load_checkpoint(
-                target / f"{spec.name}.monitor.json",
-                labeler=labeler,
-                retain_decisions=retain_decisions,
+        orphans = sorted(name for name in gate_states if name not in supplied)
+        if orphans and not allow_subset:
+            raise ValueError(
+                f"checkpoint has state for sites not in the supplied "
+                f"list: {orphans}; pass allow_subset=True to resume "
+                f"without them"
             )
+        layout = manifest.get("layout", "per-site")
+        fleet_monitors: Dict[str, OnlineCapacityMonitor] = {}
+        if layout == "fleet":
+            fleet_monitors = dict(
+                load_fleet_checkpoint(
+                    target / "fleet.monitor.json",
+                    labeler=labeler,
+                    retain_decisions=retain_decisions,
+                )
+            )
+        injector_states = manifest.get("injectors", {})
+        watchdog_states = manifest.get("watchdogs", {})
+        for spec in sites:
+            if layout == "fleet":
+                if spec.name not in fleet_monitors:
+                    raise ValueError(
+                        f"fleet checkpoint has no monitor for site "
+                        f"{spec.name!r}"
+                    )
+                monitor = fleet_monitors[spec.name]
+            else:
+                monitor = load_checkpoint(
+                    target / f"{spec.name}.monitor.json",
+                    labeler=labeler,
+                    retain_decisions=retain_decisions,
+                )
             gate = spec.make_gate()
             gate.load_state(gate_states[spec.name])
             service._add_site(
@@ -490,9 +748,15 @@ class CapacityService:
                 use_watchdog=use_watchdog,
                 stall_ticks=stall_ticks,
             )
+            runtime = service.sites[-1]
+            if runtime.injector is not None and spec.name in injector_states:
+                runtime.injector.load_state(injector_states[spec.name])
+            if runtime.watchdog is not None and spec.name in watchdog_states:
+                runtime.watchdog.load_state(watchdog_states[spec.name])
         if not service.sites:
             raise ValueError("CapacityService needs at least one site")
         service.ticks = int(manifest["ticks"])
+        service._init_fleet(use_fleet)
         return service
 
     # ------------------------------------------------------------------

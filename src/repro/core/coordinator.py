@@ -360,6 +360,25 @@ class CoordinatedPredictor:
             )
         return self._predict_from_votes(tuple(int(v) for v in votes))
 
+    def commit_clean_votes(
+        self, votes: Sequence[int], hist: int
+    ) -> None:
+        """Record the run-local registers for one fleet-decided window.
+
+        The vectorized fleet backend computes the GPT/LHT decision and
+        the observe() repair directly on the shared tables (which this
+        predictor sees through its adopted views); what it cannot reach
+        are the per-predictor scalar registers.  This sets them exactly
+        as a clean ``predict_votes()`` + ``observe()`` pair would leave
+        them: every vote is concrete (so all last-vote slots update),
+        ``_last_hist`` is the history the decision consulted, and the
+        pending-observation marker is cleared.
+        """
+        for i, vote in enumerate(votes):
+            self._last_votes[i] = int(vote)
+        self._last_hist = int(hist)
+        self._last_gpv = None
+
     def predict_degraded(
         self,
         metrics: Mapping[str, Mapping[str, float]],
@@ -509,7 +528,8 @@ class CoordinatedPredictor:
                 f"history register shape {history.shape} does not match "
                 f"{self._history.shape}"
             )
-        self._history = history
+        # in place, so table views adopted by a fleet backend stay live
+        self._history[...] = history
         last_gpv = state["last_gpv"]
         self._last_gpv = None if last_gpv is None else int(last_gpv)
         self._last_hist = int(state["last_hist"])
@@ -522,6 +542,83 @@ class CoordinatedPredictor:
         self._last_votes = [
             None if vote is None else int(vote) for vote in last_votes
         ]
+
+    # ------------------------------------------------------------------
+    # fleet table sharing
+    # ------------------------------------------------------------------
+    def _check_table_shapes(
+        self,
+        lht: np.ndarray,
+        gpt: np.ndarray,
+        bpt: np.ndarray,
+        history: Optional[np.ndarray] = None,
+    ) -> None:
+        expected = {
+            "LHT": (lht, self._lht.shape),
+            "GPT": (gpt, self._gpt.shape),
+            "BPT": (bpt, self._bpt.shape),
+        }
+        if history is not None:
+            expected["history"] = (history, self._history.shape)
+        for table, (array, shape) in expected.items():
+            if array.shape != shape:
+                raise ValueError(
+                    f"{table} table shape {array.shape} does not match "
+                    f"the predictor's {shape}"
+                )
+
+    def adopt_tables(
+        self,
+        lht: np.ndarray,
+        gpt: np.ndarray,
+        bpt: np.ndarray,
+        history: np.ndarray,
+    ) -> None:
+        """Re-point the tables at externally owned array views.
+
+        The fleet backend stacks every site's tables into one
+        structure-of-arrays block and hands each predictor basic-slice
+        views of its shard, so the per-site code path and the vectorized
+        fleet path read and write the *same memory* — bit-identity
+        between the two is structural, not re-derived.  The views must
+        already hold this predictor's current values; shapes are
+        validated, contents are the caller's responsibility.
+        """
+        self._check_table_shapes(lht, gpt, bpt, history)
+        if history.dtype != self._history.dtype:
+            raise ValueError(
+                f"history view dtype {history.dtype} does not match "
+                f"{self._history.dtype}"
+            )
+        self._lht = lht
+        self._gpt = gpt
+        self._bpt = bpt
+        self._history = history
+
+    def table_state(self) -> Dict[str, object]:
+        """The adaptive tables as JSON-ready lists (fleet checkpoints)."""
+        return {
+            "lht": self._lht.tolist(),
+            "gpt": self._gpt.tolist(),
+            "bpt": self._bpt.tolist(),
+        }
+
+    def set_tables(
+        self, lht: np.ndarray, gpt: np.ndarray, bpt: np.ndarray
+    ) -> None:
+        """Overwrite table *values* in place (checkpoint restore).
+
+        Unlike :meth:`from_dict`'s construction-time assignment this
+        never replaces the arrays, so views adopted through
+        :meth:`adopt_tables` stay live.
+        """
+        lht = np.asarray(lht, dtype=float)
+        gpt = np.asarray(gpt, dtype=float)
+        bpt = np.asarray(bpt, dtype=float)
+        self._check_table_shapes(lht, gpt, bpt)
+        self._lht[...] = lht
+        self._gpt[...] = gpt
+        self._bpt[...] = bpt
 
     # ------------------------------------------------------------------
     # persistence

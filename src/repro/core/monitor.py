@@ -334,6 +334,24 @@ class OnlineCapacityMonitor:
             self.counters.partial_ticks += 1
         return self.aggregator.push(record)
 
+    def fold_prepared(
+        self, record: IntervalRecord, prepared
+    ) -> Optional[StreamingWindow]:
+        """Fold one record whose metric rows were extracted fleet-wide.
+
+        The fleet backend (:class:`~repro.control.fleet.FleetState`)
+        extracts each distinct record's per-tier rows once, updates the
+        PI moments vectorized across all member sites (this monitor's
+        trackers are views into that array), and hands each member the
+        shared :class:`~repro.telemetry.streaming.PreparedRecord`.  The
+        caller guarantees the record is complete for both the tracked
+        PI definitions and this aggregator's schema, so the partial /
+        skipped-update counters stay untouched — exactly as
+        :meth:`fold` leaves them on a complete record.
+        """
+        self.counters.ticks += 1
+        return self.aggregator.push_prepared(record, prepared)
+
     def _held_prediction(self) -> CoordinatedPrediction:
         """The quorum-failure fallback: last decision, decayed.
 
@@ -502,6 +520,94 @@ class OnlineCapacityMonitor:
             cache[5].set(0.5 * (tpr + tnr))
             OBS.observe_span("monitor_decide", OBS.clock() - t0)
         return decision
+
+    def finish_fleet_decision(
+        self,
+        window: StreamingWindow,
+        prediction: CoordinatedPrediction,
+        truth: int,
+        truth_bottleneck: Optional[str],
+    ) -> MonitorDecision:
+        """Bookkeeping half of :meth:`decide` for a fleet-decided window.
+
+        The fleet backend already ran the clean-path prediction and the
+        observe() repair/adaptation vectorized on the shared tables, so
+        this applies everything :meth:`decide` does *besides* those two
+        steps: fallback-streak reset, counters (including the
+        bottleneck score, which consults the post-adaptation BPT exactly
+        as the per-site path does), the decision record, retention and
+        the ``on_decision`` callback.  Only clean (non-held,
+        non-degraded-vote) predictions come through here, and only when
+        observability is disabled — the service falls back to the
+        per-site path otherwise.
+        """
+        self._held_streak = 0
+        self._last_prediction = prediction
+        counters = self.counters
+        counters.windows += 1
+        if prediction.confident:
+            counters.confident_windows += 1
+        else:
+            counters.fallback_scheme_uses += 1
+        if window.quality is not None and window.quality.degraded:
+            counters.degraded_windows += 1
+        if self.adapt:
+            counters.adaptation_steps += 1
+        if truth == OVERLOAD:
+            if prediction.overloaded:
+                counters.tp += 1
+            else:
+                counters.fn += 1
+            if truth_bottleneck is not None:
+                counters.bottleneck_windows += 1
+                coordinator = self.meter.coordinator
+                if coordinator.bpt_vote(prediction.gpv) == truth_bottleneck:
+                    counters.bottleneck_correct += 1
+        else:
+            if prediction.overloaded:
+                counters.fp += 1
+            else:
+                counters.tn += 1
+        decision = MonitorDecision(
+            index=window.index,
+            t_start=window.stats.t_start,
+            t_end=window.stats.t_end,
+            prediction=prediction,
+            truth=truth,
+            truth_bottleneck=truth_bottleneck,
+            stats=window.stats,
+            held=False,
+            quality=window.quality,
+        )
+        self.decisions.append(decision)
+        if self.on_decision is not None:
+            self.on_decision(decision)
+        return decision
+
+    # ------------------------------------------------------------------
+    # fleet PI-tracker sharing
+    # ------------------------------------------------------------------
+    def pi_tracker_items(self) -> List[Tuple[PiDefinition, RunningCorrelation]]:
+        """The tracked PI definitions and their trackers, in order."""
+        return list(self._pi_trackers.items())
+
+    def adopt_pi_trackers(self, trackers: dict) -> None:
+        """Swap the PI trackers for fleet-backed view objects.
+
+        ``trackers`` must cover exactly the currently tracked
+        definitions (in the same order) with objects exposing the
+        :class:`~repro.telemetry.streaming.RunningCorrelation` API;
+        the fleet backend hands in views over its stacked moment array
+        so per-site and vectorized updates share state.  Note that
+        :meth:`load_state` rebuilds plain trackers — fleet adoption must
+        happen after any restore.
+        """
+        if list(trackers) != list(self._pi_trackers):
+            raise ValueError(
+                "adopted PI trackers must cover exactly the tracked "
+                "definitions, in order"
+            )
+        self._pi_trackers = dict(trackers)
 
     # ------------------------------------------------------------------
     # checkpointing

@@ -20,7 +20,9 @@ import os
 import tempfile
 import time
 from pathlib import Path
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..core.capacity import CapacityMeter
 from ..core.monitor import MonitorDecision, OnlineCapacityMonitor
@@ -29,14 +31,19 @@ from .retry import retry_io
 
 __all__ = [
     "CHECKPOINT_FORMAT",
+    "FLEET_CHECKPOINT_FORMAT",
     "checkpoint_payload",
+    "fleet_checkpoint_payload",
     "load_checkpoint",
+    "load_fleet_checkpoint",
     "read_json_checkpoint",
     "save_checkpoint",
+    "save_fleet_checkpoint",
     "write_json_atomic",
 ]
 
 CHECKPOINT_FORMAT = "repro.monitor-checkpoint/1"
+FLEET_CHECKPOINT_FORMAT = "repro.fleet-checkpoint/1"
 
 
 def write_json_atomic(
@@ -153,3 +160,120 @@ def load_checkpoint(
     )
     monitor.load_state(payload["state"])
     return monitor
+
+
+# ----------------------------------------------------------------------
+# fleet-sharded checkpoints (one file for N homogeneous monitors)
+# ----------------------------------------------------------------------
+def _monitor_config(monitor: OnlineCapacityMonitor) -> Dict[str, object]:
+    return {
+        "adapt": monitor.adapt,
+        "min_votes": monitor.min_votes,
+        "max_imputed_fraction": monitor.max_imputed_fraction,
+        "confidence_decay": monitor.confidence_decay,
+    }
+
+
+def fleet_checkpoint_payload(
+    named_monitors: Sequence[Tuple[str, OnlineCapacityMonitor]],
+) -> Dict[str, object]:
+    """Structure-of-arrays snapshot of N same-meter monitor clones.
+
+    The per-site checkpoint embeds the full trained-meter payload in
+    every file; at fleet scale (1k+ sites sharing one trained meter)
+    that is almost entirely redundant.  This layout stores the shared
+    parts *once* — one meter template and one config block — plus the
+    only things that diverge per site: the adaptive GPT/LHT/BPT tables
+    (stacked, matching the fleet backend's array layout) and each
+    monitor's run-local ``state_dict``.
+    """
+    if not named_monitors:
+        raise ValueError("fleet checkpoint needs at least one monitor")
+    monitors = [monitor for _, monitor in named_monitors]
+    head = monitors[0]
+    config = _monitor_config(head)
+    for monitor in monitors[1:]:
+        if _monitor_config(monitor) != config:
+            raise ValueError(
+                "fleet checkpoints require homogeneous monitor config"
+            )
+    return {
+        "format": FLEET_CHECKPOINT_FORMAT,
+        "sites": [name for name, _ in named_monitors],
+        "config": config,
+        "meter": head.meter.to_payload(),
+        "tables": [
+            monitor.meter.coordinator.table_state() for monitor in monitors
+        ],
+        "states": [monitor.state_dict() for monitor in monitors],
+    }
+
+
+def save_fleet_checkpoint(
+    named_monitors: Sequence[Tuple[str, OnlineCapacityMonitor]],
+    path,
+    *,
+    attempts: int = 3,
+    sleep: Callable[[float], None] = time.sleep,
+) -> None:
+    """Atomically write a fleet-sharded checkpoint."""
+    write_json_atomic(
+        path,
+        fleet_checkpoint_payload(named_monitors),
+        attempts=attempts,
+        sleep=sleep,
+    )
+
+
+def load_fleet_checkpoint(
+    path,
+    *,
+    labeler: Optional[Callable[[WindowStats], int]] = None,
+    retain_decisions: Optional[int] = None,
+    attempts: int = 3,
+    sleep: Callable[[float], None] = time.sleep,
+) -> List[Tuple[str, OnlineCapacityMonitor]]:
+    """Rebuild every monitor from a fleet-sharded checkpoint, in order.
+
+    Each site gets a fresh clone of the shared meter template, its own
+    table values restored in place
+    (:meth:`~repro.core.coordinator.CoordinatedPredictor.set_tables`)
+    and its run-local state loaded — bit-identical to reloading a
+    per-site checkpoint of the same monitor.
+    """
+    payload = read_json_checkpoint(path, attempts=attempts, sleep=sleep)
+    if payload.get("format") != FLEET_CHECKPOINT_FORMAT:
+        raise ValueError(f"{path} is not a fleet checkpoint")
+    names = [str(name) for name in payload["sites"]]
+    tables = payload["tables"]
+    states = payload["states"]
+    if not (len(names) == len(tables) == len(states)):
+        raise ValueError(
+            f"{path} is torn: {len(names)} sites, {len(tables)} table "
+            f"sets, {len(states)} states"
+        )
+    config = payload["config"]
+    restored: List[Tuple[str, OnlineCapacityMonitor]] = []
+    for name, table_set, state in zip(names, tables, states):
+        meter = CapacityMeter.from_payload(payload["meter"], labeler=labeler)
+        monitor = OnlineCapacityMonitor(
+            meter,
+            adapt=bool(config["adapt"]),
+            labeler=labeler,
+            retain_decisions=retain_decisions,
+            min_votes=(
+                None
+                if config["min_votes"] is None
+                else int(config["min_votes"])
+            ),
+            max_imputed_fraction=float(config["max_imputed_fraction"]),
+            confidence_decay=float(config["confidence_decay"]),
+        )
+        meter.coordinator.set_tables(
+            np.asarray(table_set["lht"], dtype=float),
+            np.asarray(table_set["gpt"], dtype=float),
+            np.asarray(table_set["bpt"], dtype=float),
+        )
+        monitor.load_state(state)
+        restored.append((name, monitor))
+    return restored

@@ -206,3 +206,39 @@ class FaultInjector:
             if self.downstream is not None:
                 self.downstream(delivered)
         return deliveries
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, object]:
+        """Run-local injection state, JSON-serializable.
+
+        The plan cursor is ``counters.ticks`` (``push`` indexes
+        ``spec.active`` with it), so restoring the counters plus the
+        stall map and every spec's RNG stream resumes the plan exactly
+        where it stopped — a resumed campaign sees the same faulted
+        stream an uninterrupted one would.
+        """
+        return {
+            "counters": self.counters.as_dict(),
+            "stalled": dict(self._stalled),
+            "rngs": [rng.bit_generator.state for rng in self._rngs],
+        }
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        """Restore the state captured by :meth:`state_dict`."""
+        rng_states = list(state["rngs"])
+        if len(rng_states) != len(self._rngs):
+            raise ValueError(
+                f"{len(rng_states)} RNG states for a plan with "
+                f"{len(self._rngs)} fault specs"
+            )
+        self.counters = InjectionCounters(
+            **{k: int(v) for k, v in dict(state["counters"]).items()}
+        )
+        self._stalled = {
+            str(tier): int(index)
+            for tier, index in dict(state["stalled"]).items()
+        }
+        for rng, rng_state in zip(self._rngs, rng_states):
+            rng.bit_generator.state = rng_state

@@ -134,3 +134,46 @@ class SamplerWatchdog:
     @property
     def flagged_tiers(self) -> Sequence[str]:
         return sorted(t for t, f in self._flagged.items() if f)
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, object]:
+        """Run-local watchdog state, JSON-serializable.
+
+        Backoff schedules are indexed by the delivered-tick count, so a
+        resumed watchdog must carry its tick and per-tier streak /
+        flag / backoff / next-attempt state to keep re-arm timing
+        identical to an uninterrupted run.
+        """
+        return {
+            "counters": self.counters.as_dict(),
+            "tick": self._tick,
+            "silent_streak": dict(self._silent_streak),
+            "flagged": dict(self._flagged),
+            "backoff": dict(self._backoff),
+            "next_attempt": dict(self._next_attempt),
+        }
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        """Restore the state captured by :meth:`state_dict`."""
+        self.counters = WatchdogCounters(
+            **{k: int(v) for k, v in dict(state["counters"]).items()}
+        )
+        self._tick = int(state["tick"])
+        for name, cast in (
+            ("silent_streak", int),
+            ("flagged", bool),
+            ("backoff", int),
+            ("next_attempt", int),
+        ):
+            restored = {
+                str(tier): cast(value)
+                for tier, value in dict(state[name]).items()
+            }
+            missing = [t for t in self.tiers if t not in restored]
+            if missing:
+                raise ValueError(
+                    f"watchdog state lacks tiers {missing} for {name!r}"
+                )
+            setattr(self, f"_{name}", restored)

@@ -394,7 +394,15 @@ def comparator():
     return _load_comparator()
 
 
-def _write_artifacts(results: Path, *, svm_ms=19.1, browsing_ba=0.832):
+def _write_artifacts(
+    results: Path,
+    *,
+    svm_ms=19.1,
+    browsing_ba=0.832,
+    cpu_count=1,
+    parallel_speedup=1.02,
+    fleet_speedup=7.84,
+):
     results.mkdir(parents=True, exist_ok=True)
     (results / "decision_time.txt").write_text(
         "Build+decide time (75 instances x 16 attrs, best of 3):\n"
@@ -410,6 +418,19 @@ def _write_artifacts(results: Path, *, svm_ms=19.1, browsing_ba=0.832):
                 "parallel_s": 11.91,
                 "cold_cache_s": 14.29,
                 "warm_cache_s": 0.36,
+                "cpu_count": cpu_count,
+                "parallel_speedup": parallel_speedup,
+            }
+        )
+    )
+    (results / "BENCH_serve.json").write_text(
+        json.dumps(
+            {
+                "sites": 1000,
+                "cpu_count": cpu_count,
+                "per_site_s": 4.68,
+                "fleet_s": 0.60,
+                "fleet_speedup": fleet_speedup,
             }
         )
     )
@@ -423,15 +444,37 @@ def _write_artifacts(results: Path, *, svm_ms=19.1, browsing_ba=0.832):
 
 
 class TestCompareBaselines:
-    def test_parsers_read_all_three_artifacts(self, comparator, tmp_path):
+    def test_parsers_read_all_four_artifacts(self, comparator, tmp_path):
         _write_artifacts(tmp_path)
         fresh = comparator.collect(tmp_path)
         assert fresh["decision_time_ms"]["svm"] == pytest.approx(19.1)
         assert "parallel_s" not in fresh["parallel_engine_s"]
+        assert fresh["serve_s"]["fleet_s"] == pytest.approx(0.60)
+        assert "fleet_speedup" not in fresh["serve_s"]  # floor, not baseline
         assert fresh["fig4_accuracy"]["browsing"]["hpc_ba"] == pytest.approx(
             0.832
         )
         assert len(fresh["fig4_accuracy"]) == 2  # bar-chart rows ignored
+
+    def test_speedup_floors_respect_core_count(self, comparator, tmp_path):
+        """A 1-core host must SKIP the parallel floor (not pass it
+        vacuously) while still enforcing the interpreter-bound fleet
+        floor; a big host enforces both."""
+        _write_artifacts(tmp_path, cpu_count=1, parallel_speedup=1.02)
+        failures, rows = [], []
+        comparator.check_speedup_floors(tmp_path, failures, rows)
+        assert failures == []
+        assert any("SKIPPED" in row for row in rows)
+
+        _write_artifacts(tmp_path, cpu_count=8, parallel_speedup=1.02)
+        failures, rows = [], []
+        comparator.check_speedup_floors(tmp_path, failures, rows)
+        assert any("parallel_speedup" in f for f in failures)
+
+        _write_artifacts(tmp_path, fleet_speedup=3.0)
+        failures, rows = [], []
+        comparator.check_speedup_floors(tmp_path, failures, rows)
+        assert any("fleet_speedup" in f for f in failures)
 
     def test_update_then_compare_is_clean(self, comparator, tmp_path):
         _write_artifacts(tmp_path)
