@@ -1,7 +1,7 @@
 """Compare fresh benchmark results against committed baselines.
 
 The bench-regression CI job (and any developer, locally) runs the
-benchmark suite and then this comparator.  Four artifacts are
+benchmark suite and then this comparator.  Five artifacts are
 tracked, covering the repository's performance-sensitive subsystems:
 
 * ``decision_time.txt`` — per-learner synopsis build + decide cost;
@@ -11,6 +11,10 @@ tracked, covering the repository's performance-sensitive subsystems:
 * ``BENCH_serve.json`` — fleet-scale serving throughput: the per-site
   loop and the structure-of-arrays fleet path over the same 1k-site
   replay;
+* ``BENCH_shards.json`` — the multi-process sharded service against
+  the single-process fleet path (absolute wall clocks are deliberately
+  not baseline-compared: like ``parallel_s`` they depend on the host's
+  core count; the recorded ``shard_speedup`` gates instead);
 * ``fig4_coordinated_accuracy.txt`` — coordinated prediction accuracy
   across the four workloads at both metric levels.
 
@@ -20,12 +24,13 @@ baseline by any margin but may exceed it only by ``--time-tolerance``
 fixed seed and scale, so they must match the baseline exactly unless
 ``--accuracy-tolerance`` loosens them.
 
-On top of the baseline deltas, two *speedup floors* gate from the
+On top of the baseline deltas, three *speedup floors* gate from the
 fresh artifacts alone.  The fleet-serving floor (``fleet_speedup``
 >= 5) compares two interpreter-bound runs on the same host, so it
 always applies; the parallel-engine floor (``parallel_speedup`` >= 2)
-needs real cores, so hosts reporting fewer than 4 CPUs show the row
-as SKIPPED instead of letting a 1-core runner pass it vacuously —
+and the sharded-serving floor (``shard_speedup`` >= 2 at 4 workers)
+need real cores, so hosts reporting fewer than 4 CPUs show those rows
+as SKIPPED instead of letting a 1-core runner pass them vacuously —
 each bench records ``cpu_count`` in its artifact for exactly this.
 
 Usage::
@@ -35,6 +40,7 @@ Usage::
         python -m pytest benchmarks/test_decision_time.py \
             benchmarks/test_parallel_engine.py \
             benchmarks/test_serve_fleet.py \
+            benchmarks/test_serve_shards.py \
             benchmarks/test_fig4_coordinated_accuracy.py
     python benchmarks/compare_baselines.py --update
 
@@ -67,6 +73,7 @@ SERVE_KEYS = ("per_site_s", "fleet_s")
 SPEEDUP_FLOORS = (
     ("BENCH_parallel.json", "parallel_speedup", 2.0, 4),
     ("BENCH_serve.json", "fleet_speedup", 5.0, None),
+    ("BENCH_shards.json", "shard_speedup", 2.0, 4),
 )
 
 _DECISION_ROW = re.compile(r"^(\w+)\s+([\d.]+)\s+(?:[\d.]+|-)\s*$")
@@ -119,6 +126,7 @@ def parse_serve(path: Path) -> Dict[str, float]:
 
 def collect(results_dir: Path) -> Dict[str, object]:
     """Current benchmark numbers, or raise FileNotFoundError."""
+    shards = json.loads((results_dir / "BENCH_shards.json").read_text())
     return {
         "decision_time_ms": parse_decision_time(
             results_dir / "decision_time.txt"
@@ -127,6 +135,9 @@ def collect(results_dir: Path) -> Dict[str, object]:
             results_dir / "BENCH_parallel.json"
         ),
         "serve_s": parse_serve(results_dir / "BENCH_serve.json"),
+        # informational (floor-gated from the fresh artifact, never
+        # baseline-compared: wall clocks scale with the host's cores)
+        "shard_speedup": float(shards["shard_speedup"]),
         "fig4_accuracy": parse_fig4(
             results_dir / "fig4_coordinated_accuracy.txt"
         ),
@@ -307,6 +318,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             "python -m pytest benchmarks/test_decision_time.py "
             "benchmarks/test_parallel_engine.py "
             "benchmarks/test_serve_fleet.py "
+            "benchmarks/test_serve_shards.py "
             "benchmarks/test_fig4_coordinated_accuracy.py"
         )
         return 2

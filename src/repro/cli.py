@@ -476,6 +476,135 @@ def cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_shard_factory(service, mix_name: str, profile: str, scale: float):
+    """Build one shard's simulator inside its worker process.
+
+    Runs via :meth:`~repro.control.shard.ShardedCapacityService.attach_factory`
+    with the shard's own :class:`~repro.control.service.CapacityService`:
+    every site gets the same website/traffic stack ``repro serve``
+    builds single-process, seeded from its own spec, so a site's
+    telemetry stream does not depend on which shard hosts it.
+    """
+    from .simulator import (
+        AppServer,
+        DatabaseServer,
+        MultiTierWebsite,
+        Simulator,
+    )
+    from .workload.generator import ScheduleDriver
+    from .workload.rbe import RemoteBrowserEmulator
+
+    mix = _resolve_mix(mix_name)
+    config = TestbedConfig()
+    if profile == "training":
+        schedule = training_schedule(mix, config, scale=scale)
+    elif profile == "test":
+        schedule = steady_test_schedule(mix, config, scale=scale)
+    else:
+        schedule = stress_schedule(mix, config, scale=scale)
+    sim = Simulator()
+    websites = {}
+    for site in service.sites:
+        spec = site.spec
+        app = AppServer(sim, workers=config.app_workers)
+        db = DatabaseServer(sim, connections=config.db_connections)
+        website = MultiTierWebsite(sim, app, db)
+        websites[spec.name] = website
+        rbe = RemoteBrowserEmulator(
+            sim,
+            service.front_end(sim, spec.name, website),
+            mix,
+            think_time_mean=config.think_time_mean,
+            continuity=config.continuity,
+            seed=spec.seed,
+        )
+        ScheduleDriver(sim, rbe, schedule)
+    service.attach(
+        sim,
+        websites,
+        interval=config.sampling_interval,
+        hpc_noise=config.hpc_noise,
+        os_noise=config.os_noise,
+    )
+    return sim, schedule.duration
+
+
+def _cmd_serve_sharded(args: argparse.Namespace, meter, labeler, specs) -> int:
+    """The ``repro serve --workers N`` loop: sharded fleet, one stream.
+
+    Each worker owns its shard's simulator and advances it in time
+    slices; the parent merges the per-shard decision streams on
+    ``(tick, shard order)`` and drives periodic checkpoints, which use
+    the resharded ``"sharded"`` layout — saveable at N workers,
+    resumable at any other count (or none).
+    """
+    from .control.shard import ShardedCapacityService
+
+    if args.resume:
+        service = ShardedCapacityService.resume(
+            args.checkpoint,
+            specs,
+            workers=args.workers,
+            labeler=labeler,
+            use_fleet=not args.no_fleet,
+            allow_subset=args.allow_subset,
+        )
+        print(
+            f"# resumed {len(specs)} sites across "
+            f"{service.pool.size} workers from {args.checkpoint}: "
+            f"{service.ticks} ticks already folded, no retraining"
+        )
+    else:
+        service = ShardedCapacityService(
+            meter,
+            specs,
+            workers=args.workers,
+            labeler=labeler,
+            use_fleet=not args.no_fleet,
+        )
+    with service:
+        duration = service.attach_factory(
+            _serve_shard_factory, args.mix, args.profile, args.scale
+        )
+        config = TestbedConfig()
+        # one slice per checkpoint period (one window's worth of ticks
+        # per site between checks when checkpointing, else 50 ticks)
+        slice_seconds = config.sampling_interval * 50
+        print(f"{'site':>6} {'window':>6} {'state':>9} {'truth':>6} {'p':>5}")
+        now = 0.0
+        windows_since = 0
+        while now < duration:
+            now = min(now + slice_seconds, duration)
+            for name, decision, gate_p in service.advance(now):
+                prediction = decision.prediction
+                print(
+                    f"{name:>6} "
+                    f"{decision.index:6d} "
+                    f"{'OVERLOAD' if prediction.overloaded else 'ok':>9} "
+                    f"{'OVERLOAD' if decision.truth else 'ok':>6} "
+                    f"{gate_p:5.2f}"
+                )
+                windows_since += 1
+            if (
+                args.checkpoint
+                and windows_since >= args.checkpoint_every * args.sites
+            ):
+                windows_since = 0
+                service.save(args.checkpoint)
+        service.detach()
+        if args.checkpoint:
+            # final snapshot captures the trailing partial windows too
+            service.save(args.checkpoint)
+            print(f"# checkpoint saved to {args.checkpoint}")
+        print()
+        for row in service.summary_rows():
+            print(row)
+    # close() folded the worker registries into the parent's (counters/
+    # histograms summed, gauges last-write), so a --metrics-out dump
+    # after this point is as complete as the single-process one
+    return 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     from .control.service import CapacityService, SiteSpec
     from .core.monitor import MonitorDecision
@@ -491,6 +620,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
     mix = _resolve_mix(args.mix)
     if args.sites < 1:
         raise SystemExit("--sites must be at least 1")
+    if args.workers < 0:
+        raise SystemExit("--workers must be 0 (single process) or more")
     if args.checkpoint_every < 1:
         raise SystemExit("--checkpoint-every must be at least 1 window")
     if args.resume and not args.checkpoint:
@@ -527,6 +658,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
         )
         for i in range(args.sites)
     ]
+
+    if args.workers > 0:
+        return _cmd_serve_sharded(args, meter, labeler, specs)
 
     print(f"{'site':>6} {'window':>6} {'state':>9} {'truth':>6} {'p':>5}")
 
@@ -1053,6 +1187,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable the vectorized structure-of-arrays fleet backend "
         "(per-site loops; bit-identical decisions)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="shard the fleet across this many worker processes "
+        "(0 = single process; merged decisions are bit-identical "
+        "for any worker count)",
     )
     _add_metrics_out(serve)
     serve.set_defaults(func=cmd_serve)

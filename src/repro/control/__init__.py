@@ -15,6 +15,7 @@ from .admission import (
 from .differentiation import ClassDifferentiator, ClassStats
 from .fleet import FleetState
 from .service import CapacityService, SiteSpec
+from .shard import ShardedCapacityService, partition_sites
 
 __all__ = [
     "AdmissionController",
@@ -25,5 +26,7 @@ __all__ = [
     "ClassStats",
     "FleetState",
     "GatedFrontEnd",
+    "ShardedCapacityService",
     "SiteSpec",
+    "partition_sites",
 ]

@@ -723,10 +723,27 @@ class CapacityService:
                     retain_decisions=retain_decisions,
                 )
             )
+        elif layout == "sharded":
+            # one fleet-sharded monitor file per save-time worker; load
+            # only the shards that hold supplied sites, and only those
+            # sites from each (a resharded resume pays for its own
+            # slice, not the whole checkpointed fleet)
+            for shard in manifest.get("shards", []):
+                wanted = supplied & set(shard["sites"])
+                if not wanted:
+                    continue
+                fleet_monitors.update(
+                    load_fleet_checkpoint(
+                        target / str(shard["file"]),
+                        labeler=labeler,
+                        retain_decisions=retain_decisions,
+                        sites=wanted,
+                    )
+                )
         injector_states = manifest.get("injectors", {})
         watchdog_states = manifest.get("watchdogs", {})
         for spec in sites:
-            if layout == "fleet":
+            if layout in ("fleet", "sharded"):
                 if spec.name not in fleet_monitors:
                     raise ValueError(
                         f"fleet checkpoint has no monitor for site "

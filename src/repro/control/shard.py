@@ -1,0 +1,634 @@
+"""Multi-process sharded backend for :class:`CapacityService`.
+
+One process — even with the structure-of-arrays
+:class:`~repro.control.fleet.FleetState` — caps the fleet at a single
+core.  :class:`ShardedCapacityService` partitions the site list into
+contiguous shards, runs each shard as a full single-process
+:class:`~repro.control.service.CapacityService` (fleet backend and all)
+inside a long-lived worker process on a
+:class:`~repro.parallel.pool.WorkerPool`, and merges the per-tick
+decision streams back into the parent.
+
+Determinism / bit-equality
+--------------------------
+The merged stream is bit-identical to the single-process service for
+*any* worker count, because nothing a site computes depends on which
+shard it landed in:
+
+* every site's RNG substreams derive from ``SeedSequence(site_seed)``
+  only (:meth:`~repro.control.service.SiteSpec.seed_streams`) — never
+  from a worker or shard index;
+* batched synopsis votes are pure functions of each window (identical
+  whether the batch spans 1000 sites or a 250-site shard);
+* the single-process flush emits decisions in (site order, window
+  order) within each tick, so with *contiguous* shards the canonical
+  order is recovered by concatenating the shards' per-tick streams in
+  shard order — a merge that never looks at wall-clock completion.
+
+Startup and steady-state costs are kept off the decision path: the one
+trained meter crosses into each worker exactly once, as a read-only
+``meter.to_payload()`` broadcast folded into the pool's warm-up
+handshake; per-tick traffic ships in multi-tick chunks, and the parent
+pulls chunk ``k``'s reply blobs off every pipe *before* unpickling
+them, handing out chunk ``k + 1`` first so its merge work overlaps the
+workers' compute.
+
+Checkpointing extends the ``repro.service-checkpoint/2`` manifest with
+a ``"sharded"`` layout — one fleet-sharded ``fleet.monitor.<i>.json``
+per worker plus the merged gate/injector/watchdog states — that can be
+saved at N workers and resumed at M (including M = 0: the
+single-process :meth:`CapacityService.resume` reads the sharded layout
+directly), and a sharded service resumes any v1/v2 single-process
+manifest, since each worker simply resumes its slice of the checkpoint
+through ``CapacityService.resume(..., allow_subset=True)``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from ..core.capacity import CapacityMeter
+from ..core.monitor import MonitorDecision
+from ..faults.checkpoint import (
+    read_json_checkpoint,
+    save_fleet_checkpoint,
+    write_json_atomic,
+)
+from ..obs import OBS, MetricsRegistry, merge_snapshot, snapshot_lines
+from ..parallel.pool import WorkerPool
+from ..telemetry.sampler import IntervalRecord, WindowStats
+from .service import (
+    SERVICE_FORMAT,
+    SERVICE_FORMAT_V1,
+    CapacityService,
+    SiteDecision,
+    SiteSpec,
+)
+
+__all__ = ["ShardedCapacityService", "partition_sites"]
+
+#: (tick, site name, decision, post-update gate admission probability)
+#: emitted by live-mode workers, merged on (tick, shard) in the parent
+LiveDecision = Tuple[int, str, MonitorDecision, float]
+
+
+def partition_sites(
+    sites: Sequence[SiteSpec], workers: int
+) -> List[List[SiteSpec]]:
+    """Balanced *contiguous* partition of ``sites`` into ``workers`` shards.
+
+    Contiguity is what makes the deterministic merge trivial: global
+    site order == shard order + within-shard order, so concatenating
+    per-shard decision lists per tick reproduces the single-process
+    emission order exactly.  Never returns an empty shard (the worker
+    count is clamped to the site count).
+    """
+    if workers < 1:
+        raise ValueError("partition_sites needs at least one worker")
+    if not sites:
+        raise ValueError("partition_sites needs at least one site")
+    workers = min(workers, len(sites))
+    base, extra = divmod(len(sites), workers)
+    shards: List[List[SiteSpec]] = []
+    start = 0
+    for index in range(workers):
+        size = base + (1 if index < extra else 0)
+        shards.append(list(sites[start : start + size]))
+        start += size
+    return shards
+
+
+# ----------------------------------------------------------------------
+# worker-side state and tasks (module level: picklable by reference)
+# ----------------------------------------------------------------------
+#: this process's shard service (set by the pool initializer)
+_SHARD: Optional[CapacityService] = None
+#: live-mode state: simulator + captured (tick, name, decision, gate_p)
+_LIVE: Dict[str, Any] = {}
+
+
+def _init_shard(worker_index: int, common: Dict[str, Any]) -> None:
+    """Pool initializer: build (or resume) this worker's shard service.
+
+    Runs inside the pool's warm-up handshake, so meter rebuild and
+    monitor cloning are done before the first chunk arrives.
+    """
+    global _SHARD
+    # a fork-started worker inherits the parent's registry contents;
+    # merging that copy back would double-count, so always start fresh
+    OBS.reset()
+    if common["obs"]:
+        OBS.enable(registry=MetricsRegistry())
+    specs: List[SiteSpec] = common["shards"][worker_index]
+    labeler = common["labeler"]
+    opts = common["opts"]
+    if common["resume_dir"] is not None:
+        _SHARD = CapacityService.resume(
+            common["resume_dir"],
+            specs,
+            labeler=labeler,
+            use_watchdog=opts["use_watchdog"],
+            stall_ticks=opts["stall_ticks"],
+            batch_votes=opts["batch_votes"],
+            use_fleet=opts["use_fleet"],
+            allow_subset=True,  # the parent validated the full list
+            retain_decisions=opts["retain_decisions"],
+        )
+    else:
+        meter = CapacityMeter.from_payload(common["meter"], labeler=labeler)
+        _SHARD = CapacityService(
+            meter,
+            specs,
+            adapt=opts["adapt"],
+            labeler=labeler,
+            min_votes=opts["min_votes"],
+            max_imputed_fraction=opts["max_imputed_fraction"],
+            confidence_decay=opts["confidence_decay"],
+            use_watchdog=opts["use_watchdog"],
+            stall_ticks=opts["stall_ticks"],
+            batch_votes=opts["batch_votes"],
+            use_fleet=opts["use_fleet"],
+            retain_decisions=opts["retain_decisions"],
+        )
+
+
+def _shard() -> CapacityService:
+    assert _SHARD is not None, "worker initializer did not run"
+    return _SHARD
+
+
+def _shard_replay_chunk(
+    records: Sequence[IntervalRecord],
+) -> List[List[SiteDecision]]:
+    """Push one chunk of ticks; decisions grouped per tick."""
+    service = _shard()
+    return [service.push(record) for record in records]
+
+
+def _shard_sync() -> int:
+    """Materialize cohort members (mirrors ``replay``'s final sync)."""
+    service = _shard()
+    if service.fleet is not None:
+        service.fleet.sync()
+    return service.ticks
+
+
+def _shard_save(directory: str, shard_index: int) -> Dict[str, Any]:
+    """Write this shard's monitor file; return its manifest fragment."""
+    service = _shard()
+    if service.fleet is not None:
+        service.fleet.sync()
+    filename = f"fleet.monitor.{shard_index}.json"
+    save_fleet_checkpoint(
+        [(site.name, site.monitor) for site in service.sites],
+        Path(directory) / filename,
+    )
+    return {
+        "file": filename,
+        "sites": [site.name for site in service.sites],
+        "gates": {
+            site.name: site.gate.state_dict() for site in service.sites
+        },
+        "injectors": {
+            site.name: site.injector.state_dict()
+            for site in service.sites
+            if site.injector is not None
+        },
+        "watchdogs": {
+            site.name: site.watchdog.state_dict()
+            for site in service.sites
+            if site.watchdog is not None
+        },
+    }
+
+
+def _shard_summary() -> List[str]:
+    return _shard().summary_rows()
+
+
+def _shard_gate_states() -> Dict[str, Dict[str, Any]]:
+    service = _shard()
+    return {site.name: site.gate.state_dict() for site in service.sites}
+
+
+def _shard_monitor_states() -> Dict[str, Dict[str, Any]]:
+    """Post-sync ``state_dict`` + coordinator tables per site."""
+    service = _shard()
+    if service.fleet is not None:
+        service.fleet.sync()
+    return {
+        site.name: {
+            "state": site.monitor.state_dict(),
+            "tables": site.monitor.meter.coordinator.table_state(),
+        }
+        for site in service.sites
+    }
+
+
+def _shard_obs_lines() -> Optional[List[str]]:
+    """This worker's registry snapshot (None when obs is disabled)."""
+    if not OBS.enabled:
+        return None
+    return snapshot_lines(OBS.registry)
+
+
+def _shard_attach(
+    factory: Callable[..., Tuple[Any, float]],
+    factory_args: Tuple[Any, ...],
+) -> float:
+    """Live mode: build this shard's simulator and start sampling.
+
+    ``factory(service, *factory_args)`` is a module-level callable (the
+    CLI provides one) that constructs the shard's websites and
+    simulator, calls :meth:`CapacityService.attach`, and returns
+    ``(sim, duration)``.  Decisions are captured with their tick and
+    post-update gate probability so the parent can merge streams from
+    independent per-shard simulators on ``(tick, shard order)``.
+    """
+    service = _shard()
+    captured: List[LiveDecision] = []
+
+    def on_decision(name: str, decision: MonitorDecision) -> None:
+        captured.append(
+            (
+                service.ticks,
+                name,
+                decision,
+                service.site(name).gate.admission_probability,
+            )
+        )
+
+    service.on_decision = on_decision
+    sim, duration = factory(service, *factory_args)
+    _LIVE["sim"] = sim
+    _LIVE["captured"] = captured
+    return float(duration)
+
+
+def _shard_advance(until: float) -> Tuple[List[LiveDecision], int]:
+    """Advance this shard's simulator to ``until``; drain captures."""
+    _LIVE["sim"].run(until=until)
+    captured: List[LiveDecision] = _LIVE["captured"]
+    drained = list(captured)
+    captured.clear()
+    return drained, _shard().ticks
+
+
+def _shard_detach() -> None:
+    """Stop live sampling (keeps the service resumable/saveable)."""
+    _shard().stop()
+
+
+# ----------------------------------------------------------------------
+class ShardedCapacityService:
+    """N sites sharded across worker processes, one merged stream.
+
+    Replay mode mirrors :class:`CapacityService`: :meth:`push` /
+    :meth:`replay` return ``(site name, decision)`` pairs in the exact
+    order the single-process service would emit them, and
+    ``on_decision`` observes the merged stream.  :meth:`save` writes a
+    ``"sharded"`` service checkpoint that any worker count — including
+    the single-process service — can resume; :meth:`resume` reads any
+    v1/v2 layout.  Always :meth:`close` (or use as a context manager):
+    the workers are real processes.
+    """
+
+    def __init__(
+        self,
+        meter: Optional[CapacityMeter],
+        sites: Sequence[SiteSpec],
+        *,
+        workers: int,
+        adapt: bool = False,
+        labeler: Optional[Callable[[WindowStats], int]] = None,
+        min_votes: Optional[int] = None,
+        max_imputed_fraction: float = 0.5,
+        confidence_decay: float = 0.5,
+        use_watchdog: bool = True,
+        stall_ticks: int = 3,
+        batch_votes: bool = True,
+        use_fleet: bool = True,
+        retain_decisions: Optional[int] = None,
+        on_decision: Optional[Callable[[str, MonitorDecision], None]] = None,
+        chunk_ticks: int = 16,
+        _resume_dir: Optional[str] = None,
+        _resume_ticks: int = 0,
+    ) -> None:
+        if not sites:
+            raise ValueError("ShardedCapacityService needs at least one site")
+        names = [spec.name for spec in sites]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate site names in the sharded fleet")
+        if chunk_ticks < 1:
+            raise ValueError("chunk_ticks must be positive")
+        if meter is None and _resume_dir is None:
+            raise ValueError("a meter is required unless resuming")
+        if labeler is None and meter is not None:
+            labeler = meter.labeler
+        shards = partition_sites(sites, workers)
+        self.shards = shards
+        self.site_names = names
+        self.on_decision = on_decision
+        self.chunk_ticks = chunk_ticks
+        self.ticks = _resume_ticks
+        self._closed = False
+        common: Dict[str, Any] = {
+            "obs": OBS.enabled,
+            "meter": meter.to_payload() if meter is not None else None,
+            "labeler": labeler,
+            "shards": shards,
+            "resume_dir": _resume_dir,
+            "opts": {
+                "adapt": adapt,
+                "min_votes": min_votes,
+                "max_imputed_fraction": max_imputed_fraction,
+                "confidence_decay": confidence_decay,
+                "use_watchdog": use_watchdog,
+                "stall_ticks": stall_ticks,
+                "batch_votes": batch_votes,
+                "use_fleet": use_fleet,
+                "retain_decisions": retain_decisions,
+            },
+        }
+        # the pool's warm-up handshake doubles as the meter broadcast:
+        # __init__ returns only after every shard is built and ready
+        self.pool = WorkerPool(
+            len(shards), initializer=_init_shard, initargs=(common,)
+        )
+
+    @classmethod
+    def resume(
+        cls,
+        directory: Union[str, Path],
+        sites: Sequence[SiteSpec],
+        *,
+        workers: int,
+        labeler: Optional[Callable[[WindowStats], int]] = None,
+        use_watchdog: bool = True,
+        stall_ticks: int = 3,
+        batch_votes: bool = True,
+        use_fleet: bool = True,
+        allow_subset: bool = False,
+        retain_decisions: Optional[int] = None,
+        on_decision: Optional[Callable[[str, MonitorDecision], None]] = None,
+        chunk_ticks: int = 16,
+    ) -> "ShardedCapacityService":
+        """Resume any service checkpoint across ``workers`` processes.
+
+        The worker count is independent of the one that wrote the
+        checkpoint: each worker resumes its own contiguous slice via
+        :meth:`CapacityService.resume`, which reads per-site, fleet and
+        sharded layouts alike.  Manifest validation (format, missing
+        gate state, orphaned sites unless ``allow_subset``) happens
+        once here in the parent, exactly as the single-process resume
+        would report it.
+        """
+        target = Path(directory)
+        manifest = read_json_checkpoint(target / "service.json")
+        if manifest.get("format") not in (SERVICE_FORMAT, SERVICE_FORMAT_V1):
+            raise ValueError(f"{target} is not a service checkpoint")
+        gate_states = manifest["gates"]
+        supplied = {spec.name for spec in sites}
+        for spec in sites:
+            if spec.name not in gate_states:
+                raise ValueError(
+                    f"checkpoint has no gate state for site {spec.name!r}"
+                )
+        orphans = sorted(name for name in gate_states if name not in supplied)
+        if orphans and not allow_subset:
+            raise ValueError(
+                f"checkpoint has state for sites not in the supplied "
+                f"list: {orphans}; pass allow_subset=True to resume "
+                f"without them"
+            )
+        return cls(
+            None,
+            sites,
+            workers=workers,
+            labeler=labeler,
+            use_watchdog=use_watchdog,
+            stall_ticks=stall_ticks,
+            batch_votes=batch_votes,
+            use_fleet=use_fleet,
+            retain_decisions=retain_decisions,
+            on_decision=on_decision,
+            chunk_ticks=chunk_ticks,
+            _resume_dir=str(target),
+            _resume_ticks=int(manifest["ticks"]),
+        )
+
+    # ------------------------------------------------------------------
+    # replay mode
+    # ------------------------------------------------------------------
+    def _emit(
+        self, per_worker: Sequence[List[List[SiteDecision]]]
+    ) -> List[SiteDecision]:
+        """Merge one chunk: tick-major, shard-major, site-major."""
+        merged: List[SiteDecision] = []
+        ticks = len(per_worker[0])
+        for tick in range(ticks):
+            for worker_out in per_worker:
+                for name, decision in worker_out[tick]:
+                    if self.on_decision is not None:
+                        self.on_decision(name, decision)
+                    merged.append((name, decision))
+        return merged
+
+    def push(self, record: IntervalRecord) -> List[SiteDecision]:
+        """Offer one record to every site, merged like the fleet path."""
+        self.ticks += 1
+        per_worker = self.pool.broadcast(_shard_replay_chunk, [record])
+        return self._emit(per_worker)
+
+    def replay(
+        self, records: Sequence[IntervalRecord]
+    ) -> List[SiteDecision]:
+        """Replay a recorded stream, chunked and pipelined.
+
+        Chunk ``k``'s reply blobs are pulled off every pipe and chunk
+        ``k + 1`` dispatched *before* chunk ``k`` is unpickled and
+        merged, so the parent's merge work overlaps the workers'
+        compute instead of serializing with it.
+        """
+        pool = self.pool
+        decisions: List[SiteDecision] = []
+        chunks = [
+            list(records[start : start + self.chunk_ticks])
+            for start in range(0, len(records), self.chunk_ticks)
+        ]
+        in_flight = False
+        for chunk in chunks:
+            blobs: Optional[List[bytes]] = None
+            if in_flight:
+                # strict request-response per worker: never two chunks
+                # queued at once, so a full pipe can't deadlock us
+                blobs = [
+                    pool.result_bytes(worker) for worker in range(pool.size)
+                ]
+            for worker in range(pool.size):
+                pool.submit(worker, _shard_replay_chunk, chunk)
+            in_flight = True
+            if blobs is not None:
+                decisions.extend(
+                    self._emit([pool.load_result(blob) for blob in blobs])
+                )
+        if in_flight:
+            decisions.extend(
+                self._emit(
+                    [pool.result(worker) for worker in range(pool.size)]
+                )
+            )
+        self.ticks += len(records)
+        self.pool.broadcast(_shard_sync)
+        return decisions
+
+    # ------------------------------------------------------------------
+    # live mode (driven by the CLI)
+    # ------------------------------------------------------------------
+    def attach_factory(
+        self,
+        factory: Callable[..., Tuple[Any, float]],
+        *factory_args: Any,
+    ) -> float:
+        """Start live sampling on every shard; returns max duration.
+
+        ``factory`` must be a module-level callable; it runs once per
+        worker as ``factory(shard_service, *factory_args)``, builds the
+        shard's simulator + websites, attaches them, and returns
+        ``(sim, duration)``.
+        """
+        durations = self.pool.broadcast(_shard_attach, factory, factory_args)
+        return max(float(d) for d in durations)
+
+    def advance(self, until: float) -> List[Tuple[str, MonitorDecision, float]]:
+        """Advance every shard's simulator to ``until``; merged stream.
+
+        Returns ``(site name, decision, gate admission probability)``
+        triples ordered by ``(tick, shard, within-shard order)`` — the
+        order the single-process live loop emits them.
+        """
+        outs = self.pool.broadcast(_shard_advance, until)
+        ticks = max(int(out[1]) for out in outs)
+        events: List[Tuple[int, int, int, LiveDecision]] = []
+        for worker, (drained, _) in enumerate(outs):
+            for sequence, item in enumerate(drained):
+                events.append((int(item[0]), worker, sequence, item))
+        events.sort(key=lambda event: (event[0], event[1], event[2]))
+        self.ticks = max(self.ticks, ticks)
+        merged: List[Tuple[str, MonitorDecision, float]] = []
+        for _, _, _, (_, name, decision, gate_p) in events:
+            if self.on_decision is not None:
+                self.on_decision(name, decision)
+            merged.append((name, decision, float(gate_p)))
+        return merged
+
+    def detach(self) -> None:
+        """Stop live sampling on every shard."""
+        self.pool.broadcast(_shard_detach)
+
+    # ------------------------------------------------------------------
+    # checkpoint / inspection
+    # ------------------------------------------------------------------
+    def save(self, directory: Union[str, Path]) -> Path:
+        """Write a ``"sharded"``-layout service checkpoint.
+
+        Workers write their ``fleet.monitor.<i>.json`` files in
+        parallel (each atomically); the parent merges their manifest
+        fragments — gate, injector and watchdog states keyed by site,
+        in global site order — and writes ``service.json`` last, so a
+        reader never observes a manifest pointing at missing shards.
+        """
+        target = Path(directory)
+        target.mkdir(parents=True, exist_ok=True)
+        for worker in range(self.pool.size):
+            self.pool.submit(worker, _shard_save, str(target), worker)
+        fragments = [
+            self.pool.result(worker) for worker in range(self.pool.size)
+        ]
+        manifest: Dict[str, Any] = {
+            "format": SERVICE_FORMAT,
+            "layout": "sharded",
+            "ticks": self.ticks,
+            "shards": [
+                {"file": fragment["file"], "sites": fragment["sites"]}
+                for fragment in fragments
+            ],
+            "gates": {},
+            "injectors": {},
+            "watchdogs": {},
+        }
+        for fragment in fragments:
+            manifest["gates"].update(fragment["gates"])
+            manifest["injectors"].update(fragment["injectors"])
+            manifest["watchdogs"].update(fragment["watchdogs"])
+        write_json_atomic(target / "service.json", manifest)
+        return target
+
+    def sync(self) -> None:
+        """Materialize cohort members on every shard."""
+        self.pool.broadcast(_shard_sync)
+
+    def gate_states(self) -> Dict[str, Dict[str, Any]]:
+        """Every site's gate ``state_dict``, in global site order."""
+        merged: Dict[str, Dict[str, Any]] = {}
+        for states in self.pool.broadcast(_shard_gate_states):
+            merged.update(states)
+        return merged
+
+    def monitor_states(self) -> Dict[str, Dict[str, Any]]:
+        """Every site's post-sync monitor state + coordinator tables."""
+        merged: Dict[str, Dict[str, Any]] = {}
+        for states in self.pool.broadcast(_shard_monitor_states):
+            merged.update(states)
+        return merged
+
+    def summary_rows(self) -> List[str]:
+        """Per-site status blocks, in global site order."""
+        rows: List[str] = []
+        for shard_rows in self.pool.broadcast(_shard_summary):
+            rows.extend(shard_rows)
+        return rows
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def merge_observability(self) -> int:
+        """Fold every worker's metrics registry into the parent's.
+
+        Counters and histograms sum, gauges are last-write-wins (in
+        worker order).  Zero-cost when observability is disabled: no
+        broadcast, no pipe traffic.  Returns merged sample count.
+        """
+        if not OBS.enabled:
+            return 0
+        merged = 0
+        for lines in self.pool.broadcast(_shard_obs_lines):
+            if lines:
+                merged += merge_snapshot(OBS.registry, lines)
+        return merged
+
+    def close(self) -> None:
+        """Merge worker metrics, then stop the workers (idempotent)."""
+        if self._closed:
+            return
+        try:
+            self.merge_observability()
+        finally:
+            self._closed = True
+            self.pool.close()
+
+    def __enter__(self) -> "ShardedCapacityService":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

@@ -20,7 +20,16 @@ import os
 import tempfile
 import time
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    Collection,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
@@ -230,6 +239,7 @@ def load_fleet_checkpoint(
     *,
     labeler: Optional[Callable[[WindowStats], int]] = None,
     retain_decisions: Optional[int] = None,
+    sites: Optional[Collection[str]] = None,
     attempts: int = 3,
     sleep: Callable[[float], None] = time.sleep,
 ) -> List[Tuple[str, OnlineCapacityMonitor]]:
@@ -240,6 +250,11 @@ def load_fleet_checkpoint(
     (:meth:`~repro.core.coordinator.CoordinatedPredictor.set_tables`)
     and its run-local state loaded — bit-identical to reloading a
     per-site checkpoint of the same monitor.
+
+    ``sites`` optionally restricts restoration to a subset of site
+    names (checkpoint order is preserved): a resharded resume hands
+    each worker the whole file but only pays the meter-clone cost for
+    the sites in its own shard.
     """
     payload = read_json_checkpoint(path, attempts=attempts, sleep=sleep)
     if payload.get("format") != FLEET_CHECKPOINT_FORMAT:
@@ -253,8 +268,11 @@ def load_fleet_checkpoint(
             f"sets, {len(states)} states"
         )
     config = payload["config"]
+    wanted = None if sites is None else set(sites)
     restored: List[Tuple[str, OnlineCapacityMonitor]] = []
     for name, table_set, state in zip(names, tables, states):
+        if wanted is not None and name not in wanted:
+            continue
         meter = CapacityMeter.from_payload(payload["meter"], labeler=labeler)
         monitor = OnlineCapacityMonitor(
             meter,

@@ -55,6 +55,7 @@ from .registry import (
 )
 from .sinks import (
     exposition,
+    merge_snapshot,
     registry_from_jsonl,
     snapshot_lines,
     write_exposition,
@@ -75,6 +76,7 @@ __all__ = [
     "SPAN_METRIC",
     "Span",
     "exposition",
+    "merge_snapshot",
     "registry_from_jsonl",
     "snapshot_lines",
     "write_exposition",

@@ -25,6 +25,7 @@ from .registry import Counter, Gauge, Histogram, Metric, MetricsRegistry
 
 __all__ = [
     "exposition",
+    "merge_snapshot",
     "registry_from_jsonl",
     "snapshot_lines",
     "write_exposition",
@@ -151,6 +152,72 @@ def write_snapshot(registry: MetricsRegistry, stream: IO[str]) -> int:
         stream.write(line + "\n")
     stream.flush()
     return len(lines)
+
+
+def merge_snapshot(
+    registry: MetricsRegistry, lines: List[str]
+) -> int:
+    """Merge one :func:`snapshot_lines` snapshot *into* ``registry``.
+
+    The cross-process aggregation rule — e.g. folding every shard
+    worker's registry into the parent before ``--metrics-out`` flushes:
+
+    * **counters** are summed (each process observed disjoint events);
+    * **histograms** are summed bucket-wise (same reasoning; bucket
+      layouts must match, anything else is a programming error and
+      raises);
+    * **gauges** are last-write-wins (a gauge is a statement of current
+      state, and the merge order — worker order — is deterministic).
+
+    Returns the number of metric samples merged.  Metric families new
+    to ``registry`` are created with the snapshot's kind and help text.
+    """
+    merged = 0
+    for raw in lines:
+        raw = raw.strip()
+        if not raw:
+            continue
+        event = json.loads(raw)
+        kind = event.get("event")
+        if kind == "meta":
+            registry._check_kind(
+                str(event["name"]),
+                str(event["kind"]),
+                str(event.get("help", "")),
+            )
+        elif kind == "sample":
+            name = str(event["name"])
+            labels = {
+                str(k): str(v) for k, v in event.get("labels", {}).items()
+            }
+            value = float(event["value"])
+            if registry.kind_of(name) == "gauge":
+                registry.gauge(name, **labels).set(value)
+            else:
+                registry.counter(name, **labels).value += value
+            merged += 1
+        elif kind == "histogram":
+            name = str(event["name"])
+            labels = {
+                str(k): str(v) for k, v in event.get("labels", {}).items()
+            }
+            child = registry.histogram(
+                name,
+                buckets=[float(b) for b in event["bounds"]],
+                **labels,
+            )
+            counts = [int(c) for c in event["counts"]]
+            if len(counts) != len(child.counts):
+                raise ValueError(
+                    f"histogram {name!r} snapshot has {len(counts)} "
+                    f"buckets, registry has {len(child.counts)}"
+                )
+            child.counts = [a + b for a, b in zip(child.counts, counts)]
+            child.sum += float(event["sum"])
+            child.count += int(event["count"])
+            merged += 1
+        # "span" and unknown events: activity log, skipped
+    return merged
 
 
 def registry_from_jsonl(path: Union[str, Path]) -> MetricsRegistry:

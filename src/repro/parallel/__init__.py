@@ -1,12 +1,16 @@
 """Parallel experiment engine and persistent artifact cache.
 
-Two pieces make regeneration of the paper's artifacts cheap enough for
-the online setting the paper argues for:
+Three pieces make regeneration of the paper's artifacts cheap enough
+for the online setting the paper argues for:
 
-* :mod:`repro.parallel.engine` — a process-pool fan-out over the
-  independent artifacts (measurement runs, per-(workload, tier, level,
-  learner) synopses) with a deterministic-merge guarantee: parallel
-  results are bit-identical to a serial build;
+* :mod:`repro.parallel.pool` — long-lived worker processes with a
+  warm-up handshake and *targeted* dispatch, shared by the artifact
+  fan-out below and the sharded
+  :class:`~repro.control.shard.ShardedCapacityService`;
+* :mod:`repro.parallel.engine` — a fan-out over the independent
+  artifacts (measurement runs, per-(workload, tier, level, learner)
+  synopses) with a deterministic-merge guarantee: parallel results are
+  bit-identical to a serial build;
 * :mod:`repro.parallel.cache` — a content-addressed on-disk cache so a
   second invocation (CLI or CI) skips simulation and training
   entirely.
@@ -16,12 +20,15 @@ See ``docs/architecture.md`` for the cache keying rules.
 
 from .cache import SCHEMA_VERSION, ArtifactCache, default_cache_dir
 from .engine import WarmReport, resolve_jobs, warm_pipeline
+from .pool import WorkerError, WorkerPool
 
 __all__ = [
     "SCHEMA_VERSION",
     "ArtifactCache",
     "default_cache_dir",
     "WarmReport",
+    "WorkerError",
+    "WorkerPool",
     "resolve_jobs",
     "warm_pipeline",
 ]

@@ -219,15 +219,27 @@ class ArtifactCache:
         return summary
 
     def clear(self) -> int:
-        """Delete every cache entry; returns how many were removed."""
+        """Delete every cache entry; returns how many were removed.
+
+        Safe against concurrent writers: an entry that disappears
+        between the directory scan and its unlink (another process
+        evicted it, or a temp file was renamed into place) is simply
+        not counted rather than raising.
+        """
         removed = 0
         if not self.root.is_dir():
             return removed
         for path in self.root.glob("*-*.json.gz"):
-            path.unlink()
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                continue
             removed += 1
         for path in self.root.glob("*.tmp"):
-            path.unlink()
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                pass
         return removed
 
     def counters(self) -> Dict[str, Dict[str, int]]:

@@ -3,11 +3,13 @@
 The artifacts behind the paper's tables are *embarrassingly parallel*:
 the six measurement runs are independent simulations, and every
 (workload, tier, level, learner) synopsis depends only on its own
-training run.  :func:`warm_pipeline` builds them with a
-:class:`~concurrent.futures.ProcessPoolExecutor` and adopts the results
-into an :class:`~repro.experiments.pipeline.ExperimentPipeline`'s
-memos, after which the existing lazy accessors (and every experiment
-built on them) run entirely from memory.
+training run.  :func:`warm_pipeline` builds them on a
+:class:`~repro.parallel.pool.WorkerPool` — the same long-lived-worker
+substrate the sharded :class:`~repro.control.shard.ShardedCapacityService`
+runs on — and adopts the results into an
+:class:`~repro.experiments.pipeline.ExperimentPipeline`'s memos, after
+which the existing lazy accessors (and every experiment built on them)
+run entirely from memory.
 
 Determinism / bit-equality
 --------------------------
@@ -29,13 +31,13 @@ training entirely.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..obs import OBS
 from ..telemetry.persistence import run_from_dict, run_to_dict
 from .cache import ArtifactCache
+from .pool import WorkerPool
 
 __all__ = ["WarmReport", "warm_pipeline", "resolve_jobs"]
 
@@ -192,15 +194,16 @@ def warm_pipeline(
 
     config = pipeline.config
     max_workers = min(jobs, max(len(run_tasks), len(synopsis_tasks), 1))
-    with ProcessPoolExecutor(max_workers=max_workers) as executor:
-        # phase 1: measurement runs
-        futures = [
-            executor.submit(_build_run_task, config, kind, workload, cache_root)
-            for kind, workload in run_tasks
-        ]
-        # merge strictly in submission (canonical) order
-        for (kind, workload), future in zip(run_tasks, futures):
-            result = future.result()
+    with WorkerPool(max_workers) as pool:
+        # phase 1: measurement runs, merged in canonical (task) order
+        run_results = pool.map_ordered(
+            _build_run_task,
+            [
+                (config, kind, workload, cache_root)
+                for kind, workload in run_tasks
+            ],
+        )
+        for (kind, workload), result in zip(run_tasks, run_results):
             pipeline.adopt_run(
                 kind, workload, run_from_dict(result["payload"])
             )
@@ -212,23 +215,24 @@ def warm_pipeline(
             w: run_to_dict(pipeline.training_run(w))
             for w in sorted({task[0] for task in synopsis_tasks})
         }
-        futures = [
-            executor.submit(
-                _build_synopsis_task,
-                config,
-                workload,
-                tier,
-                level,
-                learner,
-                train_payloads[workload],
-                cache_root,
-            )
-            for workload, tier, level, learner in synopsis_tasks
-        ]
+        synopsis_results = pool.map_ordered(
+            _build_synopsis_task,
+            [
+                (
+                    config,
+                    workload,
+                    tier,
+                    level,
+                    learner,
+                    train_payloads[workload],
+                    cache_root,
+                )
+                for workload, tier, level, learner in synopsis_tasks
+            ],
+        )
         from ..core.synopsis import PerformanceSynopsis
 
-        for key, future in zip(synopsis_tasks, futures):
-            result = future.result()
+        for key, result in zip(synopsis_tasks, synopsis_results):
             pipeline.adopt_synopsis(
                 *key, PerformanceSynopsis.from_dict(result["payload"])
             )

@@ -1,0 +1,256 @@
+"""Long-lived worker processes with targeted dispatch.
+
+:class:`~concurrent.futures.ProcessPoolExecutor` hands tasks to
+*whichever* worker frees up first — fine for stateless artifact builds,
+useless for sharded serving, where worker ``i`` owns shard ``i``'s
+mutable :class:`~repro.control.fleet.FleetState` and every chunk of
+traffic must land on the worker that holds its sites.
+:class:`WorkerPool` is the thin substrate both cases share:
+
+* one long-lived process per worker over a duplex
+  :class:`~multiprocessing.connection.Connection`, tasks executed FIFO
+  per worker;
+* a warm-up handshake — each worker runs the pool's ``initializer``
+  (e.g. rebuilding a broadcast meter payload into a live shard) and
+  reports readiness before :meth:`WorkerPool.__init__` returns, so
+  startup cost never pollutes steady-state timing;
+* *targeted* dispatch (:meth:`submit` / :meth:`result` per worker
+  index) with deterministic collection helpers on top:
+  :meth:`broadcast` (everyone, results in worker order) and
+  :meth:`map_ordered` (round-robin, results in task order — the
+  canonical-merge contract :func:`~repro.parallel.engine.warm_pipeline`
+  relies on);
+* raw reply access (:meth:`result_bytes` + :meth:`load_result`) so a
+  caller can pull chunk ``k``'s reply off every pipe, hand out chunk
+  ``k + 1``, and only then pay the unpickling cost — overlapping the
+  parent's merge work with the workers' compute.
+
+Payloads cross the pipes as :data:`pickle.HIGHEST_PROTOCOL` blobs via
+``send_bytes`` (measurably faster than ``Connection.send``'s default
+protocol for numpy-heavy payloads), and pickle's per-``dumps``
+memoization means objects shared within one task result — e.g. cohort
+windows shared by many decisions — are serialized once.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import traceback
+from multiprocessing.connection import Connection
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+__all__ = ["WorkerError", "WorkerPool"]
+
+
+class WorkerError(RuntimeError):
+    """A task (or the initializer) raised inside a worker process.
+
+    Carries the worker-side traceback text so the parent's stack trace
+    shows *both* sides of the pipe.
+    """
+
+    def __init__(self, worker: int, message: str, remote_traceback: str):
+        super().__init__(
+            f"worker {worker}: {message}\n"
+            f"--- worker traceback ---\n{remote_traceback}"
+        )
+        self.worker = worker
+        self.remote_traceback = remote_traceback
+
+
+def _dumps(obj: Any) -> bytes:
+    return pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def _worker_main(
+    conn: Connection,
+    worker_index: int,
+    initializer: Optional[Callable[..., Any]],
+    initargs: Tuple[Any, ...],
+) -> None:
+    """Worker loop: handshake, then execute tasks FIFO until "stop"."""
+    try:
+        if initializer is not None:
+            initializer(worker_index, *initargs)
+        conn.send_bytes(_dumps(("ok", worker_index)))
+    except BaseException as exc:  # noqa: B036 - report, then die
+        conn.send_bytes(
+            _dumps(
+                (
+                    "err",
+                    f"initializer failed: {type(exc).__name__}: {exc}",
+                    traceback.format_exc(),
+                )
+            )
+        )
+        return
+    while True:
+        try:
+            message = pickle.loads(conn.recv_bytes())
+        except EOFError:
+            return  # parent died or closed without "stop"
+        if message[0] == "stop":
+            return
+        _, fn, args, kwargs = message
+        try:
+            reply: Tuple[Any, ...] = ("ok", fn(*args, **kwargs))
+        except BaseException as exc:  # noqa: B036 - ship it to the parent
+            reply = (
+                "err",
+                f"{type(exc).__name__}: {exc}",
+                traceback.format_exc(),
+            )
+        conn.send_bytes(_dumps(reply))
+
+
+class WorkerPool:
+    """``workers`` long-lived processes with per-worker FIFO pipes."""
+
+    def __init__(
+        self,
+        workers: int,
+        *,
+        initializer: Optional[Callable[..., Any]] = None,
+        initargs: Tuple[Any, ...] = (),
+        context: Optional[Any] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("WorkerPool needs at least one worker")
+        if context is None:
+            # fork (where available) inherits broadcast initargs without
+            # pickling them per worker; spawn platforms pickle them once
+            methods = multiprocessing.get_all_start_methods()
+            context = multiprocessing.get_context(
+                "fork" if "fork" in methods else None
+            )
+        self.size = workers
+        self._conns: List[Connection] = []
+        self._procs: List[Any] = []
+        self._closed = False
+        for index in range(workers):
+            parent_conn, child_conn = context.Pipe(duplex=True)
+            proc = context.Process(
+                target=_worker_main,
+                args=(child_conn, index, initializer, initargs),
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            self._conns.append(parent_conn)
+            self._procs.append(proc)
+        # warm-up barrier: every worker finished its initializer
+        for index in range(workers):
+            self.load_result(self.result_bytes(index))
+
+    # ------------------------------------------------------------------
+    # targeted dispatch
+    # ------------------------------------------------------------------
+    def submit(
+        self, worker: int, fn: Callable[..., Any], *args: Any, **kwargs: Any
+    ) -> None:
+        """Queue one task on ``worker`` (tasks run FIFO per worker)."""
+        self._conns[worker].send_bytes(
+            _dumps(("call", fn, args, kwargs))
+        )
+
+    def result_bytes(self, worker: int) -> bytes:
+        """The next raw reply blob from ``worker`` (blocking)."""
+        try:
+            return self._conns[worker].recv_bytes()
+        except EOFError:
+            raise WorkerError(
+                worker,
+                "worker process died before replying",
+                f"exitcode={self._procs[worker].exitcode}",
+            ) from None
+
+    def load_result(self, blob: bytes) -> Any:
+        """Decode a raw reply blob, raising :class:`WorkerError` on err."""
+        reply = pickle.loads(blob)
+        if reply[0] == "ok":
+            return reply[1]
+        _, message, remote_traceback = reply
+        raise WorkerError(-1, message, remote_traceback)
+
+    def result(self, worker: int) -> Any:
+        """The next decoded reply from ``worker`` (blocking)."""
+        reply = pickle.loads(self.result_bytes(worker))
+        if reply[0] == "ok":
+            return reply[1]
+        _, message, remote_traceback = reply
+        raise WorkerError(worker, message, remote_traceback)
+
+    def call(
+        self, worker: int, fn: Callable[..., Any], *args: Any, **kwargs: Any
+    ) -> Any:
+        """Synchronous round-trip on one worker."""
+        self.submit(worker, fn, *args, **kwargs)
+        return self.result(worker)
+
+    # ------------------------------------------------------------------
+    # deterministic collection helpers
+    # ------------------------------------------------------------------
+    def broadcast(
+        self, fn: Callable[..., Any], *args: Any, **kwargs: Any
+    ) -> List[Any]:
+        """Run ``fn`` on every worker; results in worker order."""
+        for worker in range(self.size):
+            self.submit(worker, fn, *args, **kwargs)
+        return [self.result(worker) for worker in range(self.size)]
+
+    def map_ordered(
+        self,
+        fn: Callable[..., Any],
+        tasks: Sequence[Tuple[Any, ...]],
+    ) -> List[Any]:
+        """Run ``fn(*task)`` for every task; results in *task* order.
+
+        Tasks go round-robin with at most one outstanding per worker, so
+        completion order can never leak into the result order (the same
+        canonical-merge guarantee the old executor path provided by
+        zipping futures with the submission list).
+        """
+        results: List[Any] = [None] * len(tasks)
+        for index, task in enumerate(tasks):
+            worker = index % self.size
+            if index >= self.size:
+                # the worker's previous task (index - size) finishes
+                # before it accepts this one; collect it now
+                results[index - self.size] = self.result(worker)
+            self.submit(worker, fn, *task)
+        for index in range(max(0, len(tasks) - self.size), len(tasks)):
+            results[index] = self.result(index % self.size)
+        return results
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop every worker and reap the processes (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._conns:
+            try:
+                conn.send_bytes(_dumps(("stop",)))
+            except (OSError, ValueError):
+                pass  # worker already gone
+        for proc, conn in zip(self._procs, self._conns):
+            proc.join(timeout=5.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5.0)
+            conn.close()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:
+            pass

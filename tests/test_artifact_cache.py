@@ -10,6 +10,7 @@ the address so stale entries can never be served.
 from __future__ import annotations
 
 import gzip
+import multiprocessing
 
 import pytest
 
@@ -139,6 +140,49 @@ class TestStorage:
         path_a = a.put("run", key, payload)
         path_b = b.put("run", key, payload)
         assert path_a.read_bytes() == path_b.read_bytes()
+
+
+def _hammer_worker(root, worker, iterations, do_clear):
+    """Pound one shared cache dir: put/get (and clear) in a tight loop.
+
+    Returns (evictions, mismatches).  A miss (None) is legal — another
+    process may have cleared the entry — but a *corrupt* read (which
+    evicts) or a wrong payload is a torn write and fails the test.
+    """
+    cache = ArtifactCache(root)
+    mismatches = 0
+    for i in range(iterations):
+        slot = (worker + i) % 8
+        key = cache.key("run", slot=slot)
+        payload = {"slot": slot, "blob": list(range(200))}
+        cache.put("run", key, payload)
+        got = cache.get("run", key)
+        if got is not None and got != payload:
+            mismatches += 1
+        if do_clear and i % 10 == 9:
+            cache.clear()
+    return cache.evictions["run"], mismatches
+
+
+class TestConcurrentWriters:
+    def test_multiprocess_hammer_never_corrupts(self, tmp_path):
+        """Many writers, one cache dir: every read is either a clean
+        miss or the full payload — never a torn entry (eviction)."""
+        context = multiprocessing.get_context("fork")
+        with context.Pool(4) as pool:
+            results = pool.starmap(
+                _hammer_worker,
+                [(tmp_path, w, 50, w == 0) for w in range(4)],
+            )
+        evictions = sum(r[0] for r in results)
+        mismatches = sum(r[1] for r in results)
+        assert evictions == 0, f"{evictions} corrupt-entry evictions"
+        assert mismatches == 0, f"{mismatches} torn payloads"
+        # and the dir is still a healthy cache afterwards
+        cache = ArtifactCache(tmp_path)
+        key = cache.key("run", slot=0)
+        cache.put("run", key, {"ok": True})
+        assert cache.get("run", key) == {"ok": True}
 
 
 class TestPipelineRoundTrip:

@@ -402,6 +402,7 @@ def _write_artifacts(
     cpu_count=1,
     parallel_speedup=1.02,
     fleet_speedup=7.84,
+    shard_speedup=2.4,
 ):
     results.mkdir(parents=True, exist_ok=True)
     (results / "decision_time.txt").write_text(
@@ -431,6 +432,18 @@ def _write_artifacts(
                 "per_site_s": 4.68,
                 "fleet_s": 0.60,
                 "fleet_speedup": fleet_speedup,
+            }
+        )
+    )
+    (results / "BENCH_shards.json").write_text(
+        json.dumps(
+            {
+                "sites": 1000,
+                "workers": 4,
+                "cpu_count": cpu_count,
+                "fleet_s": 0.29,
+                "sharded_s": 0.12,
+                "shard_speedup": shard_speedup,
             }
         )
     )
