@@ -32,6 +32,9 @@ and the sharded-serving floor (``shard_speedup`` >= 2 at 4 workers)
 need real cores, so hosts reporting fewer than 4 CPUs show those rows
 as SKIPPED instead of letting a 1-core runner pass them vacuously —
 each bench records ``cpu_count`` in its artifact for exactly this.
+One *overhead ceiling* gates the other way: the self-healing
+supervisor's no-fault tax (``supervised_overhead``, supervised over
+supervision-off sharded wall clock) must stay at or below 1.10x.
 
 Usage::
 
@@ -74,6 +77,15 @@ SPEEDUP_FLOORS = (
     ("BENCH_parallel.json", "parallel_speedup", 2.0, 4),
     ("BENCH_serve.json", "fleet_speedup", 5.0, None),
     ("BENCH_shards.json", "shard_speedup", 2.0, 4),
+)
+
+#: hard overhead ceilings checked from the fresh artifacts alone:
+#: (artifact, ratio key, ceiling, cores needed or None for always).
+#: ``supervised_overhead`` is the self-healing supervisor's no-fault
+#: tax: supervised sharded wall clock over the supervision-off run on
+#: the same host — a ratio of two like runs, so host-independent.
+OVERHEAD_CEILINGS = (
+    ("BENCH_shards.json", "supervised_overhead", 1.10, 4),
 )
 
 _DECISION_ROW = re.compile(r"^(\w+)\s+([\d.]+)\s+(?:[\d.]+|-)\s*$")
@@ -135,9 +147,13 @@ def collect(results_dir: Path) -> Dict[str, object]:
             results_dir / "BENCH_parallel.json"
         ),
         "serve_s": parse_serve(results_dir / "BENCH_serve.json"),
-        # informational (floor-gated from the fresh artifact, never
-        # baseline-compared: wall clocks scale with the host's cores)
+        # informational (floor/ceiling-gated from the fresh artifact,
+        # never baseline-compared: wall clocks scale with the host's
+        # cores)
         "shard_speedup": float(shards["shard_speedup"]),
+        "supervised_overhead": float(
+            shards.get("supervised_overhead", 1.0)
+        ),
         "fig4_accuracy": parse_fig4(
             results_dir / "fig4_coordinated_accuracy.txt"
         ),
@@ -171,6 +187,43 @@ def check_speedup_floors(
             failures.append(
                 f"{artifact}:{key}: {speedup:.2f}x below the "
                 f"{floor:.1f}x floor"
+            )
+
+
+def check_overhead_ceilings(
+    results_dir: Path, failures: List[str], rows: List[str]
+) -> None:
+    """Gate the recorded overhead ratios against their hard ceilings.
+
+    Mirrors :func:`check_speedup_floors` with the inequality flipped:
+    a ratio *above* its ceiling is a regression.  Artifacts written
+    before the ratio existed pass (there is nothing to gate yet).
+    """
+    for artifact, key, ceiling, cores_needed in OVERHEAD_CEILINGS:
+        payload = json.loads((results_dir / artifact).read_text())
+        if key not in payload:
+            rows.append(
+                f"  {key:28}    n/a   ceiling {ceiling:.2f}x  "
+                f"SKIPPED (not recorded)"
+            )
+            continue
+        overhead = float(payload[key])
+        cpu_count = int(payload.get("cpu_count", 1))
+        if cores_needed is not None and cpu_count < cores_needed:
+            rows.append(
+                f"  {key:28} {overhead:6.2f}x  ceiling {ceiling:.2f}x  "
+                f"SKIPPED ({cpu_count} < {cores_needed} cores)"
+            )
+            continue
+        verdict = "ok" if overhead <= ceiling else "REGRESSION"
+        rows.append(
+            f"  {key:28} {overhead:6.2f}x  ceiling {ceiling:.2f}x  "
+            f"{verdict}"
+        )
+        if overhead > ceiling:
+            failures.append(
+                f"{artifact}:{key}: {overhead:.2f}x above the "
+                f"{ceiling:.2f}x ceiling"
             )
 
 
@@ -341,6 +394,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         accuracy_tolerance=args.accuracy_tolerance,
     )
     check_speedup_floors(args.results_dir, failures, rows)
+    check_overhead_ceilings(args.results_dir, failures, rows)
     print(
         f"comparing {args.results_dir} against {args.baselines} "
         f"(time +{args.time_tolerance * 100:.0f}%, "

@@ -1,13 +1,17 @@
 """P3 — multi-process sharded CapacityService throughput.
 
 Replays one recorded interval stream through ``REPRO_BENCH_SITES``
-monitored sites (default 1000) twice: once through the single-process
-structure-of-arrays :class:`~repro.control.fleet.FleetState` backend
-and once through the 4-worker
-:class:`~repro.control.shard.ShardedCapacityService`.  The merged
-decision streams must be bit-identical; on a host with at least 4
-real cores the sharded path must deliver at least a 2x windows/sec
-speedup.
+monitored sites (default 1000) three times: once through the
+single-process structure-of-arrays
+:class:`~repro.control.fleet.FleetState` backend, and twice through
+the 4-worker :class:`~repro.control.shard.ShardedCapacityService` —
+supervision off (``recover=False``: no replay buffering, the PR 7
+baseline path) and supervision on (the default self-healing
+configuration).  All three merged decision streams must be
+bit-identical; on a host with at least 4 real cores the sharded path
+must deliver at least a 2x windows/sec speedup, and the supervised
+run must stay within 10% of the unsupervised one
+(``supervised_overhead`` <= 1.10, gated by the comparator).
 
 The numbers ALWAYS land in ``benchmarks/results/BENCH_shards.json``
 (with the host's ``cpu_count``) — on smaller hosts the speedup
@@ -70,23 +74,45 @@ def test_serve_sharded_throughput(record_result):
     fleet_decisions = fleet.replay(records)
     fleet_s = time.perf_counter() - start
 
-    with ShardedCapacityService(
-        meter, specs, workers=WORKERS, labeler=pipeline.labeler
-    ) as sharded:
-        start = time.perf_counter()
-        sharded_decisions = sharded.replay(records)
-        sharded_s = time.perf_counter() - start
+    def timed_sharded(recover):
+        with ShardedCapacityService(
+            meter,
+            specs,
+            workers=WORKERS,
+            labeler=pipeline.labeler,
+            recover=recover,
+        ) as sharded:
+            start = time.perf_counter()
+            decisions = sharded.replay(records)
+            return decisions, time.perf_counter() - start
+
+    # one untimed pass absorbs first-fork costs (page faults, pickle
+    # memo warm-up) that would otherwise bias whichever timed sharded
+    # configuration happens to run first
+    timed_sharded(recover=False)
+    # PR 7 baseline path: recover=False — no buffering, no supervision
+    unsupervised_decisions, unsupervised_s = timed_sharded(recover=False)
+    # the default self-healing configuration
+    sharded_decisions, sharded_s = timed_sharded(recover=True)
 
     windows = SITES * WINDOWS_PER_SITE
     assert len(fleet_decisions) == len(sharded_decisions) == windows
-    # the tentpole's correctness bar: bit-identical merged stream
+    assert len(unsupervised_decisions) == windows
+    # the tentpole's correctness bar: bit-identical merged stream,
+    # with and without the self-healing supervisor riding the loop
     assert [n for n, _ in sharded_decisions] == [
         n for n, _ in fleet_decisions
     ]
     assert _signatures(sharded_decisions) == _signatures(fleet_decisions)
+    assert _signatures(unsupervised_decisions) == _signatures(
+        fleet_decisions
+    )
 
     cpu_count = os.cpu_count() or 1
     speedup = fleet_s / sharded_s if sharded_s > 0 else float("inf")
+    overhead = (
+        sharded_s / unsupervised_s if unsupervised_s > 0 else float("inf")
+    )
     payload = {
         "name": "serve_shards",
         "scale": SCALE,
@@ -96,10 +122,12 @@ def test_serve_sharded_throughput(record_result):
         "workers": WORKERS,
         "windows": windows,
         "fleet_s": round(fleet_s, 4),
+        "unsupervised_s": round(unsupervised_s, 4),
         "sharded_s": round(sharded_s, 4),
         "fleet_windows_per_s": round(windows / fleet_s, 1),
         "sharded_windows_per_s": round(windows / sharded_s, 1),
         "shard_speedup": round(speedup, 3),
+        "supervised_overhead": round(overhead, 3),
     }
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / "BENCH_shards.json").write_text(

@@ -48,8 +48,10 @@ parallel output is bit-identical to ``--jobs 1``.
 from __future__ import annotations
 
 import argparse
+import contextlib
+import signal
 import sys
-from typing import Dict, Optional, Sequence
+from typing import Callable, Dict, Iterator, Optional, Sequence
 
 from .analysis.metrics import summarize_run
 from .core.capacity import CapacityMeter
@@ -476,6 +478,34 @@ def cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+@contextlib.contextmanager
+def _graceful_signals() -> Iterator[Callable[[], Optional[int]]]:
+    """Convert SIGINT/SIGTERM into a flag the serve loops poll.
+
+    The handler only *records* the signal, so the in-flight time slice
+    completes and the pipes stay in protocol — the loop then breaks at
+    the next slice boundary and writes a final checkpoint.  A second
+    signal raises ``KeyboardInterrupt`` immediately (the operator
+    insists).  Yields a callable returning the received signal number,
+    or ``None``.
+    """
+    state: Dict[str, Optional[int]] = {"signum": None}
+
+    def handler(signum: int, frame: object) -> None:
+        if state["signum"] is not None:
+            raise KeyboardInterrupt
+        state["signum"] = signum
+
+    previous = {}
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        previous[sig] = signal.signal(sig, handler)
+    try:
+        yield lambda: state["signum"]
+    finally:
+        for sig, old in previous.items():
+            signal.signal(sig, old)
+
+
 def _serve_shard_factory(service, mix_name: str, profile: str, scale: float):
     """Build one shard's simulator inside its worker process.
 
@@ -539,7 +569,18 @@ def _cmd_serve_sharded(args: argparse.Namespace, meter, labeler, specs) -> int:
     resumable at any other count (or none).
     """
     from .control.shard import ShardedCapacityService
+    from .faults.process import ProcessFaultPlan
 
+    plan = None
+    if args.process_faults:
+        plan = ProcessFaultPlan.parse(args.process_faults)
+    supervise = dict(
+        recover=not args.no_recover,
+        max_respawns=args.max_respawns,
+        supervise_ticks=args.supervise_ticks,
+        recv_timeout=args.recv_timeout,
+        process_faults=plan,
+    )
     if args.resume:
         service = ShardedCapacityService.resume(
             args.checkpoint,
@@ -548,6 +589,7 @@ def _cmd_serve_sharded(args: argparse.Namespace, meter, labeler, specs) -> int:
             labeler=labeler,
             use_fleet=not args.no_fleet,
             allow_subset=args.allow_subset,
+            **supervise,
         )
         print(
             f"# resumed {len(specs)} sites across "
@@ -561,8 +603,9 @@ def _cmd_serve_sharded(args: argparse.Namespace, meter, labeler, specs) -> int:
             workers=args.workers,
             labeler=labeler,
             use_fleet=not args.no_fleet,
+            **supervise,
         )
-    with service:
+    with service, _graceful_signals() as interrupted:
         duration = service.attach_factory(
             _serve_shard_factory, args.mix, args.profile, args.scale
         )
@@ -573,7 +616,7 @@ def _cmd_serve_sharded(args: argparse.Namespace, meter, labeler, specs) -> int:
         print(f"{'site':>6} {'window':>6} {'state':>9} {'truth':>6} {'p':>5}")
         now = 0.0
         windows_since = 0
-        while now < duration:
+        while now < duration and interrupted() is None:
             now = min(now + slice_seconds, duration)
             for name, decision, gate_p in service.advance(now):
                 prediction = decision.prediction
@@ -591,11 +634,31 @@ def _cmd_serve_sharded(args: argparse.Namespace, meter, labeler, specs) -> int:
             ):
                 windows_since = 0
                 service.save(args.checkpoint)
-        service.detach()
+        if interrupted() is None:
+            service.detach()
+        else:
+            print(
+                f"# interrupted (signal {interrupted()}): shutting down "
+                f"gracefully"
+            )
         if args.checkpoint:
             # final snapshot captures the trailing partial windows too
             service.save(args.checkpoint)
             print(f"# checkpoint saved to {args.checkpoint}")
+        stats = service.supervisor_stats()
+        if plan is not None or sum(stats["respawns"]) or stats["lost"]:
+            print(
+                f"# supervisor: respawns={sum(stats['respawns'])} "
+                f"lost={len(stats['lost'])} "
+                f"faults_fired={stats['faults_fired']} "
+                f"held_synthesized={stats['held_synthesized']}"
+            )
+            for worker in stats["lost"]:
+                print(
+                    f"# shard {worker} degraded "
+                    f"({stats['lost_reasons'][worker]}): held decisions "
+                    f"with decaying confidence"
+                )
         print()
         for row in service.summary_rows():
             print(row)
@@ -626,6 +689,15 @@ def cmd_serve(args: argparse.Namespace) -> int:
         raise SystemExit("--checkpoint-every must be at least 1 window")
     if args.resume and not args.checkpoint:
         raise SystemExit("--resume requires --checkpoint")
+    if args.process_faults and args.workers == 0:
+        raise SystemExit(
+            "--process-faults needs --workers: process chaos targets "
+            "the sharded fabric's worker processes"
+        )
+    if args.max_respawns < 0:
+        raise SystemExit("--max-respawns must be non-negative")
+    if args.supervise_ticks < 0:
+        raise SystemExit("--supervise-ticks must be non-negative")
 
     labeler = SlaOracle()
     if args.resume:
@@ -734,12 +806,25 @@ def cmd_serve(args: argparse.Namespace) -> int:
         hpc_noise=config.hpc_noise,
         os_noise=config.os_noise,
     )
-    sim.run(until=schedule.duration)
-    service.stop()
-    if args.checkpoint:
-        # final snapshot captures the trailing partial windows too
-        service.save(args.checkpoint)
-        print(f"# checkpoint saved to {args.checkpoint}")
+    with _graceful_signals() as interrupted:
+        # advance in slices so an operator SIGINT/SIGTERM lands between
+        # slices and still gets a final checkpoint (event-driven sim:
+        # sliced run == one run to the same instant)
+        slice_seconds = config.sampling_interval * 50
+        now = 0.0
+        while now < schedule.duration and interrupted() is None:
+            now = min(now + slice_seconds, schedule.duration)
+            sim.run(until=now)
+        service.stop()
+        if interrupted() is not None:
+            print(
+                f"# interrupted (signal {interrupted()}): shutting down "
+                f"gracefully"
+            )
+        if args.checkpoint:
+            # final snapshot captures the trailing partial windows too
+            service.save(args.checkpoint)
+            print(f"# checkpoint saved to {args.checkpoint}")
     print()
     for row in service.summary_rows():
         print(row)
@@ -1195,6 +1280,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="shard the fleet across this many worker processes "
         "(0 = single process; merged decisions are bit-identical "
         "for any worker count)",
+    )
+    serve.add_argument(
+        "--process-faults",
+        default=None,
+        metavar="PLAN",
+        help="seeded process chaos for the sharded fabric: comma-"
+        "separated kind@tick:wINDEX[:delay] tokens, kinds kill|hang|"
+        "slow (e.g. 'kill@120:w1,slow@50:w2:0.25'); hang needs "
+        "--recv-timeout",
+    )
+    serve.add_argument(
+        "--recv-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="supervision deadline for worker replies; a worker "
+        "silent past it is treated as hung and recovered "
+        "(default: none — crashes are still detected eagerly)",
+    )
+    serve.add_argument(
+        "--supervise-ticks",
+        type=int,
+        default=256,
+        metavar="N",
+        help="ticks between incremental recovery checkpoints in "
+        "replay-style serving (0 disables them; default 256)",
+    )
+    serve.add_argument(
+        "--no-recover",
+        action="store_true",
+        help="disable crash recovery: a dead shard's sites degrade to "
+        "held decisions with decaying confidence instead",
+    )
+    serve.add_argument(
+        "--max-respawns",
+        type=int,
+        default=3,
+        metavar="N",
+        help="respawn budget per worker before its shard is abandoned "
+        "to degraded serving (default 3)",
     )
     _add_metrics_out(serve)
     serve.set_defaults(func=cmd_serve)

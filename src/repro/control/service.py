@@ -701,8 +701,17 @@ class CapacityService:
         service._init_base(batch_votes=batch_votes, on_decision=on_decision)
         gate_states = manifest["gates"]
         supplied = {spec.name for spec in sites}
+        lost = set(manifest.get("lost_sites", ()))
         for spec in sites:
             if spec.name not in gate_states:
+                if spec.name in lost:
+                    raise ValueError(
+                        f"site {spec.name!r} was being served degraded "
+                        f"(its shard worker was lost) when this "
+                        f"checkpoint was written, so it has no state; "
+                        f"drop it from the fleet or resume an earlier "
+                        f"checkpoint"
+                    )
                 raise ValueError(
                     f"checkpoint has no gate state for site {spec.name!r}"
                 )

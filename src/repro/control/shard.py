@@ -41,31 +41,79 @@ single-process :meth:`CapacityService.resume` reads the sharded layout
 directly), and a sharded service resumes any v1/v2 single-process
 manifest, since each worker simply resumes its slice of the checkpoint
 through ``CapacityService.resume(..., allow_subset=True)``.
+
+Self-healing
+------------
+The fabric assumes worker processes die.  A supervisor rides the
+replay/live loops:
+
+* **periodic recovery checkpoints** — every ``supervise_ticks`` ticks
+  (at the pipe-idle point between collecting chunk *k* and merging it)
+  the service writes an incremental ``"sharded"`` checkpoint, and a
+  bounded in-parent replay buffer retains every record since;
+* **crash recovery** — a worker that crashes
+  (:class:`~repro.parallel.pool.WorkerCrash`) or hangs past
+  ``recv_timeout`` (:class:`~repro.parallel.pool.WorkerTimeout`) is
+  respawned, its shard resumed from the last recovery checkpoint (or
+  the original resume dir, or rebuilt cold from the meter payload),
+  the intervening ticks replayed from the buffer, and the in-flight
+  chunk re-dispatched — so the recovered shard's decision stream is
+  **bit-identical** to an uninterrupted run (the checkpoint/resume ==
+  uninterrupted invariant the single-process tests pin).  In live mode
+  the simulator cannot be checkpointed, so recovery re-attaches the
+  seeded factory and re-advances from zero — slower, same bit-identity.
+* **degraded merge** — when recovery is disabled, exhausted
+  (``max_respawns``) or impossible (replay-buffer gap), the shard is
+  marked *lost* and the merge synthesizes held decisions for its sites
+  at every window boundary with geometrically decaying confidence —
+  the PR 3 monitor semantics lifted to fleet level, so consumers see a
+  telemetry blackout (confidence 0.0 freezes AIMD gates at their
+  ``confidence_floor``), never an exception;
+* **process chaos** — a seeded
+  :class:`~repro.faults.process.ProcessFaultPlan` (kill -9 / hang /
+  slow-reply at given ticks and workers) injects real process faults
+  deterministically, so crash-recovery campaigns are CI-gateable like
+  telemetry-fault campaigns.
+
+Caveat: worker ``repro.obs`` registries die with their process, so
+merged *metrics* can undercount the span before the last recovery
+checkpoint after a crash; the decision stream itself stays exact.
 """
 
 from __future__ import annotations
 
+import os
+import shutil
+import signal
+import tempfile
+import time
+from collections import deque
+from dataclasses import dataclass
 from pathlib import Path
 from typing import (
     Any,
     Callable,
+    Deque,
     Dict,
     List,
     Optional,
     Sequence,
+    Set,
     Tuple,
     Union,
 )
 
 from ..core.capacity import CapacityMeter
+from ..core.coordinator import CoordinatedPrediction
 from ..core.monitor import MonitorDecision
 from ..faults.checkpoint import (
     read_json_checkpoint,
     save_fleet_checkpoint,
     write_json_atomic,
 )
+from ..faults.process import ProcessFaultPlan, ProcessFaultSpec
 from ..obs import OBS, MetricsRegistry, merge_snapshot, snapshot_lines
-from ..parallel.pool import WorkerPool
+from ..parallel.pool import WorkerCrash, WorkerError, WorkerPool, WorkerTimeout
 from ..telemetry.sampler import IntervalRecord, WindowStats
 from .service import (
     SERVICE_FORMAT,
@@ -183,6 +231,24 @@ def _shard_sync() -> int:
     return service.ticks
 
 
+def _shard_window() -> int:
+    """Decision-window length in ticks (shared by every site)."""
+    return int(_shard().sites[0].monitor.meter.window)
+
+
+def _shard_replay_chunk_slow(
+    records: Sequence[IntervalRecord], delay: float
+) -> List[List[SiteDecision]]:
+    """Chaos ``slow``: stall, then answer correctly (a GC pause)."""
+    time.sleep(delay)
+    return _shard_replay_chunk(records)
+
+
+def _shard_hang() -> None:
+    """Chaos ``hang``: never reply within any sane deadline."""
+    time.sleep(3600.0)
+
+
 def _shard_save(directory: str, shard_index: int) -> Dict[str, Any]:
     """Write this shard's monitor file; return its manifest fragment."""
     service = _shard()
@@ -284,9 +350,30 @@ def _shard_advance(until: float) -> Tuple[List[LiveDecision], int]:
     return drained, _shard().ticks
 
 
+def _shard_advance_slow(
+    until: float, delay: float
+) -> Tuple[List[LiveDecision], int]:
+    """Chaos ``slow`` for live mode: stall, then advance correctly."""
+    time.sleep(delay)
+    return _shard_advance(until)
+
+
 def _shard_detach() -> None:
     """Stop live sampling (keeps the service resumable/saveable)."""
     _shard().stop()
+
+
+@dataclass
+class _Chunk:
+    """One dispatched slice of the record stream.
+
+    ``start``/``end`` are *global service ticks* (1-based, inclusive)
+    so recovery knows exactly which span a redelivery must cover.
+    """
+
+    records: List[IntervalRecord]
+    start: int
+    end: int
 
 
 # ----------------------------------------------------------------------
@@ -321,6 +408,13 @@ class ShardedCapacityService:
         retain_decisions: Optional[int] = None,
         on_decision: Optional[Callable[[str, MonitorDecision], None]] = None,
         chunk_ticks: int = 16,
+        recover: bool = True,
+        max_respawns: int = 3,
+        supervise_ticks: int = 256,
+        recv_timeout: Optional[float] = None,
+        replay_buffer_ticks: Optional[int] = None,
+        process_faults: Optional[ProcessFaultPlan] = None,
+        supervise_dir: Optional[Union[str, Path]] = None,
         _resume_dir: Optional[str] = None,
         _resume_ticks: int = 0,
     ) -> None:
@@ -333,15 +427,76 @@ class ShardedCapacityService:
             raise ValueError("chunk_ticks must be positive")
         if meter is None and _resume_dir is None:
             raise ValueError("a meter is required unless resuming")
+        if max_respawns < 0:
+            raise ValueError("max_respawns must be non-negative")
+        if supervise_ticks < 0:
+            raise ValueError("supervise_ticks must be non-negative")
+        if recv_timeout is not None and recv_timeout <= 0:
+            raise ValueError("recv_timeout must be positive (or None)")
         if labeler is None and meter is not None:
             labeler = meter.labeler
         shards = partition_sites(sites, workers)
+        if process_faults is not None:
+            if process_faults.max_worker() >= len(shards):
+                raise ValueError(
+                    f"process fault plan targets worker "
+                    f"{process_faults.max_worker()} but only "
+                    f"{len(shards)} shards exist"
+                )
+            if recv_timeout is None and any(
+                spec.kind == "hang" for spec in process_faults.faults
+            ):
+                raise ValueError(
+                    "hang faults need recv_timeout: a hung worker is "
+                    "only detectable via a reply deadline"
+                )
         self.shards = shards
         self.site_names = names
         self.on_decision = on_decision
         self.chunk_ticks = chunk_ticks
         self.ticks = _resume_ticks
         self._closed = False
+        # --- supervision state -----------------------------------------
+        self._recover = recover
+        self._max_respawns = max_respawns
+        self._supervise_ticks = supervise_ticks
+        self._recv_timeout = recv_timeout
+        self._plan = process_faults
+        self._fired: Set[int] = set()
+        self._respawns: List[int] = [0] * len(shards)
+        self._lost: Set[int] = set()
+        self._lost_reasons: Dict[int, str] = {}
+        self._resume_base = _resume_ticks
+        self._resume_dir = _resume_dir
+        if replay_buffer_ticks is not None:
+            span: Optional[int] = replay_buffer_ticks
+        elif not recover:
+            span = 0  # nothing to replay into; skip the buffering cost
+        elif supervise_ticks > 0:
+            # worst-case recovery gap: one full checkpoint period plus
+            # the chunk in flight and the chunk being merged
+            span = supervise_ticks + 2 * chunk_ticks
+        else:
+            span = None  # no periodic checkpoints: keep everything
+        self._replay_buffer: Deque[Tuple[int, IntervalRecord]] = deque(
+            maxlen=span
+        )
+        self._ckpt_root = (
+            None if supervise_dir is None else Path(supervise_dir)
+        )
+        self._ckpt_owned = False
+        self._ckpt_path: Optional[Path] = None
+        self._ckpt_ticks = -1
+        # degraded-merge state: last decision + held streak per site
+        self._confidence_decay = confidence_decay
+        self._last_decisions: Dict[str, MonitorDecision] = {}
+        self._held_streaks: Dict[str, int] = {}
+        self._last_gate_p: Dict[str, float] = {}
+        self._held_emitted = 0
+        # live mode: factory + last merged slice boundary for recovery
+        self._live_factory: Optional[Callable[..., Tuple[Any, float]]] = None
+        self._live_args: Tuple[Any, ...] = ()
+        self._live_now = 0.0
         common: Dict[str, Any] = {
             "obs": OBS.enabled,
             "meter": meter.to_payload() if meter is not None else None,
@@ -360,11 +515,19 @@ class ShardedCapacityService:
                 "retain_decisions": retain_decisions,
             },
         }
+        self._common = common
         # the pool's warm-up handshake doubles as the meter broadcast:
         # __init__ returns only after every shard is built and ready
         self.pool = WorkerPool(
             len(shards), initializer=_init_shard, initargs=(common,)
         )
+        # window length (in ticks) drives degraded-merge synthesis; fetch
+        # it now while the pipes are idle — mid-replay a probe would
+        # desync the strict request-response protocol
+        if meter is not None:
+            self._window = int(meter.window)
+        else:
+            self._window = int(self.pool.call(0, _shard_window))
 
     @classmethod
     def resume(
@@ -382,6 +545,13 @@ class ShardedCapacityService:
         retain_decisions: Optional[int] = None,
         on_decision: Optional[Callable[[str, MonitorDecision], None]] = None,
         chunk_ticks: int = 16,
+        recover: bool = True,
+        max_respawns: int = 3,
+        supervise_ticks: int = 256,
+        recv_timeout: Optional[float] = None,
+        replay_buffer_ticks: Optional[int] = None,
+        process_faults: Optional[ProcessFaultPlan] = None,
+        supervise_dir: Optional[Union[str, Path]] = None,
     ) -> "ShardedCapacityService":
         """Resume any service checkpoint across ``workers`` processes.
 
@@ -399,8 +569,17 @@ class ShardedCapacityService:
             raise ValueError(f"{target} is not a service checkpoint")
         gate_states = manifest["gates"]
         supplied = {spec.name for spec in sites}
+        lost = set(manifest.get("lost_sites", ()))
         for spec in sites:
             if spec.name not in gate_states:
+                if spec.name in lost:
+                    raise ValueError(
+                        f"site {spec.name!r} was being served degraded "
+                        f"(its shard worker was lost) when this "
+                        f"checkpoint was written, so it has no state; "
+                        f"drop it from the fleet or resume an earlier "
+                        f"checkpoint"
+                    )
                 raise ValueError(
                     f"checkpoint has no gate state for site {spec.name!r}"
                 )
@@ -423,22 +602,391 @@ class ShardedCapacityService:
             retain_decisions=retain_decisions,
             on_decision=on_decision,
             chunk_ticks=chunk_ticks,
+            recover=recover,
+            max_respawns=max_respawns,
+            supervise_ticks=supervise_ticks,
+            recv_timeout=recv_timeout,
+            replay_buffer_ticks=replay_buffer_ticks,
+            process_faults=process_faults,
+            supervise_dir=supervise_dir,
             _resume_dir=str(target),
             _resume_ticks=int(manifest["ticks"]),
         )
 
     # ------------------------------------------------------------------
+    # supervisor: failure accounting, recovery, degraded synthesis
+    # ------------------------------------------------------------------
+    @property
+    def lost_workers(self) -> Tuple[int, ...]:
+        """Workers the supervisor has given up on, ascending."""
+        return tuple(sorted(self._lost))
+
+    def lost_sites(self) -> List[str]:
+        """Sites currently served by degraded-merge synthesis only."""
+        return [
+            spec.name
+            for worker in sorted(self._lost)
+            for spec in self.shards[worker]
+        ]
+
+    def supervisor_stats(self) -> Dict[str, Any]:
+        """Operational summary of the self-healing machinery."""
+        return {
+            "respawns": list(self._respawns),
+            "lost": sorted(self._lost),
+            "lost_reasons": dict(self._lost_reasons),
+            "checkpoint_ticks": self._ckpt_ticks,
+            "faults_fired": len(self._fired),
+            "held_synthesized": self._held_emitted,
+        }
+
+    def _note_failure(self, worker: int, exc: WorkerError) -> None:
+        if OBS.enabled:
+            kind = "timeout" if isinstance(exc, WorkerTimeout) else "crash"
+            OBS.inc(
+                "repro_shard_worker_failures_total",
+                help="worker crashes and hang timeouts seen by the "
+                "shard supervisor",
+                kind=kind,
+            )
+
+    def _mark_lost(self, worker: int, reason: str) -> None:
+        if worker in self._lost:
+            return
+        self._lost.add(worker)
+        self._lost_reasons[worker] = reason
+        if OBS.enabled:
+            OBS.inc(
+                "repro_shard_workers_lost_total",
+                help="shards abandoned to degraded-merge serving",
+            )
+
+    def _recovery_source(self) -> Tuple[Optional[str], int]:
+        """(resume dir, tick base) of the freshest usable shard state.
+
+        Preference order: last recovery checkpoint > the directory this
+        service itself resumed from > cold rebuild from the broadcast
+        meter payload (base 0).
+        """
+        if self._ckpt_path is not None:
+            return str(self._ckpt_path), self._ckpt_ticks
+        if self._resume_dir is not None:
+            return self._resume_dir, self._resume_base
+        return None, 0  # __init__ guaranteed a meter payload exists
+
+    def _buffered(self, base: int, upto: int) -> Optional[List[IntervalRecord]]:
+        """Records for ticks ``base+1 .. upto``; None on a buffer gap."""
+        if upto <= base:
+            return []
+        records = [
+            record
+            for tick, record in self._replay_buffer
+            if base < tick <= upto
+        ]
+        if len(records) != upto - base:
+            return None
+        return records
+
+    def _buffer_records(self, chunk: _Chunk) -> None:
+        for offset, record in enumerate(chunk.records):
+            self._replay_buffer.append((chunk.start + offset, record))
+
+    def _recover_worker(self, worker: int, upto: int) -> bool:
+        """Rebuild ``worker``'s shard bit-identically through ``upto``.
+
+        Respawns the process, resumes the shard from the freshest
+        source, and replays the intervening ticks from the in-parent
+        buffer.  Returns False — marking the worker lost — when
+        recovery is disabled, the respawn budget is exhausted, or the
+        buffer cannot cover the gap.
+        """
+        if not self._recover:
+            self._mark_lost(worker, "recovery disabled")
+            return False
+        t0 = time.monotonic()
+        while self._respawns[worker] < self._max_respawns:
+            self._respawns[worker] += 1
+            if OBS.enabled:
+                OBS.inc(
+                    "repro_shard_respawns_total",
+                    help="worker processes respawned by the supervisor",
+                )
+            source, base = self._recovery_source()
+            records = self._buffered(base, upto)
+            if records is None:
+                self._mark_lost(
+                    worker,
+                    f"replay buffer cannot cover ticks "
+                    f"{base + 1}..{upto}",
+                )
+                return False
+            try:
+                common = dict(self._common)
+                common["resume_dir"] = source
+                self.pool.respawn(worker, initargs=(common,))
+                if records:
+                    # rebuild replay: decisions recomputed and discarded
+                    self.pool.submit(worker, _shard_replay_chunk, records)
+                    self.pool.result_bytes(worker, None)
+                if OBS.enabled:
+                    OBS.observe(
+                        "repro_shard_recovery_seconds",
+                        time.monotonic() - t0,
+                        help="wall-clock latency of shard crash recovery",
+                    )
+                return True
+            except WorkerError as exc:
+                self._note_failure(worker, exc)
+                continue
+        self._mark_lost(worker, "respawn budget exhausted")
+        return False
+
+    def _recover_live(self, worker: int) -> bool:
+        """Live-mode recovery: rebuild and re-simulate from zero.
+
+        A simulator cannot be checkpointed mid-flight, so the shard is
+        rebuilt from its *original* source, the factory re-attached,
+        and the sim re-advanced to the last merged slice boundary
+        (captures discarded) — bit-identical because everything is
+        seeded from the site specs.
+        """
+        if not self._recover:
+            self._mark_lost(worker, "recovery disabled")
+            return False
+        t0 = time.monotonic()
+        while self._respawns[worker] < self._max_respawns:
+            self._respawns[worker] += 1
+            if OBS.enabled:
+                OBS.inc(
+                    "repro_shard_respawns_total",
+                    help="worker processes respawned by the supervisor",
+                )
+            try:
+                self.pool.respawn(worker, initargs=(self._common,))
+                if self._live_factory is not None:
+                    self.pool.submit(
+                        worker,
+                        _shard_attach,
+                        self._live_factory,
+                        self._live_args,
+                    )
+                    self.pool.result(worker, None)
+                    if self._live_now > 0.0:
+                        self.pool.submit(worker, _shard_advance, self._live_now)
+                        self.pool.result(worker, None)  # discard captures
+                if OBS.enabled:
+                    OBS.observe(
+                        "repro_shard_recovery_seconds",
+                        time.monotonic() - t0,
+                        help="wall-clock latency of shard crash recovery",
+                    )
+                return True
+            except WorkerError as exc:
+                self._note_failure(worker, exc)
+                continue
+        self._mark_lost(worker, "respawn budget exhausted")
+        return False
+
+    def _recover_any(self, worker: int) -> bool:
+        """Mode-appropriate recovery through the current tick."""
+        if self._live_factory is not None:
+            return self._recover_live(worker)
+        return self._recover_worker(worker, self.ticks)
+
+    def _due_fault(self, worker: int, upto: int) -> Optional[ProcessFaultSpec]:
+        """Next unfired chaos spec for ``worker`` due by tick ``upto``."""
+        if self._plan is None:
+            return None
+        for index, spec in enumerate(self._plan.faults):
+            if index in self._fired or spec.worker != worker:
+                continue
+            if spec.tick <= upto:
+                self._fired.add(index)
+                if OBS.enabled:
+                    OBS.inc(
+                        "repro_shard_process_faults_total",
+                        help="process chaos faults injected",
+                        kind=spec.kind,
+                    )
+                return spec
+        return None
+
+    def _maybe_checkpoint(self) -> None:
+        """Periodic recovery checkpoint at the pipe-idle point."""
+        if not self._recover or self._supervise_ticks <= 0:
+            return
+        base = self._ckpt_ticks if self._ckpt_ticks >= 0 else self._resume_base
+        if self.ticks - base < self._supervise_ticks:
+            return
+        if self._ckpt_root is None:
+            self._ckpt_root = Path(
+                tempfile.mkdtemp(prefix="repro-shard-supervise-")
+            )
+            self._ckpt_owned = True
+        target = self._ckpt_root / f"ticks-{self.ticks}"
+        t0 = time.monotonic()
+        try:
+            self.save(target)
+        except WorkerError:
+            # a crash mid-checkpoint was handled (or the worker marked
+            # lost) inside save(); skip this period, keep serving
+            return
+        previous = self._ckpt_path
+        self._ckpt_path, self._ckpt_ticks = target, self.ticks
+        if previous is not None:
+            shutil.rmtree(previous, ignore_errors=True)
+        if OBS.enabled:
+            OBS.observe_span(
+                "shard_supervise_checkpoint", time.monotonic() - t0
+            )
+
+    def _synthesize(self, worker: int, tick: int) -> List[SiteDecision]:
+        """Held decisions for a lost shard's sites at a window boundary.
+
+        Exactly the monitor's quorum-failure fallback lifted to fleet
+        level: last decision re-emitted with geometrically decayed
+        counter value, no synopsis votes, everyone abstained — so
+        ``MonitorDecision.confidence`` is 0.0 and AIMD gates freeze at
+        their floor.  Sites with no prior decision are skipped (there
+        is nothing to hold).  ``truth``/``stats`` are the stale values
+        from the last real window: a blackout has no fresh telemetry.
+        """
+        if self._window <= 0 or tick % self._window != 0:
+            return []
+        out: List[SiteDecision] = []
+        for spec in self.shards[worker]:
+            last = self._last_decisions.get(spec.name)
+            if last is None:
+                continue
+            streak = self._held_streaks.get(spec.name, 0) + 1
+            self._held_streaks[spec.name] = streak
+            prev = last.prediction
+            total = len(prev.synopsis_votes) or len(prev.abstained)
+            prediction = CoordinatedPrediction(
+                state=prev.state,
+                bottleneck=prev.bottleneck,
+                gpv=prev.gpv,
+                hc=prev.hc * self._confidence_decay,
+                confident=False,
+                synopsis_votes=(),
+                degraded=True,
+                abstained=tuple(range(total)),
+            )
+            span = last.t_end - last.t_start
+            decision = MonitorDecision(
+                index=last.index + 1,
+                t_start=last.t_start + span,
+                t_end=last.t_end + span,
+                prediction=prediction,
+                truth=last.truth,
+                truth_bottleneck=last.truth_bottleneck,
+                stats=last.stats,
+                held=True,
+                quality=last.quality,
+            )
+            self._last_decisions[spec.name] = decision
+            self._held_emitted += 1
+            if OBS.enabled:
+                OBS.inc(
+                    "repro_shard_held_synthesized_total",
+                    help="held decisions synthesized for lost shards",
+                )
+            out.append((spec.name, decision))
+        return out
+
+    # ------------------------------------------------------------------
     # replay mode
     # ------------------------------------------------------------------
-    def _emit(
-        self, per_worker: Sequence[List[List[SiteDecision]]]
+    def _submit_chunk(
+        self, worker: int, chunk: _Chunk, fault: Optional[ProcessFaultSpec]
+    ) -> None:
+        if fault is not None and fault.kind == "hang":
+            self.pool.submit(worker, _shard_hang)
+            return
+        if fault is not None and fault.kind == "slow":
+            self.pool.submit(
+                worker, _shard_replay_chunk_slow, chunk.records, fault.delay
+            )
+        else:
+            self.pool.submit(worker, _shard_replay_chunk, chunk.records)
+        if fault is not None and fault.kind == "kill":
+            pid = self.pool.pid(worker)
+            if pid is not None:
+                os.kill(pid, signal.SIGKILL)
+
+    def _dispatch_chunk(self, chunk: _Chunk) -> None:
+        for worker in range(self.pool.size):
+            if worker in self._lost:
+                continue
+            fault = self._due_fault(worker, chunk.end)
+            try:
+                self._submit_chunk(worker, chunk, fault)
+            except WorkerCrash as exc:
+                # died since its last reply; leave the slot empty —
+                # collection will detect the dead worker and recover
+                self._note_failure(worker, exc)
+
+    def _recover_and_redo(self, worker: int, chunk: _Chunk) -> Optional[bytes]:
+        """Recover ``worker`` and re-run the in-flight chunk."""
+        while self._recover_worker(worker, chunk.start - 1):
+            try:
+                self.pool.submit(worker, _shard_replay_chunk, chunk.records)
+                return self.pool.result_bytes(worker, self._recv_timeout)
+            except (WorkerCrash, WorkerTimeout) as exc:
+                self._note_failure(worker, exc)
+        return None
+
+    def _collect_chunk(self, chunk: _Chunk) -> Dict[int, Optional[bytes]]:
+        """Pull chunk replies off every pipe, recovering as needed.
+
+        Pipes are strictly per-worker, so one worker's crash never
+        desyncs another's request-response stream.  Advances the global
+        tick counter and the replay buffer — both must reflect this
+        chunk before the next checkpoint or recovery looks at them.
+        """
+        blobs: Dict[int, Optional[bytes]] = {}
+        for worker in range(self.pool.size):
+            if worker in self._lost:
+                blobs[worker] = None
+                continue
+            try:
+                blobs[worker] = self.pool.result_bytes(
+                    worker, self._recv_timeout
+                )
+            except (WorkerCrash, WorkerTimeout) as exc:
+                self._note_failure(worker, exc)
+                blobs[worker] = self._recover_and_redo(worker, chunk)
+        self.ticks = chunk.end
+        self._buffer_records(chunk)
+        return blobs
+
+    def _emit_chunk(
+        self, chunk: _Chunk, blobs: Dict[int, Optional[bytes]]
     ) -> List[SiteDecision]:
-        """Merge one chunk: tick-major, shard-major, site-major."""
+        """Merge one chunk: tick-major, shard-major, site-major.
+
+        Lost shards contribute synthesized held decisions at their
+        window boundaries, in the same shard-order slot their real
+        decisions would occupy.
+        """
+        decoded: Dict[int, List[List[SiteDecision]]] = {
+            worker: self.pool.load_result(blob, worker)
+            for worker, blob in blobs.items()
+            if blob is not None
+        }
         merged: List[SiteDecision] = []
-        ticks = len(per_worker[0])
-        for tick in range(ticks):
-            for worker_out in per_worker:
-                for name, decision in worker_out[tick]:
+        for offset in range(len(chunk.records)):
+            tick = chunk.start + offset
+            for worker in range(self.pool.size):
+                out = decoded.get(worker)
+                if out is None:
+                    emitted = self._synthesize(worker, tick)
+                else:
+                    emitted = out[offset]
+                    for name, decision in emitted:
+                        self._last_decisions[name] = decision
+                        self._held_streaks[name] = 0
+                for name, decision in emitted:
                     if self.on_decision is not None:
                         self.on_decision(name, decision)
                     merged.append((name, decision))
@@ -446,51 +994,103 @@ class ShardedCapacityService:
 
     def push(self, record: IntervalRecord) -> List[SiteDecision]:
         """Offer one record to every site, merged like the fleet path."""
-        self.ticks += 1
-        per_worker = self.pool.broadcast(_shard_replay_chunk, [record])
-        return self._emit(per_worker)
+        chunk = _Chunk([record], self.ticks + 1, self.ticks + 1)
+        self._dispatch_chunk(chunk)
+        blobs = self._collect_chunk(chunk)
+        return self._emit_chunk(chunk, blobs)
 
     def replay(
         self, records: Sequence[IntervalRecord]
     ) -> List[SiteDecision]:
-        """Replay a recorded stream, chunked and pipelined.
+        """Replay a recorded stream, chunked, pipelined and supervised.
 
         Chunk ``k``'s reply blobs are pulled off every pipe and chunk
         ``k + 1`` dispatched *before* chunk ``k`` is unpickled and
         merged, so the parent's merge work overlaps the workers'
-        compute instead of serializing with it.
+        compute.  The pipe-idle instant between collect and dispatch is
+        where periodic recovery checkpoints happen; worker crashes and
+        hangs during collection trigger bit-identical recovery (or
+        degraded-merge synthesis once a worker is lost).
         """
-        pool = self.pool
         decisions: List[SiteDecision] = []
-        chunks = [
-            list(records[start : start + self.chunk_ticks])
-            for start in range(0, len(records), self.chunk_ticks)
-        ]
-        in_flight = False
+        base = self.ticks
+        chunks: List[_Chunk] = []
+        for start in range(0, len(records), self.chunk_ticks):
+            recs = list(records[start : start + self.chunk_ticks])
+            chunks.append(
+                _Chunk(recs, base + start + 1, base + start + len(recs))
+            )
+        pending: Optional[_Chunk] = None
         for chunk in chunks:
-            blobs: Optional[List[bytes]] = None
-            if in_flight:
+            if pending is not None:
                 # strict request-response per worker: never two chunks
                 # queued at once, so a full pipe can't deadlock us
-                blobs = [
-                    pool.result_bytes(worker) for worker in range(pool.size)
-                ]
-            for worker in range(pool.size):
-                pool.submit(worker, _shard_replay_chunk, chunk)
-            in_flight = True
-            if blobs is not None:
-                decisions.extend(
-                    self._emit([pool.load_result(blob) for blob in blobs])
-                )
-        if in_flight:
-            decisions.extend(
-                self._emit(
-                    [pool.result(worker) for worker in range(pool.size)]
-                )
-            )
-        self.ticks += len(records)
-        self.pool.broadcast(_shard_sync)
+                blobs = self._collect_chunk(pending)
+                self._maybe_checkpoint()
+                self._dispatch_chunk(chunk)
+                decisions.extend(self._emit_chunk(pending, blobs))
+            else:
+                self._dispatch_chunk(chunk)
+            pending = chunk
+        if pending is not None:
+            blobs = self._collect_chunk(pending)
+            decisions.extend(self._emit_chunk(pending, blobs))
+        self.sync()
         return decisions
+
+    # ------------------------------------------------------------------
+    # supervised control-plane calls (pipes idle, per-worker recovery)
+    # ------------------------------------------------------------------
+    def _call_one(
+        self, worker: int, fn: Callable[..., Any], args: Tuple[Any, ...]
+    ) -> Tuple[bool, Any]:
+        """Run ``fn`` on one worker, recovering across failures.
+
+        Terminates because every failed iteration consumes at least one
+        unit of the worker's respawn budget.
+        """
+        while True:
+            try:
+                self.pool.submit(worker, fn, *args)
+                return True, self.pool.result(worker, None)
+            except (WorkerCrash, WorkerTimeout) as exc:
+                self._note_failure(worker, exc)
+                if not self._recover_any(worker):
+                    return False, None
+
+    def _call_live(
+        self,
+        fn: Callable[..., Any],
+        argfn: Callable[[int], Tuple[Any, ...]],
+    ) -> Dict[int, Any]:
+        """Run ``fn(*argfn(w))`` on every live worker; worker → result.
+
+        Submits in parallel, collects in worker order; a worker that
+        fails is recovered (mode-appropriately) and retried, or marked
+        lost and omitted from the result.
+        """
+        live = [w for w in range(self.pool.size) if w not in self._lost]
+        results: Dict[int, Any] = {}
+        submitted: List[int] = []
+        failed: List[int] = []
+        for worker in live:
+            try:
+                self.pool.submit(worker, fn, *argfn(worker))
+                submitted.append(worker)
+            except WorkerCrash as exc:
+                self._note_failure(worker, exc)
+                failed.append(worker)
+        for worker in submitted:
+            try:
+                results[worker] = self.pool.result(worker, None)
+            except (WorkerCrash, WorkerTimeout) as exc:
+                self._note_failure(worker, exc)
+                failed.append(worker)
+        for worker in failed:
+            ok, value = self._call_one(worker, fn, argfn(worker))
+            if ok:
+                results[worker] = value
+        return results
 
     # ------------------------------------------------------------------
     # live mode (driven by the CLI)
@@ -505,36 +1105,123 @@ class ShardedCapacityService:
         ``factory`` must be a module-level callable; it runs once per
         worker as ``factory(shard_service, *factory_args)``, builds the
         shard's simulator + websites, attaches them, and returns
-        ``(sim, duration)``.
+        ``(sim, duration)``.  The factory is retained so crash recovery
+        can rebuild a shard's simulator from scratch.
         """
-        durations = self.pool.broadcast(_shard_attach, factory, factory_args)
-        return max(float(d) for d in durations)
+        self._live_factory = factory
+        self._live_args = factory_args
+        self._live_now = 0.0
+        outs = self._call_live(
+            _shard_attach, lambda worker: (factory, factory_args)
+        )
+        return max((float(d) for d in outs.values()), default=0.0)
+
+    def _submit_advance(
+        self, worker: int, until: float, fault: Optional[ProcessFaultSpec]
+    ) -> None:
+        if fault is not None and fault.kind == "hang":
+            self.pool.submit(worker, _shard_hang)
+            return
+        if fault is not None and fault.kind == "slow":
+            self.pool.submit(worker, _shard_advance_slow, until, fault.delay)
+        else:
+            self.pool.submit(worker, _shard_advance, until)
+        if fault is not None and fault.kind == "kill":
+            pid = self.pool.pid(worker)
+            if pid is not None:
+                os.kill(pid, signal.SIGKILL)
+
+    def _recover_and_advance(
+        self, worker: int, until: float
+    ) -> Optional[Tuple[List[LiveDecision], int]]:
+        while self._recover_live(worker):
+            try:
+                self.pool.submit(worker, _shard_advance, until)
+                out = self.pool.result(worker, None)
+                return (list(out[0]), int(out[1]))
+            except (WorkerCrash, WorkerTimeout) as exc:
+                self._note_failure(worker, exc)
+        return None
 
     def advance(self, until: float) -> List[Tuple[str, MonitorDecision, float]]:
         """Advance every shard's simulator to ``until``; merged stream.
 
         Returns ``(site name, decision, gate admission probability)``
         triples ordered by ``(tick, shard, within-shard order)`` — the
-        order the single-process live loop emits them.
+        order the single-process live loop emits them.  Chaos faults
+        due by the current tick fire at this slice boundary; a crashed
+        or hung shard is re-simulated from zero and re-advanced, so the
+        merged stream stays bit-identical to a fault-free run.  Lost
+        shards contribute synthesized held decisions at their window
+        boundaries (gate probability frozen at its last value).
         """
-        outs = self.pool.broadcast(_shard_advance, until)
-        ticks = max(int(out[1]) for out in outs)
+        previous_ticks = self.ticks
+        live = [w for w in range(self.pool.size) if w not in self._lost]
+        redo: List[int] = []
+        for worker in live:
+            fault = self._due_fault(worker, self.ticks)
+            try:
+                self._submit_advance(worker, until, fault)
+            except WorkerCrash as exc:
+                self._note_failure(worker, exc)
+                redo.append(worker)
+        outs: Dict[int, Tuple[List[LiveDecision], int]] = {}
+        for worker in live:
+            if worker in redo:
+                recovered = self._recover_and_advance(worker, until)
+                if recovered is not None:
+                    outs[worker] = recovered
+                continue
+            try:
+                out = self.pool.result(worker, self._recv_timeout)
+                outs[worker] = (list(out[0]), int(out[1]))
+            except (WorkerCrash, WorkerTimeout) as exc:
+                self._note_failure(worker, exc)
+                recovered = self._recover_and_advance(worker, until)
+                if recovered is not None:
+                    outs[worker] = recovered
+        ticks = max(
+            (out[1] for out in outs.values()), default=previous_ticks
+        )
+        self.ticks = max(self.ticks, ticks)
+        self._live_now = until
         events: List[Tuple[int, int, int, LiveDecision]] = []
-        for worker, (drained, _) in enumerate(outs):
+        for worker, (drained, _) in sorted(outs.items()):
             for sequence, item in enumerate(drained):
                 events.append((int(item[0]), worker, sequence, item))
+        for worker in sorted(self._lost):
+            sequence = 0
+            for tick in range(previous_ticks + 1, self.ticks + 1):
+                for name, decision in self._synthesize(worker, tick):
+                    events.append(
+                        (
+                            tick,
+                            worker,
+                            sequence,
+                            (
+                                tick,
+                                name,
+                                decision,
+                                self._last_gate_p.get(name, 0.0),
+                            ),
+                        )
+                    )
+                    sequence += 1
         events.sort(key=lambda event: (event[0], event[1], event[2]))
-        self.ticks = max(self.ticks, ticks)
         merged: List[Tuple[str, MonitorDecision, float]] = []
-        for _, _, _, (_, name, decision, gate_p) in events:
+        for _, worker, _, (_, name, decision, gate_p) in events:
+            if worker not in self._lost:
+                self._last_decisions[name] = decision
+                self._held_streaks[name] = 0
+                self._last_gate_p[name] = float(gate_p)
             if self.on_decision is not None:
                 self.on_decision(name, decision)
             merged.append((name, decision, float(gate_p)))
         return merged
 
     def detach(self) -> None:
-        """Stop live sampling on every shard."""
-        self.pool.broadcast(_shard_detach)
+        """Stop live sampling on every live shard."""
+        self._call_live(_shard_detach, lambda worker: ())
 
     # ------------------------------------------------------------------
     # checkpoint / inspection
@@ -550,52 +1237,60 @@ class ShardedCapacityService:
         """
         target = Path(directory)
         target.mkdir(parents=True, exist_ok=True)
-        for worker in range(self.pool.size):
-            self.pool.submit(worker, _shard_save, str(target), worker)
-        fragments = [
-            self.pool.result(worker) for worker in range(self.pool.size)
-        ]
+        fragments = self._call_live(
+            _shard_save, lambda worker: (str(target), worker)
+        )
         manifest: Dict[str, Any] = {
             "format": SERVICE_FORMAT,
             "layout": "sharded",
             "ticks": self.ticks,
             "shards": [
                 {"file": fragment["file"], "sites": fragment["sites"]}
-                for fragment in fragments
+                for _, fragment in sorted(fragments.items())
             ],
             "gates": {},
             "injectors": {},
             "watchdogs": {},
         }
-        for fragment in fragments:
+        for _, fragment in sorted(fragments.items()):
             manifest["gates"].update(fragment["gates"])
             manifest["injectors"].update(fragment["injectors"])
             manifest["watchdogs"].update(fragment["watchdogs"])
+        if self._lost:
+            # recorded so a later resume can say *why* these sites have
+            # no state, instead of a bare missing-gate error
+            manifest["lost_sites"] = self.lost_sites()
         write_json_atomic(target / "service.json", manifest)
         return target
 
     def sync(self) -> None:
-        """Materialize cohort members on every shard."""
-        self.pool.broadcast(_shard_sync)
+        """Materialize cohort members on every live shard."""
+        self._call_live(_shard_sync, lambda worker: ())
 
     def gate_states(self) -> Dict[str, Dict[str, Any]]:
-        """Every site's gate ``state_dict``, in global site order."""
+        """Live sites' gate ``state_dict``, in global site order."""
         merged: Dict[str, Dict[str, Any]] = {}
-        for states in self.pool.broadcast(_shard_gate_states):
+        for _, states in sorted(
+            self._call_live(_shard_gate_states, lambda worker: ()).items()
+        ):
             merged.update(states)
         return merged
 
     def monitor_states(self) -> Dict[str, Dict[str, Any]]:
-        """Every site's post-sync monitor state + coordinator tables."""
+        """Live sites' post-sync monitor state + coordinator tables."""
         merged: Dict[str, Dict[str, Any]] = {}
-        for states in self.pool.broadcast(_shard_monitor_states):
+        for _, states in sorted(
+            self._call_live(_shard_monitor_states, lambda worker: ()).items()
+        ):
             merged.update(states)
         return merged
 
     def summary_rows(self) -> List[str]:
-        """Per-site status blocks, in global site order."""
+        """Per-site status blocks for live sites, in global site order."""
         rows: List[str] = []
-        for shard_rows in self.pool.broadcast(_shard_summary):
+        for _, shard_rows in sorted(
+            self._call_live(_shard_summary, lambda worker: ()).items()
+        ):
             rows.extend(shard_rows)
         return rows
 
@@ -612,13 +1307,19 @@ class ShardedCapacityService:
         if not OBS.enabled:
             return 0
         merged = 0
-        for lines in self.pool.broadcast(_shard_obs_lines):
+        for _, lines in sorted(
+            self._call_live(_shard_obs_lines, lambda worker: ()).items()
+        ):
             if lines:
                 merged += merge_snapshot(OBS.registry, lines)
         return merged
 
     def close(self) -> None:
-        """Merge worker metrics, then stop the workers (idempotent)."""
+        """Merge worker metrics, then stop the workers (idempotent).
+
+        Also removes the supervisor's private recovery-checkpoint
+        directory when it created one.
+        """
         if self._closed:
             return
         try:
@@ -626,6 +1327,8 @@ class ShardedCapacityService:
         finally:
             self._closed = True
             self.pool.close()
+            if self._ckpt_owned and self._ckpt_root is not None:
+                shutil.rmtree(self._ckpt_root, ignore_errors=True)
 
     def __enter__(self) -> "ShardedCapacityService":
         return self

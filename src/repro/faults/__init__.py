@@ -32,6 +32,11 @@ from .checkpoint import (
 )
 from .injector import FaultInjector, InjectionCounters
 from .plan import FAULT_KINDS, FaultPlan, FaultSpec
+from .process import (
+    PROCESS_FAULT_KINDS,
+    ProcessFaultPlan,
+    ProcessFaultSpec,
+)
 from .retry import retry_io
 from .watchdog import SamplerWatchdog, WatchdogCounters
 
@@ -43,6 +48,9 @@ __all__ = [
     "FaultPlan",
     "FaultSpec",
     "InjectionCounters",
+    "PROCESS_FAULT_KINDS",
+    "ProcessFaultPlan",
+    "ProcessFaultSpec",
     "SamplerWatchdog",
     "WatchdogCounters",
     "checkpoint_payload",

@@ -1,0 +1,220 @@
+"""Declarative, seedable *process-level* fault schedules.
+
+:class:`~repro.faults.plan.FaultPlan` injects faults into the telemetry
+stream; :class:`ProcessFaultPlan` injects faults into the **serving
+fabric itself** — the worker processes a
+:class:`~repro.control.shard.ShardedCapacityService` runs its shards
+on.  A plan is pure data (JSON round-trippable, CLI-parseable) naming
+which worker misbehaves at which global service tick:
+
+``kill``
+    The worker process receives SIGKILL mid-chunk — an OOM kill or
+    segfault.  The supervisor must detect the crash, respawn the
+    worker, and recover the shard.
+``hang``
+    The worker stops replying (it executes a long sleep instead of its
+    chunk) — a wedged collector or deadlocked child.  Only detectable
+    via the supervision recv timeout.
+``slow``
+    The worker delays its reply by ``delay`` seconds but then answers
+    correctly — a GC pause or noisy neighbour.  Must *not* trigger
+    recovery when the delay is under the recv timeout.
+
+Determinism contract: fault ticks/workers are explicit (or derived from
+``generate(seed, ...)`` which samples them from
+``default_rng([seed, index])``), injection is keyed purely on the
+service's global tick counter, and each fault fires at most once — so
+two runs of the same campaign under the same plan are byte-identical,
+which is what lets CI gate crash recovery like any other campaign.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+import numpy as np
+
+__all__ = ["PROCESS_FAULT_KINDS", "ProcessFaultPlan", "ProcessFaultSpec"]
+
+PROCESS_FAULT_KINDS = ("kill", "hang", "slow")
+
+PROCESS_PLAN_FORMAT = "repro.process-fault-plan/1"
+
+#: CLI grammar for one fault: ``kind@tick:wINDEX[:delay]``
+_SPEC_RE = re.compile(
+    r"^(?P<kind>[a-z_]+)@(?P<tick>\d+):w(?P<worker>\d+)"
+    r"(?::(?P<delay>[0-9.]+))?$"
+)
+
+
+@dataclass(frozen=True)
+class ProcessFaultSpec:
+    """One scheduled process fault.
+
+    ``tick`` is the *global service tick* (delivered-record index across
+    the whole replay) at which the fault arms; it fires when the worker
+    is next dispatched a chunk covering that tick.  ``delay`` only
+    matters for ``slow`` — the seconds the worker stalls before
+    answering.
+    """
+
+    kind: str
+    tick: int
+    worker: int
+    delay: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.kind not in PROCESS_FAULT_KINDS:
+            raise ValueError(
+                f"unknown process fault kind {self.kind!r}; "
+                f"choose from {PROCESS_FAULT_KINDS}"
+            )
+        if self.tick < 0:
+            raise ValueError("tick must be a non-negative index")
+        if self.worker < 0:
+            raise ValueError("worker must be a non-negative index")
+        if self.delay < 0:
+            raise ValueError("delay must be non-negative")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "tick": self.tick,
+            "worker": self.worker,
+            "delay": self.delay,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "ProcessFaultSpec":
+        return cls(
+            kind=str(payload["kind"]),
+            tick=int(payload["tick"]),  # type: ignore[arg-type]
+            worker=int(payload["worker"]),  # type: ignore[arg-type]
+            delay=float(payload.get("delay", 0.5)),  # type: ignore[arg-type]
+        )
+
+    @classmethod
+    def parse(cls, text: str) -> "ProcessFaultSpec":
+        """Parse one ``kind@tick:wINDEX[:delay]`` CLI token."""
+        match = _SPEC_RE.match(text.strip())
+        if match is None:
+            raise ValueError(
+                f"bad process fault {text!r}; expected kind@tick:wINDEX"
+                "[:delay], e.g. kill@120:w1 or slow@50:w2:0.25"
+            )
+        delay = match.group("delay")
+        return cls(
+            kind=match.group("kind"),
+            tick=int(match.group("tick")),
+            worker=int(match.group("worker")),
+            delay=0.5 if delay is None else float(delay),
+        )
+
+
+@dataclass(frozen=True)
+class ProcessFaultPlan:
+    """A seed plus an ordered schedule of process faults.
+
+    The seed is carried for provenance (and used by :meth:`generate`);
+    injection itself is fully determined by the spec list.
+    """
+
+    seed: int = 0
+    faults: Tuple[ProcessFaultSpec, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "faults", tuple(self.faults))
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def for_worker(self, worker: int) -> Tuple[ProcessFaultSpec, ...]:
+        """The specs targeting one worker, in schedule order."""
+        return tuple(s for s in self.faults if s.worker == worker)
+
+    def max_worker(self) -> int:
+        """Highest worker index any spec targets (-1 when empty)."""
+        return max((s.worker for s in self.faults), default=-1)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "format": PROCESS_PLAN_FORMAT,
+            "seed": self.seed,
+            "faults": [spec.to_dict() for spec in self.faults],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "ProcessFaultPlan":
+        if payload.get("format") != PROCESS_PLAN_FORMAT:
+            raise ValueError("payload is not a serialized ProcessFaultPlan")
+        return cls(
+            seed=int(payload["seed"]),  # type: ignore[arg-type]
+            faults=tuple(
+                ProcessFaultSpec.from_dict(item)
+                for item in payload["faults"]  # type: ignore[union-attr]
+            ),
+        )
+
+    def save(self, path: Union[str, Path]) -> None:
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2))
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "ProcessFaultPlan":
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+    @classmethod
+    def parse(cls, text: str, *, seed: int = 0) -> "ProcessFaultPlan":
+        """Parse the CLI grammar: comma-separated spec tokens.
+
+        ``"kill@120:w1,hang@300:w0,slow@50:w2:0.25"`` → three faults.
+        An empty/whitespace string parses to an empty plan.
+        """
+        tokens = [tok for tok in text.split(",") if tok.strip()]
+        return cls(
+            seed=seed,
+            faults=tuple(ProcessFaultSpec.parse(tok) for tok in tokens),
+        )
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        *,
+        ticks: int,
+        workers: int,
+        kills: int = 1,
+        hangs: int = 0,
+        slows: int = 0,
+        slow_delay: float = 0.25,
+    ) -> "ProcessFaultPlan":
+        """Sample a random-but-reproducible campaign plan.
+
+        Each fault draws its (tick, worker) from
+        ``default_rng([seed, index])`` — index being its position in the
+        kill/hang/slow concatenation — so the sampled schedule is a
+        pure function of the arguments.  Ticks land in
+        ``[1, ticks - 1]`` so every fault fires mid-campaign.
+        """
+        if ticks < 2:
+            raise ValueError("need at least 2 ticks for a mid-run fault")
+        if workers < 1:
+            raise ValueError("workers must be positive")
+        kinds: List[str] = (
+            ["kill"] * kills + ["hang"] * hangs + ["slow"] * slows
+        )
+        specs = []
+        for index, kind in enumerate(kinds):
+            rng = np.random.default_rng([seed, index])
+            specs.append(
+                ProcessFaultSpec(
+                    kind=kind,
+                    tick=int(rng.integers(1, ticks)),
+                    worker=int(rng.integers(0, workers)),
+                    delay=slow_delay,
+                )
+            )
+        return cls(seed=seed, faults=tuple(specs))

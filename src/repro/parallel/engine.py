@@ -26,6 +26,16 @@ Workers share the parent's :class:`~repro.parallel.cache.ArtifactCache`
 directory when one is configured, so a warm fan-out degenerates to a
 parallel cache read and repeated invocations skip simulation and
 training entirely.
+
+Failure semantics
+-----------------
+The pool is *supervised*: a worker that dies mid-build surfaces as a
+:class:`~repro.parallel.pool.WorkerCrash` naming the worker index and
+exit code rather than a hung ``recv``, and the ``with`` exit escalates
+``join -> terminate -> kill`` so no zombie workers outlive a failed
+warm-up.  Artifact builds are pure functions of the config, so callers
+may simply retry ``warm_pipeline`` after a crash — already-memoized and
+cache-hit artifacts are never rebuilt.
 """
 
 from __future__ import annotations

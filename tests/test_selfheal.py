@@ -1,0 +1,599 @@
+"""Tests for the self-healing shard fabric.
+
+The contract under test is PR 8's acceptance bar:
+
+* a seeded process-chaos campaign (kill -9 / hang / slow workers at
+  given ticks) **recovers bit-identically**: the merged decision
+  stream, gate states and monitor tables equal the uninterrupted
+  single-process run, at 2 and 4 workers;
+* with recovery disabled the lost shard's sites degrade to held
+  decisions with geometrically decaying confidence — a telemetry
+  blackout, not an exception — and the service exits cleanly;
+* the :class:`~repro.parallel.pool.WorkerPool` substrate distinguishes
+  crash / hang / task-error, threads the real worker index into
+  errors, respawns dead workers through the initializer warm-up, and
+  ``close()`` escalates join → terminate → kill leaving no zombies;
+* ``ProcessFaultPlan`` round-trips its JSON and CLI grammars and
+  ``generate`` is a pure function of its seed;
+* the serve loops' graceful-signal shim records the first
+  SIGINT/SIGTERM and escalates on the second.
+"""
+
+import json
+import os
+import signal
+import time
+
+import pytest
+
+from repro.cli import _graceful_signals
+from repro.control import CapacityService, SiteSpec
+from repro.control.shard import ShardedCapacityService
+from repro.faults import (
+    ProcessFaultPlan,
+    ProcessFaultSpec,
+    decision_signature,
+)
+from repro.parallel.pool import (
+    WorkerCrash,
+    WorkerError,
+    WorkerPool,
+    WorkerTimeout,
+)
+from repro.telemetry.sampler import HPC_LEVEL
+
+
+@pytest.fixture(scope="module")
+def meter(mini_pipeline):
+    return mini_pipeline.meter(HPC_LEVEL)
+
+
+@pytest.fixture(scope="module")
+def labeler(mini_pipeline):
+    return mini_pipeline.labeler
+
+
+@pytest.fixture(scope="module")
+def records(mini_pipeline):
+    return mini_pipeline.test_run("ordering").records
+
+
+def make_specs(n=6):
+    return [SiteSpec(name=f"site{i}", seed=100 + i) for i in range(n)]
+
+
+def canon(state):
+    return json.dumps(state, sort_keys=True)
+
+
+def site_signatures(decisions):
+    per_site = {}
+    for name, decision in decisions:
+        per_site.setdefault(name, []).append(decision)
+    return {
+        name: decision_signature(site_decisions)
+        for name, site_decisions in per_site.items()
+    }
+
+
+@pytest.fixture(scope="module")
+def reference(meter, labeler, records):
+    """Uninterrupted single-process run: the bit-identity target."""
+    specs = make_specs()
+    service = CapacityService(meter, specs, labeler=labeler)
+    decisions = service.replay(records)
+    return {
+        "specs": specs,
+        "decisions": decisions,
+        "signatures": site_signatures(decisions),
+        "gates": {s.name: s.gate.state_dict() for s in service.sites},
+        "monitors": {
+            s.name: {
+                "state": s.monitor.state_dict(),
+                "tables": s.monitor.meter.coordinator.table_state(),
+            }
+            for s in service.sites
+        },
+    }
+
+
+# ----------------------------------------------------------------------
+# the fault plan is pure data
+# ----------------------------------------------------------------------
+class TestProcessFaultPlan:
+    def test_cli_grammar_round_trip(self):
+        plan = ProcessFaultPlan.parse(
+            "kill@120:w1,hang@300:w0,slow@50:w2:0.25", seed=7
+        )
+        assert [s.kind for s in plan.faults] == ["kill", "hang", "slow"]
+        assert plan.faults[2].delay == 0.25
+        assert plan.faults[0].delay == 0.5  # default
+        assert plan.max_worker() == 2
+        assert plan.for_worker(0) == (plan.faults[1],)
+        assert ProcessFaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_empty_and_bad_specs(self):
+        assert len(ProcessFaultPlan.parse("  ")) == 0
+        with pytest.raises(ValueError, match="expected kind@tick"):
+            ProcessFaultSpec.parse("kill@w1")
+        with pytest.raises(ValueError, match="unknown process fault"):
+            ProcessFaultSpec.parse("oom@10:w0")
+
+    def test_json_file_round_trip(self, tmp_path):
+        plan = ProcessFaultPlan.generate(3, ticks=100, workers=4, kills=2)
+        plan.save(tmp_path / "plan.json")
+        assert ProcessFaultPlan.load(tmp_path / "plan.json") == plan
+
+    def test_generate_is_seed_deterministic(self):
+        a = ProcessFaultPlan.generate(
+            11, ticks=200, workers=4, kills=2, hangs=1, slows=1
+        )
+        b = ProcessFaultPlan.generate(
+            11, ticks=200, workers=4, kills=2, hangs=1, slows=1
+        )
+        assert a == b
+        assert a != ProcessFaultPlan.generate(
+            12, ticks=200, workers=4, kills=2, hangs=1, slows=1
+        )
+        assert all(1 <= s.tick <= 199 for s in a.faults)
+
+    def test_service_validates_plan(self, meter, labeler):
+        out_of_range = ProcessFaultPlan(
+            faults=(ProcessFaultSpec(kind="kill", tick=5, worker=9),)
+        )
+        with pytest.raises(ValueError, match="targets worker 9"):
+            ShardedCapacityService(
+                meter,
+                make_specs(4),
+                workers=2,
+                labeler=labeler,
+                process_faults=out_of_range,
+            )
+        hang = ProcessFaultPlan(
+            faults=(ProcessFaultSpec(kind="hang", tick=5, worker=0),)
+        )
+        with pytest.raises(ValueError, match="need recv_timeout"):
+            ShardedCapacityService(
+                meter,
+                make_specs(4),
+                workers=2,
+                labeler=labeler,
+                process_faults=hang,
+            )
+
+
+# ----------------------------------------------------------------------
+# pool supervision primitives
+# ----------------------------------------------------------------------
+def _pool_square(value):
+    return value * value
+
+
+def _pool_boom():
+    raise RuntimeError("task exploded")
+
+
+def _pool_sleep_forever():
+    time.sleep(3600.0)
+
+
+def _pool_shrug_sigterm():
+    signal.signal(signal.SIGTERM, signal.SIG_IGN)
+    time.sleep(3600.0)
+
+
+def _proc_state(pid):
+    """Linux process state letter, or None once fully reaped."""
+    try:
+        with open(f"/proc/{pid}/stat") as handle:
+            return handle.read().rsplit(")", 1)[1].split()[0]
+    except (FileNotFoundError, ProcessLookupError, IndexError):
+        return None
+
+
+class TestPoolSupervision:
+    def test_kill_surfaces_as_crash_with_exitcode(self):
+        with WorkerPool(2) as pool:
+            os.kill(pool.pid(1), signal.SIGKILL)
+            with pytest.raises(WorkerCrash) as info:
+                pool.call(1, _pool_square, 2)
+            assert info.value.worker == 1
+            assert info.value.exitcode == -signal.SIGKILL
+            assert not pool.alive(1)
+            # the other worker's pipe is untouched
+            assert pool.call(0, _pool_square, 3) == 9
+
+    def test_hang_surfaces_as_timeout(self):
+        with WorkerPool(1) as pool:
+            pool.submit(0, _pool_sleep_forever)
+            with pytest.raises(WorkerTimeout) as info:
+                pool.result(0, timeout=0.3)
+            assert info.value.worker == 0
+            assert pool.alive(0)  # hung, not dead
+
+    def test_respawn_restores_a_dead_worker(self):
+        with WorkerPool(2) as pool:
+            first_pid = pool.pid(0)
+            os.kill(first_pid, signal.SIGKILL)
+            with pytest.raises(WorkerCrash):
+                pool.call(0, _pool_square, 2)
+            pool.respawn(0)
+            assert pool.pid(0) != first_pid
+            assert pool.call(0, _pool_square, 4) == 16
+
+    def test_task_error_names_the_real_worker(self):
+        """Regression: load_result used to raise WorkerError(-1, ...)."""
+        with WorkerPool(3) as pool:
+            with pytest.raises(WorkerError, match="worker 2") as info:
+                pool.call(2, _pool_boom)
+            assert info.value.worker == 2
+            # the worker survives its task's exception
+            assert pool.call(2, _pool_square, 5) == 25
+
+    def test_close_escalates_and_leaves_no_zombies(self):
+        """Regression: a wedged or SIGTERM-ignoring worker must not
+        survive ``close()`` as a live process or a zombie."""
+        pool = WorkerPool(2)
+        pids = [pool.pid(worker) for worker in range(2)]
+        pool.submit(0, _pool_sleep_forever)  # never reads "stop"
+        pool.submit(1, _pool_shrug_sigterm)  # survives terminate()
+        time.sleep(0.3)  # let worker 1 install its handler
+        pool.close(timeout=0.2)
+        for worker, pid in enumerate(pids):
+            assert not pool.alive(worker)
+            assert pool.exitcode(worker) is not None
+            assert _proc_state(pid) != "Z"
+        # worker 1 needed the kill escalation
+        assert pool.exitcode(1) == -signal.SIGKILL
+        pool.close()  # idempotent
+
+
+# ----------------------------------------------------------------------
+# the tentpole: chaos campaigns recover bit-identically
+# ----------------------------------------------------------------------
+class TestCrashRecoveryBitIdentity:
+    def _assert_matches_reference(self, service, decisions, reference):
+        assert [n for n, _ in decisions] == [
+            n for n, _ in reference["decisions"]
+        ]
+        assert site_signatures(decisions) == reference["signatures"]
+        assert service.gate_states() == reference["gates"]
+        assert canon(service.monitor_states()) == canon(
+            reference["monitors"]
+        )
+
+    @pytest.mark.parametrize("workers", (2, 4))
+    def test_kill_midreplay_recovers_bit_identically(
+        self, meter, labeler, records, reference, workers
+    ):
+        mid = len(records) // 2
+        plan = ProcessFaultPlan(
+            seed=1,
+            faults=(
+                ProcessFaultSpec(kind="kill", tick=mid, worker=0),
+                ProcessFaultSpec(
+                    kind="kill", tick=mid + 11, worker=workers - 1
+                ),
+            ),
+        )
+        with ShardedCapacityService(
+            meter,
+            reference["specs"],
+            workers=workers,
+            labeler=labeler,
+            chunk_ticks=7,
+            supervise_ticks=20,
+            process_faults=plan,
+        ) as service:
+            decisions = service.replay(records)
+            stats = service.supervisor_stats()
+            assert stats["faults_fired"] == 2
+            assert sum(stats["respawns"]) >= 2
+            assert stats["lost"] == []
+            assert stats["checkpoint_ticks"] > 0  # periodic ckpt ran
+            self._assert_matches_reference(service, decisions, reference)
+
+    def test_repeated_kills_on_one_worker(
+        self, meter, labeler, records, reference
+    ):
+        mid = len(records) // 2
+        plan = ProcessFaultPlan(
+            faults=(
+                ProcessFaultSpec(kind="kill", tick=mid - 10, worker=1),
+                ProcessFaultSpec(kind="kill", tick=mid + 10, worker=1),
+            ),
+        )
+        with ShardedCapacityService(
+            meter,
+            reference["specs"],
+            workers=2,
+            labeler=labeler,
+            chunk_ticks=5,
+            supervise_ticks=15,
+            max_respawns=3,
+            process_faults=plan,
+        ) as service:
+            decisions = service.replay(records)
+            assert service.supervisor_stats()["respawns"][1] == 2
+            assert service.lost_workers == ()
+            self._assert_matches_reference(service, decisions, reference)
+
+    def test_hang_detected_by_timeout_and_recovered(
+        self, meter, labeler, records, reference
+    ):
+        plan = ProcessFaultPlan(
+            faults=(
+                ProcessFaultSpec(
+                    kind="hang", tick=len(records) // 2, worker=1
+                ),
+            ),
+        )
+        with ShardedCapacityService(
+            meter,
+            reference["specs"],
+            workers=2,
+            labeler=labeler,
+            chunk_ticks=7,
+            supervise_ticks=20,
+            recv_timeout=1.0,
+            process_faults=plan,
+        ) as service:
+            decisions = service.replay(records)
+            assert service.supervisor_stats()["respawns"][1] >= 1
+            self._assert_matches_reference(service, decisions, reference)
+
+    def test_slow_reply_does_not_trigger_recovery(
+        self, meter, labeler, records, reference
+    ):
+        plan = ProcessFaultPlan(
+            faults=(
+                ProcessFaultSpec(
+                    kind="slow",
+                    tick=len(records) // 2,
+                    worker=0,
+                    delay=0.2,
+                ),
+            ),
+        )
+        with ShardedCapacityService(
+            meter,
+            reference["specs"],
+            workers=2,
+            labeler=labeler,
+            chunk_ticks=7,
+            recv_timeout=10.0,
+            process_faults=plan,
+        ) as service:
+            decisions = service.replay(records)
+            stats = service.supervisor_stats()
+            assert stats["faults_fired"] == 1
+            assert stats["respawns"] == [0, 0]
+            self._assert_matches_reference(service, decisions, reference)
+
+    def test_kill_during_resumed_campaign(
+        self, meter, labeler, records, reference, tmp_path
+    ):
+        """Recovery falls back to the operator checkpoint when the kill
+        lands before the first periodic supervision checkpoint."""
+        head_len = len(records) // 3
+        with ShardedCapacityService(
+            meter, reference["specs"], workers=2, labeler=labeler
+        ) as service:
+            head = service.replay(records[:head_len])
+            service.save(tmp_path / "ck")
+        plan = ProcessFaultPlan(
+            faults=(
+                ProcessFaultSpec(
+                    kind="kill", tick=head_len + 5, worker=0
+                ),
+            ),
+        )
+        with ShardedCapacityService.resume(
+            tmp_path / "ck",
+            reference["specs"],
+            workers=2,
+            labeler=labeler,
+            chunk_ticks=7,
+            supervise_ticks=0,  # no periodic ckpts: resume dir is source
+            process_faults=plan,
+        ) as service:
+            tail = service.replay(records[head_len:])
+            assert service.supervisor_stats()["respawns"][0] >= 1
+            assert site_signatures(head + tail) == reference["signatures"]
+            assert service.gate_states() == reference["gates"]
+
+
+# ----------------------------------------------------------------------
+# degraded merge: lost shards serve held, decaying decisions
+# ----------------------------------------------------------------------
+class TestDegradedMerge:
+    @pytest.fixture(scope="class")
+    def degraded(self, meter, labeler, records, reference):
+        """One campaign with recovery disabled and worker 0 killed."""
+        kill_tick = len(records) // 2
+        plan = ProcessFaultPlan(
+            faults=(
+                ProcessFaultSpec(kind="kill", tick=kill_tick, worker=0),
+            ),
+        )
+        with ShardedCapacityService(
+            meter,
+            reference["specs"],
+            workers=2,
+            labeler=labeler,
+            chunk_ticks=8,
+            recover=False,
+            process_faults=plan,
+        ) as service:
+            decisions = service.replay(records)
+            return {
+                "decisions": decisions,
+                "stats": service.supervisor_stats(),
+                "lost_workers": service.lost_workers,
+                "lost_sites": service.lost_sites(),
+            }
+
+    def test_blackout_not_exception(self, degraded, reference):
+        assert degraded["lost_workers"] == (0,)
+        assert degraded["lost_sites"] == ["site0", "site1", "site2"]
+        stats = degraded["stats"]
+        assert stats["lost_reasons"][0] == "recovery disabled"
+        assert stats["respawns"] == [0, 0]
+        assert stats["held_synthesized"] > 0
+        # the surviving shard's stream is untouched by the blackout
+        survivor_signatures = {
+            name: signature
+            for name, signature in site_signatures(
+                degraded["decisions"]
+            ).items()
+            if name not in degraded["lost_sites"]
+        }
+        assert survivor_signatures == {
+            name: reference["signatures"][name]
+            for name in survivor_signatures
+        }
+
+    def test_held_stream_decays_geometrically(self, degraded):
+        """Pin the synthesized stream: the monitor's quorum-failure
+        semantics (PR 3) lifted to fleet level."""
+        for name in degraded["lost_sites"]:
+            stream = [
+                d for n, d in degraded["decisions"] if n == name
+            ]
+            real = [d for d in stream if not d.held]
+            held = stream[len(real) :]
+            assert real and held, name
+            assert all(d.held for d in held)
+            previous = real[-1]
+            span = previous.t_end - previous.t_start
+            for k, decision in enumerate(held):
+                prediction = decision.prediction
+                assert decision.confidence == 0.0  # AIMD gates freeze
+                assert prediction.degraded
+                assert not prediction.confident
+                assert prediction.synopsis_votes == ()
+                assert len(prediction.abstained) > 0
+                # carried forward from the last real window
+                assert prediction.state == real[-1].prediction.state
+                assert decision.index == previous.index + 1
+                assert decision.t_start == previous.t_start + span
+                # geometric confidence decay (default 0.5 per window)
+                assert prediction.hc == pytest.approx(
+                    previous.prediction.hc * 0.5
+                )
+                previous = decision
+
+    def test_degraded_campaign_is_deterministic(
+        self, meter, labeler, records, reference, degraded
+    ):
+        """Two runs of the same seeded blackout are bit-identical —
+        what lets CI gate process-chaos campaigns byte-for-byte."""
+        kill_tick = len(records) // 2
+        plan = ProcessFaultPlan(
+            faults=(
+                ProcessFaultSpec(kind="kill", tick=kill_tick, worker=0),
+            ),
+        )
+        with ShardedCapacityService(
+            meter,
+            reference["specs"],
+            workers=2,
+            labeler=labeler,
+            chunk_ticks=8,
+            recover=False,
+            process_faults=plan,
+        ) as service:
+            rerun = service.replay(records)
+        assert [n for n, _ in rerun] == [
+            n for n, _ in degraded["decisions"]
+        ]
+        assert site_signatures(rerun) == site_signatures(
+            degraded["decisions"]
+        )
+
+    def test_respawn_budget_exhaustion_degrades(
+        self, meter, labeler, records, reference
+    ):
+        plan = ProcessFaultPlan(
+            faults=(
+                ProcessFaultSpec(
+                    kind="kill", tick=len(records) // 2, worker=1
+                ),
+            ),
+        )
+        with ShardedCapacityService(
+            meter,
+            reference["specs"],
+            workers=2,
+            labeler=labeler,
+            chunk_ticks=8,
+            max_respawns=0,
+            process_faults=plan,
+        ) as service:
+            service.replay(records)
+            assert service.lost_workers == (1,)
+            reason = service.supervisor_stats()["lost_reasons"][1]
+            assert reason == "respawn budget exhausted"
+
+    def test_degraded_checkpoint_names_lost_sites_on_resume(
+        self, meter, labeler, records, reference, tmp_path
+    ):
+        plan = ProcessFaultPlan(
+            faults=(
+                ProcessFaultSpec(
+                    kind="kill", tick=len(records) // 3, worker=0
+                ),
+            ),
+        )
+        with ShardedCapacityService(
+            meter,
+            reference["specs"],
+            workers=2,
+            labeler=labeler,
+            recover=False,
+            process_faults=plan,
+        ) as service:
+            service.replay(records[: len(records) // 2])
+            target = service.save(tmp_path / "degraded-ck")
+        from repro.faults.checkpoint import read_json_checkpoint
+
+        manifest = read_json_checkpoint(target / "service.json")
+        assert manifest["lost_sites"] == ["site0", "site1", "site2"]
+        with pytest.raises(ValueError, match="served degraded"):
+            ShardedCapacityService.resume(
+                target, reference["specs"], workers=2, labeler=labeler
+            )
+        with pytest.raises(ValueError, match="served degraded"):
+            CapacityService.resume(
+                target, reference["specs"], labeler=labeler
+            )
+        # surviving sites alone resume fine
+        survivors = [
+            spec
+            for spec in reference["specs"]
+            if spec.name not in manifest["lost_sites"]
+        ]
+        with ShardedCapacityService.resume(
+            target, survivors, workers=2, labeler=labeler
+        ) as resumed:
+            assert resumed.site_names == [s.name for s in survivors]
+
+
+# ----------------------------------------------------------------------
+# graceful shutdown signals
+# ----------------------------------------------------------------------
+class TestGracefulSignals:
+    def test_first_signal_recorded_second_escalates(self):
+        before_int = signal.getsignal(signal.SIGINT)
+        before_term = signal.getsignal(signal.SIGTERM)
+        with _graceful_signals() as interrupted:
+            assert interrupted() is None
+            os.kill(os.getpid(), signal.SIGTERM)
+            time.sleep(0.01)  # deliver at the next bytecode boundary
+            assert interrupted() == signal.SIGTERM
+            with pytest.raises(KeyboardInterrupt):
+                os.kill(os.getpid(), signal.SIGINT)
+                time.sleep(0.01)
+        # handlers restored on exit
+        assert signal.getsignal(signal.SIGINT) is before_int
+        assert signal.getsignal(signal.SIGTERM) is before_term
