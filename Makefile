@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint type bench bench-smoke bench-compare obs-overhead serve-demo examples clean
+.PHONY: install test lint type bench bench-smoke bench-compare obs-overhead serve-demo serve-http-demo slo-check examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -34,6 +34,16 @@ obs-overhead:
 # two monitored sites behind AIMD admission gates, live
 serve-demo:
 	$(PYTHON) -m repro.cli serve --sites 2 --profile stress --scale 0.2 --seed 7
+
+# the same two sites behind the HTTP front end; curl /admit, /decide,
+# /healthz or /metrics on port 8127, Ctrl-C drains gracefully
+serve-http-demo:
+	$(PYTHON) -m repro.cli serve-http --sites 2 --profile stress --scale 0.2 --seed 7 --port 8127
+
+# end-to-end SLO check: serve, drive open-loop, gate p99 + zero errors
+slo-check:
+	$(PYTHON) benchmarks/run_http_slo.py --rps 200 --duration 10
+	$(PYTHON) benchmarks/compare_baselines.py --only http --time-tolerance 2.0
 
 examples:
 	$(PYTHON) examples/quickstart.py 0.2

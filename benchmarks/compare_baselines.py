@@ -18,6 +18,16 @@ tracked, covering the repository's performance-sensitive subsystems:
 * ``fig4_coordinated_accuracy.txt`` — coordinated prediction accuracy
   across the four workloads at both metric levels.
 
+A sixth artifact, ``BENCH_http.json`` (written by ``repro loadgen``
+against a live ``repro serve-http``), is gated separately via
+``--only http`` because it is produced by the http-slo CI job, not the
+benchmark suite: its admit-latency percentiles compare against the
+``http_ms`` baselines, its p99 must clear a hard SLO ceiling, and its
+error/timeout/5xx counters must all be zero.  Latency gates are
+cores-aware — hosts below 4 CPUs report SKIPPED rather than passing an
+SLO they cannot meaningfully measure — but the zero-error gates apply
+on any host.
+
 Timing metrics are compared one-sidedly: a fresh number may beat the
 baseline by any margin but may exceed it only by ``--time-tolerance``
 (a fraction; 0.2 means +20%).  Accuracy metrics are deterministic at
@@ -88,6 +98,17 @@ OVERHEAD_CEILINGS = (
     ("BENCH_shards.json", "supervised_overhead", 1.10, 4),
 )
 
+#: BENCH_http.json admit-latency percentiles gated against ``http_ms``
+HTTP_KEYS = ("p50", "p99", "p999")
+
+#: the hard SLO on the HTTP decision path: admit p99 in milliseconds.
+#: Calibrated from a loaded smoke run (p99 ~7 ms on a small host) with
+#: generous headroom for shared CI runners.
+HTTP_SLO_P99_MS = 50.0
+
+#: cores below which latency gates SKIP instead of passing vacuously
+HTTP_SLO_CORES = 4
+
 _DECISION_ROW = re.compile(r"^(\w+)\s+([\d.]+)\s+(?:[\d.]+|-)\s*$")
 _FIG4_ROW = re.compile(
     r"^(\w+)\s+([\d.]+)\s+([\d.]+)\s+([\d.]+)\s+([\d.]+)\s*$"
@@ -134,6 +155,55 @@ def parse_parallel(path: Path) -> Dict[str, float]:
 def parse_serve(path: Path) -> Dict[str, float]:
     payload = json.loads(path.read_text())
     return {key: float(payload[key]) for key in SERVE_KEYS}
+
+
+def parse_http(path: Path) -> Dict[str, float]:
+    """``{percentile: ms}`` from the loadgen's BENCH_http.json."""
+    latency = json.loads(path.read_text())["admit_latency_ms"]
+    return {key: float(latency[key]) for key in HTTP_KEYS}
+
+
+def check_http_slo(
+    results_dir: Path, failures: List[str], rows: List[str]
+) -> None:
+    """Gate the HTTP decision path: zero errors, p99 under the SLO.
+
+    The correctness gates (errors / timeouts / 5xx all zero, and the
+    run actually drove traffic) apply on any host.  The p99 ceiling is
+    cores-aware like the parallelism floors: below ``HTTP_SLO_CORES``
+    the row reports SKIPPED — the http-slo CI job separately asserts
+    its runner is big enough, so the gate never passes vacuously there.
+    """
+    payload = json.loads((results_dir / "BENCH_http.json").read_text())
+    requests = int(payload.get("requests", 0))
+    verdict = "ok" if requests > 0 else "REGRESSION"
+    rows.append(f"  http.{'requests':16} {requests:21d}  must be > 0  {verdict}")
+    if requests <= 0:
+        failures.append("BENCH_http.json: the loadgen drove no requests")
+    for key in ("errors", "timeouts", "status_5xx"):
+        count = int(payload.get(key, 0))
+        verdict = "ok" if count == 0 else "REGRESSION"
+        rows.append(f"  http.{key:16} {count:21d}  must be 0    {verdict}")
+        if count:
+            failures.append(f"BENCH_http.json:{key}: {count} != 0")
+    p99 = float(payload["admit_latency_ms"]["p99"])
+    cpu_count = int(payload.get("cpu_count") or 1)
+    if cpu_count < HTTP_SLO_CORES:
+        rows.append(
+            f"  http.p99          {p99:18.3f} ms  SLO {HTTP_SLO_P99_MS:.0f} ms"
+            f"      SKIPPED ({cpu_count} < {HTTP_SLO_CORES} cores)"
+        )
+        return
+    verdict = "ok" if p99 <= HTTP_SLO_P99_MS else "REGRESSION"
+    rows.append(
+        f"  http.p99          {p99:18.3f} ms  SLO {HTTP_SLO_P99_MS:.0f} ms"
+        f"      {verdict}"
+    )
+    if p99 > HTTP_SLO_P99_MS:
+        failures.append(
+            f"BENCH_http.json: admit p99 {p99:.3f} ms breaches the "
+            f"{HTTP_SLO_P99_MS:.0f} ms SLO"
+        )
 
 
 def collect(results_dir: Path) -> Dict[str, object]:
@@ -327,6 +397,85 @@ def compare(
     return rows, failures
 
 
+def main_http(args: argparse.Namespace) -> int:
+    """The ``--only http`` path: gate BENCH_http.json by itself.
+
+    The artifact is *required* — a missing file is exit 2, never a
+    pass — and ``--update`` merges the fresh ``http_ms`` percentiles
+    into the committed baselines without touching the suite's numbers.
+    """
+    http_path = args.results_dir / "BENCH_http.json"
+    try:
+        fresh = parse_http(http_path)
+    except (FileNotFoundError, KeyError, ValueError) as exc:
+        print(f"cannot read {http_path}: {exc}")
+        print(
+            "drive the server first, e.g.\n"
+            "  make slo-check\n"
+            "or manually:\n"
+            "  repro serve-http --sites 2 --scale 0.2 --port 8127 "
+            "--duration 45 &\n"
+            "  repro loadgen --url http://127.0.0.1:8127 --rps 200 "
+            "--duration 10 --out benchmarks/results/BENCH_http.json"
+        )
+        return 2
+
+    if args.update:
+        merged: Dict[str, object] = {}
+        if args.baselines.is_file():
+            merged = json.loads(args.baselines.read_text())
+        merged["http_ms"] = fresh
+        args.baselines.parent.mkdir(parents=True, exist_ok=True)
+        args.baselines.write_text(json.dumps(merged, indent=2) + "\n")
+        print(f"http_ms baselines updated: {args.baselines}")
+        return 0
+
+    if not args.baselines.is_file():
+        print(f"no baselines at {args.baselines}; run with --update first")
+        return 2
+    baselines = json.loads(args.baselines.read_text())
+    if "http_ms" not in baselines:
+        print(
+            f"{args.baselines} has no http_ms section; "
+            "run --only http --update first"
+        )
+        return 2
+
+    failures: List[str] = []
+    rows: List[str] = []
+    payload = json.loads(http_path.read_text())
+    cpu_count = int(payload.get("cpu_count") or 1)
+    if cpu_count >= HTTP_SLO_CORES:
+        _compare_timing(
+            "http_ms",
+            baselines["http_ms"],
+            fresh,
+            args.time_tolerance,
+            failures,
+            rows,
+        )
+    else:
+        rows.append(
+            f"  http_ms baseline comparison SKIPPED "
+            f"({cpu_count} < {HTTP_SLO_CORES} cores)"
+        )
+    check_http_slo(args.results_dir, failures, rows)
+    print(
+        f"gating {http_path} against {args.baselines} "
+        f"(time +{args.time_tolerance * 100:.0f}%, "
+        f"SLO p99 <= {HTTP_SLO_P99_MS:.0f} ms)"
+    )
+    for row in rows:
+        print(row)
+    if failures:
+        print(f"\n{len(failures)} regression(s):")
+        for failure in failures:
+            print(f"  FAIL {failure}")
+        return 1
+    print("\nhttp decision path within SLO")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -359,7 +508,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="write the fresh numbers as the new baselines and exit",
     )
+    parser.add_argument(
+        "--only",
+        choices=("all", "http"),
+        default="all",
+        help="'http' gates BENCH_http.json alone (the http-slo CI job "
+        "produces no other artifacts); 'all' gates the benchmark suite",
+    )
     args = parser.parse_args(argv)
+
+    if args.only == "http":
+        return main_http(args)
 
     try:
         fresh = collect(args.results_dir)

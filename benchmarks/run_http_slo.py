@@ -1,0 +1,137 @@
+"""Drive the HTTP SLO benchmark end to end: serve, load, report.
+
+Starts ``repro serve-http`` as a subprocess, waits for ``/healthz``,
+runs the seeded open-loop load driver against it in-process, writes
+``BENCH_http.json``, then SIGTERMs the server and checks it drained
+cleanly.  The artifact is gated afterwards by::
+
+    python benchmarks/compare_baselines.py --only http
+
+The server trains a fresh meter at ``--scale`` unless ``--meter``
+points at a saved one (``repro train --out meter.json`` makes one in a
+few seconds at smoke scale and is the cheaper path for repeat runs).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import signal
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def wait_for_port(stdout) -> int:
+    """Parse the bound port from the server's '# serving ...' line."""
+    deadline = time.monotonic() + 180.0
+    while time.monotonic() < deadline:
+        line = stdout.readline()
+        if not line:
+            raise RuntimeError("server exited before announcing its port")
+        sys.stdout.write(line)
+        sys.stdout.flush()
+        if line.startswith("# serving") and "http://" in line:
+            return int(line.split("http://")[1].split()[0].rsplit(":", 1)[1])
+    raise RuntimeError("server did not announce its port within 180s")
+
+
+def wait_for_health(port: int, timeout: float = 60.0) -> None:
+    deadline = time.monotonic() + timeout
+    url = f"http://127.0.0.1:{port}/healthz"
+    while time.monotonic() < deadline:
+        try:
+            with urllib.request.urlopen(url, timeout=2.0) as response:
+                if response.status == 200:
+                    return
+        except (urllib.error.URLError, OSError):
+            pass
+        time.sleep(0.25)
+    raise RuntimeError(f"server never became healthy on port {port}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--sites", type=int, default=2)
+    parser.add_argument("--scale", type=float, default=0.2)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--meter", default=None, help="saved meter JSON")
+    parser.add_argument("--rps", type=float, default=200.0)
+    parser.add_argument("--duration", type=float, default=10.0)
+    parser.add_argument("--mix", default="tpcw")
+    parser.add_argument("--connections", type=int, default=16)
+    parser.add_argument(
+        "--out", type=Path, default=RESULTS_DIR / "BENCH_http.json"
+    )
+    args = parser.parse_args(argv)
+
+    command = [
+        sys.executable, "-m", "repro.cli", "serve-http",
+        "--sites", str(args.sites),
+        "--scale", str(args.scale),
+        "--seed", str(args.seed),
+        "--port", "0",
+    ]
+    if args.meter:
+        command += ["--meter", args.meter]
+    server = subprocess.Popen(
+        command,
+        cwd=REPO,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    try:
+        port = wait_for_port(server.stdout)
+        wait_for_health(port)
+
+        from repro.frontend.loadgen import run_load
+
+        report = run_load(
+            host="127.0.0.1",
+            port=port,
+            rps=args.rps,
+            duration=args.duration,
+            mix_name=args.mix,
+            sites=[f"site{i}" for i in range(args.sites)],
+            seed=args.seed,
+            connections=args.connections,
+        )
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(json.dumps(report, indent=2) + "\n")
+        latency = report["admit_latency_ms"]
+        print(
+            f"# {report['requests']} requests, "
+            f"admitted={report['admitted']} rejected={report['rejected']} "
+            f"errors={report['errors']} timeouts={report['timeouts']} "
+            f"5xx={report['status_5xx']}"
+        )
+        print(
+            f"# admit latency ms: p50={latency['p50']:.3f} "
+            f"p99={latency['p99']:.3f} p999={latency['p999']:.3f}"
+        )
+        print(f"# wrote {args.out}")
+    finally:
+        if server.poll() is None:
+            server.send_signal(signal.SIGTERM)
+            try:
+                server.wait(timeout=30.0)
+            except subprocess.TimeoutExpired:
+                server.kill()
+                server.wait()
+        for line in server.stdout:
+            sys.stdout.write(line)
+    if server.returncode != 0:
+        print(f"server exited with {server.returncode}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -831,6 +831,300 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_http_backend(args, meter, labeler, specs):
+    """Build the ticking capacity service behind ``repro serve-http``.
+
+    Returns ``(service, tick, cleanup)``: ``tick`` is a callable the
+    background thread drives (returns False when the simulated
+    schedule is exhausted), ``cleanup`` tears the backend down.  Both
+    single-process and sharded services publish snapshots; the server
+    thread only ever reads ``service.snapshot``.
+    """
+    from .control.service import CapacityService
+    from .control.shard import ShardedCapacityService
+    from .faults.process import ProcessFaultPlan
+    from .simulator import (
+        AppServer,
+        DatabaseServer,
+        MultiTierWebsite,
+        Simulator,
+    )
+    from .workload.generator import ScheduleDriver
+    from .workload.rbe import RemoteBrowserEmulator
+
+    config = TestbedConfig()
+    slice_seconds = config.sampling_interval * 50
+    if args.workers > 0:
+        plan = None
+        if args.process_faults:
+            plan = ProcessFaultPlan.parse(args.process_faults)
+        service = ShardedCapacityService(
+            meter,
+            specs,
+            workers=args.workers,
+            labeler=labeler,
+            use_fleet=not args.no_fleet,
+            recover=not args.no_recover,
+            max_respawns=args.max_respawns,
+            recv_timeout=args.recv_timeout,
+            process_faults=plan,
+        )
+        service.enable_snapshots()
+        duration = service.attach_factory(
+            _serve_shard_factory, args.mix, args.profile, args.scale
+        )
+        state = {"now": 0.0}
+
+        def tick() -> bool:
+            if state["now"] >= duration:
+                return False
+            state["now"] = min(state["now"] + slice_seconds, duration)
+            service.advance(state["now"])
+            return True
+
+        def cleanup() -> None:
+            try:
+                service.detach()
+            finally:
+                service.close()
+
+        return service, tick, cleanup
+
+    mix = _resolve_mix(args.mix)
+    if args.profile == "training":
+        schedule = training_schedule(mix, config, scale=args.scale)
+    elif args.profile == "test":
+        schedule = steady_test_schedule(mix, config, scale=args.scale)
+    else:
+        schedule = stress_schedule(mix, config, scale=args.scale)
+    service = CapacityService(
+        meter,
+        specs,
+        labeler=labeler,
+        use_fleet=not args.no_fleet,
+    )
+    service.enable_snapshots()
+    sim = Simulator()
+    websites = {}
+    for spec in specs:
+        app = AppServer(sim, workers=config.app_workers)
+        db = DatabaseServer(sim, connections=config.db_connections)
+        website = MultiTierWebsite(sim, app, db)
+        websites[spec.name] = website
+        rbe = RemoteBrowserEmulator(
+            sim,
+            service.front_end(sim, spec.name, website),
+            mix,
+            think_time_mean=config.think_time_mean,
+            continuity=config.continuity,
+            seed=spec.seed,
+        )
+        ScheduleDriver(sim, rbe, schedule)
+    service.attach(
+        sim,
+        websites,
+        interval=config.sampling_interval,
+        hpc_noise=config.hpc_noise,
+        os_noise=config.os_noise,
+    )
+    state = {"now": 0.0}
+
+    def tick() -> bool:
+        if state["now"] >= schedule.duration:
+            return False
+        state["now"] = min(state["now"] + slice_seconds, schedule.duration)
+        sim.run(until=state["now"])
+        return True
+
+    return service, tick, service.stop
+
+
+def cmd_serve_http(args: argparse.Namespace) -> int:
+    """``repro serve-http``: the capacity meter behind HTTP.
+
+    The event loop (main thread) answers ``/admit``/``/decide``/
+    ``/healthz``/``/metrics`` from the service's published snapshots;
+    the service itself ticks on a daemon thread (or in sharded worker
+    processes), so admit latency never waits on window compute.  After
+    the simulated schedule is exhausted the server keeps answering
+    from the final snapshot until SIGTERM or ``--duration`` elapses.
+    """
+    import asyncio
+    import threading
+    import time as _time
+
+    from .control.service import SiteSpec
+    from .frontend.gateway import AdmitGateway
+    from .frontend.server import HttpCapacityServer
+
+    if args.sites < 1:
+        raise SystemExit("--sites must be at least 1")
+    if args.workers < 0:
+        raise SystemExit("--workers must be 0 (single process) or more")
+
+    labeler = SlaOracle()
+    if args.meter:
+        meter = CapacityMeter.load(args.meter, labeler=labeler)
+    else:
+        print(
+            f"# no --meter given: training a fresh {args.level} meter "
+            f"at scale {args.scale}",
+            flush=True,
+        )
+        pipeline = ExperimentPipeline(
+            PipelineConfig(scale=args.scale, window=_window_for(args.scale))
+        )
+        meter = pipeline.meter(args.level)
+        labeler = pipeline.labeler
+    specs = [
+        SiteSpec(
+            name=f"site{i}",
+            seed=args.seed + i,
+            confidence_floor=args.confidence_floor,
+        )
+        for i in range(args.sites)
+    ]
+    if not OBS.enabled:
+        # /metrics must expose something even without --metrics-out
+        OBS.enable()
+    # shorter GIL switch interval: the tick thread's numpy-free spans
+    # yield sooner, trimming the admit path's scheduling tail
+    sys.setswitchinterval(args.switch_interval)
+
+    service, tick, cleanup = _serve_http_backend(args, meter, labeler, specs)
+    gateway = AdmitGateway(
+        specs,
+        lambda: service.snapshot,
+        order_protect=args.order_protect,
+    )
+    server = HttpCapacityServer(
+        gateway,
+        host=args.host,
+        port=args.port,
+        queue_limit=args.queue_limit,
+        concurrency=args.concurrency,
+        deadline=args.deadline,
+        drain_grace=args.drain_grace,
+    )
+    stop = threading.Event()
+
+    def tick_loop() -> None:
+        try:
+            while not stop.is_set():
+                if not tick():
+                    break
+        except Exception as exc:  # noqa: BLE001 - surfaced on stdout
+            print(f"# tick loop failed: {exc!r}", flush=True)
+
+    thread = threading.Thread(
+        target=tick_loop, name="capacity-ticks", daemon=True
+    )
+
+    async def amain(interrupted: Callable[[], Optional[int]]) -> None:
+        await server.start()
+        print(
+            f"# serving {len(specs)} sites on "
+            f"http://{server.host}:{server.port} "
+            f"(workers={args.workers}, deadline={args.deadline}s)",
+            flush=True,
+        )
+        thread.start()
+        started = _time.monotonic()
+        while interrupted() is None:
+            if (
+                args.duration is not None
+                and _time.monotonic() - started >= args.duration
+            ):
+                break
+            await asyncio.sleep(0.05)
+        signum = interrupted()
+        if signum is not None:
+            print(
+                f"# interrupted (signal {signum}): draining in-flight "
+                f"requests",
+                flush=True,
+            )
+        await server.drain()
+
+    status = 0
+    with _graceful_signals() as interrupted:
+        try:
+            asyncio.run(amain(interrupted))
+        except KeyboardInterrupt:
+            print("# second signal: shutting down immediately", flush=True)
+            status = 1
+        finally:
+            stop.set()
+            thread.join(timeout=30.0)
+            try:
+                cleanup()
+            except Exception as exc:  # noqa: BLE001 - already stopping
+                print(f"# backend cleanup failed: {exc!r}", flush=True)
+    print(f"# http: {server.stats.summary()}")
+    print()
+    for row in service.summary_rows():
+        print(row)
+    return status
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    """``repro loadgen``: seeded open-loop driver for ``serve-http``."""
+    import json as _json
+    from urllib.parse import urlparse
+
+    from .frontend.loadgen import run_load
+
+    parsed = urlparse(args.url)
+    if parsed.scheme != "http" or parsed.hostname is None:
+        raise SystemExit(f"--url must be http://host:port, got {args.url!r}")
+    sites = [f"site{i}" for i in range(args.sites)]
+    report = run_load(
+        host=parsed.hostname,
+        port=parsed.port or 80,
+        rps=args.rps,
+        duration=args.duration,
+        mix_name=args.mix,
+        sites=sites,
+        seed=args.seed,
+        arrivals=args.arrivals,
+        timeout=args.timeout,
+        connections=args.connections,
+    )
+    out = args.out
+    if out:
+        from pathlib import Path
+
+        path = Path(out)
+        if path.parent != Path("."):
+            path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(_json.dumps(report, indent=2) + "\n")
+        print(f"# report written to {path}")
+    latency = report["admit_latency_ms"]
+    print(
+        f"# loadgen: {report['requests']} requests in "
+        f"{report['wall_s']:.2f}s (target {args.rps:g} rps, achieved "
+        f"{report['achieved_rps']:.1f})"
+    )
+    print(
+        f"# admitted={report['admitted']} rejected={report['rejected']} "
+        f"errors={report['errors']} timeouts={report['timeouts']} "
+        f"5xx={report['status_5xx']}"
+    )
+    print(
+        f"# admit latency ms: p50={latency['p50']:.3f} "
+        f"p99={latency['p99']:.3f} p999={latency['p999']:.3f} "
+        f"max={latency['max']:.3f}"
+    )
+    print(f"# schedule sha256: {report['schedule_sha256'][:16]}")
+    failures = (
+        report["errors"] + report["timeouts"] + report["status_5xx"]
+    )
+    if args.check and failures:
+        print(f"# FAIL: {failures} failed requests with --check")
+        return 1
+    return 0
+
+
 _ARTIFACTS = (
     "fig3",
     "table1a",
@@ -1323,6 +1617,167 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_metrics_out(serve)
     serve.set_defaults(func=cmd_serve)
+
+    serve_http = sub.add_parser(
+        "serve-http",
+        help="expose the capacity service's admission path over HTTP "
+        "(POST /admit, POST /decide, GET /healthz, GET /metrics)",
+    )
+    serve_http.add_argument(
+        "--sites", type=int, default=2,
+        help="number of independently monitored websites (default 2)",
+    )
+    serve_http.add_argument(
+        "--mix",
+        default="ordering",
+        help="browsing | shopping | ordering | unknown",
+    )
+    serve_http.add_argument(
+        "--profile",
+        choices=("training", "test", "stress"),
+        default="stress",
+        help="schedule shape driven at every site (default: stress)",
+    )
+    serve_http.add_argument("--scale", type=float, default=0.3)
+    serve_http.add_argument(
+        "--seed", type=int, default=1,
+        help="base seed; site i uses seed+i for traffic and sampling",
+    )
+    serve_http.add_argument(
+        "--meter", default=None, help="saved meter; omit to train fresh"
+    )
+    serve_http.add_argument(
+        "--level", choices=("hpc", "os", "hybrid"), default="hpc",
+        help="metric level when training a fresh meter",
+    )
+    serve_http.add_argument(
+        "--confidence-floor", type=float, default=0.75,
+        help="decisions below this telemetry confidence hold the "
+        "admission probability steady (default 0.75)",
+    )
+    serve_http.add_argument(
+        "--no-fleet", action="store_true",
+        help="disable the vectorized structure-of-arrays fleet backend",
+    )
+    serve_http.add_argument(
+        "--workers", type=int, default=0,
+        help="shard the ticking service across worker processes "
+        "(0 = tick on a thread in this process)",
+    )
+    serve_http.add_argument(
+        "--no-recover", action="store_true",
+        help="disable crash recovery: a dead shard's sites degrade to "
+        "held decisions and /healthz reports degraded",
+    )
+    serve_http.add_argument(
+        "--max-respawns", type=int, default=3, metavar="N",
+        help="respawn budget per worker before its shard is abandoned",
+    )
+    serve_http.add_argument(
+        "--recv-timeout", type=float, default=None, metavar="SECONDS",
+        help="supervision deadline for worker replies",
+    )
+    serve_http.add_argument(
+        "--process-faults", default=None, metavar="PLAN",
+        help="seeded process chaos for the sharded backend (see serve)",
+    )
+    serve_http.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default lo)"
+    )
+    serve_http.add_argument(
+        "--port", type=int, default=8127,
+        help="bind port; 0 picks a free one (default 8127)",
+    )
+    serve_http.add_argument(
+        "--queue-limit", type=int, default=256,
+        help="admit requests allowed to wait for a slot before the "
+        "server sheds with 503 queue_full (default 256)",
+    )
+    serve_http.add_argument(
+        "--concurrency", type=int, default=32,
+        help="admit requests served concurrently (default 32)",
+    )
+    serve_http.add_argument(
+        "--deadline", type=float, default=0.5,
+        help="per-request deadline in seconds; overruns answer 504 "
+        "and count in repro.obs (default 0.5)",
+    )
+    serve_http.add_argument(
+        "--drain-grace", type=float, default=5.0,
+        help="seconds to let in-flight requests finish on SIGTERM",
+    )
+    serve_http.add_argument(
+        "--duration", type=float, default=None,
+        help="exit after this many wall seconds (default: run until "
+        "SIGINT/SIGTERM)",
+    )
+    serve_http.add_argument(
+        "--order-protect", type=float, default=0.0,
+        help="admission-probability boost for Order-class requests "
+        "(0 = class-blind, bit-identical to GatedFrontEnd)",
+    )
+    serve_http.add_argument(
+        "--switch-interval", type=float, default=0.002,
+        help="sys.setswitchinterval for the tick thread's GIL slices "
+        "(default 0.002s; python default 0.005 adds admit tail)",
+    )
+    _add_metrics_out(serve_http)
+    serve_http.set_defaults(func=cmd_serve_http)
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="seeded open-loop HTTP load driver for serve-http "
+        "(Poisson/constant arrivals, TPC-W mix, tail-latency report)",
+    )
+    loadgen.add_argument(
+        "--url", default="http://127.0.0.1:8127",
+        help="serve-http endpoint (default http://127.0.0.1:8127)",
+    )
+    loadgen.add_argument(
+        "--rps", type=float, default=100.0,
+        help="target offered request rate (default 100)",
+    )
+    loadgen.add_argument(
+        "--duration", type=float, default=10.0,
+        help="seconds of scheduled arrivals (default 10)",
+    )
+    loadgen.add_argument(
+        "--mix", default="tpcw",
+        help="tpcw | browsing | shopping | ordering (tpcw = the "
+        "benchmark's canonical shopping mix)",
+    )
+    loadgen.add_argument(
+        "--sites", type=int, default=2,
+        help="spray requests across site0..site{N-1} (default 2; must "
+        "match the server's --sites)",
+    )
+    loadgen.add_argument(
+        "--seed", type=int, default=0,
+        help="schedule seed; same seed, byte-identical schedule",
+    )
+    loadgen.add_argument(
+        "--arrivals", choices=("poisson", "constant"), default="poisson",
+        help="open-loop arrival process (default poisson)",
+    )
+    loadgen.add_argument(
+        "--timeout", type=float, default=2.0,
+        help="per-request client timeout in seconds (default 2)",
+    )
+    loadgen.add_argument(
+        "--connections", type=int, default=16,
+        help="keep-alive client connections (default 16)",
+    )
+    loadgen.add_argument(
+        "--out", default="BENCH_http.json",
+        help="JSON report path (default BENCH_http.json; empty string "
+        "skips the file)",
+    )
+    loadgen.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero if any request errored, timed out or got "
+        "a 5xx (CI gate)",
+    )
+    loadgen.set_defaults(func=cmd_loadgen)
 
     report = sub.add_parser(
         "report", help="regenerate one of the paper's tables/figures"

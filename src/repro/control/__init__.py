@@ -16,6 +16,7 @@ from .differentiation import ClassDifferentiator, ClassStats
 from .fleet import FleetState
 from .service import CapacityService, SiteSpec
 from .shard import ShardedCapacityService, partition_sites
+from .snapshot import FleetSnapshot, SiteSnapshot, SnapshotPublisher
 
 __all__ = [
     "AdmissionController",
@@ -24,9 +25,12 @@ __all__ = [
     "CapacityService",
     "ClassDifferentiator",
     "ClassStats",
+    "FleetSnapshot",
     "FleetState",
     "GatedFrontEnd",
     "ShardedCapacityService",
+    "SiteSnapshot",
     "SiteSpec",
+    "SnapshotPublisher",
     "partition_sites",
 ]

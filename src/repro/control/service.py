@@ -83,6 +83,7 @@ from ..telemetry.sampler import IntervalRecord, TelemetrySampler, WindowStats
 from ..telemetry.streaming import StreamingWindow
 from .admission import AimdGate, GatedFrontEnd
 from .fleet import FleetState
+from .snapshot import FleetSnapshot, SnapshotPublisher
 
 __all__ = [
     "SERVICE_FORMAT",
@@ -277,6 +278,9 @@ class CapacityService:
         self.fleet: Optional[FleetState] = None
         self._samplers: List[TelemetrySampler] = []
         self._flush_timer: Optional[Any] = None
+        #: latest published FleetSnapshot; None until enable_snapshots()
+        self.snapshot: Optional[FleetSnapshot] = None
+        self._publisher: Optional[SnapshotPublisher] = None
 
     def _init_fleet(self, use_fleet: bool) -> None:
         """Adopt all sites into the structure-of-arrays backend."""
@@ -312,6 +316,25 @@ class CapacityService:
             if runtime.name == name:
                 return runtime
         raise KeyError(f"no site named {name!r}")
+
+    def enable_snapshots(self) -> FleetSnapshot:
+        """Start publishing lock-free gate-state snapshots.
+
+        After this, every flush ends by swapping a fresh immutable
+        :class:`~repro.control.snapshot.FleetSnapshot` into
+        ``self.snapshot`` (single reference assignment, atomic under
+        the GIL) — the HTTP front end reads it from any thread without
+        a lock.  Off by default: the plain replay/serve paths skip the
+        publisher entirely.
+        """
+        self._publisher = SnapshotPublisher(
+            {
+                site.name: site.gate.admission_probability
+                for site in self.sites
+            }
+        )
+        self.snapshot = self._publisher.publish(self.ticks)
+        return self.snapshot
 
     # ------------------------------------------------------------------
     # replay mode
@@ -491,9 +514,15 @@ class CapacityService:
             else:
                 decision = site.monitor.decide(window, votes=vote)
             site.gate.update(decision)
+            if self._publisher is not None:
+                self._publisher.update(
+                    site.name, decision, site.gate.admission_probability
+                )
             if self.on_decision is not None:
                 self.on_decision(site.name, decision)
             decisions.append((site.name, decision))
+        if self._publisher is not None:
+            self.snapshot = self._publisher.publish(self.ticks)
         return decisions
 
     def _flush_fleet(
@@ -552,9 +581,15 @@ class CapacityService:
         decisions: List[SiteDecision] = []
         for (site, _), decision in zip(pending, decided):
             assert decision is not None
+            if self._publisher is not None:
+                self._publisher.update(
+                    site.name, decision, site.gate.admission_probability
+                )
             if self.on_decision is not None:
                 self.on_decision(site.name, decision)
             decisions.append((site.name, decision))
+        if self._publisher is not None:
+            self.snapshot = self._publisher.publish(self.ticks)
         return decisions
 
     @property

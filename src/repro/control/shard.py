@@ -122,6 +122,7 @@ from .service import (
     SiteDecision,
     SiteSpec,
 )
+from .snapshot import FleetSnapshot, SnapshotPublisher
 
 __all__ = ["ShardedCapacityService", "partition_sites"]
 
@@ -493,6 +494,9 @@ class ShardedCapacityService:
         self._held_streaks: Dict[str, int] = {}
         self._last_gate_p: Dict[str, float] = {}
         self._held_emitted = 0
+        #: latest published FleetSnapshot; None until enable_snapshots()
+        self.snapshot: Optional[FleetSnapshot] = None
+        self._publisher: Optional[SnapshotPublisher] = None
         # live mode: factory + last merged slice boundary for recovery
         self._live_factory: Optional[Callable[..., Tuple[Any, float]]] = None
         self._live_args: Tuple[Any, ...] = ()
@@ -628,6 +632,32 @@ class ShardedCapacityService:
             for worker in sorted(self._lost)
             for spec in self.shards[worker]
         ]
+
+    def enable_snapshots(self) -> FleetSnapshot:
+        """Start publishing lock-free gate-state snapshots.
+
+        Mirrors :meth:`CapacityService.enable_snapshots`: every merged
+        chunk / live slice ends by swapping a fresh immutable
+        :class:`~repro.control.snapshot.FleetSnapshot` into
+        ``self.snapshot`` via a single reference assignment, readable
+        from any thread without a lock.  Gates live in the workers, so
+        entries start at the AIMD initial probability (1.0) and track
+        live-mode gate reports thereafter (replay merges carry no gate
+        probabilities — those entries keep their last value).  The
+        snapshot's ``lost_sites`` mirrors :meth:`lost_sites`, which is
+        what makes ``GET /healthz`` degraded-aware.
+        """
+        self._publisher = SnapshotPublisher(
+            {
+                spec.name: 1.0
+                for shard in self.shards
+                for spec in shard
+            }
+        )
+        self.snapshot = self._publisher.publish(
+            self.ticks, tuple(self.lost_sites())
+        )
+        return self.snapshot
 
     def supervisor_stats(self) -> Dict[str, Any]:
         """Operational summary of the self-healing machinery."""
@@ -987,9 +1017,15 @@ class ShardedCapacityService:
                         self._last_decisions[name] = decision
                         self._held_streaks[name] = 0
                 for name, decision in emitted:
+                    if self._publisher is not None:
+                        self._publisher.update(name, decision)
                     if self.on_decision is not None:
                         self.on_decision(name, decision)
                     merged.append((name, decision))
+        if self._publisher is not None:
+            self.snapshot = self._publisher.publish(
+                self.ticks, tuple(self.lost_sites())
+            )
         return merged
 
     def push(self, record: IntervalRecord) -> List[SiteDecision]:
@@ -1210,13 +1246,25 @@ class ShardedCapacityService:
         events.sort(key=lambda event: (event[0], event[1], event[2]))
         merged: List[Tuple[str, MonitorDecision, float]] = []
         for _, worker, _, (_, name, decision, gate_p) in events:
-            if worker not in self._lost:
+            lost = worker in self._lost
+            if not lost:
                 self._last_decisions[name] = decision
                 self._held_streaks[name] = 0
                 self._last_gate_p[name] = float(gate_p)
+            if self._publisher is not None:
+                # lost shards: probability stays frozen at its last
+                # published value (the synthesized gate_p may be a 0.0
+                # placeholder when no real decision preceded the loss)
+                self._publisher.update(
+                    name, decision, None if lost else float(gate_p)
+                )
             if self.on_decision is not None:
                 self.on_decision(name, decision)
             merged.append((name, decision, float(gate_p)))
+        if self._publisher is not None:
+            self.snapshot = self._publisher.publish(
+                self.ticks, tuple(self.lost_sites())
+            )
         return merged
 
     def detach(self) -> None:

@@ -1,0 +1,148 @@
+"""Lock-free published snapshots of the fleet's gate state.
+
+The HTTP front end (:mod:`repro.frontend`) must answer admit queries
+with p99 latency decoupled from window-compute time, while telemetry
+folding and batched inference keep running on the service's tick loop
+(a background thread, or worker processes behind
+:class:`~repro.control.shard.ShardedCapacityService`).  Sharing the
+live gate objects across threads would need a lock on the decision
+path; instead the service *publishes*: at the end of every flush it
+builds an immutable :class:`FleetSnapshot` and swaps it into
+``service.snapshot`` with a single reference assignment — atomic under
+the GIL, so a reader on any thread always sees a complete, consistent
+snapshot (possibly one window stale, never torn).
+
+Publication is opt-in (:meth:`CapacityService.enable_snapshots`):
+the default replay/serve paths pay nothing, keeping the fleet-scale
+benchmark floors untouched.
+
+``lost_sites`` carries the sharded service's degraded-merge state
+(PR 8): sites whose shard worker is gone are being served held
+decisions with decaying confidence — a telemetry blackout — and a
+health endpoint must report that instead of letting an orchestrator
+route traffic to a blind meter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Dict, Mapping, Optional, Tuple
+
+from ..core.monitor import MonitorDecision
+
+__all__ = ["FleetSnapshot", "SiteSnapshot", "SnapshotPublisher"]
+
+
+@dataclass(frozen=True)
+class SiteSnapshot:
+    """One site's published admission state, immutable.
+
+    ``window_index`` is -1 until the site's first decided window;
+    ``degraded`` marks decisions below full telemetry confidence
+    (held quorum failures, lost-shard synthesis) — the AIMD gate holds
+    its probability on those, and the front end surfaces the flag.
+    """
+
+    name: str
+    admission_probability: float
+    confidence: float
+    overloaded: bool
+    held: bool
+    degraded: bool
+    window_index: int
+
+
+@dataclass(frozen=True)
+class FleetSnapshot:
+    """Immutable point-in-time view of every site's gate state.
+
+    ``seq`` increments per publication (readers can detect staleness
+    cheaply); ``tick`` is the service tick counter at publish time;
+    ``lost_sites`` names sites currently served by degraded-merge
+    synthesis only (their shard worker is gone).
+    """
+
+    seq: int
+    tick: int
+    sites: Mapping[str, SiteSnapshot] = field(default_factory=dict)
+    lost_sites: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        # deep immutability: readers on other threads must never see a
+        # snapshot change under them, however it was constructed
+        object.__setattr__(self, "sites", MappingProxyType(dict(self.sites)))
+
+    @property
+    def healthy(self) -> bool:
+        """False while any site is served from a lost shard."""
+        return not self.lost_sites
+
+
+def _entry(
+    name: str,
+    probability: float,
+    decision: Optional[MonitorDecision],
+) -> SiteSnapshot:
+    if decision is None:
+        return SiteSnapshot(
+            name=name,
+            admission_probability=probability,
+            confidence=1.0,
+            overloaded=False,
+            held=False,
+            degraded=False,
+            window_index=-1,
+        )
+    return SiteSnapshot(
+        name=name,
+        admission_probability=probability,
+        confidence=decision.confidence,
+        overloaded=decision.prediction.overloaded,
+        held=decision.held,
+        degraded=decision.prediction.degraded,
+        window_index=decision.index,
+    )
+
+
+class SnapshotPublisher:
+    """Builds successive :class:`FleetSnapshot` values for a service.
+
+    Not thread-safe — only the service's tick thread calls
+    :meth:`update`/:meth:`publish`; readers consume the returned
+    immutable snapshots.  Sites keep their last entry until their next
+    decision, so a snapshot always covers the whole fleet.
+    """
+
+    def __init__(self, initial: Mapping[str, float]) -> None:
+        self._seq = 0
+        self._entries: Dict[str, SiteSnapshot] = {
+            name: _entry(name, probability, None)
+            for name, probability in initial.items()
+        }
+
+    def update(
+        self,
+        name: str,
+        decision: MonitorDecision,
+        probability: Optional[float] = None,
+    ) -> None:
+        """Fold one decided window; ``probability=None`` keeps the old."""
+        if probability is None:
+            previous = self._entries.get(name)
+            probability = (
+                previous.admission_probability if previous is not None else 1.0
+            )
+        self._entries[name] = _entry(name, float(probability), decision)
+
+    def publish(
+        self, tick: int, lost_sites: Tuple[str, ...] = ()
+    ) -> FleetSnapshot:
+        """A fresh immutable snapshot of every site's current entry."""
+        self._seq += 1
+        return FleetSnapshot(
+            seq=self._seq,
+            tick=tick,
+            sites=dict(self._entries),
+            lost_sites=lost_sites,
+        )

@@ -1,0 +1,38 @@
+"""HTTP front end: the capacity meter behind a network boundary.
+
+``repro serve-http`` runs :class:`HttpCapacityServer` — admit/decide/
+healthz/metrics over hand-rolled asyncio HTTP/1.1 — answering from the
+capacity service's lock-free published snapshots while the service
+ticks in the background; ``repro loadgen`` drives it open-loop with
+seeded TPC-W traffic and writes the ``BENCH_http.json`` tail-latency
+report the CI SLO gate consumes.
+"""
+
+from .gateway import (
+    AdmitGateway,
+    AdmitResult,
+    UnknownSiteError,
+    http_gate_stream,
+)
+from .loadgen import (
+    PlannedRequest,
+    build_schedule,
+    resolve_loadgen_mix,
+    run_load,
+    schedule_digest,
+)
+from .server import HttpCapacityServer, ServerStats
+
+__all__ = [
+    "AdmitGateway",
+    "AdmitResult",
+    "HttpCapacityServer",
+    "PlannedRequest",
+    "ServerStats",
+    "UnknownSiteError",
+    "build_schedule",
+    "http_gate_stream",
+    "resolve_loadgen_mix",
+    "run_load",
+    "schedule_digest",
+]

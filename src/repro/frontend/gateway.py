@@ -1,0 +1,226 @@
+"""Admission gateway: the HTTP server's lock-free decision path.
+
+:class:`AdmitGateway` answers "admit this request to this site?" from a
+published :class:`~repro.control.snapshot.FleetSnapshot` instead of the
+service's live gate objects.  The service's tick loop (a background
+thread, or PR 7/8's worker processes) keeps folding telemetry and
+moving the real AIMD gates; the gateway re-reads the latest snapshot
+before every draw, so the HTTP decision path never takes a lock and its
+p99 is decoupled from window-compute time.
+
+Bit-identical parity with :class:`~repro.control.admission.GatedFrontEnd`
+is the contract (pinned in ``tests/test_frontend.py``): the gateway
+holds one real :class:`~repro.control.admission.AimdGate` per site,
+seeded from an *independent* substream of the site's root seed
+(:func:`http_gate_stream` — ``spawn_key=(2,)``, disjoint from the
+service's gate/sampler children at ``(0,)``/``(1,)``), syncs its
+admission probability from the snapshot, and then calls the gate's own
+:meth:`~repro.control.admission.AimdGate.admit` — the same counter
+bumps, the same single uniform draw per request, the same draw order.
+
+Request-class awareness rides on top without disturbing parity:
+``order_protect`` (off by default) boosts the effective admission
+probability for ORDER-class interactions — the paper's session-value
+argument that an almost-complete purchase is worth more than a fresh
+browse — while keeping exactly one RNG draw per request, so with
+``order_protect=0.0`` the decision stream is bit-identical to
+``GatedFrontEnd`` on the same trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence
+
+import numpy as np
+
+from ..control.admission import AimdGate
+from ..control.service import SiteSpec
+from ..control.snapshot import FleetSnapshot
+from ..obs import OBS
+from ..simulator.website import ORDER
+
+__all__ = [
+    "AdmitGateway",
+    "AdmitResult",
+    "UnknownSiteError",
+    "http_gate_stream",
+]
+
+
+class UnknownSiteError(KeyError):
+    """The gateway hosts no site by that name (HTTP 404)."""
+
+
+def http_gate_stream(spec: SiteSpec) -> np.random.SeedSequence:
+    """The HTTP gateway's admission RNG substream for one site.
+
+    ``SeedSequence(seed).spawn(2)`` already allocated the children with
+    spawn keys ``(0,)`` (service gate) and ``(1,)`` (sampler) — the
+    explicit ``spawn_key=(2,)`` child is the next sibling in the same
+    tree, independent of both, so gateway coin-flips never correlate
+    with the simulation the meter is measuring.
+    """
+    return np.random.SeedSequence(spec.seed, spawn_key=(2,))
+
+
+@dataclass(frozen=True)
+class AdmitResult:
+    """One gateway decision, JSON-shaped for the HTTP response."""
+
+    site: str
+    admitted: bool
+    admission_probability: float
+    request_class: str
+    degraded: bool
+    held: bool
+    window_index: int
+    snapshot_seq: int
+
+
+class AdmitGateway:
+    """Per-site admission draws against the latest published snapshot.
+
+    ``snapshot_source`` is any zero-argument callable returning the
+    newest :class:`FleetSnapshot` (or ``None`` before the first
+    publication) — in practice ``lambda: service.snapshot``, which is a
+    single attribute load of an immutable object and therefore safe
+    from any thread.  The gateway itself is confined to the server's
+    event-loop thread; only the snapshot crosses threads.
+    """
+
+    def __init__(
+        self,
+        specs: Sequence[SiteSpec],
+        snapshot_source: Callable[[], Optional[FleetSnapshot]],
+        *,
+        order_protect: float = 0.0,
+    ) -> None:
+        if not 0.0 <= order_protect <= 1.0:
+            raise ValueError("order_protect must be in [0, 1]")
+        self._snapshot_source = snapshot_source
+        self.order_protect = order_protect
+        # the "#http" label keeps gateway admission counters separate
+        # from the in-simulation gates' metrics for the same site
+        self._gates: Dict[str, AimdGate] = {
+            spec.name: AimdGate(
+                decrease_factor=spec.decrease_factor,
+                increase_step=spec.increase_step,
+                min_admission=spec.min_admission,
+                confidence_floor=spec.confidence_floor,
+                seed=http_gate_stream(spec),
+                site=f"{spec.name}#http",
+            )
+            for spec in specs
+        }
+
+    @property
+    def sites(self) -> Sequence[str]:
+        return tuple(self._gates)
+
+    def gate(self, site: str) -> AimdGate:
+        """The gateway's own gate for ``site`` (stats inspection)."""
+        try:
+            return self._gates[site]
+        except KeyError:
+            raise UnknownSiteError(site) from None
+
+    def snapshot(self) -> Optional[FleetSnapshot]:
+        """The newest published snapshot (None before the first)."""
+        return self._snapshot_source()
+
+    def admit(
+        self, site: str, request_class: str = "browse"
+    ) -> AdmitResult:
+        """One admission draw for ``site`` at the published probability.
+
+        Exactly one uniform draw per call regardless of class, so the
+        decision stream at ``order_protect=0.0`` matches
+        ``GatedFrontEnd`` bit for bit on the same trace.
+        """
+        gate = self.gate(site)
+        snapshot = self._snapshot_source()
+        entry = None
+        if snapshot is not None:
+            entry = snapshot.sites.get(site)
+        if entry is not None:
+            gate.admission_probability = entry.admission_probability
+        published = gate.admission_probability
+        boosted = (
+            self.order_protect > 0.0 and request_class == ORDER
+        )
+        if boosted:
+            gate.admission_probability = min(
+                1.0, published + self.order_protect
+            )
+        admitted = gate.admit()
+        if boosted:
+            gate.admission_probability = published
+        if OBS.enabled:
+            OBS.inc(
+                "repro_http_admit_total",
+                help="HTTP admission outcomes, by site and request class",
+                site=site,
+                request_class=request_class,
+                outcome="admitted" if admitted else "rejected",
+            )
+        return AdmitResult(
+            site=site,
+            admitted=admitted,
+            admission_probability=published,
+            request_class=request_class,
+            degraded=entry.degraded if entry is not None else False,
+            held=entry.held if entry is not None else False,
+            window_index=entry.window_index if entry is not None else -1,
+            snapshot_seq=snapshot.seq if snapshot is not None else 0,
+        )
+
+    def decide(self, site: str) -> Dict[str, object]:
+        """The site's current published decision state, no draw.
+
+        ``POST /decide`` is the read-only sibling of ``/admit``: load
+        balancers that batch their own Bernoulli draws only need the
+        probability and the decision flags, not a coin flip per call.
+        """
+        self.gate(site)  # 404 on unknown sites, same as /admit
+        snapshot = self._snapshot_source()
+        entry = None
+        if snapshot is not None:
+            entry = snapshot.sites.get(site)
+        if entry is None:
+            return {
+                "site": site,
+                "admission_probability": 1.0,
+                "overloaded": False,
+                "degraded": False,
+                "held": False,
+                "confidence": 1.0,
+                "window_index": -1,
+                "snapshot_seq": snapshot.seq if snapshot else 0,
+            }
+        return {
+            "site": site,
+            "admission_probability": entry.admission_probability,
+            "overloaded": entry.overloaded,
+            "degraded": entry.degraded,
+            "held": entry.held,
+            "confidence": entry.confidence,
+            "window_index": entry.window_index,
+            "snapshot_seq": snapshot.seq if snapshot else 0,
+        }
+
+    def health(self) -> Dict[str, object]:
+        """Liveness payload: healthy, or degraded with the lost sites."""
+        snapshot = self._snapshot_source()
+        if snapshot is None:
+            return {"status": "starting", "sites": len(self._gates)}
+        status = "ok" if snapshot.healthy else "degraded"
+        payload: Dict[str, object] = {
+            "status": status,
+            "sites": len(self._gates),
+            "snapshot_seq": snapshot.seq,
+            "tick": snapshot.tick,
+        }
+        if snapshot.lost_sites:
+            payload["lost_sites"] = list(snapshot.lost_sites)
+        return payload

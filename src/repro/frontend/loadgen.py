@@ -1,0 +1,368 @@
+"""Seeded open-loop load driver for the HTTP admission front end.
+
+Open loop means arrivals are scheduled in advance from the seed
+(Poisson or constant inter-arrivals at the target RPS) and fired at
+their scheduled instants regardless of how fast earlier responses come
+back — the only arrival process that measures a server honestly under
+load.  Latency is measured from each request's *scheduled* start, not
+from when the driver got around to writing it, so queueing delay the
+server causes is charged to the server (no coordinated omission).
+
+Everything that shapes traffic is derived from ``numpy``'s seeded
+generator: same seed → byte-identical schedule
+(:func:`schedule_digest` pins this in tests) and an identical
+``BENCH_http.json`` modulo measured timings.  The traffic shape is
+TPC-W: interactions are drawn from a
+:class:`~repro.workload.tpcw.TrafficMix` (``tpcw`` selects the
+benchmark's canonical WIPS shopping mix), and each request carries its
+interaction name and Browse/Order class to ``POST /admit``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..workload.tpcw import STANDARD_MIXES, TrafficMix
+
+__all__ = [
+    "PlannedRequest",
+    "build_schedule",
+    "percentiles",
+    "resolve_loadgen_mix",
+    "run_load",
+    "schedule_digest",
+]
+
+
+def resolve_loadgen_mix(name: str) -> TrafficMix:
+    """A driver mix by name; ``tpcw`` is the canonical shopping mix."""
+    if name == "tpcw":
+        return STANDARD_MIXES["shopping"]
+    try:
+        return STANDARD_MIXES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown mix {name!r}; pick one of "
+            f"{['tpcw', *STANDARD_MIXES]}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class PlannedRequest:
+    """One scheduled arrival: when, which site, which interaction."""
+
+    index: int
+    at: float  # seconds after the run's start instant
+    site: str
+    interaction: str
+    request_class: str
+
+    def line(self) -> str:
+        """Canonical text form (digest + determinism tests)."""
+        return (
+            f"{self.index}\t{self.at:.9f}\t{self.site}"
+            f"\t{self.interaction}\t{self.request_class}"
+        )
+
+
+def build_schedule(
+    *,
+    rps: float,
+    duration: float,
+    mix: TrafficMix,
+    sites: List[str],
+    seed: int,
+    arrivals: str = "poisson",
+) -> List[PlannedRequest]:
+    """The full request schedule, deterministically from the seed."""
+    if rps <= 0:
+        raise ValueError("rps must be positive")
+    if duration <= 0:
+        raise ValueError("duration must be positive")
+    if not sites:
+        raise ValueError("need at least one site")
+    if arrivals not in ("poisson", "constant"):
+        raise ValueError("arrivals must be 'poisson' or 'constant'")
+    rng = np.random.default_rng(seed)
+    if arrivals == "poisson":
+        # draw a safety margin of exponential gaps, keep those landing
+        # inside the window: one cumsum, no python-loop accumulation
+        expected = int(rps * duration)
+        margin = expected + max(64, int(4 * np.sqrt(expected + 1)))
+        gaps = rng.exponential(1.0 / rps, size=margin)
+        times = np.cumsum(gaps)
+        while times.size and times[-1] < duration:
+            gaps = rng.exponential(1.0 / rps, size=margin)
+            times = np.concatenate([times, times[-1] + np.cumsum(gaps)])
+        times = times[times < duration]
+    else:
+        times = np.arange(0.0, duration, 1.0 / rps)
+    site_idx = rng.integers(0, len(sites), size=times.size)
+    schedule: List[PlannedRequest] = []
+    for i in range(times.size):
+        request = mix.sample(rng)
+        schedule.append(
+            PlannedRequest(
+                index=i,
+                at=float(times[i]),
+                site=sites[int(site_idx[i])],
+                interaction=request.name,
+                request_class=request.category,
+            )
+        )
+    return schedule
+
+
+def schedule_digest(schedule: List[PlannedRequest]) -> str:
+    """SHA-256 over the canonical schedule lines."""
+    digest = hashlib.sha256()
+    for planned in schedule:
+        digest.update(planned.line().encode("utf-8"))
+        digest.update(b"\n")
+    return digest.hexdigest()
+
+
+def percentiles(samples: List[float]) -> Dict[str, float]:
+    """p50/p99/p99.9/mean/max of a latency sample, in milliseconds."""
+    if not samples:
+        return {
+            "p50": 0.0, "p99": 0.0, "p999": 0.0, "mean": 0.0, "max": 0.0
+        }
+    array = np.asarray(samples, dtype=float) * 1000.0
+    return {
+        "p50": float(np.percentile(array, 50)),
+        "p99": float(np.percentile(array, 99)),
+        "p999": float(np.percentile(array, 99.9)),
+        "mean": float(array.mean()),
+        "max": float(array.max()),
+    }
+
+
+class _Client:
+    """A tiny keep-alive HTTP/1.1 client pool over raw asyncio streams.
+
+    ``request`` checks a connection out of the pool, reconnecting on
+    any transport error (the retry still counts the original scheduled
+    start, so reconnect cost is charged to the measurement like any
+    other server-induced delay).
+    """
+
+    def __init__(self, host: str, port: int, size: int) -> None:
+        self.host = host
+        self.port = port
+        self._pool: "asyncio.Queue[Optional[Tuple[asyncio.StreamReader, asyncio.StreamWriter]]]" = (
+            asyncio.Queue()
+        )
+        for _ in range(size):
+            self._pool.put_nowait(None)  # lazily connected slots
+
+    async def _connect(
+        self,
+    ) -> Tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+        return await asyncio.open_connection(self.host, self.port)
+
+    async def request(
+        self, method: str, path: str, body: bytes
+    ) -> Tuple[int, bytes]:
+        """One round trip; returns (status, response body)."""
+        conn = await self._pool.get()
+        try:
+            if conn is None:
+                conn = await self._connect()
+            reader, writer = conn
+            head = (
+                f"{method} {path} HTTP/1.1\r\n"
+                f"Host: {self.host}:{self.port}\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                f"\r\n"
+            ).encode("latin-1")
+            try:
+                writer.write(head + body)
+                await writer.drain()
+                status, payload, keep = await self._read_response(reader)
+            except (
+                ConnectionResetError,
+                BrokenPipeError,
+                asyncio.IncompleteReadError,
+                OSError,
+            ):
+                # stale keep-alive connection: reconnect once and retry
+                writer.close()
+                conn = await self._connect()
+                reader, writer = conn
+                writer.write(head + body)
+                await writer.drain()
+                status, payload, keep = await self._read_response(reader)
+            if not keep:
+                writer.close()
+                conn = None
+            return status, payload
+        except BaseException:
+            if conn is not None:
+                conn[1].close()
+            conn = None
+            raise
+        finally:
+            self._pool.put_nowait(conn)
+
+    @staticmethod
+    async def _read_response(
+        reader: asyncio.StreamReader,
+    ) -> Tuple[int, bytes, bool]:
+        head = await reader.readuntil(b"\r\n\r\n")
+        lines = head.decode("latin-1").split("\r\n")
+        status = int(lines[0].split(" ")[1])
+        length = 0
+        keep = True
+        for line in lines[1:]:
+            name, _, value = line.partition(":")
+            lowered = name.strip().lower()
+            if lowered == "content-length":
+                length = int(value.strip())
+            elif lowered == "connection":
+                keep = value.strip().lower() != "close"
+        payload = await reader.readexactly(length) if length else b""
+        return status, payload, keep
+
+    async def close(self) -> None:
+        while not self._pool.empty():
+            conn = self._pool.get_nowait()
+            if conn is not None:
+                conn[1].close()
+
+
+async def _fire(
+    client: _Client,
+    planned: PlannedRequest,
+    t0: float,
+    timeout: float,
+    out: Dict[str, Any],
+) -> None:
+    """Fire one scheduled request and record its outcome."""
+    target = t0 + planned.at
+    delay = target - time.perf_counter()
+    if delay > 0:
+        await asyncio.sleep(delay)
+    body = json.dumps(
+        {
+            "site": planned.site,
+            "class": planned.request_class,
+            "interaction": planned.interaction,
+        }
+    ).encode("utf-8")
+    try:
+        status, payload = await asyncio.wait_for(
+            client.request("POST", "/admit", body), timeout
+        )
+    except asyncio.TimeoutError:
+        out["timeouts"] += 1
+        return
+    except OSError:
+        out["errors"] += 1
+        return
+    # latency from the *scheduled* instant: queueing the server caused
+    # is the server's, whether it queued in its socket or its semaphore
+    out["latencies"].append(time.perf_counter() - target)
+    if status == 200:
+        doc = json.loads(payload.decode("utf-8"))
+        if doc.get("admitted"):
+            out["admitted"] += 1
+        else:
+            out["rejected"] += 1
+    else:
+        out["errors"] += 1
+        if status >= 500:
+            out["status_5xx"] += 1
+
+
+async def _run_async(
+    schedule: List[PlannedRequest],
+    host: str,
+    port: int,
+    *,
+    timeout: float,
+    connections: int,
+) -> Dict[str, Any]:
+    client = _Client(host, port, connections)
+    out: Dict[str, Any] = {
+        "admitted": 0,
+        "rejected": 0,
+        "errors": 0,
+        "timeouts": 0,
+        "status_5xx": 0,
+        "latencies": [],
+    }
+    t0 = time.perf_counter()
+    tasks = [
+        asyncio.ensure_future(_fire(client, planned, t0, timeout, out))
+        for planned in schedule
+    ]
+    try:
+        await asyncio.gather(*tasks)
+    finally:
+        await client.close()
+    out["wall_s"] = time.perf_counter() - t0
+    return out
+
+
+def run_load(
+    *,
+    host: str,
+    port: int,
+    rps: float,
+    duration: float,
+    mix_name: str,
+    sites: List[str],
+    seed: int,
+    arrivals: str = "poisson",
+    timeout: float = 2.0,
+    connections: int = 16,
+) -> Dict[str, Any]:
+    """Drive the server open-loop and return the BENCH_http report."""
+    mix = resolve_loadgen_mix(mix_name)
+    schedule = build_schedule(
+        rps=rps,
+        duration=duration,
+        mix=mix,
+        sites=sites,
+        seed=seed,
+        arrivals=arrivals,
+    )
+    raw = asyncio.run(
+        _run_async(
+            schedule, host, port, timeout=timeout, connections=connections
+        )
+    )
+    completed = raw["admitted"] + raw["rejected"]
+    wall = float(raw["wall_s"]) or 1e-9
+    return {
+        "target": f"{host}:{port}",
+        "rps": rps,
+        "duration_s": duration,
+        "arrivals": arrivals,
+        "mix": mix_name,
+        "sites": list(sites),
+        "seed": seed,
+        "connections": connections,
+        "timeout_s": timeout,
+        "schedule_sha256": schedule_digest(schedule),
+        "requests": len(schedule),
+        "admitted": raw["admitted"],
+        "rejected": raw["rejected"],
+        "errors": raw["errors"],
+        "timeouts": raw["timeouts"],
+        "status_5xx": raw["status_5xx"],
+        "admit_latency_ms": percentiles(raw["latencies"]),
+        "achieved_rps": completed / wall,
+        "wall_s": wall,
+        "cpu_count": os.cpu_count(),
+    }

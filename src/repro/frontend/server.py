@@ -1,0 +1,442 @@
+"""Hand-rolled asyncio HTTP/1.1 server for the admission gateway.
+
+No new runtime deps: the protocol layer is ``asyncio.start_server``
+plus ~a page of HTTP/1.1 parsing (request line, headers,
+``Content-Length`` bodies, keep-alive).  Routes:
+
+- ``POST /admit``  — one admission draw (:meth:`AdmitGateway.admit`)
+- ``POST /decide`` — published decision state, no draw
+- ``GET /healthz`` — liveness; 503 + ``"degraded"`` when the sharded
+  service is holding decisions for lost shards (``--no-recover``)
+- ``GET /metrics`` — :mod:`repro.obs` text exposition
+
+GIL awareness is structural: the server runs on an event loop in the
+main thread while the capacity service ticks on a worker thread (or in
+PR 7's worker processes); the only shared state is the immutable
+published :class:`~repro.control.snapshot.FleetSnapshot`, read with a
+single attribute load.  The decision path therefore never blocks on
+window compute, which is what the SLO gate in CI measures.
+
+Overload protection on the decision path mirrors what the gate itself
+does for the backend: a bounded wait queue (queue depth over
+``queue_limit`` → immediate ``503 queue_full``) and a per-request
+deadline measured from head receipt (slot waits and body reads that
+overrun it → ``504 deadline_exceeded``, counted in ``repro.obs``).
+
+Graceful drain (SIGTERM, via the CLI's ``_graceful_signals``): stop
+accepting, unpark idle keep-alive connections, let every in-flight
+request finish and flush its response (bounded by ``drain_grace``),
+then close.  In-flight requests are never dropped — pinned by
+``tests/test_frontend.py``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Set, Tuple
+
+from ..obs import OBS, TAIL_LATENCY_BUCKETS
+from .gateway import AdmitGateway, UnknownSiteError
+
+__all__ = ["HttpCapacityServer", "ServerStats"]
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+@dataclass
+class ServerStats:
+    """Plain counters, always on (no OBS dependency)."""
+
+    connections: int = 0
+    requests: int = 0
+    admitted: int = 0
+    rejected: int = 0
+    queue_full: int = 0
+    deadline_exceeded: int = 0
+    bad_requests: int = 0
+    not_found: int = 0
+    #: requests that arrived before SIGTERM and completed during drain
+    drained_in_flight: int = 0
+
+    def summary(self) -> str:
+        return (
+            f"requests={self.requests} admitted={self.admitted} "
+            f"rejected={self.rejected} queue_full={self.queue_full} "
+            f"deadline_exceeded={self.deadline_exceeded} "
+            f"bad={self.bad_requests} not_found={self.not_found} "
+            f"drained_in_flight={self.drained_in_flight}"
+        )
+
+
+class _ConnState:
+    """One client connection's lifecycle flags for the drain logic."""
+
+    __slots__ = ("writer", "busy")
+
+    def __init__(self, writer: asyncio.StreamWriter) -> None:
+        self.writer = writer
+        self.busy = False
+
+
+class HttpCapacityServer:
+    """The admission gateway behind an HTTP/1.1 boundary."""
+
+    def __init__(
+        self,
+        gateway: AdmitGateway,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        queue_limit: int = 256,
+        concurrency: int = 32,
+        deadline: float = 0.5,
+        drain_grace: float = 5.0,
+        max_body: int = 65536,
+    ) -> None:
+        if queue_limit < 1:
+            raise ValueError("queue_limit must be >= 1")
+        if concurrency < 1:
+            raise ValueError("concurrency must be >= 1")
+        if deadline <= 0:
+            raise ValueError("deadline must be positive")
+        self.gateway = gateway
+        self.host = host
+        self.port = port
+        self.queue_limit = queue_limit
+        self.concurrency = concurrency
+        self.deadline = deadline
+        self.drain_grace = drain_grace
+        self.max_body = max_body
+        self.stats = ServerStats()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._slots: Optional[asyncio.Semaphore] = None
+        self._waiting = 0
+        self._draining = False
+        self._connections: Set[_ConnState] = set()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind and start accepting (port 0 picks a free port)."""
+        # the Semaphore binds to the running loop: create it here, not
+        # in __init__, so the server object can be built anywhere
+        self._slots = asyncio.Semaphore(self.concurrency)
+        self._server = await asyncio.start_server(
+            self._handle_conn, self.host, self.port
+        )
+        sockets = self._server.sockets or []
+        if sockets:
+            self.port = int(sockets[0].getsockname()[1])
+
+    @property
+    def busy_count(self) -> int:
+        """Connections currently serving a request (drain-test probe)."""
+        return sum(1 for state in self._connections if state.busy)
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    async def drain(self) -> None:
+        """Graceful shutdown: finish in-flight work, then close.
+
+        Stops accepting, closes *idle* keep-alive connections (their
+        parked reads wake with EOF), waits up to ``drain_grace`` for
+        busy connections to flush their responses, then force-closes
+        whatever is left.
+        """
+        self._draining = True
+        if self._server is not None:
+            # close() alone stops accepting; wait_closed() is skipped
+            # deliberately — since 3.12 it also waits for connection
+            # handlers, which drain() is about to manage itself
+            self._server.close()
+        for state in list(self._connections):
+            if not state.busy:
+                state.writer.close()
+        limit = time.perf_counter() + self.drain_grace
+        while (
+            any(state.busy for state in self._connections)
+            and time.perf_counter() < limit
+        ):
+            await asyncio.sleep(0.005)
+        for state in list(self._connections):
+            state.writer.close()
+        while self._connections and time.perf_counter() < limit + 1.0:
+            await asyncio.sleep(0.005)
+
+    # ------------------------------------------------------------------
+    # connection loop
+    # ------------------------------------------------------------------
+    async def _handle_conn(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        state = _ConnState(writer)
+        self._connections.add(state)
+        self.stats.connections += 1
+        try:
+            while not self._draining:
+                try:
+                    head = await reader.readuntil(b"\r\n\r\n")
+                except asyncio.LimitOverrunError:
+                    await self._respond(
+                        writer, 431, {"error": "headers too large"}, True
+                    )
+                    break
+                except (
+                    asyncio.IncompleteReadError,
+                    ConnectionResetError,
+                    OSError,
+                ):
+                    break
+                # no await between readuntil returning and the busy
+                # flag: drain() can never close a connection that has
+                # already received a request head
+                state.busy = True
+                try:
+                    keep = await self._serve_one(head, reader, writer)
+                finally:
+                    state.busy = False
+                if self._draining:
+                    self.stats.drained_in_flight += 1
+                    break
+                if not keep:
+                    break
+        finally:
+            self._connections.discard(state)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, OSError):
+                pass
+
+    async def _serve_one(
+        self,
+        head: bytes,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> bool:
+        """Parse, route and answer one request; False closes the conn."""
+        t0 = time.perf_counter()
+        deadline_at = t0 + self.deadline
+        self.stats.requests += 1
+        parsed = self._parse_head(head)
+        if parsed is None:
+            self.stats.bad_requests += 1
+            return await self._respond(
+                writer, 400, {"error": "malformed request"}, True
+            )
+        method, path, headers = parsed
+        route = f"{method} {path}"
+        try:
+            status, payload = await self._route(
+                method, path, headers, reader, deadline_at
+            )
+        except asyncio.TimeoutError:
+            self.stats.deadline_exceeded += 1
+            if OBS.enabled:
+                OBS.inc(
+                    "repro_http_deadline_exceeded_total",
+                    help="requests that overran the per-request deadline",
+                    route=route,
+                )
+            status, payload = 504, {"error": "deadline_exceeded"}
+        except UnknownSiteError as exc:
+            self.stats.not_found += 1
+            status, payload = 404, {"error": f"unknown site {exc.args[0]!r}"}
+        except asyncio.IncompleteReadError:
+            self.stats.bad_requests += 1
+            return False  # client went away mid-body; nothing to answer
+        if OBS.enabled:
+            OBS.observe(
+                "repro_http_request_seconds",
+                time.perf_counter() - t0,
+                help="HTTP request service time, by route and status",
+                buckets=TAIL_LATENCY_BUCKETS,
+                route=route,
+                status=str(status),
+            )
+        # close on any non-2xx too: error paths may leave an unread
+        # body in the buffer, which would desync keep-alive framing
+        close = (
+            self._draining
+            or status >= 400
+            or headers.get("connection") == "close"
+        )
+        return await self._respond(writer, status, payload, close)
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    async def _route(
+        self,
+        method: str,
+        path: str,
+        headers: Dict[str, str],
+        reader: asyncio.StreamReader,
+        deadline_at: float,
+    ) -> Tuple[int, Any]:
+        if path == "/healthz":
+            if method != "GET":
+                return 405, {"error": "use GET"}
+            health = self.gateway.health()
+            status = 200 if health.get("status") == "ok" else 503
+            return status, health
+        if path == "/metrics":
+            if method != "GET":
+                return 405, {"error": "use GET"}
+            return 200, OBS.exposition()
+        if path in ("/admit", "/decide"):
+            if method != "POST":
+                return 405, {"error": "use POST"}
+            body = await self._read_body(headers, reader, deadline_at)
+            if body is None:
+                self.stats.bad_requests += 1
+                return 413, {"error": "body too large"}
+            try:
+                doc = json.loads(body.decode("utf-8") or "{}")
+                site = doc["site"]
+                if not isinstance(site, str):
+                    raise TypeError("site must be a string")
+            except (ValueError, KeyError, TypeError) as exc:
+                self.stats.bad_requests += 1
+                return 400, {"error": f"bad request body: {exc}"}
+            if path == "/decide":
+                return 200, self.gateway.decide(site)
+            request_class = doc.get("class", "browse")
+            if not isinstance(request_class, str):
+                self.stats.bad_requests += 1
+                return 400, {"error": "class must be a string"}
+            return await self._admit(site, request_class, deadline_at)
+        self.stats.not_found += 1
+        return 404, {"error": f"no route {path}"}
+
+    async def _admit(
+        self, site: str, request_class: str, deadline_at: float
+    ) -> Tuple[int, Any]:
+        """The SLO'd path: bounded queue, deadline, one gateway draw."""
+        assert self._slots is not None, "server not started"
+        if self._waiting >= self.queue_limit:
+            self.stats.queue_full += 1
+            if OBS.enabled:
+                OBS.inc(
+                    "repro_http_queue_full_total",
+                    help="admit requests shed because the wait queue "
+                    "was at queue_limit",
+                )
+            return 503, {"error": "queue_full"}
+        self._waiting += 1
+        try:
+            remaining = deadline_at - time.perf_counter()
+            if remaining <= 0:
+                raise asyncio.TimeoutError
+            await asyncio.wait_for(self._slots.acquire(), remaining)
+        finally:
+            self._waiting -= 1
+        try:
+            result = self.gateway.admit(site, request_class)
+        finally:
+            self._slots.release()
+        if result.admitted:
+            self.stats.admitted += 1
+        else:
+            self.stats.rejected += 1
+        return 200, {
+            "site": result.site,
+            "admitted": result.admitted,
+            "admission_probability": result.admission_probability,
+            "class": result.request_class,
+            "degraded": result.degraded,
+            "held": result.held,
+            "window_index": result.window_index,
+            "snapshot_seq": result.snapshot_seq,
+        }
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _parse_head(
+        head: bytes,
+    ) -> Optional[Tuple[str, str, Dict[str, str]]]:
+        try:
+            text = head.decode("latin-1")
+        except UnicodeDecodeError:  # pragma: no cover - latin-1 total
+            return None
+        lines = text.split("\r\n")
+        parts = lines[0].split(" ")
+        if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+            return None
+        headers: Dict[str, str] = {}
+        for line in lines[1:]:
+            if not line:
+                continue
+            name, sep, value = line.partition(":")
+            if not sep:
+                return None
+            headers[name.strip().lower()] = value.strip()
+        return parts[0], parts[1], headers
+
+    async def _read_body(
+        self,
+        headers: Dict[str, str],
+        reader: asyncio.StreamReader,
+        deadline_at: float,
+    ) -> Optional[bytes]:
+        """Deadline-bounded body read; None flags an oversized body."""
+        try:
+            length = int(headers.get("content-length", "0"))
+        except ValueError:
+            length = -1
+        if length < 0 or length > self.max_body:
+            return None
+        if length == 0:
+            return b""
+        remaining = deadline_at - time.perf_counter()
+        if remaining <= 0:
+            raise asyncio.TimeoutError
+        return await asyncio.wait_for(
+            reader.readexactly(length), remaining
+        )
+
+    async def _respond(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: Any,
+        close: bool,
+    ) -> bool:
+        if isinstance(payload, str):
+            body = payload.encode("utf-8")
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            body = (json.dumps(payload) + "\n").encode("utf-8")
+            content_type = "application/json"
+        reason = _REASONS.get(status, "Unknown")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'close' if close else 'keep-alive'}\r\n"
+            f"\r\n"
+        ).encode("latin-1")
+        try:
+            writer.write(head + body)
+            await writer.drain()
+        except (ConnectionResetError, OSError):
+            return False
+        return not close

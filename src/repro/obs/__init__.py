@@ -47,6 +47,7 @@ from typing import IO, Optional, Sequence, Union
 
 from .registry import (
     DEFAULT_BUCKETS,
+    TAIL_LATENCY_BUCKETS,
     Counter,
     Gauge,
     Histogram,
@@ -75,6 +76,7 @@ __all__ = [
     "Observability",
     "SPAN_METRIC",
     "Span",
+    "TAIL_LATENCY_BUCKETS",
     "exposition",
     "merge_snapshot",
     "registry_from_jsonl",

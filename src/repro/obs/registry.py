@@ -25,6 +25,7 @@ from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Uni
 
 __all__ = [
     "DEFAULT_BUCKETS",
+    "TAIL_LATENCY_BUCKETS",
     "Counter",
     "Gauge",
     "Histogram",
@@ -51,6 +52,31 @@ DEFAULT_BUCKETS: Tuple[float, ...] = (
     2.5,
     5.0,
     10.0,
+)
+
+#: bounds (seconds) for request-latency histograms where p99/p99.9 must
+#: resolve: dense from 100µs to 100ms (an admit query answered from a
+#: published snapshot lives here), then sparse up to the deadline range
+TAIL_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.002,
+    0.003,
+    0.005,
+    0.0075,
+    0.01,
+    0.015,
+    0.02,
+    0.03,
+    0.05,
+    0.075,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
 )
 
 LabelItems = Tuple[Tuple[str, str], ...]

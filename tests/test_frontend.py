@@ -1,0 +1,811 @@
+"""Tests for the HTTP admission front end.
+
+The contract under test is PR 9's acceptance bar:
+
+* the open-loop load driver is a pure function of its seed: the
+  schedule (and its SHA-256 digest) is byte-identical across runs, and
+  a full-stack loadgen report matches run-to-run modulo measured
+  timings;
+* admission decisions served over ``POST /admit`` are **bit-identical**
+  to the same trace pushed through
+  :class:`~repro.control.admission.GatedFrontEnd` at
+  ``order_protect=0.0`` — the gateway syncs its probability from the
+  published snapshot but draws through a real, identically-seeded
+  :class:`~repro.control.admission.AimdGate`;
+* graceful drain never drops an in-flight request: a request whose
+  head arrived before the drain started still gets its full response;
+* a request that overruns the per-request deadline answers ``504`` and
+  is counted in :mod:`repro.obs`;
+* ``/healthz`` turns 503/"degraded" while the sharded service is
+  serving held decisions for lost shards (``--no-recover``).
+"""
+
+import asyncio
+import contextlib
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.control import CapacityService, SiteSpec
+from repro.control.admission import AimdGate, GatedFrontEnd
+from repro.control.shard import ShardedCapacityService
+from repro.control.snapshot import FleetSnapshot, SiteSnapshot
+from repro.faults import ProcessFaultPlan, ProcessFaultSpec
+from repro.frontend import (
+    AdmitGateway,
+    HttpCapacityServer,
+    UnknownSiteError,
+    build_schedule,
+    http_gate_stream,
+    resolve_loadgen_mix,
+    run_load,
+    schedule_digest,
+)
+from repro.obs import OBS
+from repro.obs.registry import MetricsRegistry
+from repro.simulator.website import BROWSE, ORDER
+from repro.telemetry.sampler import HPC_LEVEL
+from repro.workload.tpcw import STANDARD_MIXES
+
+
+@pytest.fixture(scope="module")
+def meter(mini_pipeline):
+    return mini_pipeline.meter(HPC_LEVEL)
+
+
+@pytest.fixture(scope="module")
+def labeler(mini_pipeline):
+    return mini_pipeline.labeler
+
+
+@pytest.fixture(scope="module")
+def records(mini_pipeline):
+    return mini_pipeline.test_run("ordering").records
+
+
+# ----------------------------------------------------------------------
+# helpers: hand-built snapshots and a minimal HTTP client
+# ----------------------------------------------------------------------
+def make_snapshot(probabilities, *, seq=1, tick=0, lost=()):
+    """A FleetSnapshot straight from {site: probability}."""
+    return FleetSnapshot(
+        seq=seq,
+        tick=tick,
+        sites={
+            name: SiteSnapshot(
+                name=name,
+                admission_probability=p,
+                confidence=1.0,
+                overloaded=False,
+                held=False,
+                degraded=False,
+                window_index=0,
+            )
+            for name, p in probabilities.items()
+        },
+        lost_sites=tuple(lost),
+    )
+
+
+async def http_request(reader, writer, method, path, body=b""):
+    """One request on an open connection; (status, headers, body)."""
+    head = (
+        f"{method} {path} HTTP/1.1\r\n"
+        f"Host: test\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"\r\n"
+    ).encode("latin-1")
+    writer.write(head + body)
+    await writer.drain()
+    return await read_response(reader)
+
+
+async def read_response(reader):
+    head = await reader.readuntil(b"\r\n\r\n")
+    lines = head.decode("latin-1").split("\r\n")
+    status = int(lines[0].split(" ")[1])
+    headers = {}
+    for line in lines[1:]:
+        if line:
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+    body = await reader.readexactly(int(headers.get("content-length", 0)))
+    return status, headers, body
+
+
+@contextlib.asynccontextmanager
+async def serving(gateway, **kwargs):
+    """An HttpCapacityServer on a free port, drained on exit."""
+    server = HttpCapacityServer(gateway, port=0, **kwargs)
+    await server.start()
+    try:
+        yield server
+    finally:
+        await server.drain()
+
+
+@contextlib.contextmanager
+def serving_in_thread(gateway, **kwargs):
+    """The server on its own loop thread, for sync callers (run_load)."""
+    server = HttpCapacityServer(gateway, port=0, **kwargs)
+    loop = asyncio.new_event_loop()
+    started = threading.Event()
+
+    def runner():
+        asyncio.set_event_loop(loop)
+        loop.run_until_complete(server.start())
+        started.set()
+        loop.run_forever()
+
+    thread = threading.Thread(target=runner, daemon=True)
+    thread.start()
+    assert started.wait(10.0), "server failed to start"
+    try:
+        yield server
+    finally:
+        asyncio.run_coroutine_threadsafe(server.drain(), loop).result(15.0)
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(10.0)
+        loop.close()
+
+
+# ----------------------------------------------------------------------
+# the schedule is a pure function of the seed
+# ----------------------------------------------------------------------
+class TestSchedule:
+    def test_same_seed_same_schedule(self):
+        mix = resolve_loadgen_mix("tpcw")
+        kwargs = dict(
+            rps=200.0,
+            duration=2.0,
+            mix=mix,
+            sites=["site0", "site1", "site2"],
+            seed=42,
+        )
+        a = build_schedule(**kwargs)
+        b = build_schedule(**kwargs)
+        assert [p.line() for p in a] == [p.line() for p in b]
+        assert schedule_digest(a) == schedule_digest(b)
+        assert schedule_digest(a) != schedule_digest(
+            build_schedule(**{**kwargs, "seed": 43})
+        )
+
+    def test_schedule_shape(self):
+        schedule = build_schedule(
+            rps=100.0,
+            duration=3.0,
+            mix=resolve_loadgen_mix("tpcw"),
+            sites=["a", "b"],
+            seed=7,
+        )
+        assert all(0.0 <= p.at < 3.0 for p in schedule)
+        assert [p.at for p in schedule] == sorted(p.at for p in schedule)
+        assert {p.site for p in schedule} == {"a", "b"}
+        assert {p.request_class for p in schedule} <= {BROWSE, ORDER}
+        # ~poisson(300): wildly loose bounds, just not degenerate
+        assert 150 < len(schedule) < 500
+
+    def test_constant_arrivals_are_evenly_spaced(self):
+        schedule = build_schedule(
+            rps=50.0,
+            duration=1.0,
+            mix=resolve_loadgen_mix("browsing"),
+            sites=["a"],
+            seed=0,
+            arrivals="constant",
+        )
+        assert len(schedule) == 50
+        gaps = np.diff([p.at for p in schedule])
+        assert np.allclose(gaps, 0.02)
+
+    def test_validation(self):
+        mix = resolve_loadgen_mix("tpcw")
+        with pytest.raises(ValueError, match="rps"):
+            build_schedule(
+                rps=0, duration=1, mix=mix, sites=["a"], seed=0
+            )
+        with pytest.raises(ValueError, match="duration"):
+            build_schedule(
+                rps=1, duration=0, mix=mix, sites=["a"], seed=0
+            )
+        with pytest.raises(ValueError, match="site"):
+            build_schedule(rps=1, duration=1, mix=mix, sites=[], seed=0)
+        with pytest.raises(ValueError, match="arrivals"):
+            build_schedule(
+                rps=1,
+                duration=1,
+                mix=mix,
+                sites=["a"],
+                seed=0,
+                arrivals="burst",
+            )
+        with pytest.raises(ValueError, match="unknown mix"):
+            resolve_loadgen_mix("slashdot")
+
+    def test_tpcw_is_the_shopping_mix(self):
+        assert resolve_loadgen_mix("tpcw") is STANDARD_MIXES["shopping"]
+
+
+# ----------------------------------------------------------------------
+# HTTP routes over a static snapshot
+# ----------------------------------------------------------------------
+class TestHttpRoutes:
+    def run(self, coro):
+        return asyncio.run(coro)
+
+    def make_gateway(self, p=1.0):
+        specs = [SiteSpec(name="alpha", seed=3)]
+        snapshot = make_snapshot({"alpha": p}, seq=5, tick=17)
+        return AdmitGateway(specs, lambda: snapshot)
+
+    def test_admit_decide_healthz_metrics(self):
+        async def scenario():
+            OBS.reset()
+            OBS.enable(registry=MetricsRegistry())
+            try:
+                gateway = self.make_gateway(p=1.0)
+                async with serving(gateway) as server:
+                    reader, writer = await asyncio.open_connection(
+                        "127.0.0.1", server.port
+                    )
+                    status, _, body = await http_request(
+                        reader,
+                        writer,
+                        "POST",
+                        "/admit",
+                        json.dumps({"site": "alpha", "class": ORDER}).encode(),
+                    )
+                    assert status == 200
+                    doc = json.loads(body)
+                    assert doc["admitted"] is True  # p == 1.0
+                    assert doc["site"] == "alpha"
+                    assert doc["class"] == ORDER
+                    assert doc["admission_probability"] == 1.0
+                    assert doc["snapshot_seq"] == 5
+
+                    status, _, body = await http_request(
+                        reader,
+                        writer,
+                        "POST",
+                        "/decide",
+                        json.dumps({"site": "alpha"}).encode(),
+                    )
+                    assert status == 200
+                    doc = json.loads(body)
+                    assert doc["admission_probability"] == 1.0
+                    assert doc["overloaded"] is False
+                    assert doc["held"] is False
+
+                    status, _, body = await http_request(
+                        reader, writer, "GET", "/healthz"
+                    )
+                    assert status == 200
+                    assert json.loads(body)["status"] == "ok"
+
+                    status, headers, body = await http_request(
+                        reader, writer, "GET", "/metrics"
+                    )
+                    assert status == 200
+                    assert headers["content-type"].startswith("text/plain")
+                    text = body.decode()
+                    assert "repro_http_admit_total" in text
+                    assert "repro_http_request_seconds" in text
+                    writer.close()
+            finally:
+                OBS.reset()
+
+        self.run(scenario())
+
+    def test_error_statuses(self):
+        async def scenario():
+            gateway = self.make_gateway()
+            async with serving(gateway) as server:
+                async def one(method, path, body=b""):
+                    # error responses close the connection: reconnect
+                    reader, writer = await asyncio.open_connection(
+                        "127.0.0.1", server.port
+                    )
+                    status, headers, payload = await http_request(
+                        reader, writer, method, path, body
+                    )
+                    writer.close()
+                    return status, headers, payload
+
+                status, headers, body = await one(
+                    "POST", "/admit", json.dumps({"site": "nope"}).encode()
+                )
+                assert status == 404
+                assert "unknown site" in json.loads(body)["error"]
+                assert headers["connection"] == "close"
+
+                status, _, _ = await one("GET", "/nowhere")
+                assert status == 404
+                status, _, _ = await one("GET", "/admit")
+                assert status == 405
+                status, _, _ = await one("POST", "/healthz")
+                assert status == 405
+                status, _, body = await one("POST", "/admit", b"not json")
+                assert status == 400
+                status, _, _ = await one(
+                    "POST", "/admit", json.dumps({"site": 7}).encode()
+                )
+                assert status == 400
+                assert server.stats.bad_requests >= 2
+                assert server.stats.not_found >= 2
+
+        self.run(scenario())
+
+    def test_unknown_site_raises_from_gateway(self):
+        gateway = self.make_gateway()
+        with pytest.raises(UnknownSiteError):
+            gateway.admit("nope")
+        with pytest.raises(UnknownSiteError):
+            gateway.decide("nope")
+
+    def test_starting_before_first_snapshot(self):
+        gateway = AdmitGateway(
+            [SiteSpec(name="alpha", seed=3)], lambda: None
+        )
+        assert gateway.health() == {"status": "starting", "sites": 1}
+        # admission works from the gate's default p=1.0
+        result = gateway.admit("alpha")
+        assert result.admitted and result.snapshot_seq == 0
+        assert result.window_index == -1
+
+
+# ----------------------------------------------------------------------
+# full-stack loadgen determinism
+# ----------------------------------------------------------------------
+class TestLoadgenDeterminism:
+    #: report keys that depend on wall-clock measurement, not the seed
+    TIMING_KEYS = ("admit_latency_ms", "achieved_rps", "wall_s")
+
+    def test_same_seed_same_report_modulo_timings(self):
+        sites = ["site0", "site1"]
+        specs = [SiteSpec(name=name, seed=9) for name in sites]
+        # p=1.0 everywhere: every request admits, so the report's
+        # counters are independent of network interleaving
+        snapshot = make_snapshot({name: 1.0 for name in sites})
+        gateway = AdmitGateway(specs, lambda: snapshot)
+        with serving_in_thread(gateway) as server:
+            reports = [
+                run_load(
+                    host="127.0.0.1",
+                    port=server.port,
+                    rps=300.0,
+                    duration=0.5,
+                    mix_name="tpcw",
+                    sites=sites,
+                    seed=21,
+                    connections=8,
+                )
+                for _ in range(2)
+            ]
+        first, second = reports
+        assert first["requests"] > 100
+        assert first["errors"] == first["timeouts"] == 0
+        assert first["status_5xx"] == 0
+        assert first["admitted"] == first["requests"]
+        for key in self.TIMING_KEYS:
+            assert key in first
+            del first[key], second[key]
+        assert first == second
+
+    def test_latency_report_has_the_slo_percentiles(self):
+        sites = ["site0"]
+        specs = [SiteSpec(name="site0", seed=5)]
+        snapshot = make_snapshot({"site0": 1.0})
+        gateway = AdmitGateway(specs, lambda: snapshot)
+        with serving_in_thread(gateway) as server:
+            report = run_load(
+                host="127.0.0.1",
+                port=server.port,
+                rps=100.0,
+                duration=0.3,
+                mix_name="tpcw",
+                sites=sites,
+                seed=3,
+                connections=4,
+            )
+        latency = report["admit_latency_ms"]
+        for key in ("p50", "p99", "p999", "mean", "max"):
+            assert latency[key] > 0.0
+        assert latency["p50"] <= latency["p99"] <= latency["p999"]
+        assert report["schedule_sha256"] == schedule_digest(
+            build_schedule(
+                rps=100.0,
+                duration=0.3,
+                mix=resolve_loadgen_mix("tpcw"),
+                sites=sites,
+                seed=3,
+            )
+        )
+
+
+# ----------------------------------------------------------------------
+# the parity contract: HTTP == GatedFrontEnd, bit for bit
+# ----------------------------------------------------------------------
+class TestGatedFrontEndParity:
+    PHASES = (1.0, 0.42, 0.05, 0.73)
+    PER_PHASE = 25
+
+    def reference_decisions(self, spec, sim, website):
+        """The same trace through GatedFrontEnd with an identically
+        seeded gate, stepping the probability through the phases the
+        snapshot publishes on the HTTP side."""
+        gate = AimdGate(
+            decrease_factor=spec.decrease_factor,
+            increase_step=spec.increase_step,
+            min_admission=spec.min_admission,
+            confidence_floor=spec.confidence_floor,
+            seed=http_gate_stream(spec),
+            site=spec.name,
+        )
+        front = GatedFrontEnd(sim, gate, website)
+        mix = STANDARD_MIXES["shopping"]
+        rng = np.random.default_rng(1207)
+        admitted = []
+        for probability in self.PHASES:
+            gate.admission_probability = probability
+            for _ in range(self.PER_PHASE):
+                outcomes = []
+                front.submit(mix.sample(rng), outcomes.append)
+                # rejections complete synchronously as drops; admits
+                # head into the website and complete later
+                admitted.append(
+                    not (outcomes and outcomes[0].dropped)
+                )
+        return admitted, gate
+
+    def test_http_stream_is_bit_identical(self, sim, website):
+        spec = SiteSpec(name="alpha", seed=1234)
+        reference, reference_gate = self.reference_decisions(
+            spec, sim, website
+        )
+
+        async def scenario():
+            holder = {"snapshot": None}
+            gateway = AdmitGateway(
+                [spec], lambda: holder["snapshot"], order_protect=0.0
+            )
+            admitted = []
+            async with serving(gateway) as server:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                body = json.dumps({"site": "alpha"}).encode()
+                for seq, probability in enumerate(self.PHASES, start=1):
+                    holder["snapshot"] = make_snapshot(
+                        {"alpha": probability}, seq=seq, tick=seq * 10
+                    )
+                    for _ in range(self.PER_PHASE):
+                        status, _, payload = await http_request(
+                            reader, writer, "POST", "/admit", body
+                        )
+                        assert status == 200
+                        doc = json.loads(payload)
+                        assert doc["admission_probability"] == probability
+                        assert doc["snapshot_seq"] == seq
+                        admitted.append(doc["admitted"])
+                writer.close()
+            return admitted, gateway
+
+        admitted, gateway = asyncio.run(scenario())
+        assert admitted == reference
+        # the counters walked in lockstep too
+        http_stats = gateway.gate("alpha").stats
+        assert http_stats.offered == reference_gate.stats.offered
+        assert http_stats.admitted == reference_gate.stats.admitted
+        assert http_stats.rejected == reference_gate.stats.rejected
+
+    def test_gate_stream_is_independent_of_service_streams(self):
+        spec = SiteSpec(name="alpha", seed=77)
+        http_state = np.random.default_rng(
+            http_gate_stream(spec)
+        ).bit_generator.state
+        service_children = np.random.SeedSequence(spec.seed).spawn(2)
+        for child in service_children:
+            state = np.random.default_rng(child).bit_generator.state
+            assert state != http_state
+
+    def test_order_protect_boosts_only_order_class(self):
+        spec = SiteSpec(name="alpha", seed=11)
+        snapshot = make_snapshot({"alpha": 0.3})
+        boosted = AdmitGateway(
+            [spec], lambda: snapshot, order_protect=0.5
+        )
+        plain = AdmitGateway([spec], lambda: snapshot)
+        n = 400
+        boosted_orders = sum(
+            boosted.admit("alpha", ORDER).admitted for _ in range(n)
+        )
+        plain_orders = sum(
+            plain.admit("alpha", ORDER).admitted for _ in range(n)
+        )
+        # identical seeds, so the uniform draws match one-to-one and
+        # the boost can only flip rejections into admissions
+        assert boosted_orders > plain_orders
+        # the published probability is restored after every draw
+        assert boosted.gate("alpha").admission_probability == 0.3
+        # BROWSE draws are untouched by order_protect: same seed, same
+        # probability, same stream → identical decisions
+        boosted2 = AdmitGateway(
+            [spec], lambda: snapshot, order_protect=0.5
+        )
+        plain2 = AdmitGateway([spec], lambda: snapshot)
+        browse_a = [
+            boosted2.admit("alpha", BROWSE).admitted for _ in range(n)
+        ]
+        browse_b = [
+            plain2.admit("alpha", BROWSE).admitted for _ in range(n)
+        ]
+        assert browse_a == browse_b
+
+
+# ----------------------------------------------------------------------
+# graceful drain: in-flight requests are never dropped
+# ----------------------------------------------------------------------
+class TestGracefulDrain:
+    def test_in_flight_request_completes_during_drain(self):
+        async def scenario():
+            spec = SiteSpec(name="alpha", seed=2)
+            snapshot = make_snapshot({"alpha": 1.0})
+            gateway = AdmitGateway([spec], lambda: snapshot)
+            server = HttpCapacityServer(
+                gateway, port=0, deadline=5.0, drain_grace=5.0
+            )
+            await server.start()
+
+            # an idle keep-alive connection, parked in readuntil
+            idle_reader, idle_writer = await asyncio.open_connection(
+                "127.0.0.1", server.port
+            )
+            status, _, _ = await http_request(
+                idle_reader, idle_writer, "GET", "/healthz"
+            )
+            assert status == 200
+
+            # a busy connection: head + half the body, then stall
+            busy_reader, busy_writer = await asyncio.open_connection(
+                "127.0.0.1", server.port
+            )
+            body = json.dumps({"site": "alpha"}).encode()
+            head = (
+                f"POST /admit HTTP/1.1\r\nHost: t\r\n"
+                f"Content-Length: {len(body)}\r\n\r\n"
+            ).encode("latin-1")
+            busy_writer.write(head + body[: len(body) // 2])
+            await busy_writer.drain()
+            for _ in range(1000):
+                if server.busy_count == 1:
+                    break
+                await asyncio.sleep(0.005)
+            assert server.busy_count == 1
+
+            drain_task = asyncio.ensure_future(server.drain())
+            await asyncio.sleep(0.05)
+            assert server.draining
+
+            # new connections are refused while draining
+            with pytest.raises((ConnectionError, OSError)):
+                r, w = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                _, _, _ = await http_request(r, w, "GET", "/healthz")
+                w.close()
+
+            # the idle connection was unparked and closed...
+            assert await idle_reader.read() == b""
+            idle_writer.close()
+
+            # ...but the in-flight request still gets its full answer
+            busy_writer.write(body[len(body) // 2 :])
+            await busy_writer.drain()
+            status, headers, payload = await read_response(busy_reader)
+            assert status == 200
+            assert json.loads(payload)["admitted"] is True
+            assert headers["connection"] == "close"
+            assert await busy_reader.read() == b""  # then EOF
+            busy_writer.close()
+
+            await drain_task
+            assert server.stats.drained_in_flight == 1
+            assert server.busy_count == 0
+
+        asyncio.run(scenario())
+
+
+# ----------------------------------------------------------------------
+# deadline overruns answer 504 and are counted in repro.obs
+# ----------------------------------------------------------------------
+class TestDeadline:
+    def test_stalled_body_times_out_and_counts(self):
+        async def scenario():
+            OBS.reset()
+            OBS.enable(registry=MetricsRegistry())
+            try:
+                spec = SiteSpec(name="alpha", seed=2)
+                snapshot = make_snapshot({"alpha": 1.0})
+                gateway = AdmitGateway([spec], lambda: snapshot)
+                async with serving(gateway, deadline=0.08) as server:
+                    reader, writer = await asyncio.open_connection(
+                        "127.0.0.1", server.port
+                    )
+                    # promise a body, never send it
+                    writer.write(
+                        b"POST /admit HTTP/1.1\r\nHost: t\r\n"
+                        b"Content-Length: 10\r\n\r\n"
+                    )
+                    await writer.drain()
+                    status, headers, body = await read_response(reader)
+                    assert status == 504
+                    assert (
+                        json.loads(body)["error"] == "deadline_exceeded"
+                    )
+                    assert headers["connection"] == "close"
+                    writer.close()
+                    assert server.stats.deadline_exceeded == 1
+                    assert (
+                        OBS.registry.value(
+                            "repro_http_deadline_exceeded_total",
+                            route="POST /admit",
+                        )
+                        == 1.0
+                    )
+                    # the 504 is still observed in the latency histogram
+                    assert "repro_http_request_seconds" in OBS.exposition()
+            finally:
+                OBS.reset()
+
+        asyncio.run(scenario())
+
+    def test_queue_full_sheds_immediately(self):
+        async def scenario():
+            spec = SiteSpec(name="alpha", seed=2)
+            snapshot = make_snapshot({"alpha": 1.0})
+            gateway = AdmitGateway([spec], lambda: snapshot)
+            async with serving(gateway) as server:
+                server._waiting = server.queue_limit  # simulate pressure
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                status, _, body = await http_request(
+                    reader,
+                    writer,
+                    "POST",
+                    "/admit",
+                    json.dumps({"site": "alpha"}).encode(),
+                )
+                assert status == 503
+                assert json.loads(body)["error"] == "queue_full"
+                assert server.stats.queue_full == 1
+                writer.close()
+                server._waiting = 0
+
+        asyncio.run(scenario())
+
+
+# ----------------------------------------------------------------------
+# published snapshots track the live service
+# ----------------------------------------------------------------------
+class TestServiceSnapshots:
+    def test_single_process_snapshot_tracks_gates(
+        self, meter, labeler, records
+    ):
+        specs = [SiteSpec(name=f"site{i}", seed=100 + i) for i in range(4)]
+        service = CapacityService(meter, specs, labeler=labeler)
+        initial = service.enable_snapshots()
+        assert initial.seq == 1
+        assert initial.healthy
+        assert set(initial.sites) == {s.name for s in specs}
+        assert all(
+            entry.admission_probability == 1.0
+            for entry in initial.sites.values()
+        )
+        service.replay(records[:60])
+        snapshot = service.snapshot
+        assert snapshot.seq > initial.seq
+        for site in service.sites:
+            entry = snapshot.sites[site.name]
+            assert (
+                entry.admission_probability
+                == site.gate.admission_probability
+            )
+            assert entry.window_index >= 0
+
+    def test_snapshots_are_immutable_and_optional(
+        self, meter, labeler, records
+    ):
+        specs = [SiteSpec(name="site0", seed=100)]
+        service = CapacityService(meter, specs, labeler=labeler)
+        assert service.snapshot is None  # zero-cost until enabled
+        service.replay(records[:20])
+        assert service.snapshot is None
+        snapshot = service.enable_snapshots()
+        with pytest.raises(AttributeError):
+            snapshot.seq = 99
+        with pytest.raises(TypeError):
+            snapshot.sites["site0"] = None
+
+
+# ----------------------------------------------------------------------
+# degraded serving: /healthz goes 503 while shards are lost
+# ----------------------------------------------------------------------
+class TestDegradedHealth:
+    def test_healthz_degrades_on_lost_shards(
+        self, meter, labeler, records
+    ):
+        specs = [SiteSpec(name=f"site{i}", seed=100 + i) for i in range(4)]
+        plan = ProcessFaultPlan(
+            faults=(
+                ProcessFaultSpec(
+                    kind="kill", tick=len(records) // 2, worker=0
+                ),
+            ),
+        )
+        with ShardedCapacityService(
+            meter,
+            specs,
+            workers=2,
+            labeler=labeler,
+            chunk_ticks=8,
+            recover=False,
+            process_faults=plan,
+        ) as service:
+            healthy = service.enable_snapshots()
+            assert healthy.healthy and healthy.seq == 1
+            service.replay(records)
+            snapshot = service.snapshot
+            lost = tuple(service.lost_sites())
+
+        assert lost  # the blackout actually happened
+        assert snapshot.lost_sites == lost
+        assert not snapshot.healthy
+        for name in lost:
+            entry = snapshot.sites[name]
+            assert entry.held and entry.degraded
+            assert entry.confidence == 0.0
+        survivors = set(snapshot.sites) - set(lost)
+        assert survivors
+        assert all(
+            not snapshot.sites[name].degraded for name in survivors
+        )
+
+        gateway = AdmitGateway(specs, lambda: snapshot)
+        health = gateway.health()
+        assert health["status"] == "degraded"
+        assert health["lost_sites"] == list(lost)
+
+        async def scenario():
+            async with serving(gateway) as server:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                status, _, body = await http_request(
+                    reader, writer, "GET", "/healthz"
+                )
+                assert status == 503
+                doc = json.loads(body)
+                assert doc["status"] == "degraded"
+                assert doc["lost_sites"] == list(lost)
+                writer.close()
+
+                # admits against a lost site surface the degradation
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                status, _, body = await http_request(
+                    reader,
+                    writer,
+                    "POST",
+                    "/admit",
+                    json.dumps({"site": lost[0]}).encode(),
+                )
+                assert status == 200  # held probability still serves
+                doc = json.loads(body)
+                assert doc["degraded"] is True and doc["held"] is True
+                writer.close()
+
+        asyncio.run(scenario())
