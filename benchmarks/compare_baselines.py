@@ -18,7 +18,13 @@ tracked, covering the repository's performance-sensitive subsystems:
 * ``fig4_coordinated_accuracy.txt`` — coordinated prediction accuracy
   across the four workloads at both metric levels.
 
-A sixth artifact, ``BENCH_http.json`` (written by ``repro loadgen``
+Two more artifacts gate standalone because they come from dedicated CI
+jobs, not the benchmark suite.  ``BENCH_retrain.json`` (``--only
+retrain``, written by ``benchmarks/test_retrain.py`` for the
+drift-retrain job) asserts the warm retrain reused the artifact cache —
+zero rebuilt artifacts and a >= 2x cold/warm speedup on any host — and
+compares its wall clock against the ``retrain_warm_s`` baseline on
+hosts with at least 4 cores.  And ``BENCH_http.json`` (written by ``repro loadgen``
 against a live ``repro serve-http``), is gated separately via
 ``--only http`` because it is produced by the http-slo CI job, not the
 benchmark suite: its admit-latency percentiles compare against the
@@ -100,6 +106,16 @@ OVERHEAD_CEILINGS = (
 
 #: BENCH_http.json admit-latency percentiles gated against ``http_ms``
 HTTP_KEYS = ("p50", "p99", "p999")
+
+#: the warm-retrain wall clock gated against ``retrain_warm_s``; the
+#: cache-reuse floor (``warm_speedup`` >= 2) is a ratio of two like
+#: runs on the same host, so it applies everywhere
+RETRAIN_WARM_SPEEDUP_FLOOR = 2.0
+
+#: cores below which the warm-retrain wall-clock comparison SKIPs
+#: (shared 1-core runners jitter; the drift-retrain CI job separately
+#: asserts its runner is big enough, so the gate never passes vacuously)
+RETRAIN_CORES = 4
 
 #: the hard SLO on the HTTP decision path: admit p99 in milliseconds.
 #: Calibrated from a loaded smoke run (p99 ~7 ms on a small host) with
@@ -476,6 +492,112 @@ def main_http(args: argparse.Namespace) -> int:
     return 0
 
 
+def main_retrain(args: argparse.Namespace) -> int:
+    """The ``--only retrain`` path: gate BENCH_retrain.json by itself.
+
+    Three gates.  The cache-reuse gates apply on any host: a warm
+    retrain must report zero run/synopsis builds (the artifact cache
+    satisfied everything) and must beat the cold build by at least
+    ``RETRAIN_WARM_SPEEDUP_FLOOR`` (a same-host ratio).  The
+    ``retrain_warm_s`` wall-clock baseline is cores-aware like the
+    latency gates: below ``RETRAIN_CORES`` the row reports SKIPPED —
+    the drift-retrain CI job separately asserts its runner is big
+    enough, so the comparison never passes vacuously there.
+    """
+    retrain_path = args.results_dir / "BENCH_retrain.json"
+    try:
+        payload = json.loads(retrain_path.read_text())
+        warm_s = float(payload["warm_s"])
+    except (FileNotFoundError, KeyError, ValueError) as exc:
+        print(f"cannot read {retrain_path}: {exc}")
+        print(
+            "run the retrain benchmark first, e.g.\n"
+            "  REPRO_BENCH_SCALE=0.25 REPRO_BENCH_WINDOW=10 "
+            "python -m pytest benchmarks/test_retrain.py"
+        )
+        return 2
+
+    if args.update:
+        merged: Dict[str, object] = {}
+        if args.baselines.is_file():
+            merged = json.loads(args.baselines.read_text())
+        merged["retrain_warm_s"] = warm_s
+        args.baselines.parent.mkdir(parents=True, exist_ok=True)
+        args.baselines.write_text(json.dumps(merged, indent=2) + "\n")
+        print(f"retrain_warm_s baseline updated: {args.baselines}")
+        return 0
+
+    if not args.baselines.is_file():
+        print(f"no baselines at {args.baselines}; run with --update first")
+        return 2
+    baselines = json.loads(args.baselines.read_text())
+    if "retrain_warm_s" not in baselines:
+        print(
+            f"{args.baselines} has no retrain_warm_s entry; "
+            "run --only retrain --update first"
+        )
+        return 2
+
+    failures: List[str] = []
+    rows: List[str] = []
+
+    # cache reuse: the warm retrain must not rebuild anything, anywhere
+    rebuilt = sum(int(v) for v in payload.get("builds_warm", {}).values())
+    verdict = "ok" if rebuilt == 0 else "REGRESSION"
+    rows.append(
+        f"  retrain.warm_builds  {rebuilt:18d}  must be 0    {verdict}"
+    )
+    if rebuilt:
+        failures.append(
+            f"BENCH_retrain.json: warm retrain rebuilt {rebuilt} "
+            f"artifact(s) instead of loading the cache"
+        )
+    speedup = float(payload.get("warm_speedup", 0.0))
+    verdict = (
+        "ok" if speedup >= RETRAIN_WARM_SPEEDUP_FLOOR else "REGRESSION"
+    )
+    rows.append(
+        f"  retrain.warm_speedup {speedup:17.2f}x  floor "
+        f"{RETRAIN_WARM_SPEEDUP_FLOOR:.1f}x  {verdict}"
+    )
+    if speedup < RETRAIN_WARM_SPEEDUP_FLOOR:
+        failures.append(
+            f"BENCH_retrain.json: warm_speedup {speedup:.2f}x below the "
+            f"{RETRAIN_WARM_SPEEDUP_FLOOR:.1f}x cache-reuse floor"
+        )
+
+    cpu_count = int(payload.get("cpu_count") or 1)
+    if cpu_count >= RETRAIN_CORES:
+        _compare_timing(
+            "retrain_s",
+            {"warm_s": float(baselines["retrain_warm_s"])},
+            {"warm_s": warm_s},
+            args.time_tolerance,
+            failures,
+            rows,
+        )
+    else:
+        rows.append(
+            f"  retrain_warm_s baseline comparison SKIPPED "
+            f"({cpu_count} < {RETRAIN_CORES} cores)"
+        )
+
+    print(
+        f"gating {retrain_path} against {args.baselines} "
+        f"(time +{args.time_tolerance * 100:.0f}%, warm speedup >= "
+        f"{RETRAIN_WARM_SPEEDUP_FLOOR:.1f}x)"
+    )
+    for row in rows:
+        print(row)
+    if failures:
+        print(f"\n{len(failures)} regression(s):")
+        for failure in failures:
+            print(f"  FAIL {failure}")
+        return 1
+    print("\nwarm retrain reuses the artifact cache")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -510,15 +632,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "--only",
-        choices=("all", "http"),
+        choices=("all", "http", "retrain"),
         default="all",
         help="'http' gates BENCH_http.json alone (the http-slo CI job "
-        "produces no other artifacts); 'all' gates the benchmark suite",
+        "produces no other artifacts); 'retrain' gates "
+        "BENCH_retrain.json alone (likewise the drift-retrain job); "
+        "'all' gates the benchmark suite",
     )
     args = parser.parse_args(argv)
 
     if args.only == "http":
         return main_http(args)
+    if args.only == "retrain":
+        return main_retrain(args)
 
     try:
         fresh = collect(args.results_dir)

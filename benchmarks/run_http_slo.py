@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import shlex
 import signal
 import subprocess
 import sys
@@ -69,6 +70,19 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--out", type=Path, default=RESULTS_DIR / "BENCH_http.json"
     )
+    parser.add_argument(
+        "--server-args",
+        default="",
+        help="extra arguments appended to the serve-http command "
+        "(e.g. '--retrain-on-drift --cache-dir .repro-cache')",
+    )
+    parser.add_argument(
+        "--require-swap",
+        action="store_true",
+        help="fail unless the server hot-swapped its meter during the "
+        "run AND the load report shows zero errors/timeouts/5xx — the "
+        "zero-downtime gate of the drift-retrain CI job",
+    )
     args = parser.parse_args(argv)
 
     command = [
@@ -80,6 +94,8 @@ def main(argv=None) -> int:
     ]
     if args.meter:
         command += ["--meter", args.meter]
+    if args.server_args:
+        command += shlex.split(args.server_args)
     server = subprocess.Popen(
         command,
         cwd=REPO,
@@ -87,6 +103,8 @@ def main(argv=None) -> int:
         stderr=subprocess.STDOUT,
         text=True,
     )
+    report = None
+    server_tail = []
     try:
         port = wait_for_port(server.stdout)
         wait_for_health(port)
@@ -127,9 +145,28 @@ def main(argv=None) -> int:
                 server.wait()
         for line in server.stdout:
             sys.stdout.write(line)
+            server_tail.append(line)
     if server.returncode != 0:
         print(f"server exited with {server.returncode}")
         return 1
+    if args.require_swap:
+        # the zero-downtime contract: the server crossed a meter
+        # hot-swap while the open-loop driver was firing, and not one
+        # request was dropped, errored or timed out
+        if not any(line.startswith("# swap @") for line in server_tail):
+            print("FAIL: the server never hot-swapped its meter")
+            return 1
+        if report is None:
+            print("FAIL: no load report to check against the swap")
+            return 1
+        dropped = {
+            key: int(report.get(key, 0))
+            for key in ("errors", "timeouts", "status_5xx")
+        }
+        if any(dropped.values()):
+            print(f"FAIL: requests dropped across the swap: {dropped}")
+            return 1
+        print("# hot-swap crossed with zero dropped requests")
     return 0
 
 

@@ -1,0 +1,99 @@
+"""R1 — drift-triggered retrain cost: cold build vs. warm cache reload.
+
+The drift loop's zero-downtime claim rests on two numbers: the cold
+retrain (full simulation + training, what a cache-less trigger pays)
+and the warm retrain (every run and synopsis loaded from the
+content-addressed :class:`~repro.parallel.ArtifactCache` — zero
+simulation, zero training).  The warm path is the one the serving loop
+actually takes after the first trigger at a given traffic scale, so it
+is the one ``compare_baselines.py`` gates (``retrain_s.warm_s``, via
+``--only retrain``); the cold number rides along for the trajectory.
+
+Also measured: the background-retrainer overlap — a retrain running on
+its dedicated pool worker while the submitting thread keeps doing work,
+pinning the "never blocks the tick loop" contract with a wall clock.
+
+Numbers land in ``benchmarks/results/BENCH_retrain.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.drift import BackgroundRetrainer, RetrainSpec, retrain_meter
+from repro.telemetry.sampler import HPC_LEVEL
+
+from conftest import BENCH_SCALE, BENCH_WINDOW, RESULTS_DIR
+
+#: like the parallel-engine bench, this times full rebuilds, so it caps
+#: its own scale — the cache win is scale-independent, the wall is not
+SCALE = min(BENCH_SCALE, 0.25)
+WINDOW = min(BENCH_WINDOW, 10)
+
+
+def test_retrain_cold_vs_warm(record_result, tmp_path_factory):
+    cache_dir = str(tmp_path_factory.mktemp("retrain-cache"))
+    spec = RetrainSpec(
+        level=HPC_LEVEL, scale=SCALE, window=WINDOW, cache_dir=cache_dir
+    )
+    cpu_count = os.cpu_count() or 1
+
+    # cold: the first trigger at this scale builds and stores everything
+    cold = retrain_meter(spec)
+    assert sum(cold.builds.values()) > 0
+    assert not cold.warm
+
+    # warm: same spec, populated cache — zero builds, same payload
+    warm = retrain_meter(spec)
+    assert warm.warm, f"warm retrain rebuilt artifacts: {warm.builds}"
+    assert json.dumps(warm.payload, sort_keys=True) == json.dumps(
+        cold.payload, sort_keys=True
+    )
+
+    warm_speedup = (
+        cold.duration_s / warm.duration_s if warm.duration_s > 0 else None
+    )
+
+    # background overlap: while the pool worker rebuilds, the submitting
+    # thread must stay free — the ticks it completes meanwhile are the
+    # proof the retrain never blocked it
+    retrainer = BackgroundRetrainer()
+    try:
+        start = time.perf_counter()
+        retrainer.start(spec)
+        foreground_ticks = 0
+        while retrainer.poll() is None:
+            foreground_ticks += 1
+            time.sleep(0.001)
+        background_s = time.perf_counter() - start
+    finally:
+        retrainer.close()
+    assert foreground_ticks > 0
+
+    payload = {
+        "name": "retrain",
+        "scale": SCALE,
+        "window": WINDOW,
+        "cpu_count": cpu_count,
+        "cold_s": round(cold.duration_s, 4),
+        "warm_s": round(warm.duration_s, 4),
+        "warm_speedup": round(warm_speedup, 3),
+        "builds_cold": dict(cold.builds),
+        "builds_warm": dict(warm.builds),
+        "background_s": round(background_s, 4),
+        "foreground_ticks_during_retrain": foreground_ticks,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_retrain.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    record_result(
+        "retrain",
+        [f"{key}: {value}" for key, value in payload.items()],
+    )
+
+    # the cache win holds on any host — a warm retrain that is not
+    # dramatically cheaper than the cold one means the cache missed
+    assert warm_speedup >= 2.0

@@ -478,6 +478,142 @@ def cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_drift(args: argparse.Namespace) -> int:
+    """``repro drift``: seeded drift → retrain → hot-swap campaign.
+
+    Serves an *actual-scale* trace through a meter trained at
+    ``--stale-scale`` (the gap starves the tables, so agreement and
+    confidence sag), lets the drift detector trigger, retrains inline
+    at the actual scale through the experiment pipeline + artifact
+    cache, and hot-swaps the result at a window boundary.  Inline
+    retraining makes every tick in the output a pure function of the
+    seeds, so two runs byte-diff equal — the ``drift-retrain`` CI job
+    replays the campaign twice and diffs.
+    """
+    import hashlib
+
+    from .control.service import CapacityService, SiteSpec
+    from .control.shard import ShardedCapacityService
+    from .drift import DriftConfig, DriftRetrainController, RetrainSpec
+
+    if args.sites < 1:
+        raise SystemExit("--sites must be at least 1")
+    if args.workers < 0:
+        raise SystemExit("--workers must be 0 (single process) or more")
+    if args.repeat < 1:
+        raise SystemExit("--repeat must be at least 1")
+
+    cache = _make_cache(args, default_on=True)
+    window = _window_for(args.scale)
+    # the stale meter: trained at --stale-scale but with the serving
+    # window, so the hot-swap's level/tiers/window contract holds
+    stale = ExperimentPipeline(
+        PipelineConfig(scale=args.stale_scale, window=window), cache=cache
+    )
+    print(
+        f"# stale meter: {args.level} at scale {args.stale_scale} "
+        f"(serving scale {args.scale}, window {window})"
+    )
+    meter = stale.meter(args.level)
+    labeler = stale.labeler
+    actual = ExperimentPipeline(
+        PipelineConfig(scale=args.scale, window=window), cache=cache
+    )
+    records = list(actual.test_run(args.mix).records) * args.repeat
+    specs = [
+        SiteSpec(name=f"site{i}", seed=args.seed + i)
+        for i in range(args.sites)
+    ]
+    spec = RetrainSpec(
+        level=args.level,
+        scale=args.scale,
+        window=window,
+        learner=meter.synopsis_config.learner,
+        cache_dir=str(cache.root) if cache is not None else None,
+    )
+    config = DriftConfig(
+        horizon=args.horizon,
+        min_windows=args.min_windows,
+        min_truth=max(2, args.min_windows // 2),
+        agreement_floor=args.agreement_floor,
+        cooldown=args.cooldown,
+        seed=args.seed,
+    )
+    decisions: Dict[str, list] = {s.name: [] for s in specs}
+
+    def on_decision(name, decision) -> None:
+        decisions[name].append(decision)
+
+    if args.workers > 0:
+        service = ShardedCapacityService(
+            meter,
+            specs,
+            workers=args.workers,
+            labeler=labeler,
+            on_decision=on_decision,
+        )
+    else:
+        service = CapacityService(
+            meter, specs, labeler=labeler, on_decision=on_decision
+        )
+    service.enable_snapshots()
+    service.enable_drift(config)
+    controller = DriftRetrainController(service, spec)
+    printed = 0
+    try:
+        # step the controller at every window boundary — a pipe-idle
+        # point for the sharded service, and the exact cadence the
+        # single-process path triggers at, so the campaign output is
+        # identical for any --workers
+        for start in range(0, len(records), window):
+            chunk = records[start : start + window]
+            if args.workers > 0:
+                service.replay(chunk)
+            else:
+                for record in chunk:
+                    service.push(record)
+            controller.step()
+            while printed < len(controller.events):
+                kind, tick, detail = controller.events[printed]
+                print(f"# {kind} @{tick}: {detail}")
+                printed += 1
+    finally:
+        if args.workers > 0:
+            service.close()
+        controller.close()
+    lines = []
+    dropped = False
+    for name in sorted(decisions):
+        seen = [d.index for d in decisions[name]]
+        contiguous = seen == list(range(len(seen)))
+        dropped = dropped or not contiguous
+        lines.append(
+            f"# windows {name}: {len(seen)} "
+            f"contiguous={'yes' if contiguous else 'NO'}"
+        )
+        for decision in decisions[name]:
+            lines.append(
+                f"{name} {decision.index} "
+                f"{int(decision.prediction.state)} "
+                f"{int(decision.truth) if decision.truth is not None else '-'} "
+                f"{decision.confidence:.4f}"
+            )
+    digest = hashlib.sha256("\n".join(lines).encode("utf-8")).hexdigest()
+    for line in lines:
+        if line.startswith("# windows"):
+            print(line)
+    print(f"# meter version: {service.meter_version}")
+    print(f"# decision signature: {digest[:16]}")
+    status = 0
+    if dropped:
+        print("# FAIL: a site dropped a decision window across the swap")
+        status = 1
+    if args.expect_swap and not controller.swaps:
+        print("# FAIL: campaign completed without a drift-triggered swap")
+        status = 1
+    return status
+
+
 @contextlib.contextmanager
 def _graceful_signals() -> Iterator[Callable[[], Optional[int]]]:
     """Convert SIGINT/SIGTERM into a flag the serve loops poll.
@@ -504,6 +640,40 @@ def _graceful_signals() -> Iterator[Callable[[], Optional[int]]]:
     finally:
         for sig, old in previous.items():
             signal.signal(sig, old)
+
+
+def _drift_controller(args: argparse.Namespace, service):
+    """Background drift→retrain→hot-swap controller for the serve loops.
+
+    Retrains at the *serving* scale (the whole point: the meter on duty
+    was trained on yesterday's traffic) on a dedicated pool worker, so
+    the tick loop and the HTTP decision path never block on a rebuild.
+    """
+    from .drift import DriftConfig, DriftRetrainController, RetrainSpec
+
+    service.enable_drift(
+        DriftConfig(
+            agreement_floor=getattr(args, "agreement_floor", 0.7),
+            seed=args.seed,
+        )
+    )
+    cache = _make_cache(args, default_on=False)
+    spec = RetrainSpec(
+        level=args.level,
+        scale=args.scale,
+        window=service.window,
+        cache_dir=str(cache.root) if cache is not None else None,
+    )
+    return DriftRetrainController(service, spec, background=True)
+
+
+def _print_drift_events(controller, printed: int) -> int:
+    """Print controller events past ``printed``; new high-water mark."""
+    while printed < len(controller.events):
+        kind, tick, detail = controller.events[printed]
+        print(f"# {kind} @{tick}: {detail}", flush=True)
+        printed += 1
+    return printed
 
 
 def _serve_shard_factory(service, mix_name: str, profile: str, scale: float):
@@ -605,6 +775,10 @@ def _cmd_serve_sharded(args: argparse.Namespace, meter, labeler, specs) -> int:
             use_fleet=not args.no_fleet,
             **supervise,
         )
+    controller = None
+    drift_printed = 0
+    if args.retrain_on_drift:
+        controller = _drift_controller(args, service)
     with service, _graceful_signals() as interrupted:
         duration = service.attach_factory(
             _serve_shard_factory, args.mix, args.profile, args.scale
@@ -618,6 +792,13 @@ def _cmd_serve_sharded(args: argparse.Namespace, meter, labeler, specs) -> int:
         windows_since = 0
         while now < duration and interrupted() is None:
             now = min(now + slice_seconds, duration)
+            if controller is not None:
+                # slice boundaries are the sharded fabric's pipe-idle
+                # instants — the only safe place to stage a swap
+                controller.step()
+                drift_printed = _print_drift_events(
+                    controller, drift_printed
+                )
             for name, decision, gate_p in service.advance(now):
                 prediction = decision.prediction
                 print(
@@ -641,6 +822,12 @@ def _cmd_serve_sharded(args: argparse.Namespace, meter, labeler, specs) -> int:
                 f"# interrupted (signal {interrupted()}): shutting down "
                 f"gracefully"
             )
+        if controller is not None:
+            controller.step()
+            drift_printed = _print_drift_events(controller, drift_printed)
+            controller.close()
+            if controller.swaps:
+                print(f"# meter version: {service.meter_version}")
         if args.checkpoint:
             # final snapshot captures the trailing partial windows too
             service.save(args.checkpoint)
@@ -806,6 +993,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
         hpc_noise=config.hpc_noise,
         os_noise=config.os_noise,
     )
+    controller = None
+    drift_printed = 0
+    if args.retrain_on_drift:
+        controller = _drift_controller(args, service)
     with _graceful_signals() as interrupted:
         # advance in slices so an operator SIGINT/SIGTERM lands between
         # slices and still gets a final checkpoint (event-driven sim:
@@ -815,7 +1006,18 @@ def cmd_serve(args: argparse.Namespace) -> int:
         while now < schedule.duration and interrupted() is None:
             now = min(now + slice_seconds, schedule.duration)
             sim.run(until=now)
+            if controller is not None:
+                controller.step()
+                drift_printed = _print_drift_events(
+                    controller, drift_printed
+                )
         service.stop()
+        if controller is not None:
+            controller.step()
+            drift_printed = _print_drift_events(controller, drift_printed)
+            controller.close()
+            if controller.swaps:
+                print(f"# meter version: {service.handle.version}")
         if interrupted() is not None:
             print(
                 f"# interrupted (signal {interrupted()}): shutting down "
@@ -870,20 +1072,35 @@ def _serve_http_backend(args, meter, labeler, specs):
             process_faults=plan,
         )
         service.enable_snapshots()
+        controller = None
+        if getattr(args, "retrain_on_drift", False):
+            controller = _drift_controller(args, service)
         duration = service.attach_factory(
             _serve_shard_factory, args.mix, args.profile, args.scale
         )
-        state = {"now": 0.0}
+        state = {"now": 0.0, "printed": 0}
 
         def tick() -> bool:
             if state["now"] >= duration:
                 return False
+            if controller is not None:
+                # slice boundaries are the fabric's pipe-idle instants
+                controller.step()
+                state["printed"] = _print_drift_events(
+                    controller, state["printed"]
+                )
             state["now"] = min(state["now"] + slice_seconds, duration)
             service.advance(state["now"])
             return True
 
         def cleanup() -> None:
             try:
+                if controller is not None:
+                    controller.step()
+                    state["printed"] = _print_drift_events(
+                        controller, state["printed"]
+                    )
+                    controller.close()
                 service.detach()
             finally:
                 service.close()
@@ -927,16 +1144,29 @@ def _serve_http_backend(args, meter, labeler, specs):
         hpc_noise=config.hpc_noise,
         os_noise=config.os_noise,
     )
-    state = {"now": 0.0}
+    controller = None
+    if getattr(args, "retrain_on_drift", False):
+        controller = _drift_controller(args, service)
+    state = {"now": 0.0, "printed": 0}
 
     def tick() -> bool:
         if state["now"] >= schedule.duration:
             return False
         state["now"] = min(state["now"] + slice_seconds, schedule.duration)
         sim.run(until=state["now"])
+        if controller is not None:
+            controller.step()
+            state["printed"] = _print_drift_events(
+                controller, state["printed"]
+            )
         return True
 
-    return service, tick, service.stop
+    def cleanup() -> None:
+        if controller is not None:
+            controller.close()
+        service.stop()
+
+    return service, tick, cleanup
 
 
 def cmd_serve_http(args: argparse.Namespace) -> int:
@@ -1498,6 +1728,77 @@ def build_parser() -> argparse.ArgumentParser:
     _add_metrics_out(faults)
     faults.set_defaults(func=cmd_faults)
 
+    drift = sub.add_parser(
+        "drift",
+        help="seeded drift → inline retrain → atomic hot-swap campaign "
+        "(byte-diffable across runs and worker counts)",
+    )
+    drift.add_argument(
+        "--sites", type=int, default=2,
+        help="independently monitored sites (default 2)",
+    )
+    drift.add_argument("--scale", type=float, default=0.3)
+    drift.add_argument(
+        "--stale-scale", type=float, default=0.1,
+        help="the serving meter is trained at this scale; the gap to "
+        "--scale is what the detector catches (default 0.1)",
+    )
+    drift.add_argument(
+        "--mix", default="ordering",
+        help="browsing | shopping | ordering | unknown",
+    )
+    drift.add_argument(
+        "--level", choices=("hpc", "os", "hybrid"), default="hpc",
+    )
+    drift.add_argument(
+        "--seed", type=int, default=1,
+        help="base seed for sites and drift thresholds",
+    )
+    drift.add_argument(
+        "--workers", type=int, default=0,
+        help="shard the fleet (0 = single process); the campaign "
+        "output is identical for any worker count",
+    )
+    drift.add_argument(
+        "--repeat", type=int, default=2,
+        help="tile the test trace this many times so the horizon "
+        "fills (default 2)",
+    )
+    drift.add_argument(
+        "--horizon", type=int, default=12,
+        help="sliding drift horizon in windows (default 12)",
+    )
+    drift.add_argument(
+        "--min-windows", type=int, default=8,
+        help="windows before a verdict can trigger (default 8)",
+    )
+    drift.add_argument(
+        "--agreement-floor", type=float, default=0.7,
+        help="label-vs-prediction agreement below this triggers "
+        "(default 0.7: the stale-scale meter bottoms out near 2/3 "
+        "agreement on the serving trace, safely below the floor)",
+    )
+    drift.add_argument(
+        "--cooldown", type=int, default=24,
+        help="windows after a swap before the next trigger (default 24)",
+    )
+    drift.add_argument(
+        "--expect-swap", action="store_true",
+        help="exit 1 unless the campaign triggered at least one "
+        "retrain + hot-swap (the CI gate)",
+    )
+    drift.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="artifact cache directory (default: REPRO_CACHE_DIR or "
+        "~/.cache/repro); a warm cache makes the retrain build-free",
+    )
+    drift.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the artifact cache entirely",
+    )
+    _add_metrics_out(drift)
+    drift.set_defaults(func=cmd_drift)
+
     serve = sub.add_parser(
         "serve",
         help="run N capacity-monitored websites behind AIMD admission "
@@ -1615,6 +1916,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="respawn budget per worker before its shard is abandoned "
         "to degraded serving (default 3)",
     )
+    serve.add_argument(
+        "--retrain-on-drift",
+        action="store_true",
+        help="watch the decision stream with the online drift detector "
+        "and, on a trigger, retrain at the serving scale on a "
+        "background worker and hot-swap the meter at a window boundary",
+    )
+    serve.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="artifact cache for --retrain-on-drift rebuilds (a warm "
+        "cache makes retraining near-instant)",
+    )
+    serve.add_argument(
+        "--agreement-floor",
+        type=float,
+        default=0.7,
+        help="label-vs-prediction agreement below which the drift "
+        "detector triggers a retrain (default 0.7)",
+    )
     _add_metrics_out(serve)
     serve.set_defaults(func=cmd_serve)
 
@@ -1720,6 +2042,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--switch-interval", type=float, default=0.002,
         help="sys.setswitchinterval for the tick thread's GIL slices "
         "(default 0.002s; python default 0.005 adds admit tail)",
+    )
+    serve_http.add_argument(
+        "--retrain-on-drift",
+        action="store_true",
+        help="drift-triggered background retrain + atomic meter "
+        "hot-swap while the HTTP decision path keeps serving",
+    )
+    serve_http.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="artifact cache for --retrain-on-drift rebuilds",
+    )
+    serve_http.add_argument(
+        "--agreement-floor",
+        type=float,
+        default=0.7,
+        help="label-vs-prediction agreement below which the drift "
+        "detector triggers a retrain (default 0.7)",
     )
     _add_metrics_out(serve_http)
     serve_http.set_defaults(func=cmd_serve_http)

@@ -62,6 +62,7 @@ from ..telemetry.sampler import IntervalRecord
 from ..telemetry.streaming import StreamingWindow
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle is type-only
+    from ..drift.handle import MeterHandle
     from .service import SiteRuntime
 
 __all__ = ["FleetState"]
@@ -151,11 +152,26 @@ class FleetState:
     shared decision function.  Construction re-points every
     coordinator's tables and every monitor's PI trackers at views of
     the stacked arrays; from then on either path may touch any site.
+
+    ``handle`` is the service's versioned
+    :class:`~repro.drift.MeterHandle`.  The stacked tables are built
+    from (and viewed by) whatever meter generation the monitors carry
+    at construction; a hot-swap *replaces* the fleet — the service
+    rebuilds ``FleetState`` over the freshly swapped monitors, exactly
+    as ``resume()`` rebuilds it over restored ones — so the handle's
+    version identifies which meter generation this fleet's arrays
+    belong to.
     """
 
-    def __init__(self, monitors: Sequence[OnlineCapacityMonitor]) -> None:
+    def __init__(
+        self,
+        monitors: Sequence[OnlineCapacityMonitor],
+        *,
+        handle: Optional["MeterHandle"] = None,
+    ) -> None:
         if not monitors:
             raise ValueError("FleetState needs at least one monitor")
+        self.handle = handle
         self.monitors = list(monitors)
         coords = [m.meter.coordinator for m in self.monitors]
         ref = coords[0]
@@ -292,6 +308,11 @@ class FleetState:
     @property
     def n_sites(self) -> int:
         return len(self.monitors)
+
+    @property
+    def meter_version(self) -> int:
+        """The meter generation these stacked tables were built from."""
+        return self.handle.version if self.handle is not None else 1
 
     # ------------------------------------------------------------------
     # cohort bookkeeping

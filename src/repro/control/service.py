@@ -64,6 +64,8 @@ import numpy as np
 
 from ..core.capacity import CapacityMeter
 from ..core.monitor import MonitorDecision, OnlineCapacityMonitor
+from ..drift.detector import DriftConfig, DriftDetector
+from ..drift.handle import MeterHandle, StagedSwap, next_window_boundary
 from ..faults.campaign import fresh_monitor
 from ..faults.checkpoint import (
     load_checkpoint,
@@ -260,6 +262,7 @@ class CapacityService:
                 use_watchdog=use_watchdog,
                 stall_ticks=stall_ticks,
             )
+        self.handle = MeterHandle(meter)
         self._init_fleet(use_fleet)
 
     # ------------------------------------------------------------------
@@ -281,12 +284,20 @@ class CapacityService:
         #: latest published FleetSnapshot; None until enable_snapshots()
         self.snapshot: Optional[FleetSnapshot] = None
         self._publisher: Optional[SnapshotPublisher] = None
+        #: versioned meter indirection; hot-swaps install through it
+        self.handle: MeterHandle = MeterHandle(meter=None)
+        #: decision-path drift detector; None until enable_drift()
+        self.drift: Optional[DriftDetector] = None
+        # drift state carried by a resumed manifest, loaded lazily when
+        # enable_drift() re-arms the detector
+        self._drift_manifest_state: Optional[Dict[str, Any]] = None
 
     def _init_fleet(self, use_fleet: bool) -> None:
         """Adopt all sites into the structure-of-arrays backend."""
         if use_fleet:
             self.fleet = FleetState(
-                [site.monitor for site in self.sites]
+                [site.monitor for site in self.sites],
+                handle=self.handle,
             )
 
     def _add_site(
@@ -333,14 +344,142 @@ class CapacityService:
                 for site in self.sites
             }
         )
-        self.snapshot = self._publisher.publish(self.ticks)
+        self.snapshot = self._publisher.publish(
+            self.ticks, meter_version=self.handle.version
+        )
         return self.snapshot
+
+    # ------------------------------------------------------------------
+    # drift detection and meter hot-swap
+    # ------------------------------------------------------------------
+    @property
+    def window(self) -> int:
+        """The decision window length (ticks) all sites share."""
+        return int(self.sites[0].monitor.meter.window)
+
+    @property
+    def meter_version(self) -> int:
+        """The installed meter version (1 until the first hot-swap)."""
+        return self.handle.version
+
+    def enable_drift(
+        self, config: Optional[DriftConfig] = None
+    ) -> DriftDetector:
+        """Put a drift detector on the decision path.
+
+        Every decided window is folded into the detector before
+        publication; resumed services restore the checkpointed detector
+        state the manifest carried (same config expected), so a resumed
+        campaign triggers on exactly the window the uninterrupted one
+        would.
+        """
+        self.drift = DriftDetector(config)
+        if self._drift_manifest_state is not None:
+            self.drift.load_state(self._drift_manifest_state)
+            self._drift_manifest_state = None
+        return self.drift
+
+    def swap_meter(
+        self,
+        meter: Union[CapacityMeter, Dict[str, Any]],
+        *,
+        version: Optional[int] = None,
+    ) -> StagedSwap:
+        """Stage a hot-swap to a retrained meter (or its payload).
+
+        The swap installs at the next window boundary — immediately if
+        the service is sitting on one — so no decision window ever
+        mixes two meters' votes.  Returns the staged swap (its
+        ``effective_tick`` tells the caller when it lands).
+        """
+        payload = (
+            meter.to_payload()
+            if isinstance(meter, CapacityMeter)
+            else dict(meter)
+        )
+        if version is None:
+            version = self.handle.next_version()
+        swap = StagedSwap(
+            version=version,
+            effective_tick=next_window_boundary(self.ticks, self.window),
+            payload=payload,
+        )
+        self.stage_swap(swap)
+        return swap
+
+    def stage_swap(self, swap: StagedSwap) -> None:
+        """Stage a fully specified swap (sharded workers land here)."""
+        self.handle.stage(swap)
+        self._maybe_install_swap()
+
+    def _maybe_install_swap(self) -> None:
+        swap = self.handle.due(self.ticks)
+        if swap is not None:
+            self._install_swap(swap)
+
+    def _install_swap(self, swap: StagedSwap) -> None:
+        """Install a staged meter: one reference swap per monitor.
+
+        Every site gets a fresh clone of the retrained meter (its own
+        speculative history and online adaptation, exactly as at
+        construction); run-local state — aggregators mid-window,
+        counters, PI trackers, gates, fault plans — carries over
+        untouched.  The fleet backend is rebuilt over the new tables,
+        which mirrors what ``resume()`` does after restoring state, so
+        a live swap is bit-identical to stop-retrain-restart.
+        """
+        use_fleet = self.fleet is not None
+        if use_fleet:
+            assert self.fleet is not None
+            # materialize every monitor's own state (cohorts share reps)
+            # before the old fleet's arrays are abandoned
+            self.fleet.dissolve()
+            self.fleet = None
+        template: Optional[CapacityMeter] = None
+        for site in self.sites:
+            clone = CapacityMeter.from_payload(
+                swap.payload, labeler=site.monitor.labeler
+            )
+            if template is None:
+                template = CapacityMeter.from_payload(
+                    swap.payload, labeler=site.monitor.labeler
+                )
+            site.monitor.swap_meter(clone)
+        assert template is not None
+        self.handle.install(template, swap.version)
+        if self.drift is not None:
+            self.drift.notify_swap()
+        if use_fleet:
+            self._init_fleet(True)
+            if self._flush_timer is not None and self.fleet is not None:
+                # live mode folds per site (see attach())
+                self.fleet.dissolve()
+        if OBS.enabled:
+            OBS.inc(
+                "repro_meter_swaps_total",
+                help="Meter hot-swaps installed.",
+            )
+            OBS.set(
+                "repro_meter_version",
+                float(swap.version),
+                help="Installed meter version.",
+            )
+
+    def _observe_drift(self, name: str, decision: MonitorDecision) -> Optional[bool]:
+        """Fold one decision into the detector; returns the drift flag."""
+        if self.drift is None:
+            return None
+        return self.drift.observe(name, decision).drifted
 
     # ------------------------------------------------------------------
     # replay mode
     # ------------------------------------------------------------------
     def push(self, record: IntervalRecord) -> List[SiteDecision]:
         """Offer one record to every site, then decide completed windows."""
+        if self.handle.pending is not None:
+            # staged swaps land between ticks, never inside one: the
+            # boundary window has decided, the next hasn't folded yet
+            self._maybe_install_swap()
         self.ticks += 1
         if self.fleet is not None and not OBS.enabled:
             try:
@@ -461,6 +600,11 @@ class CapacityService:
         self._samplers = []
 
     def _on_tick(self) -> None:
+        if self.handle.pending is not None:
+            # folds never touch the coordinator, so installing before
+            # this tick's flush (but after the boundary tick's) keeps
+            # live mode window-aligned with replay mode
+            self._maybe_install_swap()
         self.ticks += 1
         self._flush()
 
@@ -514,15 +658,21 @@ class CapacityService:
             else:
                 decision = site.monitor.decide(window, votes=vote)
             site.gate.update(decision)
+            drifted = self._observe_drift(site.name, decision)
             if self._publisher is not None:
                 self._publisher.update(
-                    site.name, decision, site.gate.admission_probability
+                    site.name,
+                    decision,
+                    site.gate.admission_probability,
+                    drifted=drifted,
                 )
             if self.on_decision is not None:
                 self.on_decision(site.name, decision)
             decisions.append((site.name, decision))
         if self._publisher is not None:
-            self.snapshot = self._publisher.publish(self.ticks)
+            self.snapshot = self._publisher.publish(
+                self.ticks, meter_version=self.handle.version
+            )
         return decisions
 
     def _flush_fleet(
@@ -581,15 +731,21 @@ class CapacityService:
         decisions: List[SiteDecision] = []
         for (site, _), decision in zip(pending, decided):
             assert decision is not None
+            drifted = self._observe_drift(site.name, decision)
             if self._publisher is not None:
                 self._publisher.update(
-                    site.name, decision, site.gate.admission_probability
+                    site.name,
+                    decision,
+                    site.gate.admission_probability,
+                    drifted=drifted,
                 )
             if self.on_decision is not None:
                 self.on_decision(site.name, decision)
             decisions.append((site.name, decision))
         if self._publisher is not None:
-            self.snapshot = self._publisher.publish(self.ticks)
+            self.snapshot = self._publisher.publish(
+                self.ticks, meter_version=self.handle.version
+            )
         return decisions
 
     @property
@@ -677,6 +833,7 @@ class CapacityService:
             "format": SERVICE_FORMAT,
             "layout": layout,
             "ticks": self.ticks,
+            "meter_version": self.handle.version,
             "gates": {
                 site.name: site.gate.state_dict() for site in self.sites
             },
@@ -691,6 +848,10 @@ class CapacityService:
                 if site.watchdog is not None
             },
         }
+        if self.handle.pending is not None:
+            manifest["pending_swap"] = self.handle.pending.to_manifest()
+        if self.drift is not None:
+            manifest["drift"] = self.drift.state_dict()
         write_json_atomic(target / "service.json", manifest)
         return target
 
@@ -708,6 +869,7 @@ class CapacityService:
         allow_subset: bool = False,
         retain_decisions: Optional[int] = None,
         on_decision: Optional[Callable[[str, MonitorDecision], None]] = None,
+        meter: Optional[Union[CapacityMeter, Dict[str, Any]]] = None,
     ) -> "CapacityService":
         """Rebuild a service exactly where :meth:`save` left it.
 
@@ -727,6 +889,13 @@ class CapacityService:
         watchdog state, always per-site layout) are still read; their
         injectors restart from the resumed stream's first tick as
         before.
+
+        ``meter`` stages a hot-swap to a retrained meter immediately
+        after the restore — the stop-retrain-restart form of a live
+        :meth:`swap_meter`, and bit-identical to it when the checkpoint
+        sits on a window boundary.  A swap the saved service had staged
+        but not yet installed (``pending_swap`` in a v2+ manifest) is
+        re-staged automatically; an explicit ``meter`` supersedes it.
         """
         target = Path(directory)
         manifest = read_json_checkpoint(target / "service.json")
@@ -817,7 +986,19 @@ class CapacityService:
         if not service.sites:
             raise ValueError("CapacityService needs at least one site")
         service.ticks = int(manifest["ticks"])
+        service.handle = MeterHandle(
+            service.sites[0].monitor.meter,
+            version=int(manifest.get("meter_version", 1)),
+        )
+        raw_drift = manifest.get("drift")
+        if raw_drift is not None:
+            service._drift_manifest_state = dict(raw_drift)
         service._init_fleet(use_fleet)
+        raw_pending = manifest.get("pending_swap")
+        if raw_pending is not None and meter is None:
+            service.stage_swap(StagedSwap.from_manifest(dict(raw_pending)))
+        if meter is not None:
+            service.swap_meter(meter)
         return service
 
     # ------------------------------------------------------------------

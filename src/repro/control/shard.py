@@ -106,6 +106,8 @@ from typing import (
 from ..core.capacity import CapacityMeter
 from ..core.coordinator import CoordinatedPrediction
 from ..core.monitor import MonitorDecision
+from ..drift.detector import DriftConfig, DriftDetector
+from ..drift.handle import StagedSwap, next_window_boundary
 from ..faults.checkpoint import (
     read_json_checkpoint,
     save_fleet_checkpoint,
@@ -235,6 +237,26 @@ def _shard_sync() -> int:
 def _shard_window() -> int:
     """Decision-window length in ticks (shared by every site)."""
     return int(_shard().sites[0].monitor.meter.window)
+
+
+def _shard_stage_swap(
+    payload: Dict[str, Any], version: int, effective: int
+) -> int:
+    """Stage a parent-issued meter hot-swap on this shard.
+
+    The parent computes one ``(version, effective tick)`` pair and
+    broadcasts it, so every shard installs the retrained meter at the
+    same window boundary — the merged stream never mixes meter
+    versions within a tick.  Installs immediately when the shard is
+    already sitting on the boundary (``CapacityService.stage_swap``
+    semantics); re-staging an installed version is a no-op, which is
+    what makes post-crash re-broadcasts safe.
+    """
+    service = _shard()
+    service.stage_swap(
+        StagedSwap(version=version, effective_tick=effective, payload=payload)
+    )
+    return service.handle.version
 
 
 def _shard_replay_chunk_slow(
@@ -418,6 +440,9 @@ class ShardedCapacityService:
         supervise_dir: Optional[Union[str, Path]] = None,
         _resume_dir: Optional[str] = None,
         _resume_ticks: int = 0,
+        _resume_meter_version: int = 1,
+        _resume_pending: Optional[Dict[str, Any]] = None,
+        _resume_drift: Optional[Dict[str, Any]] = None,
     ) -> None:
         if not sites:
             raise ValueError("ShardedCapacityService needs at least one site")
@@ -494,6 +519,27 @@ class ShardedCapacityService:
         self._held_streaks: Dict[str, int] = {}
         self._last_gate_p: Dict[str, float] = {}
         self._held_emitted = 0
+        # --- drift + hot-swap state ------------------------------------
+        # the workers own the MeterHandles; the parent mirrors their
+        # version arithmetic from a swap log of (staged swap, tick it
+        # was staged at) so checkpoints, snapshots and recovery all
+        # agree on which meter version is installed at any tick
+        self._base_meter_version = int(_resume_meter_version)
+        self._published_version = int(_resume_meter_version)
+        self._swap_log: List[Tuple[StagedSwap, int]] = []
+        self._ckpt_meter_version = int(_resume_meter_version)
+        self.drift: Optional[DriftDetector] = None
+        self._drift_manifest_state: Optional[Dict[str, Any]] = (
+            dict(_resume_drift) if _resume_drift is not None else None
+        )
+        if _resume_pending is not None:
+            # a swap the saved service had staged but not installed;
+            # each worker re-stages it itself (CapacityService.resume
+            # reads the same manifest) — the parent only needs it in
+            # the log for version accounting and re-broadcasts
+            self._swap_log.append(
+                (StagedSwap.from_manifest(dict(_resume_pending)), _resume_ticks)
+            )
         #: latest published FleetSnapshot; None until enable_snapshots()
         self.snapshot: Optional[FleetSnapshot] = None
         self._publisher: Optional[SnapshotPublisher] = None
@@ -615,6 +661,9 @@ class ShardedCapacityService:
             supervise_dir=supervise_dir,
             _resume_dir=str(target),
             _resume_ticks=int(manifest["ticks"]),
+            _resume_meter_version=int(manifest.get("meter_version", 1)),
+            _resume_pending=manifest.get("pending_swap"),
+            _resume_drift=manifest.get("drift"),
         )
 
     # ------------------------------------------------------------------
@@ -655,9 +704,164 @@ class ShardedCapacityService:
             }
         )
         self.snapshot = self._publisher.publish(
-            self.ticks, tuple(self.lost_sites())
+            self.ticks,
+            tuple(self.lost_sites()),
+            meter_version=self.meter_version,
         )
         return self.snapshot
+
+    # ------------------------------------------------------------------
+    # drift detection and meter hot-swap
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _install_tick(swap: StagedSwap, staged_tick: int) -> int:
+        """First tick at which the workers have ``swap`` installed.
+
+        Staged *at* the boundary → the workers' ``stage_swap`` installs
+        immediately (the boundary window has already decided); staged
+        mid-window → they install on the first push past the boundary.
+        """
+        if staged_tick >= swap.effective_tick:
+            return swap.effective_tick
+        return swap.effective_tick + 1
+
+    def _installed_version(self, tick: int) -> int:
+        """The meter version the workers serve as of ``tick``."""
+        version = self._base_meter_version
+        for swap, staged in self._swap_log:
+            if self._install_tick(swap, staged) <= tick:
+                version = max(version, swap.version)
+        return version
+
+    @property
+    def window(self) -> int:
+        """The decision window length (ticks) all sites share."""
+        return int(self._window)
+
+    @property
+    def meter_version(self) -> int:
+        """The installed meter version (1 until the first hot-swap)."""
+        return self._installed_version(self.ticks)
+
+    def _pending_swap(self) -> Optional[StagedSwap]:
+        """The staged-but-not-installed swap, if any (latest version)."""
+        latest: Optional[StagedSwap] = None
+        for swap, staged in self._swap_log:
+            if self._install_tick(swap, staged) > self.ticks:
+                if latest is None or swap.version > latest.version:
+                    latest = swap
+        return latest
+
+    def _sync_version(self, tick: int) -> None:
+        """Fire install side effects once a swap's boundary passes.
+
+        The workers install mid-push; the parent notices when its merge
+        loop crosses the install tick — before folding that tick's
+        decisions into the drift detector, so a fresh meter starts with
+        clean drift horizons exactly as the single-process path does.
+        """
+        version = self._installed_version(tick)
+        if version == self._published_version:
+            return
+        self._published_version = version
+        if self.drift is not None:
+            self.drift.notify_swap()
+        if OBS.enabled:
+            # repro_meter_swaps_total is counted inside the workers
+            # (each shard installs); merging would double-count a
+            # parent-side increment, so only the gauge lives here
+            OBS.set(
+                "repro_meter_version",
+                float(version),
+                help="Installed meter version.",
+            )
+
+    def enable_drift(
+        self, config: Optional[DriftConfig] = None
+    ) -> DriftDetector:
+        """Put a drift detector on the merged decision path.
+
+        Detection is parent-side — the detector folds the merged
+        stream, so its verdicts are identical for any worker count and
+        survive worker crashes untouched.  Synthesized decisions for
+        lost shards are *not* folded: a dead worker is a blackout the
+        health endpoint already reports, not evidence the meter's
+        model of the workload went stale.
+        """
+        self.drift = DriftDetector(config)
+        if self._drift_manifest_state is not None:
+            self.drift.load_state(self._drift_manifest_state)
+            self._drift_manifest_state = None
+        return self.drift
+
+    def _observe_drift(
+        self, name: str, decision: MonitorDecision
+    ) -> Optional[bool]:
+        """Fold one merged decision into the detector; drift flag."""
+        if self.drift is None:
+            return None
+        return self.drift.observe(name, decision).drifted
+
+    def swap_meter(
+        self,
+        meter: Union[CapacityMeter, Dict[str, Any]],
+        *,
+        version: Optional[int] = None,
+    ) -> StagedSwap:
+        """Stage a hot-swap to a retrained meter on every shard.
+
+        Must be called at a pipe-idle point (between :meth:`push` /
+        :meth:`replay` / :meth:`advance` calls — anywhere user code
+        runs).  One ``(version, effective tick)`` pair is broadcast to
+        all shards, so the swap lands at the same window boundary
+        everywhere and the merged stream is bit-identical to the
+        single-process service staging the same swap at the same tick.
+        A worker that crashes during the broadcast is recovered and the
+        log re-staged, so the swap is never half-applied.
+        """
+        payload = (
+            meter.to_payload()
+            if isinstance(meter, CapacityMeter)
+            else dict(meter)
+        )
+        if version is None:
+            top = self._base_meter_version
+            for swap, _ in self._swap_log:
+                top = max(top, swap.version)
+            version = top + 1
+        effective = next_window_boundary(self.ticks, self._window)
+        staged = StagedSwap(
+            version=version, effective_tick=effective, payload=payload
+        )
+        # log before broadcasting: recovery inside _call_live must
+        # already see this entry to re-stage it on a respawned worker
+        self._swap_log.append((staged, self.ticks))
+        self._call_live(
+            _shard_stage_swap,
+            lambda worker: (staged.payload, staged.version, staged.effective_tick),
+        )
+        self._sync_version(self.ticks)
+        return staged
+
+    def _restage_swaps(self, worker: int, base_version: int) -> None:
+        """Re-stage logged swaps newer than ``base_version`` on ``worker``.
+
+        Runs right after a respawn, before any replay/attach traffic,
+        so the recovered shard installs each swap at exactly the tick
+        the uninterrupted run did.  Raises ``WorkerError`` on failure —
+        the caller's recovery loop owns the respawn budget.
+        """
+        for swap, _ in self._swap_log:
+            if swap.version <= base_version:
+                continue
+            self.pool.submit(
+                worker,
+                _shard_stage_swap,
+                swap.payload,
+                swap.version,
+                swap.effective_tick,
+            )
+            self.pool.result(worker, None)
 
     def supervisor_stats(self) -> Dict[str, Any]:
         """Operational summary of the self-healing machinery."""
@@ -668,6 +872,7 @@ class ShardedCapacityService:
             "checkpoint_ticks": self._ckpt_ticks,
             "faults_fired": len(self._fired),
             "held_synthesized": self._held_emitted,
+            "meter_version": self.meter_version,
         }
 
     def _note_failure(self, worker: int, exc: WorkerError) -> None:
@@ -691,18 +896,21 @@ class ShardedCapacityService:
                 help="shards abandoned to degraded-merge serving",
             )
 
-    def _recovery_source(self) -> Tuple[Optional[str], int]:
-        """(resume dir, tick base) of the freshest usable shard state.
+    def _recovery_source(self) -> Tuple[Optional[str], int, int]:
+        """(resume dir, tick base, meter version) of the freshest state.
 
         Preference order: last recovery checkpoint > the directory this
         service itself resumed from > cold rebuild from the broadcast
-        meter payload (base 0).
+        meter payload (base 0).  The meter version says which swaps the
+        source's tables already contain, so recovery re-stages exactly
+        the newer ones.
         """
         if self._ckpt_path is not None:
-            return str(self._ckpt_path), self._ckpt_ticks
+            return str(self._ckpt_path), self._ckpt_ticks, self._ckpt_meter_version
         if self._resume_dir is not None:
-            return self._resume_dir, self._resume_base
-        return None, 0  # __init__ guaranteed a meter payload exists
+            return self._resume_dir, self._resume_base, self._base_meter_version
+        # __init__ guaranteed a meter payload exists (original version)
+        return None, 0, self._base_meter_version
 
     def _buffered(self, base: int, upto: int) -> Optional[List[IntervalRecord]]:
         """Records for ticks ``base+1 .. upto``; None on a buffer gap."""
@@ -741,7 +949,7 @@ class ShardedCapacityService:
                     "repro_shard_respawns_total",
                     help="worker processes respawned by the supervisor",
                 )
-            source, base = self._recovery_source()
+            source, base, base_version = self._recovery_source()
             records = self._buffered(base, upto)
             if records is None:
                 self._mark_lost(
@@ -754,6 +962,9 @@ class ShardedCapacityService:
                 common = dict(self._common)
                 common["resume_dir"] = source
                 self.pool.respawn(worker, initargs=(common,))
+                # swaps newer than the source's tables must be staged
+                # before the replay so they install at the right ticks
+                self._restage_swaps(worker, base_version)
                 if records:
                     # rebuild replay: decisions recomputed and discarded
                     self.pool.submit(worker, _shard_replay_chunk, records)
@@ -793,6 +1004,10 @@ class ShardedCapacityService:
                 )
             try:
                 self.pool.respawn(worker, initargs=(self._common,))
+                # the shard rebuilt from its original source: stage the
+                # whole swap log again before re-simulating, so each
+                # swap re-installs at the tick the original run used
+                self._restage_swaps(worker, self._base_meter_version)
                 if self._live_factory is not None:
                     self.pool.submit(
                         worker,
@@ -863,6 +1078,7 @@ class ShardedCapacityService:
             return
         previous = self._ckpt_path
         self._ckpt_path, self._ckpt_ticks = target, self.ticks
+        self._ckpt_meter_version = self.meter_version
         if previous is not None:
             shutil.rmtree(previous, ignore_errors=True)
         if OBS.enabled:
@@ -933,16 +1149,22 @@ class ShardedCapacityService:
         if fault is not None and fault.kind == "hang":
             self.pool.submit(worker, _shard_hang)
             return
+        if fault is not None and fault.kind == "kill":
+            # kill BEFORE submitting: the worker is idle at dispatch
+            # (strict request-response), so a pre-submit SIGKILL always
+            # loses this chunk.  Killing after submit races the worker —
+            # a fast worker can finish the chunk before the signal
+            # lands, which makes degraded (no-recover) campaigns
+            # nondeterministic about which window goes HELD.
+            pid = self.pool.pid(worker)
+            if pid is not None:
+                os.kill(pid, signal.SIGKILL)
         if fault is not None and fault.kind == "slow":
             self.pool.submit(
                 worker, _shard_replay_chunk_slow, chunk.records, fault.delay
             )
         else:
             self.pool.submit(worker, _shard_replay_chunk, chunk.records)
-        if fault is not None and fault.kind == "kill":
-            pid = self.pool.pid(worker)
-            if pid is not None:
-                os.kill(pid, signal.SIGKILL)
 
     def _dispatch_chunk(self, chunk: _Chunk) -> None:
         for worker in range(self.pool.size):
@@ -1007,24 +1229,34 @@ class ShardedCapacityService:
         merged: List[SiteDecision] = []
         for offset in range(len(chunk.records)):
             tick = chunk.start + offset
+            self._sync_version(tick)
             for worker in range(self.pool.size):
                 out = decoded.get(worker)
                 if out is None:
                     emitted = self._synthesize(worker, tick)
+                    synthesized = True
                 else:
                     emitted = out[offset]
+                    synthesized = False
                     for name, decision in emitted:
                         self._last_decisions[name] = decision
                         self._held_streaks[name] = 0
                 for name, decision in emitted:
+                    drifted = (
+                        None
+                        if synthesized
+                        else self._observe_drift(name, decision)
+                    )
                     if self._publisher is not None:
-                        self._publisher.update(name, decision)
+                        self._publisher.update(name, decision, drifted=drifted)
                     if self.on_decision is not None:
                         self.on_decision(name, decision)
                     merged.append((name, decision))
         if self._publisher is not None:
             self.snapshot = self._publisher.publish(
-                self.ticks, tuple(self.lost_sites())
+                self.ticks,
+                tuple(self.lost_sites()),
+                meter_version=self.meter_version,
             )
         return merged
 
@@ -1158,14 +1390,16 @@ class ShardedCapacityService:
         if fault is not None and fault.kind == "hang":
             self.pool.submit(worker, _shard_hang)
             return
+        if fault is not None and fault.kind == "kill":
+            # pre-submit kill, same reasoning as _submit_chunk: the
+            # idle worker deterministically loses the whole advance
+            pid = self.pool.pid(worker)
+            if pid is not None:
+                os.kill(pid, signal.SIGKILL)
         if fault is not None and fault.kind == "slow":
             self.pool.submit(worker, _shard_advance_slow, until, fault.delay)
         else:
             self.pool.submit(worker, _shard_advance, until)
-        if fault is not None and fault.kind == "kill":
-            pid = self.pool.pid(worker)
-            if pid is not None:
-                os.kill(pid, signal.SIGKILL)
 
     def _recover_and_advance(
         self, worker: int, until: float
@@ -1245,25 +1479,33 @@ class ShardedCapacityService:
                     sequence += 1
         events.sort(key=lambda event: (event[0], event[1], event[2]))
         merged: List[Tuple[str, MonitorDecision, float]] = []
-        for _, worker, _, (_, name, decision, gate_p) in events:
+        for tick, worker, _, (_, name, decision, gate_p) in events:
+            self._sync_version(tick)
             lost = worker in self._lost
             if not lost:
                 self._last_decisions[name] = decision
                 self._held_streaks[name] = 0
                 self._last_gate_p[name] = float(gate_p)
+            drifted = None if lost else self._observe_drift(name, decision)
             if self._publisher is not None:
                 # lost shards: probability stays frozen at its last
                 # published value (the synthesized gate_p may be a 0.0
                 # placeholder when no real decision preceded the loss)
                 self._publisher.update(
-                    name, decision, None if lost else float(gate_p)
+                    name,
+                    decision,
+                    None if lost else float(gate_p),
+                    drifted=drifted,
                 )
             if self.on_decision is not None:
                 self.on_decision(name, decision)
             merged.append((name, decision, float(gate_p)))
+        self._sync_version(self.ticks)
         if self._publisher is not None:
             self.snapshot = self._publisher.publish(
-                self.ticks, tuple(self.lost_sites())
+                self.ticks,
+                tuple(self.lost_sites()),
+                meter_version=self.meter_version,
             )
         return merged
 
@@ -1292,6 +1534,7 @@ class ShardedCapacityService:
             "format": SERVICE_FORMAT,
             "layout": "sharded",
             "ticks": self.ticks,
+            "meter_version": self.meter_version,
             "shards": [
                 {"file": fragment["file"], "sites": fragment["sites"]}
                 for _, fragment in sorted(fragments.items())
@@ -1308,6 +1551,11 @@ class ShardedCapacityService:
             # recorded so a later resume can say *why* these sites have
             # no state, instead of a bare missing-gate error
             manifest["lost_sites"] = self.lost_sites()
+        pending = self._pending_swap()
+        if pending is not None:
+            manifest["pending_swap"] = pending.to_manifest()
+        if self.drift is not None:
+            manifest["drift"] = self.drift.state_dict()
         write_json_atomic(target / "service.json", manifest)
         return target
 

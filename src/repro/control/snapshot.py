@@ -42,6 +42,8 @@ class SiteSnapshot:
     ``degraded`` marks decisions below full telemetry confidence
     (held quorum failures, lost-shard synthesis) — the AIMD gate holds
     its probability on those, and the front end surfaces the flag.
+    ``drifted`` carries the drift detector's latched verdict for the
+    site (always False when drift detection is off).
     """
 
     name: str
@@ -51,6 +53,7 @@ class SiteSnapshot:
     held: bool
     degraded: bool
     window_index: int
+    drifted: bool = False
 
 
 @dataclass(frozen=True)
@@ -60,13 +63,16 @@ class FleetSnapshot:
     ``seq`` increments per publication (readers can detect staleness
     cheaply); ``tick`` is the service tick counter at publish time;
     ``lost_sites`` names sites currently served by degraded-merge
-    synthesis only (their shard worker is gone).
+    synthesis only (their shard worker is gone); ``meter_version`` is
+    the installed :class:`~repro.drift.MeterHandle` version (1 until
+    the first hot-swap).
     """
 
     seq: int
     tick: int
     sites: Mapping[str, SiteSnapshot] = field(default_factory=dict)
     lost_sites: Tuple[str, ...] = ()
+    meter_version: int = 1
 
     def __post_init__(self) -> None:
         # deep immutability: readers on other threads must never see a
@@ -78,11 +84,33 @@ class FleetSnapshot:
         """False while any site is served from a lost shard."""
         return not self.lost_sites
 
+    @property
+    def warmed(self) -> bool:
+        """Has any site decided a real window yet?
+
+        ``enable_snapshots()`` publishes an initial seed snapshot
+        before the first flush so readers never see ``None``; until a
+        real decision lands every entry still carries
+        ``window_index == -1`` and a health endpoint should report
+        *warming up*, not an empty-but-healthy fleet.
+        """
+        return any(entry.window_index >= 0 for entry in self.sites.values())
+
+    @property
+    def drifted_sites(self) -> Tuple[str, ...]:
+        """Sites whose drift verdict is currently latched."""
+        return tuple(
+            name
+            for name, entry in sorted(self.sites.items())
+            if entry.drifted
+        )
+
 
 def _entry(
     name: str,
     probability: float,
     decision: Optional[MonitorDecision],
+    drifted: bool = False,
 ) -> SiteSnapshot:
     if decision is None:
         return SiteSnapshot(
@@ -93,6 +121,7 @@ def _entry(
             held=False,
             degraded=False,
             window_index=-1,
+            drifted=drifted,
         )
     return SiteSnapshot(
         name=name,
@@ -102,6 +131,7 @@ def _entry(
         held=decision.held,
         degraded=decision.prediction.degraded,
         window_index=decision.index,
+        drifted=drifted,
     )
 
 
@@ -126,17 +156,28 @@ class SnapshotPublisher:
         name: str,
         decision: MonitorDecision,
         probability: Optional[float] = None,
+        drifted: Optional[bool] = None,
     ) -> None:
-        """Fold one decided window; ``probability=None`` keeps the old."""
+        """Fold one decided window.
+
+        ``probability=None`` keeps the old probability and
+        ``drifted=None`` keeps the old drift flag, so producers that
+        don't track one of the two never clobber it.
+        """
+        previous = self._entries.get(name)
         if probability is None:
-            previous = self._entries.get(name)
             probability = (
                 previous.admission_probability if previous is not None else 1.0
             )
-        self._entries[name] = _entry(name, float(probability), decision)
+        if drifted is None:
+            drifted = previous.drifted if previous is not None else False
+        self._entries[name] = _entry(name, float(probability), decision, drifted)
 
     def publish(
-        self, tick: int, lost_sites: Tuple[str, ...] = ()
+        self,
+        tick: int,
+        lost_sites: Tuple[str, ...] = (),
+        meter_version: int = 1,
     ) -> FleetSnapshot:
         """A fresh immutable snapshot of every site's current entry."""
         self._seq += 1
@@ -145,4 +186,5 @@ class SnapshotPublisher:
             tick=tick,
             sites=dict(self._entries),
             lost_sites=lost_sites,
+            meter_version=meter_version,
         )

@@ -610,6 +610,39 @@ class OnlineCapacityMonitor:
         self._pi_trackers = dict(trackers)
 
     # ------------------------------------------------------------------
+    # hot-swap
+    # ------------------------------------------------------------------
+    def swap_meter(self, meter: CapacityMeter) -> None:
+        """Atomically replace the trained meter behind this monitor.
+
+        ``decide()`` resolves ``self.meter.coordinator`` freshly on
+        every call, so a single reference assignment is the whole
+        install: the next decided window votes through the new
+        synopsis/coordinator set while all run-local state — streaming
+        aggregator (including a half-filled window), counters, PI
+        trackers, held-decision streak — carries over untouched.  The
+        new meter starts from a clean decision history, exactly as a
+        freshly constructed monitor would, which is what makes a
+        mid-run swap bit-identical to stop-retrain-restart.
+
+        Callers must only swap at a window boundary (the service layer
+        stages swaps until one); swapping mid-window is safe for the
+        aggregator but would let one window mix two meters' votes.
+        """
+        if not meter.is_trained:
+            raise ValueError("swap_meter needs a trained meter")
+        if (
+            meter.level != self.meter.level
+            or tuple(meter.tiers) != tuple(self.meter.tiers)
+            or meter.window != self.meter.window
+        ):
+            raise ValueError(
+                "swapped meter must match level/tiers/window of the old one"
+            )
+        meter.coordinator.reset_history()
+        self.meter = meter
+
+    # ------------------------------------------------------------------
     # checkpointing
     # ------------------------------------------------------------------
     def state_dict(self) -> dict:

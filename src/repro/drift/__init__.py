@@ -1,0 +1,46 @@
+"""Drift detection and zero-downtime retraining.
+
+The paper's meter is trained once; this package keeps it honest while
+serving.  Three pieces:
+
+- :mod:`repro.drift.detector` — an online :class:`DriftDetector` that
+  rides the decision path, tracking per-site sliding-horizon trends over
+  ``MonitorDecision.confidence``, abstain/impute rates, and
+  label-vs-prediction agreement, with seeded deterministic per-site
+  trigger thresholds.
+- :mod:`repro.drift.retrain` — background retraining jobs that rebuild
+  the synopsis/coordinator set through the existing experiment pipeline
+  and artifact cache on a dedicated :class:`~repro.parallel.WorkerPool`
+  worker, so warm retrains reuse cached runs and never block the tick
+  loop.
+- :mod:`repro.drift.handle` — the versioned :class:`MeterHandle`
+  indirection plus :class:`StagedSwap`, the unit both services use to
+  install a retrained meter at a window boundary with one reference
+  swap.
+"""
+
+from .detector import DriftConfig, DriftDetector, DriftVerdict
+from .handle import MeterHandle, StagedSwap, next_window_boundary
+from .retrain import (
+    BackgroundRetrainer,
+    DriftRetrainController,
+    RetrainResult,
+    RetrainSpec,
+    retrain_meter,
+    retrain_meter_job,
+)
+
+__all__ = [
+    "BackgroundRetrainer",
+    "DriftConfig",
+    "DriftDetector",
+    "DriftRetrainController",
+    "DriftVerdict",
+    "MeterHandle",
+    "RetrainResult",
+    "RetrainSpec",
+    "StagedSwap",
+    "next_window_boundary",
+    "retrain_meter",
+    "retrain_meter_job",
+]

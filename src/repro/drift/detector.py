@@ -1,0 +1,336 @@
+"""Online drift detection over the live decision stream.
+
+The detector rides the decision path: every published
+:class:`~repro.core.monitor.MonitorDecision` is folded into a per-site
+sliding horizon, and each fold re-evaluates four deterministic trigger
+signals:
+
+- **agreement** — label-vs-prediction agreement, available whenever the
+  window carried truth feedback (the simulator labels every window; a
+  production deployment would feed back SLA violations),
+- **confidence** — the trend of ``MonitorDecision.confidence`` across
+  the horizon (recent half vs. older half),
+- **abstain** — the fraction of synopsis votes that had to be
+  substituted,
+- **impute** — the fraction of windows that needed marginal imputation.
+
+Trigger thresholds are jittered per site from a seeded substream, so a
+fleet never stampedes into retraining on the same window while staying
+bit-reproducible run to run.  A fired trigger latches until the service
+confirms a hot-swap (``notify_swap``), which clears the horizon and
+starts a cooldown so the fresh meter is judged on its own windows.
+
+Everything here is deterministic and checkpointable: ``state_dict`` /
+``load_state`` round-trip the horizon buffers, latches and cooldowns so
+a resumed campaign triggers on exactly the same window as an
+uninterrupted one.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Deque,
+    Dict,
+    List,
+    Optional,
+    Tuple,
+)
+
+import numpy as np
+
+from ..obs import OBS
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.monitor import MonitorDecision
+
+DRIFT_STATE_FORMAT = "repro.drift-state/1"
+
+TRIGGER_REASONS = ("agreement", "confidence", "abstain", "impute")
+
+
+def _stable_hash(text: str) -> int:
+    """Deterministic across processes, unlike built-in str hashing."""
+    value = 0
+    for ch in text:
+        value = (value * 131 + ord(ch)) % 1_000_003
+    return value
+
+
+def _mean(values: List[float]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+@dataclass(frozen=True)
+class DriftConfig:
+    """Tuning knobs for the detector; defaults suit window=10 campaigns.
+
+    ``seed`` derives the per-site threshold jitter: each site's
+    thresholds are shifted by up to ``±jitter/2`` on an independent
+    deterministic substream keyed by the site name.
+    """
+
+    horizon: int = 24
+    min_windows: int = 12
+    min_truth: int = 6
+    agreement_floor: float = 0.6
+    confidence_drop: float = 0.25
+    abstain_ceiling: float = 0.5
+    impute_ceiling: float = 0.6
+    cooldown: int = 24
+    seed: int = 0
+    jitter: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.horizon < 2:
+            raise ValueError("horizon must be >= 2")
+        if self.min_windows < 2:
+            raise ValueError("min_windows must be >= 2")
+
+
+@dataclass(frozen=True)
+class DriftVerdict:
+    """One site's current drift assessment (recomputed every window)."""
+
+    site: str
+    drifted: bool
+    reason: Optional[str]
+    windows: int
+    agreement: Optional[float]
+    confidence_trend: float
+    mean_confidence: float
+    abstain_rate: float
+    impute_rate: float
+    triggered_at: Optional[int]
+    cooldown: int
+
+
+class _SiteTracker:
+    """Sliding-horizon state for one site."""
+
+    __slots__ = (
+        "site",
+        "config",
+        "_floors",
+        "_conf",
+        "_abstain",
+        "_impute",
+        "_agree",
+        "windows",
+        "cooldown",
+        "drifted",
+        "reason",
+        "triggered_at",
+        "verdict",
+    )
+
+    def __init__(self, site: str, config: DriftConfig) -> None:
+        self.site = site
+        self.config = config
+        # seeded deterministic per-site thresholds: shift each base
+        # threshold by up to ±jitter/2 on an independent substream
+        seq = np.random.SeedSequence(
+            config.seed, spawn_key=(_stable_hash(site),)
+        )
+        shifts = np.random.default_rng(seq).uniform(-0.5, 0.5, size=4)
+        self._floors = (
+            config.agreement_floor + float(shifts[0]) * config.jitter,
+            config.confidence_drop + float(shifts[1]) * config.jitter,
+            config.abstain_ceiling + float(shifts[2]) * config.jitter,
+            config.impute_ceiling + float(shifts[3]) * config.jitter,
+        )
+        horizon = config.horizon
+        self._conf: Deque[float] = deque(maxlen=horizon)
+        self._abstain: Deque[float] = deque(maxlen=horizon)
+        self._impute: Deque[float] = deque(maxlen=horizon)
+        self._agree: Deque[Optional[float]] = deque(maxlen=horizon)
+        self.windows = 0
+        self.cooldown = 0
+        self.drifted = False
+        self.reason: Optional[str] = None
+        self.triggered_at: Optional[int] = None
+        self.verdict: Optional[DriftVerdict] = None
+
+    def observe(self, decision: "MonitorDecision") -> DriftVerdict:
+        prediction = decision.prediction
+        total = len(prediction.synopsis_votes) or len(prediction.abstained)
+        abstain = len(prediction.abstained) / total if total else 1.0
+        self._conf.append(float(decision.confidence))
+        self._abstain.append(abstain)
+        self._impute.append(1.0 if prediction.imputed_attributes > 0 else 0.0)
+        # held windows re-emit a stale prediction; judging it against
+        # the current window's truth would punish holds, not drift
+        self._agree.append(
+            None if decision.held else float(prediction.state == decision.truth)
+        )
+        self.windows += 1
+        if self.cooldown > 0:
+            self.cooldown -= 1
+        verdict = self._evaluate(decision.index)
+        self.verdict = verdict
+        return verdict
+
+    def _evaluate(self, window_index: int) -> DriftVerdict:
+        confs = list(self._conf)
+        half = len(confs) // 2
+        trend = _mean(confs[half:]) - _mean(confs[:half]) if half else 0.0
+        abstain_rate = _mean(list(self._abstain))
+        impute_rate = _mean(list(self._impute))
+        truthful = [a for a in self._agree if a is not None]
+        agreement = (
+            _mean(truthful) if len(truthful) >= self.config.min_truth else None
+        )
+        if (
+            not self.drifted
+            and self.cooldown == 0
+            and len(confs) >= self.config.min_windows
+        ):
+            agreement_floor, drop, abstain_ceiling, impute_ceiling = self._floors
+            reason: Optional[str] = None
+            if agreement is not None and agreement < agreement_floor:
+                reason = "agreement"
+            elif trend < -drop:
+                reason = "confidence"
+            elif abstain_rate > abstain_ceiling:
+                reason = "abstain"
+            elif impute_rate > impute_ceiling:
+                reason = "impute"
+            if reason is not None:
+                self.drifted = True
+                self.reason = reason
+                self.triggered_at = window_index
+                if OBS.enabled:
+                    OBS.inc(
+                        "repro_drift_triggers_total",
+                        help="Drift triggers fired, by site and signal.",
+                        site=self.site,
+                        reason=reason,
+                    )
+        return DriftVerdict(
+            site=self.site,
+            drifted=self.drifted,
+            reason=self.reason,
+            windows=len(confs),
+            agreement=agreement,
+            confidence_trend=trend,
+            mean_confidence=_mean(confs),
+            abstain_rate=abstain_rate,
+            impute_rate=impute_rate,
+            triggered_at=self.triggered_at,
+            cooldown=self.cooldown,
+        )
+
+    def clear(self) -> None:
+        """Forget the horizon and start the post-swap cooldown."""
+        self._conf.clear()
+        self._abstain.clear()
+        self._impute.clear()
+        self._agree.clear()
+        self.cooldown = self.config.cooldown
+        self.drifted = False
+        self.reason = None
+        self.verdict = None
+
+    def state_dict(self) -> Dict[str, Any]:
+        return {
+            "conf": list(self._conf),
+            "abstain": list(self._abstain),
+            "impute": list(self._impute),
+            "agree": list(self._agree),
+            "windows": self.windows,
+            "cooldown": self.cooldown,
+            "drifted": self.drifted,
+            "reason": self.reason,
+            "triggered_at": self.triggered_at,
+        }
+
+    def load_state(self, state: Dict[str, Any]) -> None:
+        self._conf.clear()
+        self._conf.extend(float(v) for v in state["conf"])
+        self._abstain.clear()
+        self._abstain.extend(float(v) for v in state["abstain"])
+        self._impute.clear()
+        self._impute.extend(float(v) for v in state["impute"])
+        self._agree.clear()
+        self._agree.extend(
+            None if v is None else float(v) for v in state["agree"]
+        )
+        self.windows = int(state["windows"])
+        self.cooldown = int(state["cooldown"])
+        self.drifted = bool(state["drifted"])
+        raw_reason = state.get("reason")
+        self.reason = str(raw_reason) if raw_reason is not None else None
+        raw_at = state.get("triggered_at")
+        self.triggered_at = int(raw_at) if raw_at is not None else None
+        self.verdict = None
+
+
+class DriftDetector:
+    """Per-site drift trackers behind one decision-path entry point."""
+
+    def __init__(self, config: Optional[DriftConfig] = None) -> None:
+        self.config = config if config is not None else DriftConfig()
+        self._sites: Dict[str, _SiteTracker] = {}
+
+    def _tracker(self, site: str) -> _SiteTracker:
+        tracker = self._sites.get(site)
+        if tracker is None:
+            tracker = _SiteTracker(site, self.config)
+            self._sites[site] = tracker
+        return tracker
+
+    def observe(self, site: str, decision: "MonitorDecision") -> DriftVerdict:
+        """Fold one real (non-synthesized) decision; returns the verdict."""
+        if OBS.enabled:
+            OBS.inc(
+                "repro_drift_windows_total",
+                help="Decision windows folded into the drift detector.",
+            )
+        return self._tracker(site).observe(decision)
+
+    def verdict(self, site: str) -> Optional[DriftVerdict]:
+        tracker = self._sites.get(site)
+        return tracker.verdict if tracker is not None else None
+
+    def verdicts(self) -> Dict[str, DriftVerdict]:
+        return {
+            name: tracker.verdict
+            for name, tracker in sorted(self._sites.items())
+            if tracker.verdict is not None
+        }
+
+    def drifted_sites(self) -> Tuple[str, ...]:
+        return tuple(
+            name
+            for name, tracker in sorted(self._sites.items())
+            if tracker.drifted
+        )
+
+    @property
+    def triggered(self) -> bool:
+        return any(tracker.drifted for tracker in self._sites.values())
+
+    def notify_swap(self) -> None:
+        """A retrained meter was installed: reset horizons, start cooldowns."""
+        for tracker in self._sites.values():
+            tracker.clear()
+
+    def state_dict(self) -> Dict[str, Any]:
+        return {
+            "format": DRIFT_STATE_FORMAT,
+            "sites": {
+                name: tracker.state_dict()
+                for name, tracker in sorted(self._sites.items())
+            },
+        }
+
+    def load_state(self, state: Dict[str, Any]) -> None:
+        fmt = state.get("format")
+        if fmt != DRIFT_STATE_FORMAT:
+            raise ValueError(f"unsupported drift state format: {fmt!r}")
+        self._sites.clear()
+        for name, raw in state["sites"].items():
+            self._tracker(name).load_state(raw)

@@ -1,0 +1,103 @@
+"""Versioned meter indirection for atomic hot-swap.
+
+A :class:`MeterHandle` is the one mutable cell between a serving layer
+and its trained :class:`~repro.core.capacity.CapacityMeter`.  Swapping
+a retrained meter in is a single reference assignment on the handle —
+readers that resolve the meter through the handle see either the old
+meter or the new one, never a half-installed mix — and every swap bumps
+a monotonically increasing ``version`` that checkpoints, snapshots and
+``/healthz`` report.
+
+:class:`StagedSwap` is the unit a service stages when a swap is
+requested mid-window: the serialized meter payload plus the tick at
+which it becomes effective (always a window boundary, so the install
+never splits a decision window).
+
+This module deliberately imports nothing from the rest of the package:
+``control`` and ``core`` both use it, and it must stay cycle-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+
+def next_window_boundary(tick: int, window: int) -> int:
+    """First tick ``>= tick`` that closes a decision window.
+
+    A service that stages a swap *at* a boundary installs immediately;
+    mid-window stages wait for the window in flight to decide first.
+    """
+    if window <= 0:
+        return tick
+    remainder = tick % window
+    if remainder == 0:
+        return tick
+    return tick + (window - remainder)
+
+
+@dataclass(frozen=True)
+class StagedSwap:
+    """A pending hot-swap: install ``payload`` once ``effective_tick`` passes."""
+
+    version: int
+    effective_tick: int
+    payload: Dict[str, Any]
+
+    def to_manifest(self) -> Dict[str, Any]:
+        return {
+            "version": self.version,
+            "effective_tick": self.effective_tick,
+            "payload": self.payload,
+        }
+
+    @classmethod
+    def from_manifest(cls, raw: Dict[str, Any]) -> "StagedSwap":
+        return cls(
+            version=int(raw["version"]),
+            effective_tick=int(raw["effective_tick"]),
+            payload=dict(raw["payload"]),
+        )
+
+
+@dataclass
+class MeterHandle:
+    """The versioned cell a serving layer resolves its meter through."""
+
+    meter: Any
+    version: int = 1
+    pending: Optional[StagedSwap] = field(default=None, repr=False)
+
+    def resolve(self) -> Any:
+        return self.meter
+
+    def stage(self, swap: StagedSwap) -> None:
+        """Stage a swap; a later-versioned stage supersedes an earlier one.
+
+        Staging a version the handle has already installed is a no-op,
+        so supervisors may blindly re-stage their whole swap log after
+        a crash recovery without risking a re-install (which would
+        clobber any online adaptation since the original install).
+        """
+        if swap.version <= self.version:
+            return
+        if self.pending is None or swap.version >= self.pending.version:
+            self.pending = swap
+
+    def due(self, tick: int) -> Optional[StagedSwap]:
+        """The staged swap, if ``tick`` has reached its boundary."""
+        if self.pending is not None and tick >= self.pending.effective_tick:
+            return self.pending
+        return None
+
+    def install(self, meter: Any, version: int) -> None:
+        """The atomic step: one reference assignment plus the version bump."""
+        self.meter = meter
+        self.version = version
+        if self.pending is not None and self.pending.version <= version:
+            self.pending = None
+
+    def next_version(self) -> int:
+        staged = self.pending.version if self.pending is not None else self.version
+        return max(self.version, staged) + 1

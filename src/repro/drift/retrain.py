@@ -1,0 +1,278 @@
+"""Background retraining through the experiment pipeline + artifact cache.
+
+A retrain is just "build the meter again at the current traffic scale":
+the job constructs an :class:`~repro.experiments.pipeline.ExperimentPipeline`
+(optionally over an :class:`~repro.parallel.cache.ArtifactCache`) and
+asks it for a trained meter.  Warm retrains — same config, populated
+cache — load every training run and synopsis from the cache and report
+``builds == {}``-equivalent counters, which the ``drift-retrain`` CI job
+asserts.
+
+:class:`BackgroundRetrainer` runs the job on a dedicated single-worker
+:class:`~repro.parallel.WorkerPool` so the serving tick loop never
+blocks: the service calls :meth:`BackgroundRetrainer.poll` between
+ticks (non-blocking, via ``WorkerPool.poll``) and hot-swaps the payload
+when the build lands.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..parallel.pool import WorkerPool
+from .handle import StagedSwap
+
+
+@dataclass(frozen=True)
+class RetrainSpec:
+    """Everything a retrain job needs; picklable and JSON-friendly."""
+
+    level: str
+    scale: float = 1.0
+    window: int = 30
+    seed: int = 11
+    learner: str = "tan"
+    history_bits: int = 3
+    delta: float = 5.0
+    scheme: str = "OPTIMISTIC"
+    cache_dir: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class RetrainResult:
+    """A finished retrain: the meter payload plus build accounting."""
+
+    spec: RetrainSpec
+    payload: Dict[str, Any]
+    builds: Dict[str, int]
+    duration_s: float
+
+    @property
+    def warm(self) -> bool:
+        """Did the artifact cache satisfy every run and synopsis build?"""
+        return sum(self.builds.values()) == 0
+
+
+def retrain_meter_job(spec: RetrainSpec) -> Dict[str, Any]:
+    """The worker-side job body: build a meter, return its payload.
+
+    Module-level so the pool can ship it under any start method; imports
+    stay local so constructing a retrainer never drags the experiment
+    stack into the serving process.
+    """
+    from ..core.coordinator import Scheme
+    from ..experiments.pipeline import ExperimentPipeline, PipelineConfig
+    from ..parallel.cache import ArtifactCache
+
+    cache = ArtifactCache(spec.cache_dir) if spec.cache_dir else None
+    pipeline = ExperimentPipeline(
+        PipelineConfig(scale=spec.scale, window=spec.window, seed=spec.seed),
+        cache=cache,
+    )
+    meter = pipeline.meter(
+        spec.level,
+        learner=spec.learner,
+        history_bits=spec.history_bits,
+        delta=spec.delta,
+        scheme=Scheme[spec.scheme],
+    )
+    return {
+        "payload": meter.to_payload(),
+        "builds": dict(pipeline.builds),
+    }
+
+
+def retrain_meter(spec: RetrainSpec) -> RetrainResult:
+    """Synchronous retrain, for ``--workers 0`` runs and tests."""
+    start = time.monotonic()
+    raw = retrain_meter_job(spec)
+    return RetrainResult(
+        spec=spec,
+        payload=raw["payload"],
+        builds={str(k): int(v) for k, v in raw["builds"].items()},
+        duration_s=time.monotonic() - start,
+    )
+
+
+class BackgroundRetrainer:
+    """One in-flight retrain on a dedicated pool worker.
+
+    The tick loop drives it with non-blocking :meth:`poll` calls; a
+    crash in the build surfaces as the pool's ``WorkerError`` /
+    ``WorkerCrash`` on collection, never silently.
+    """
+
+    def __init__(self, *, pool: Optional[WorkerPool] = None) -> None:
+        self._pool = pool
+        self._owns_pool = pool is None
+        self._spec: Optional[RetrainSpec] = None
+        self._started_at = 0.0
+
+    @property
+    def pending(self) -> bool:
+        """Is a retrain currently in flight?"""
+        return self._spec is not None
+
+    def start(self, spec: RetrainSpec) -> None:
+        if self._spec is not None:
+            raise RuntimeError("a retrain is already in flight")
+        if self._pool is None:
+            self._pool = WorkerPool(1)
+        self._spec = spec
+        self._started_at = time.monotonic()
+        self._pool.submit(0, retrain_meter_job, spec)
+
+    def poll(self) -> Optional[RetrainResult]:
+        """Non-blocking: the finished result, or ``None`` if still building."""
+        if self._spec is None or self._pool is None:
+            return None
+        if not self._pool.poll(0):
+            return None
+        return self._collect()
+
+    def wait(self, timeout: Optional[float] = None) -> RetrainResult:
+        """Block until the in-flight retrain lands."""
+        if self._spec is None or self._pool is None:
+            raise RuntimeError("no retrain in flight")
+        return self._collect(timeout)
+
+    def _collect(self, timeout: Optional[float] = None) -> RetrainResult:
+        assert self._pool is not None and self._spec is not None
+        spec = self._spec
+        try:
+            raw = self._pool.result(0, timeout=timeout)
+        finally:
+            self._spec = None
+        return RetrainResult(
+            spec=spec,
+            payload=raw["payload"],
+            builds={str(k): int(v) for k, v in raw["builds"].items()},
+            duration_s=time.monotonic() - self._started_at,
+        )
+
+    def close(self) -> None:
+        if self._owns_pool and self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+
+class DriftRetrainController:
+    """Closes the loop: drift verdict → retrain → atomic hot-swap.
+
+    Works over any service exposing ``drift`` (a
+    :class:`~repro.drift.detector.DriftDetector`), ``ticks`` and
+    ``swap_meter`` — both :class:`~repro.control.service.CapacityService`
+    and :class:`~repro.control.shard.ShardedCapacityService` do.  Drive
+    it with :meth:`step` at pipe-idle points (between ``push`` /
+    ``replay`` / ``advance`` calls).
+
+    Two modes:
+
+    * **inline** (default) — the retrain runs synchronously inside
+      :meth:`step`.  The trigger window, retrain and swap ticks are
+      then pure functions of the decision stream, which is what makes
+      the ``repro drift`` campaign byte-diffable across runs and
+      worker counts.
+    * **background** — the retrain runs on a dedicated pool worker via
+      :class:`BackgroundRetrainer`; :meth:`step` polls non-blockingly
+      and stages the swap on the tick the build happens to land.  The
+      tick loop never blocks, at the price of a timing-dependent (but
+      still window-aligned and atomic) swap tick.
+
+    ``events`` records ``(kind, tick, detail)`` tuples —
+    ``drift``/``retrain``/``swap`` — for campaign commentary.
+    """
+
+    def __init__(
+        self,
+        service: Any,
+        spec: RetrainSpec,
+        *,
+        background: bool = False,
+        retrainer: Optional[BackgroundRetrainer] = None,
+    ) -> None:
+        if getattr(service, "drift", None) is None:
+            raise ValueError(
+                "DriftRetrainController needs a service with drift "
+                "detection enabled (call enable_drift() first)"
+            )
+        self.service = service
+        self.spec = spec
+        self.background = background
+        self._retrainer = retrainer
+        if background and self._retrainer is None:
+            self._retrainer = BackgroundRetrainer()
+        self.events: List[Tuple[str, int, str]] = []
+        self.retrains: List[RetrainResult] = []
+        self.swaps: List[StagedSwap] = []
+        self._armed_logged = False
+
+    @property
+    def pending(self) -> bool:
+        """Is a background retrain currently in flight?"""
+        return self._retrainer is not None and self._retrainer.pending
+
+    def _log_trigger(self) -> None:
+        if self._armed_logged:
+            return
+        self._armed_logged = True
+        drift = self.service.drift
+        for site in drift.drifted_sites():
+            verdict = drift.verdict(site)
+            self.events.append(
+                ("drift", self.service.ticks, f"{site} {verdict.reason}")
+            )
+
+    def _land(self, result: RetrainResult) -> StagedSwap:
+        self.retrains.append(result)
+        self.events.append(
+            (
+                "retrain",
+                self.service.ticks,
+                "warm" if result.warm else "cold",
+            )
+        )
+        swap = self.service.swap_meter(result.payload)
+        self.swaps.append(swap)
+        self.events.append(
+            (
+                "swap",
+                self.service.ticks,
+                f"v{swap.version} effective {swap.effective_tick}",
+            )
+        )
+        self._armed_logged = False
+        return swap
+
+    def step(self) -> Optional[StagedSwap]:
+        """Advance the loop one notch; the staged swap when one lands."""
+        drift = self.service.drift
+        if drift is None:
+            return None
+        if self.pending:
+            assert self._retrainer is not None
+            result = self._retrainer.poll()
+            if result is None:
+                return None
+            return self._land(result)
+        if not drift.triggered:
+            return None
+        self._log_trigger()
+        if self.background:
+            assert self._retrainer is not None
+            self._retrainer.start(self.spec)
+            return None
+        return self._land(retrain_meter(self.spec))
+
+    def drain(self, timeout: Optional[float] = None) -> Optional[StagedSwap]:
+        """Block until an in-flight background retrain lands (if any)."""
+        if not self.pending:
+            return None
+        assert self._retrainer is not None
+        return self._land(self._retrainer.wait(timeout))
+
+    def close(self) -> None:
+        if self._retrainer is not None:
+            self._retrainer.close()

@@ -209,18 +209,52 @@ class AdmitGateway:
             "snapshot_seq": snapshot.seq if snapshot else 0,
         }
 
+    def state_dict(self) -> Dict[str, Dict[str, object]]:
+        """The gateway gates' run-local state, JSON-serializable.
+
+        The gateway's AIMD gates carry their own RNG substreams
+        (``spawn_key=(2,)``); without checkpointing them a restarted
+        server would re-seed from zero and replay the head of each
+        site's draw sequence instead of continuing it mid-trace.
+        """
+        return {
+            name: gate.state_dict() for name, gate in self._gates.items()
+        }
+
+    def load_state(self, state: Dict[str, Dict[str, object]]) -> None:
+        """Restore :meth:`state_dict` output (unknown sites rejected)."""
+        for name, raw in state.items():
+            if name not in self._gates:
+                raise UnknownSiteError(name)
+            self._gates[name].load_state(dict(raw))
+
     def health(self) -> Dict[str, object]:
-        """Liveness payload: healthy, or degraded with the lost sites."""
+        """Liveness payload: healthy, or why not.
+
+        Statuses (anything but ``"ok"`` answers 503): ``starting``
+        (no snapshot published yet), ``warming_up`` (the seed snapshot
+        is out but no site has decided a real window — an orchestrator
+        must not route to a fleet whose gates have never seen
+        telemetry), ``degraded`` (lost shards; takes precedence).
+        """
         snapshot = self._snapshot_source()
         if snapshot is None:
             return {"status": "starting", "sites": len(self._gates)}
-        status = "ok" if snapshot.healthy else "degraded"
+        if not snapshot.healthy:
+            status = "degraded"
+        elif not snapshot.warmed:
+            status = "warming_up"
+        else:
+            status = "ok"
         payload: Dict[str, object] = {
             "status": status,
             "sites": len(self._gates),
             "snapshot_seq": snapshot.seq,
             "tick": snapshot.tick,
+            "meter_version": snapshot.meter_version,
         }
         if snapshot.lost_sites:
             payload["lost_sites"] = list(snapshot.lost_sites)
+        if snapshot.drifted_sites:
+            payload["drifted_sites"] = list(snapshot.drifted_sites)
         return payload

@@ -238,6 +238,22 @@ class WorkerPool:
         pid = self._procs[worker].pid
         return None if pid is None else int(pid)
 
+    def poll(self, worker: int) -> bool:
+        """Non-blocking: is a reply (or a crash) waiting on ``worker``?
+
+        True means the next :meth:`result` call will not block on the
+        task itself — either the reply bytes are buffered on the pipe
+        or the worker died and collection will raise its crash.  Lets
+        callers run background work (e.g. a retrain build) without ever
+        stalling their own loop.
+        """
+        if not self._procs[worker].is_alive():
+            return True
+        try:
+            return bool(self._conns[worker].poll(0))
+        except (OSError, ValueError, EOFError):
+            return True
+
     def _crash(self, worker: int) -> WorkerCrash:
         """Build a :class:`WorkerCrash`, harvesting the exitcode first.
 

@@ -809,3 +809,162 @@ class TestDegradedHealth:
                 writer.close()
 
         asyncio.run(scenario())
+
+
+# ----------------------------------------------------------------------
+# warm-up gating: 503 until the fleet has decided a real window
+# ----------------------------------------------------------------------
+class TestWarmupHealth:
+    def test_healthz_warms_up_only_after_a_real_decision(
+        self, meter, labeler, records
+    ):
+        """The seed snapshot published by ``enable_snapshots()`` must
+        answer ``warming_up``/503 — an orchestrator must not route to a
+        fleet whose gates have never seen telemetry — and flip to
+        ``ok``/200 on the first decided window."""
+        specs = [SiteSpec(name=f"site{i}", seed=100 + i) for i in range(2)]
+        service = CapacityService(meter, specs, labeler=labeler)
+        seed_snapshot = service.enable_snapshots()
+        assert seed_snapshot.healthy and not seed_snapshot.warmed
+
+        gateway = AdmitGateway(specs, lambda: service.snapshot)
+        health = gateway.health()
+        assert health["status"] == "warming_up"
+        assert health["meter_version"] == 1
+
+        async def check(expected_status, expected_state):
+            async with serving(gateway) as server:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                status, _, body = await http_request(
+                    reader, writer, "GET", "/healthz"
+                )
+                writer.close()
+                assert status == expected_status
+                assert json.loads(body)["status"] == expected_state
+
+        asyncio.run(check(503, "warming_up"))
+        # admits still serve during warm-up, from the gates' p=1.0
+        assert gateway.admit("site0").admitted
+
+        service.replay(records[:10])  # one decided window per site
+        assert service.snapshot.warmed
+        assert gateway.health()["status"] == "ok"
+        asyncio.run(check(200, "ok"))
+
+    def test_degraded_takes_precedence_over_warming_up(self):
+        snapshot = FleetSnapshot(
+            seq=1,
+            tick=0,
+            sites={
+                "alpha": SiteSnapshot(
+                    name="alpha",
+                    admission_probability=1.0,
+                    confidence=0.0,
+                    overloaded=False,
+                    held=True,
+                    degraded=True,
+                    window_index=-1,
+                )
+            },
+            lost_sites=("alpha",),
+        )
+        gateway = AdmitGateway(
+            [SiteSpec(name="alpha", seed=3)], lambda: snapshot
+        )
+        assert gateway.health()["status"] == "degraded"
+
+    def test_health_reports_meter_version_and_drifted_sites(self):
+        snapshot = FleetSnapshot(
+            seq=4,
+            tick=120,
+            sites={
+                "alpha": SiteSnapshot(
+                    name="alpha",
+                    admission_probability=0.8,
+                    confidence=1.0,
+                    overloaded=False,
+                    held=False,
+                    degraded=False,
+                    window_index=11,
+                    drifted=True,
+                )
+            },
+            meter_version=3,
+        )
+        gateway = AdmitGateway(
+            [SiteSpec(name="alpha", seed=3)], lambda: snapshot
+        )
+        health = gateway.health()
+        assert health["status"] == "ok"
+        assert health["meter_version"] == 3
+        assert health["drifted_sites"] == ["alpha"]
+
+
+# ----------------------------------------------------------------------
+# gateway gate state round-trips (the resume re-seed regression)
+# ----------------------------------------------------------------------
+class TestGatewayStateRoundTrip:
+    def test_restored_gateway_continues_the_draw_sequence(self):
+        """Regression pin: a restarted server used to rebuild its gates
+        from the seed and replay the head of every site's ``spawn_key=(2,)``
+        substream.  ``state_dict``/``load_state`` must instead continue
+        each draw sequence exactly where the saved gateway stopped."""
+        specs = [SiteSpec(name=f"site{i}", seed=40 + i) for i in range(2)]
+        snapshot = make_snapshot({"site0": 0.5, "site1": 0.5})
+        first = AdmitGateway(specs, lambda: snapshot)
+        head = [
+            (name, first.admit(name).admitted)
+            for _ in range(25)
+            for name in ("site0", "site1")
+        ]
+        state = json.loads(json.dumps(first.state_dict()))
+
+        # uninterrupted continuation: the reference tail
+        reference = [
+            (name, first.admit(name).admitted)
+            for _ in range(25)
+            for name in ("site0", "site1")
+        ]
+
+        restored = AdmitGateway(specs, lambda: snapshot)
+        restored.load_state(state)
+        resumed = [
+            (name, restored.admit(name).admitted)
+            for _ in range(25)
+            for name in ("site0", "site1")
+        ]
+        assert resumed == reference
+        assert restored.gate("site0").state_dict() == first.gate(
+            "site0"
+        ).state_dict()
+
+        # and the bug the pin guards against: a fresh gateway without
+        # the restore replays the head of the stream instead
+        fresh = AdmitGateway(specs, lambda: snapshot)
+        replayed = [
+            (name, fresh.admit(name).admitted)
+            for _ in range(25)
+            for name in ("site0", "site1")
+        ]
+        assert replayed == head
+        assert replayed != reference
+
+    def test_state_dict_counts_survive_the_round_trip(self):
+        specs = [SiteSpec(name="alpha", seed=7)]
+        snapshot = make_snapshot({"alpha": 0.3})
+        gateway = AdmitGateway(specs, lambda: snapshot)
+        for _ in range(40):
+            gateway.admit("alpha")
+        stats = gateway.gate("alpha").stats
+        restored = AdmitGateway(specs, lambda: snapshot)
+        restored.load_state(gateway.state_dict())
+        assert restored.gate("alpha").stats == stats
+
+    def test_load_state_rejects_unknown_sites(self):
+        gateway = AdmitGateway(
+            [SiteSpec(name="alpha", seed=3)], lambda: None
+        )
+        with pytest.raises(UnknownSiteError):
+            gateway.load_state({"ghost": {}})
